@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Ablations over the DataLoader protocol knobs DESIGN.md calls out:
+ *
+ *  1. prefetch_factor (1..8): deeper prefetch hides worker variance
+ *     but raises delay times and the out-of-order fraction — the
+ *     mechanism behind the paper's Fig. 5 findings.
+ *  2. contention model on/off: the occupancy-driven CPU inflation is
+ *     what produces Fig. 6(b)'s rising CPU seconds.
+ *  3. pin cost: the main process's per-batch pin work serializes
+ *     consumption and amplifies delays when many workers race ahead.
+ */
+
+#include <cstdio>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "core/lotustrace/analysis.h"
+#include "sim/loader_sim.h"
+
+namespace lotus {
+namespace {
+
+sim::LoaderSimConfig
+base()
+{
+    sim::LoaderSimConfig config;
+    config.model = sim::ServiceModel::imageClassification();
+    config.batch_size = 256;
+    config.num_workers = 8;
+    config.num_gpus = 4;
+    config.num_batches = 32;
+    config.cores = 32;
+    config.gpu_time_per_sample = 250 * kMicrosecond;
+    config.seed = 77;
+    config.log_ops = false;
+    return config;
+}
+
+} // namespace
+} // namespace lotus
+
+int
+main()
+{
+    using namespace lotus;
+    bench::printHeader("Protocol ablations",
+                       "design-choice ablations (prefetch depth, "
+                       "contention model, pin cost)");
+
+    bench::printSection("1. prefetch_factor sweep");
+    {
+        analysis::TextTable table({"prefetch", "e2e s", "mean wait ms",
+                                   "mean delay ms", "out-of-order"});
+        for (const int prefetch : {1, 2, 4, 8}) {
+            auto config = base();
+            config.prefetch_factor = prefetch;
+            const auto result = sim::LoaderSim(config).run();
+            core::lotustrace::TraceAnalysis analysis(result.records);
+            table.addRow(
+                {strFormat("%d", prefetch),
+                 strFormat("%.1f", toSec(result.e2e_time)),
+                 bench::ms(
+                     analysis::summarize(analysis.waitTimesMs()).mean),
+                 bench::ms(
+                     analysis::summarize(analysis.delayTimesMs()).mean),
+                 bench::pct(analysis.outOfOrderFraction())});
+        }
+        std::printf("%s", table.render().c_str());
+        std::printf("deeper prefetch trades main-process waits for batch "
+                    "delays and out-of-order arrivals.\n");
+    }
+
+    bench::printSection("2. contention model on/off (28 workers)");
+    {
+        analysis::TextTable table(
+            {"contention", "e2e s", "total CPU s", "occupancy"});
+        for (const bool contention : {false, true}) {
+            auto config = base();
+            config.num_workers = 28;
+            config.apply_contention = contention;
+            const auto result = sim::LoaderSim(config).run();
+            table.addRow({contention ? "on" : "off",
+                          strFormat("%.1f", toSec(result.e2e_time)),
+                          strFormat("%.1f", result.total_cpu_seconds),
+                          strFormat("%.2f", result.avg_occupancy)});
+        }
+        std::printf("%s", table.render().c_str());
+        std::printf("the occupancy-driven inflation is the Fig. 6(b) "
+                    "CPU-seconds growth mechanism.\n");
+    }
+
+    bench::printSection("3. shared vs per-worker data queue (Takeaway 4)");
+    {
+        analysis::TextTable table({"data queue", "out-of-order",
+                                   "mean delay ms", "delays > 500ms",
+                                   "e2e s"});
+        for (const auto policy : {sim::DataQueuePolicy::Shared,
+                                  sim::DataQueuePolicy::PerWorker}) {
+            auto config = base();
+            config.queue_policy = policy;
+            const auto result = sim::LoaderSim(config).run();
+            core::lotustrace::TraceAnalysis analysis(result.records);
+            // The sentinel-based OOO metric is meaningful only for
+            // the shared topology; per-worker queues cannot reorder.
+            const std::string ooo =
+                policy == sim::DataQueuePolicy::Shared
+                    ? bench::pct(analysis.outOfOrderFraction())
+                    : "0% (by construction)";
+            table.addRow(
+                {policy == sim::DataQueuePolicy::Shared ? "shared (paper)"
+                                                        : "per-worker",
+                 ooo,
+                 bench::ms(
+                     analysis::summarize(analysis.delayTimesMs()).mean),
+                 bench::pct(
+                     analysis.fractionDelaysOver(500 * kMillisecond)),
+                 strFormat("%.1f", toSec(result.e2e_time))});
+        }
+        std::printf("%s", table.render().c_str());
+        std::printf(
+            "per-worker return queues remove out-of-order arrivals and "
+            "the pin-and-cache machinery, but batch delays and epoch "
+            "time barely move: the delays come from strict in-order "
+            "consumption plus accelerator backpressure, and the shared "
+            "queue's OOO is the *symptom* LotusTrace makes visible, not "
+            "itself the time sink.\n");
+    }
+
+    bench::printSection("4. pin cost sweep");
+    {
+        analysis::TextTable table({"pin us/sample", "mean delay ms",
+                                   "delays > 500ms", "e2e s"});
+        for (const TimeNs pin :
+             {TimeNs{0}, 60 * kMicrosecond, 300 * kMicrosecond}) {
+            auto config = base();
+            config.model.pin_per_sample = pin;
+            const auto result = sim::LoaderSim(config).run();
+            core::lotustrace::TraceAnalysis analysis(result.records);
+            table.addRow(
+                {strFormat("%.0f", toUs(pin)),
+                 bench::ms(
+                     analysis::summarize(analysis.delayTimesMs()).mean),
+                 bench::pct(
+                     analysis.fractionDelaysOver(500 * kMillisecond)),
+                 strFormat("%.1f", toSec(result.e2e_time))});
+        }
+        std::printf("%s", table.render().c_str());
+        std::printf("pinning on the single main thread serializes "
+                    "consumption: higher pin cost -> longer queue-side "
+                    "delays (the paper's Fig. 3/5 explanation).\n");
+    }
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Figure 2: coarse LotusTrace visualizations of the three pipelines,
+ * showing the preprocessing-bound regime (IC: short delays, busy
+ * parallel workers) versus the GPU-bound regimes (IS/OD: long delays,
+ * preprocessed spans that look sequential). Writes Chrome-trace JSON
+ * files and prints the wait/delay evidence behind each diagnosis.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/lotustrace/analysis.h"
+#include "core/lotustrace/visualize.h"
+#include "dataflow/data_loader.h"
+#include "sim/training_loop.h"
+#include "workloads/pipelines.h"
+#include "workloads/synthetic.h"
+
+namespace lotus {
+namespace {
+
+void
+runScenario(const std::string &label, const workloads::Workload &workload,
+            int batch_size, int workers, TimeNs gpu_per_sample,
+            const std::string &out_file)
+{
+    trace::TraceLogger logger;
+    dataflow::DataLoaderOptions options;
+    options.batch_size = batch_size;
+    options.num_workers = workers;
+    options.logger = &logger;
+    dataflow::DataLoader loader(workload.dataset, workload.collate,
+                                options);
+
+    sim::GpuConfig gpu_config;
+    gpu_config.time_per_sample = gpu_per_sample;
+    gpu_config.logger = &logger;
+    sim::GpuModel gpu(gpu_config);
+    sim::TrainingLoop trainer(loader, gpu);
+    const auto stats = trainer.runEpoch();
+
+    core::lotustrace::TraceAnalysis analysis(logger.records());
+    double wait_sum = 0.0, delay_sum = 0.0;
+    for (const double w : analysis.waitTimesMs())
+        wait_sum += w;
+    for (const double d : analysis.delayTimesMs())
+        delay_sum += d;
+    const double gpu_ms = toMs(analysis.maxGpuTime());
+
+    bench::printSection(label);
+    std::printf("  batches %lld  epoch %.0f ms  gpu max %.1f ms\n",
+                static_cast<long long>(stats.batches),
+                toMs(stats.wall_time), gpu_ms);
+    std::printf("  total main-process wait %.1f ms | total batch delay "
+                "%.1f ms\n",
+                wait_sum, delay_sum);
+    std::printf("  delays > gpu service: %s of batches  (out-of-order: "
+                "%s)\n",
+                bench::pct(analysis.fractionDelaysOver(
+                               analysis.maxGpuTime()))
+                    .c_str(),
+                bench::pct(analysis.outOfOrderFraction()).c_str());
+    const char *verdict =
+        wait_sum > delay_sum ? "PREPROCESSING-BOUND (Fig. 2a regime)"
+                             : "GPU-BOUND (Fig. 2b/c regime)";
+    std::printf("  verdict: %s\n", verdict);
+
+    core::lotustrace::VisualizeOptions viz;
+    viz.per_op = false;
+    trace::ChromeTraceBuilder builder;
+    core::lotustrace::augmentTrace(builder, logger.records(), viz);
+    const auto bytes = builder.writeTo(out_file);
+    std::printf("  chrome trace: %s (%llu bytes) -> chrome://tracing\n",
+                out_file.c_str(), static_cast<unsigned long long>(bytes));
+}
+
+} // namespace
+} // namespace lotus
+
+int
+main()
+{
+    using namespace lotus;
+    bench::printHeader(
+        "Coarse data-flow traces and bottleneck diagnosis",
+        "Figure 2 (IC preprocessing-bound; IS/OD GPU-bound) + Takeaway 2");
+
+    {
+        // IC: online decode + transform, fast GPU -> preprocessing is
+        // the bottleneck (Fig. 2a). One worker keeps the regime
+        // unambiguous: batches arrive serially, so the main process
+        // always waits and batches never queue.
+        workloads::ImageNetConfig config;
+        config.num_images = 96;
+        config.median_width = 128;
+        auto workload = workloads::makeImageClassification(
+            workloads::buildImageNetStore(config), 64);
+        runScenario("IC: batch 8, 1 worker, fast GPU", workload, 8, 1,
+                    100 * kMicrosecond, "fig2a_ic.trace.json");
+    }
+    {
+        // IS: cheap preprocessing of pre-cropped volumes, slow model
+        // (U-Net3D) -> GPU-bound (Fig. 2b).
+        workloads::Kits19Config config;
+        config.num_volumes = 12;
+        config.median_extent = 48;
+        auto workload = workloads::makeImageSegmentation(
+            workloads::buildKits19Store(config), 32);
+        runScenario("IS: batch 2, 4 workers, slow GPU", workload, 2, 4,
+                    60 * kMillisecond, "fig2b_is.trace.json");
+    }
+    {
+        // OD: moderate preprocessing, heavy Mask-R-CNN-like step ->
+        // GPU-bound (Fig. 2c).
+        workloads::CocoConfig config;
+        config.num_images = 16;
+        config.median_width = 160;
+        auto workload = workloads::makeObjectDetection(
+            workloads::buildCocoStore(config), 96, 192, 32);
+        runScenario("OD: batch 2, 4 workers, slow GPU", workload, 2, 4,
+                    25 * kMillisecond, "fig2c_od.trace.json");
+    }
+
+    std::printf("\nShape checks: IC verdict preprocessing-bound; IS/OD "
+                "verdict GPU-bound with batch delays >> wait times "
+                "(paper: 10.9 s / 1.64 s delays vs 750 ms / 250 ms GPU "
+                "times).\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 3: out-of-order arrival causing the main process to wait (or
+ * a batch to sit ready) despite the desired batch being preprocessed.
+ * A crafted two-worker scenario where worker 1's batch overtakes
+ * worker 0's on the shared data queue; LotusTrace's batch-id tracking
+ * is what makes the event identifiable (Takeaway 4).
+ */
+
+#include <cstdio>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "core/lotustrace/analysis.h"
+#include "core/lotustrace/visualize.h"
+#include "sim/loader_sim.h"
+
+int
+main()
+{
+    using namespace lotus;
+    bench::printHeader("Out-of-order arrival anatomy",
+                       "Figure 3 + Takeaway 4");
+
+    // Two workers, alternating slow/fast batches: every odd batch is
+    // ready long before the main process can consume it.
+    sim::LoaderSimConfig config;
+    sim::ServiceModel model;
+    model.per_sample_ops = {
+        {"Work", 10 * kMillisecond, 0.0},
+    };
+    model.collate = {"Collate", 500 * kMicrosecond, 0.0};
+    model.pin_per_sample = 2 * kMillisecond;
+    config.model = model;
+    config.batch_size = 4;
+    config.num_workers = 2;
+    config.num_batches = 8;
+    config.cores = 32;
+    config.gpu_time_per_sample = 12 * kMillisecond; // slowish consumer
+    config.gpu_jitter = 0.0;
+    config.seed = 5;
+    // Make worker 0's batches slower via per-worker randomness: the
+    // lognormal draw is deterministic at cv=0, so instead stagger by
+    // giving batch 0 a head start through prefetch order — overtaking
+    // then comes from the pin-and-poll serialization in the main
+    // process, exactly the Fig. 3 mechanism.
+    model.per_sample_ops[0].cv = 0.8;
+    config.model = model;
+
+    const auto result = sim::LoaderSim(config).run();
+    core::lotustrace::TraceAnalysis analysis(result.records);
+
+    analysis::TextTable table({"batch", "worker", "ready at (ms)",
+                               "consumed at (ms)", "delay ms", "wait ms",
+                               "out-of-order?"});
+    int ooo_events = 0;
+    for (const auto &batch : analysis.batches()) {
+        if (batch.outOfOrder())
+            ++ooo_events;
+        table.addRow(
+            {strFormat("%lld", static_cast<long long>(batch.batch_id)),
+             strFormat("%u", batch.worker_pid),
+             bench::ms(toMs(batch.preprocess_end)),
+             bench::ms(toMs(batch.consumed_start)),
+             bench::ms(toMs(batch.delayTime())),
+             bench::ms(toMs(batch.wait_duration)),
+             batch.outOfOrder() ? "YES (1us sentinel)" : "no"});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\n%d of %zu batches arrived out of order; each sat "
+                "pinned in the reorder cache while the main process "
+                "polled for the in-order batch (the Fig. 3 wait-despite-"
+                "ready anatomy).\n",
+                ooo_events, analysis.batches().size());
+
+    const std::string out = "fig3_ooo.trace.json";
+    trace::ChromeTraceBuilder builder;
+    core::lotustrace::augmentTrace(builder, result.records, {});
+    builder.writeTo(out);
+    std::printf("chrome trace: %s\n", out.c_str());
+    return ooo_events > 0 ? 0 : 1;
+}

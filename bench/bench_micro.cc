@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the hot paths whose costs
+ * the paper quantifies or depends on: LotusTrace's per-log overhead
+ * (paper: ~200 µs on their setup; ours is far cheaper since it is
+ * native), kernel-scope annotation, codec and resample throughput,
+ * and the DES event loop.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "hwcount/registry.h"
+#include "image/codec/codec.h"
+#include "image/resample.h"
+#include "image/synth.h"
+#include "sim/des/engine.h"
+#include "tensor/ops.h"
+#include "trace/logger.h"
+
+namespace {
+
+using namespace lotus;
+
+void
+BM_TraceLoggerLog(benchmark::State &state)
+{
+    trace::TraceLogger logger;
+    trace::TraceRecord record;
+    record.kind = trace::RecordKind::TransformOp;
+    record.op_name = "RandomResizedCrop";
+    for (auto _ : state) {
+        record.start = logger.now();
+        record.duration = logger.now() - record.start;
+        logger.log(record);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceLoggerLog);
+
+void
+BM_KernelScope(benchmark::State &state)
+{
+    for (auto _ : state) {
+        hwcount::KernelScope scope(hwcount::KernelId::IdctBlock);
+        scope.stats().arith_ops += 64;
+        benchmark::DoNotOptimize(scope.stats());
+    }
+    hwcount::KernelRegistry::instance().reset();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelScope);
+
+void
+BM_CodecDecode(benchmark::State &state)
+{
+    Rng rng(1);
+    const auto img = image::synthesize(
+        rng, static_cast<int>(state.range(0)),
+        static_cast<int>(state.range(0)));
+    const std::string blob = image::codec::encode(img);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(image::codec::decode(blob));
+    state.SetBytesProcessed(state.iterations() * img.byteSize());
+}
+BENCHMARK(BM_CodecDecode)->Arg(64)->Arg(224);
+
+void
+BM_CodecEncode(benchmark::State &state)
+{
+    Rng rng(2);
+    const auto img = image::synthesize(rng, 224, 224);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(image::codec::encode(img));
+    state.SetBytesProcessed(state.iterations() * img.byteSize());
+}
+BENCHMARK(BM_CodecEncode);
+
+void
+BM_Resize(benchmark::State &state)
+{
+    Rng rng(3);
+    const auto img = image::synthesize(rng, 512, 512);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(image::resize(img, 224, 224));
+    state.SetBytesProcessed(state.iterations() * img.byteSize());
+}
+BENCHMARK(BM_Resize);
+
+void
+BM_ToTensorPath(benchmark::State &state)
+{
+    Rng rng(4);
+    const auto img = image::synthesize(rng, 224, 224);
+    for (auto _ : state) {
+        const auto hwc = img.toTensorHwc();
+        benchmark::DoNotOptimize(
+            tensor::castU8ToF32(tensor::hwcToChw(hwc)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ToTensorPath);
+
+void
+BM_DesEventLoop(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::des::Engine engine;
+        for (int i = 0; i < 1000; ++i)
+            engine.schedule(i, [] {});
+        engine.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_DesEventLoop);
+
+} // namespace
+
+BENCHMARK_MAIN();

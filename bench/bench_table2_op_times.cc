@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Table II: per-image elapsed time per preprocessing operation for
+ * the IC / IS / OD pipelines — Avg, P90, %<10 ms, %<100 µs.
+ *
+ * Runs the real instrumented pipelines on sandbox-scaled synthetic
+ * datasets; the distributional shape (which ops dominate, which are
+ * sub-10 ms / sub-100 µs, the P90/avg spreads of RBC and Loader) is
+ * the reproduction target, not the absolute CloudLab milliseconds.
+ */
+
+#include <cstdio>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "core/lotustrace/analysis.h"
+#include "dataflow/data_loader.h"
+#include "trace/logger.h"
+#include "workloads/pipelines.h"
+#include "workloads/synthetic.h"
+
+namespace lotus {
+namespace {
+
+void
+runPipeline(const std::string &name, const workloads::Workload &workload,
+            int batch_size, int workers, int epochs,
+            const std::string &paper_note)
+{
+    trace::TraceLogger logger;
+    dataflow::DataLoaderOptions options;
+    options.batch_size = batch_size;
+    options.num_workers = workers;
+    options.logger = &logger;
+    dataflow::DataLoader loader(workload.dataset, workload.collate,
+                                options);
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        loader.startEpoch();
+        while (loader.next().has_value()) {
+        }
+    }
+
+    core::lotustrace::TraceAnalysis analysis(logger.records());
+    bench::printSection(
+        strFormat("%s  (batch %d, %d loader worker%s)", name.c_str(),
+                  batch_size, workers, workers == 1 ? "" : "s"));
+    std::printf("paper reference (ms): %s\n", paper_note.c_str());
+
+    analysis::TextTable table(
+        {"op", "avg ms", "P90 ms", "<10ms", "<100us", "count"});
+    for (const auto &op : analysis.opStats()) {
+        table.addRow({op.name, bench::ms(op.summary_ms.mean),
+                      bench::ms(op.summary_ms.p90),
+                      bench::pct(op.frac_below_10ms),
+                      bench::pct(op.frac_below_100us),
+                      strFormat("%llu", static_cast<unsigned long long>(
+                                            op.summary_ms.count))});
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+} // namespace
+} // namespace lotus
+
+int
+main()
+{
+    using namespace lotus;
+    bench::printHeader("Per-op elapsed time per image",
+                       "Table II (IC / IS / OD, avg + P90 + <10ms + <100us)");
+
+    {
+        workloads::ImageNetConfig config;
+        config.num_images = 48;
+        config.median_width = 160;
+        auto workload = workloads::makeImageClassification(
+            workloads::buildImageNetStore(config), 64);
+        runPipeline("Image Classification (IC)", workload, 16, 1, 2,
+                    "Loader 4.76 | RRC 1.11 | RHF 0.06 | TT 0.34 | "
+                    "Norm 0.21 | C(128) 49.76");
+    }
+    {
+        workloads::Kits19Config config;
+        config.num_volumes = 10;
+        config.median_extent = 72;
+        auto workload = workloads::makeImageSegmentation(
+            workloads::buildKits19Store(config), 48);
+        runPipeline("Image Segmentation (IS)", workload, 2, 2, 3,
+                    "Loader 72.03 | RBC 91.10 (P90 298!) | RF 4.39 | "
+                    "Cast 2.16 | RBA 0.78 | GN 6.46 | C(2) 14.24");
+    }
+    {
+        workloads::CocoConfig config;
+        config.num_images = 16;
+        config.median_width = 240;
+        auto workload = workloads::makeObjectDetection(
+            workloads::buildCocoStore(config), 160, 320, 32);
+        runPipeline("Object Detection (OD)", workload, 2, 2, 2,
+                    "Loader 9.59 | Resize 9.43 | RHF 0.52 | TT 6.75 | "
+                    "Norm 7.80 | C(2) 7.39");
+    }
+
+    std::printf("\nShape checks (paper's Takeaway 1):\n"
+                " - every pipeline has ops under 10 ms, some under 100 us\n"
+                " - no single op dominates; Loader & crop/resize lead\n"
+                " - IS RandBalancedCrop has a P90 far above its mean\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Table IV: profiler functionality matrix — Epoch / Batch / Async /
+ * Wait / Delay — demonstrated, not just declared: each profiler runs
+ * against the same instrumented pipeline and the bench prints what
+ * each can actually reconstruct from its own data (e.g. the samplers'
+ * per-epoch op times land within a few percent of Lotus for long ops,
+ * while batch-level metrics simply do not exist for them).
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "core/lotustrace/analysis.h"
+#include "dataflow/data_loader.h"
+#include "hwcount/registry.h"
+#include "profilers/presets.h"
+#include "workloads/pipelines.h"
+#include "workloads/synthetic.h"
+
+int
+main()
+{
+    using namespace lotus;
+    bench::printHeader("Profiler functionality matrix",
+                       "Table IV (Epoch / Batch / Async / Wait / Delay)");
+
+    const char *tick = "yes";
+    const char *cross = "-";
+    auto cell = [&](bool b) { return b ? tick : cross; };
+
+    std::vector<std::unique_ptr<profilers::Profiler>> all;
+    all.push_back(profilers::makeLotus());
+    all.push_back(profilers::makeScaleneLike());
+    all.push_back(profilers::makePySpyLike());
+    all.push_back(profilers::makeAustinLike());
+    all.push_back(profilers::makeTorchProfilerLike());
+
+    analysis::TextTable matrix(
+        {"profiler", "Epoch", "Batch", "Async", "Wait", "Delay"});
+    for (const auto &profiler : all) {
+        const auto caps = profiler->capabilities();
+        matrix.addRow({profiler->name(), cell(caps.epoch_ops),
+                       cell(caps.per_batch), cell(caps.async_flow),
+                       cell(caps.wait_time), cell(caps.delay_time)});
+    }
+    std::printf("%s", matrix.render().c_str());
+
+    // Demonstration run: Lotus + the py-spy-like sampler concurrently
+    // observing the same epoch; compare the per-epoch op seconds each
+    // reconstructs (the paper reports py-spy within 1% for epochs).
+    bench::printSection("per-epoch op seconds: Lotus vs sampling profiler");
+    workloads::ImageNetConfig config;
+    config.num_images = 48;
+    config.median_width = 160;
+    auto workload = workloads::makeImageClassification(
+        workloads::buildImageNetStore(config), 96);
+
+    trace::TraceLogger logger;
+    auto lotus_profiler = profilers::makeLotus();
+    lotus_profiler->attach(logger);
+    auto sampler = profilers::makePySpyLike();
+    // The sampler is out-of-process: it does not attach to the logger
+    // (that would disable Lotus's record keeping); it just samples.
+    sampler->start();
+    dataflow::DataLoaderOptions options;
+    options.batch_size = 8;
+    options.num_workers = 2;
+    options.logger = &logger;
+    dataflow::DataLoader loader(workload.dataset, workload.collate,
+                                options);
+    while (loader.next().has_value()) {
+    }
+    sampler->stop();
+
+    const auto lotus_seconds = lotus_profiler->perOpEpochSeconds();
+    const auto sampler_seconds = sampler->perOpEpochSeconds();
+    analysis::TextTable compare(
+        {"op", "Lotus s", "py-spy-like s", "relative error"});
+    for (const auto &[op, seconds] : lotus_seconds) {
+        const double sampled =
+            sampler_seconds.count(op) ? sampler_seconds.at(op) : 0.0;
+        compare.addRow(
+            {op, strFormat("%.3f", seconds), strFormat("%.3f", sampled),
+             seconds > 0.0
+                 ? strFormat("%+.0f%%", 100.0 * (sampled / seconds - 1.0))
+                 : "n/a"});
+    }
+    std::printf("%s", compare.render().c_str());
+    std::printf("\nNote how sub-interval ops (RandomHorizontalFlip, "
+                "Normalize) vanish or quantize in the sampler's view — "
+                "the paper's core argument for instrumented tracing — "
+                "while batch/wait/delay metrics exist only for Lotus.\n");
+
+    // Lotus uniquely reconstructs batch-level metrics; show them.
+    core::lotustrace::TraceAnalysis analysis(logger.records());
+    std::printf("\nLotus-only view: %zu batches, out-of-order %s, mean "
+                "per-batch preprocess %.1f ms\n",
+                analysis.batches().size(),
+                bench::pct(analysis.outOfOrderFraction()).c_str(),
+                analysis::summarize(analysis.perBatchPreprocessMs()).mean);
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared helpers for the evaluation benches.
+ *
+ * Each bench regenerates one table or figure from the paper on
+ * sandbox-scaled synthetic workloads. Absolute numbers differ from
+ * the paper's dual-socket Xeon + V100 testbed; every bench prints the
+ * paper's reference values next to the measured ones so the *shape*
+ * comparison is immediate.
+ */
+
+#ifndef LOTUS_BENCH_BENCH_UTIL_H
+#define LOTUS_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+#include "common/strings.h"
+
+namespace lotus::bench {
+
+inline void
+printHeader(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("================================================================\n");
+}
+
+inline void
+printSection(const std::string &name)
+{
+    std::printf("\n--- %s ---\n", name.c_str());
+}
+
+inline std::string
+pct(double fraction)
+{
+    return strFormat("%.1f%%", 100.0 * fraction);
+}
+
+inline std::string
+ms(double milliseconds)
+{
+    return strFormat("%.2f", milliseconds);
+}
+
+} // namespace lotus::bench
+
+#endif // LOTUS_BENCH_BENCH_UTIL_H

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Side-by-side profiler comparison on one pipeline (a compact §VI):
+ * run the same instrumented epoch under each profiler model, print
+ * what each reports — and what it cannot.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "analysis/stats.h"
+#include "core/lotustrace/analysis.h"
+#include "dataflow/data_loader.h"
+#include "hwcount/registry.h"
+#include "profilers/presets.h"
+#include "workloads/pipelines.h"
+#include "workloads/synthetic.h"
+
+namespace {
+
+lotus::TimeNs
+runUnder(const lotus::workloads::Workload &workload,
+         lotus::profilers::Profiler &profiler,
+         lotus::trace::TraceLogger &logger)
+{
+    using namespace lotus;
+    profiler.attach(logger);
+    dataflow::DataLoaderOptions options;
+    options.batch_size = 8;
+    options.num_workers = 2;
+    options.logger = &logger;
+    dataflow::DataLoader loader(workload.dataset, workload.collate,
+                                options);
+    const auto &clock = SteadyClock::instance();
+    profiler.start();
+    const TimeNs start = clock.now();
+    while (loader.next().has_value()) {
+    }
+    const TimeNs elapsed = clock.now() - start;
+    profiler.stop();
+    return elapsed;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace lotus;
+    workloads::ImageNetConfig data;
+    data.num_images = 48;
+    data.median_width = 128;
+    auto workload = workloads::makeImageClassification(
+        workloads::buildImageNetStore(data), 64);
+
+    std::vector<std::unique_ptr<profilers::Profiler>> all;
+    all.push_back(profilers::makeLotus());
+    all.push_back(profilers::makePySpyLike());
+    all.push_back(profilers::makeAustinLike());
+    all.push_back(profilers::makeScaleneLike());
+    all.push_back(profilers::makeTorchProfilerLike());
+
+    for (auto &profiler : all) {
+        hwcount::KernelRegistry::instance().reset();
+        trace::TraceLogger logger;
+        const TimeNs elapsed = runUnder(workload, *profiler, logger);
+
+        std::printf("\n=== %s ===\n", profiler->name().c_str());
+        std::printf("epoch wall time %.0f ms; log storage %s\n",
+                    toMs(elapsed),
+                    formatBytes(profiler->logStorageBytes()).c_str());
+
+        const auto caps = profiler->capabilities();
+        const auto seconds = profiler->perOpEpochSeconds();
+        if (caps.epoch_ops && !seconds.empty()) {
+            std::printf("per-op epoch seconds as this profiler sees "
+                        "them:\n");
+            for (const auto &[op, s] : seconds)
+                std::printf("  %-22s %.3f s\n", op.c_str(), s);
+        } else {
+            std::printf("per-op epoch times: NOT AVAILABLE (frames "
+                        "unlabelled)\n");
+        }
+        if (caps.per_batch && caps.wait_time && caps.delay_time) {
+            core::lotustrace::TraceAnalysis analysis(logger.records());
+            std::printf(
+                "batch-level view: %zu batches, mean preprocess %.1f ms, "
+                "mean wait %.1f ms, mean delay %.1f ms, ooo %.0f%%\n",
+                analysis.batches().size(),
+                analysis::summarize(analysis.perBatchPreprocessMs()).mean,
+                analysis::summarize(analysis.waitTimesMs()).mean,
+                analysis::summarize(analysis.delayTimesMs()).mean,
+                100.0 * analysis.outOfOrderFraction());
+        } else {
+            std::printf("batch-level view: NOT AVAILABLE (no batch "
+                        "markers / no worker visibility)\n");
+        }
+    }
+    std::printf("\nOnly Lotus sees the asynchronous main<->worker data "
+                "flow; samplers miss sub-interval ops entirely; the "
+                "framework tracer records unlabelled native events for "
+                "the main process only (Table IV).\n");
+    return 0;
+}

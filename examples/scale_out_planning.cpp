@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Capacity planning with Lotus: measure a pipeline on the machine you
+ * have, then simulate it on the machine you are buying.
+ *
+ * 1. Run a short instrumented epoch of the real IC pipeline here.
+ * 2. Calibrate a per-op service model from its [T3] records.
+ * 3. Replay the DataLoader protocol in virtual time on a modelled
+ *    32-core, 4-GPU node across worker counts.
+ * 4. Recommend the smallest worker count within 5% of the best epoch
+ *    time (the paper's Takeaway 5: more workers have diminishing
+ *    returns while CPU time keeps growing).
+ */
+
+#include <cstdio>
+
+#include "analysis/table.h"
+#include "common/strings.h"
+#include "core/lotustrace/analysis.h"
+#include "dataflow/data_loader.h"
+#include "sim/loader_sim.h"
+#include "workloads/pipelines.h"
+#include "workloads/synthetic.h"
+
+int
+main()
+{
+    using namespace lotus;
+
+    // --- 1. short real measurement run.
+    workloads::ImageNetConfig data;
+    data.num_images = 48;
+    data.median_width = 128;
+    auto workload = workloads::makeImageClassification(
+        workloads::buildImageNetStore(data), 64);
+    trace::TraceLogger logger;
+    dataflow::DataLoaderOptions options;
+    options.batch_size = 8;
+    options.num_workers = 2;
+    options.logger = &logger;
+    dataflow::DataLoader loader(workload.dataset, workload.collate,
+                                options);
+    while (loader.next().has_value()) {
+    }
+    std::printf("calibration run: %llu records captured\n",
+                static_cast<unsigned long long>(logger.recordCount()));
+
+    // --- 2. fit the service model from what LotusTrace measured.
+    auto model = sim::ServiceModel::calibrate(logger.records(),
+                                              options.batch_size);
+    model.batch_factor_cv = 0.08; // input clustering (DESIGN.md §5)
+    std::printf("calibrated per-sample ops:\n");
+    for (const auto &op : model.per_sample_ops) {
+        std::printf("  %-22s mean %7.2f ms  cv %.2f\n", op.name.c_str(),
+                    toMs(op.mean), op.cv);
+    }
+
+    // --- 3. simulate the target machine across worker counts.
+    std::printf("\nsimulated target: 32 cores, 4 GPUs, batch 256, 64 "
+                "batches per epoch\n");
+    analysis::TextTable table(
+        {"workers", "epoch s", "CPU s", "occupancy", "waits > 100ms"});
+    struct Point
+    {
+        int workers;
+        double epoch_s;
+    };
+    std::vector<Point> points;
+    for (const int workers : {2, 4, 8, 12, 16, 20, 24, 28}) {
+        sim::LoaderSimConfig config;
+        config.model = model;
+        config.batch_size = 256;
+        config.num_workers = workers;
+        config.num_gpus = 4;
+        config.num_batches = 64;
+        config.cores = 32;
+        config.gpu_time_per_sample = 300 * kMicrosecond;
+        config.seed = static_cast<std::uint64_t>(1000 + workers);
+        config.log_ops = false;
+        const auto result = sim::LoaderSim(config).run();
+        core::lotustrace::TraceAnalysis analysis(result.records);
+        table.addRow({strFormat("%d", workers),
+                      strFormat("%.1f", toSec(result.e2e_time)),
+                      strFormat("%.1f", result.total_cpu_seconds),
+                      strFormat("%.2f", result.avg_occupancy),
+                      strFormat("%.0f%%",
+                                100.0 * analysis.fractionWaitsOver(
+                                            100 * kMillisecond))});
+        points.push_back({workers, toSec(result.e2e_time)});
+    }
+    std::printf("%s", table.render().c_str());
+
+    // --- 4. recommendation.
+    double best = points.front().epoch_s;
+    for (const auto &point : points)
+        best = std::min(best, point.epoch_s);
+    int recommended = points.back().workers;
+    for (const auto &point : points) {
+        if (point.epoch_s <= best * 1.05) {
+            recommended = point.workers;
+            break;
+        }
+    }
+    std::printf("\nrecommendation: %d workers reaches within 5%% of the "
+                "best epoch time (%.1f s); beyond that you pay CPU "
+                "seconds for nothing (Takeaway 5).\n",
+                recommended, best);
+    return 0;
+}

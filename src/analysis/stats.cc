@@ -1,0 +1,81 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lotus::analysis {
+
+Summary
+summarize(const std::vector<double> &values)
+{
+    Summary s;
+    if (values.empty())
+        return s;
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    s.count = sorted.size();
+    s.min = sorted.front();
+    s.max = sorted.back();
+    double sum = 0.0;
+    for (const double v : sorted)
+        sum += v;
+    s.mean = sum / static_cast<double>(sorted.size());
+    double var = 0.0;
+    for (const double v : sorted)
+        var += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(var / static_cast<double>(sorted.size()));
+    s.p25 = percentileSorted(sorted, 25.0);
+    s.p50 = percentileSorted(sorted, 50.0);
+    s.p75 = percentileSorted(sorted, 75.0);
+    s.p90 = percentileSorted(sorted, 90.0);
+    s.p99 = percentileSorted(sorted, 99.0);
+    return s;
+}
+
+double
+percentileSorted(const std::vector<double> &sorted, double q)
+{
+    LOTUS_ASSERT(q >= 0.0 && q <= 100.0, "percentile %g out of range", q);
+    if (sorted.empty())
+        return 0.0;
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double rank =
+        q / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double
+percentile(std::vector<double> values, double q)
+{
+    std::sort(values.begin(), values.end());
+    return percentileSorted(values, q);
+}
+
+double
+fractionBelow(const std::vector<double> &values, double threshold)
+{
+    if (values.empty())
+        return 0.0;
+    std::size_t below = 0;
+    for (const double v : values) {
+        if (v < threshold)
+            ++below;
+    }
+    return static_cast<double>(below) / static_cast<double>(values.size());
+}
+
+double
+fractionAtLeast(const std::vector<double> &values, double threshold)
+{
+    if (values.empty())
+        return 0.0;
+    return 1.0 - fractionBelow(values, threshold);
+}
+
+} // namespace lotus::analysis

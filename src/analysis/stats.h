@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Descriptive statistics used throughout the evaluation benches
+ * (Table II's Avg/P90/<10ms/<100µs columns, Figure 4's box plots,
+ * Figure 5's CDF fractions).
+ */
+
+#ifndef LOTUS_ANALYSIS_STATS_H
+#define LOTUS_ANALYSIS_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace lotus::analysis {
+
+struct Summary
+{
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p25 = 0.0;
+    double p50 = 0.0;
+    double p75 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+
+    /** Interquartile range (p75 - p25). */
+    double iqr() const { return p75 - p25; }
+
+    /** stddev / mean (0 when mean is 0). */
+    double cv() const { return mean != 0.0 ? stddev / mean : 0.0; }
+};
+
+/** Summarize a set of values (empty input yields all zeros). */
+Summary summarize(const std::vector<double> &values);
+
+/**
+ * Linear-interpolated percentile of a *sorted* vector,
+ * q in [0, 100].
+ */
+double percentileSorted(const std::vector<double> &sorted, double q);
+
+/** Percentile of an unsorted vector (copies and sorts). */
+double percentile(std::vector<double> values, double q);
+
+/** Fraction of values strictly below @p threshold, in [0, 1]. */
+double fractionBelow(const std::vector<double> &values, double threshold);
+
+/** Fraction of values at or above @p threshold, in [0, 1]. */
+double fractionAtLeast(const std::vector<double> &values, double threshold);
+
+} // namespace lotus::analysis
+
+#endif // LOTUS_ANALYSIS_STATS_H

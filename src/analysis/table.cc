@@ -1,0 +1,58 @@
+#include "analysis/table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lotus::analysis {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    LOTUS_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    LOTUS_ASSERT(cells.size() == headers_.size(),
+                 "row width %zu != header width %zu", cells.size(),
+                 headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            line.append(widths[c] - row[c].size() + 2, ' ');
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out = renderRow(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        rule.append(widths[c], '-');
+        rule.append(c + 1 < widths.size() ? 2 : 0, ' ');
+    }
+    out += rule + "\n";
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    return out;
+}
+
+} // namespace lotus::analysis

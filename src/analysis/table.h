@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Plain-text table rendering for bench output (the rows the paper's
+ * tables report).
+ */
+
+#ifndef LOTUS_ANALYSIS_TABLE_H
+#define LOTUS_ANALYSIS_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace lotus::analysis {
+
+class TextTable
+{
+  public:
+    /** Define the header row. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a data row (must match the header width). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace lotus::analysis
+
+#endif // LOTUS_ANALYSIS_TABLE_H

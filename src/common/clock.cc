@@ -1,0 +1,22 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace lotus {
+
+TimeNs
+SteadyClock::now() const
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+const SteadyClock &
+SteadyClock::instance()
+{
+    static const SteadyClock clock;
+    return clock;
+}
+
+} // namespace lotus

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Clock abstractions used by every timed component.
+ *
+ * All timestamps in the system are nanoseconds since an arbitrary,
+ * monotonically increasing epoch (TimeNs). Components that take time
+ * measurements accept a Clock so unit tests can substitute a
+ * deterministic VirtualClock while production paths use SteadyClock.
+ */
+
+#ifndef LOTUS_COMMON_CLOCK_H
+#define LOTUS_COMMON_CLOCK_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace lotus {
+
+/** Nanoseconds since an arbitrary monotonic epoch. */
+using TimeNs = std::int64_t;
+
+/** Convenience conversions. */
+constexpr TimeNs kMicrosecond = 1'000;
+constexpr TimeNs kMillisecond = 1'000'000;
+constexpr TimeNs kSecond = 1'000'000'000;
+
+/** Convert nanoseconds to (fractional) milliseconds. */
+constexpr double toMs(TimeNs t) { return static_cast<double>(t) / 1e6; }
+
+/** Convert nanoseconds to (fractional) microseconds. */
+constexpr double toUs(TimeNs t) { return static_cast<double>(t) / 1e3; }
+
+/** Convert nanoseconds to (fractional) seconds. */
+constexpr double toSec(TimeNs t) { return static_cast<double>(t) / 1e9; }
+
+/**
+ * Source of monotonic timestamps.
+ */
+class Clock
+{
+  public:
+    virtual ~Clock() = default;
+
+    /** Current time in nanoseconds since the clock's epoch. */
+    virtual TimeNs now() const = 0;
+};
+
+/**
+ * Wall-clock backed monotonic clock (std::chrono::steady_clock).
+ */
+class SteadyClock : public Clock
+{
+  public:
+    TimeNs now() const override;
+
+    /** Process-wide shared instance. */
+    static const SteadyClock &instance();
+};
+
+/**
+ * Deterministic, manually advanced clock for tests.
+ *
+ * Thread-safe: concurrent readers observe the latest advance.
+ */
+class VirtualClock : public Clock
+{
+  public:
+    explicit VirtualClock(TimeNs start = 0) : time_(start) {}
+
+    TimeNs now() const override { return time_.load(std::memory_order_acquire); }
+
+    /** Move the clock forward by @p delta nanoseconds. */
+    void
+    advance(TimeNs delta)
+    {
+        time_.fetch_add(delta, std::memory_order_acq_rel);
+    }
+
+    /** Jump to an absolute time (must not move backwards). */
+    void set(TimeNs t) { time_.store(t, std::memory_order_release); }
+
+  private:
+    std::atomic<TimeNs> time_;
+};
+
+} // namespace lotus
+
+#endif // LOTUS_COMMON_CLOCK_H

@@ -1,0 +1,100 @@
+#include "common/files.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace fs = std::filesystem;
+
+namespace lotus {
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        LOTUS_FATAL("cannot open %s for writing", path.c_str());
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out)
+        LOTUS_FATAL("short write to %s", path.c_str());
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        LOTUS_FATAL("cannot open %s for reading", path.c_str());
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    return bytes;
+}
+
+std::uint64_t
+fileSize(const std::string &path)
+{
+    std::error_code ec;
+    const auto size = fs::file_size(path, ec);
+    return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+bool
+fileExists(const std::string &path)
+{
+    std::error_code ec;
+    return fs::exists(path, ec);
+}
+
+void
+makeDirs(const std::string &path)
+{
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    if (ec)
+        LOTUS_FATAL("mkdir %s: %s", path.c_str(), ec.message().c_str());
+}
+
+void
+removeAll(const std::string &path)
+{
+    std::error_code ec;
+    fs::remove_all(path, ec);
+}
+
+std::string
+makeTempDir(const std::string &prefix)
+{
+    static std::atomic<std::uint64_t> counter{0};
+    const auto base = fs::temp_directory_path();
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+        const auto name = strFormat(
+            "%s-%d-%llu", prefix.c_str(), static_cast<int>(::getpid()),
+            static_cast<unsigned long long>(counter.fetch_add(1)));
+        const auto dir = base / name;
+        std::error_code ec;
+        if (fs::create_directory(dir, ec))
+            return dir.string();
+    }
+    LOTUS_FATAL("cannot create temp dir with prefix %s", prefix.c_str());
+}
+
+TempDir::TempDir(const std::string &prefix) : path_(makeTempDir(prefix)) {}
+
+TempDir::~TempDir()
+{
+    removeAll(path_);
+}
+
+std::string
+TempDir::file(const std::string &name) const
+{
+    return (fs::path(path_) / name).string();
+}
+
+} // namespace lotus

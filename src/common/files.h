@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal filesystem helpers for log files and synthetic datasets.
+ */
+
+#ifndef LOTUS_COMMON_FILES_H
+#define LOTUS_COMMON_FILES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lotus {
+
+/** Write @p bytes to @p path, replacing any existing file. */
+void writeFile(const std::string &path, const std::string &bytes);
+
+/** Read the whole file at @p path. Fatal on failure. */
+std::string readFile(const std::string &path);
+
+/** Size of the file at @p path in bytes, or 0 if absent. */
+std::uint64_t fileSize(const std::string &path);
+
+/** True if @p path exists. */
+bool fileExists(const std::string &path);
+
+/** Create directory @p path (and parents). */
+void makeDirs(const std::string &path);
+
+/** Recursively delete @p path if it exists. */
+void removeAll(const std::string &path);
+
+/**
+ * Create a fresh uniquely named directory under the system temp dir.
+ * The caller owns cleanup (see TempDir for RAII).
+ */
+std::string makeTempDir(const std::string &prefix);
+
+/**
+ * RAII temporary directory, removed on destruction.
+ */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &prefix = "lotus");
+    ~TempDir();
+
+    TempDir(const TempDir &) = delete;
+    TempDir &operator=(const TempDir &) = delete;
+
+    const std::string &path() const { return path_; }
+
+    /** Join a filename onto the temp dir path. */
+    std::string file(const std::string &name) const;
+
+  private:
+    std::string path_;
+};
+
+} // namespace lotus
+
+#endif // LOTUS_COMMON_FILES_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 spirit.
+ *
+ * panic()  — an internal invariant was violated (a Lotus bug); aborts.
+ * fatal()  — the user asked for something impossible (bad config); exits.
+ * warn()   — something is suspicious but execution can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef LOTUS_COMMON_LOGGING_H
+#define LOTUS_COMMON_LOGGING_H
+
+#include <string>
+
+#include "common/strings.h"
+
+namespace lotus {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+} // namespace lotus
+
+#define LOTUS_PANIC(...) \
+    ::lotus::panicImpl(__FILE__, __LINE__, ::lotus::strFormat(__VA_ARGS__))
+#define LOTUS_FATAL(...) \
+    ::lotus::fatalImpl(__FILE__, __LINE__, ::lotus::strFormat(__VA_ARGS__))
+#define LOTUS_WARN(...) ::lotus::warnImpl(::lotus::strFormat(__VA_ARGS__))
+#define LOTUS_INFORM(...) ::lotus::informImpl(::lotus::strFormat(__VA_ARGS__))
+
+/** Assert an internal invariant; active in all build types. */
+#define LOTUS_ASSERT(cond, ...)                                               \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::lotus::panicImpl(                                               \
+                __FILE__, __LINE__,                                           \
+                std::string("assertion failed: " #cond)                       \
+                    __VA_OPT__(+" " + ::lotus::strFormat(__VA_ARGS__)));      \
+        }                                                                     \
+    } while (0)
+
+#endif // LOTUS_COMMON_LOGGING_H

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Bounded blocking multi-producer/multi-consumer queue.
+ *
+ * This is the shared-memory analogue of Python's multiprocessing.Queue
+ * that PyTorch's DataLoader uses for both its per-worker index queues
+ * and the shared data queue. FIFO across all producers, with close()
+ * semantics so consumers drain remaining items and then observe
+ * end-of-stream.
+ */
+
+#ifndef LOTUS_COMMON_MPMC_QUEUE_H
+#define LOTUS_COMMON_MPMC_QUEUE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace lotus {
+
+template <typename T>
+class MpmcQueue
+{
+  public:
+    /** @param capacity 0 means unbounded. */
+    explicit MpmcQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+    MpmcQueue(const MpmcQueue &) = delete;
+    MpmcQueue &operator=(const MpmcQueue &) = delete;
+
+    /**
+     * Enqueue an item, blocking while the queue is full.
+     * @return false if the queue was closed before the item was queued.
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock lock(mutex_);
+        not_full_.wait(lock, [&] {
+            return closed_ || capacity_ == 0 || items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue the front item, blocking while the queue is empty.
+     * @return nullopt once the queue is closed and drained.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock lock(mutex_);
+        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /**
+     * Dequeue with a timeout.
+     * @return nullopt on timeout or on closed-and-drained.
+     */
+    std::optional<T>
+    popFor(std::chrono::nanoseconds timeout)
+    {
+        std::unique_lock lock(mutex_);
+        if (!not_empty_.wait_for(lock, timeout,
+                                 [&] { return closed_ || !items_.empty(); }))
+            return std::nullopt;
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /** Non-blocking dequeue. */
+    std::optional<T>
+    tryPop()
+    {
+        std::unique_lock lock(mutex_);
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /**
+     * Close the queue: producers fail fast, consumers drain what is
+     * left and then see end-of-stream.
+     */
+    void
+    close()
+    {
+        {
+            std::lock_guard lock(mutex_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard lock(mutex_);
+        return closed_;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard lock(mutex_);
+        return items_.size();
+    }
+
+    bool empty() const { return size() == 0; }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace lotus
+
+#endif // LOTUS_COMMON_MPMC_QUEUE_H

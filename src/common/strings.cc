@@ -1,0 +1,92 @@
+#include "common/strings.h"
+
+#include <cstdint>
+#include <cstdio>
+
+namespace lotus {
+
+std::string
+vstrFormat(const char *fmt, std::va_list args)
+{
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed <= 0)
+        return {};
+    std::string out(static_cast<std::size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    return out;
+}
+
+std::string
+strFormat(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string out = vstrFormat(fmt, args);
+    va_end(args);
+    return out;
+}
+
+std::string
+strJoin(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::vector<std::string>
+strSplit(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t pos = s.find(sep, start);
+        if (pos == std::string::npos) {
+            out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+    while (!out.empty() && out.back().empty())
+        out.pop_back();
+    return out;
+}
+
+bool
+strStartsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+strEndsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    static const char *kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+    double value = static_cast<double>(bytes);
+    int unit = 0;
+    while (value >= 1024.0 && unit < 4) {
+        value /= 1024.0;
+        ++unit;
+    }
+    if (unit == 0)
+        return strFormat("%llu B", static_cast<unsigned long long>(bytes));
+    return strFormat("%.1f %s", value, kUnits[unit]);
+}
+
+} // namespace lotus

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Small string formatting and manipulation helpers.
+ */
+
+#ifndef LOTUS_COMMON_STRINGS_H
+#define LOTUS_COMMON_STRINGS_H
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace lotus {
+
+/** printf-style formatting into a std::string. */
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Overload so LOTUS_ASSERT can pass zero varargs cleanly. */
+inline std::string strFormat() { return {}; }
+
+/** vprintf-style formatting into a std::string. */
+std::string vstrFormat(const char *fmt, std::va_list args);
+
+/** Join @p parts with @p sep. */
+std::string strJoin(const std::vector<std::string> &parts,
+                    const std::string &sep);
+
+/** Split @p s on character @p sep (no empty trailing element). */
+std::vector<std::string> strSplit(const std::string &s, char sep);
+
+/** True if @p s starts with @p prefix. */
+bool strStartsWith(const std::string &s, const std::string &prefix);
+
+/** True if @p s ends with @p suffix. */
+bool strEndsWith(const std::string &s, const std::string &suffix);
+
+/** Render a byte count human-readably ("6.1 MB"). */
+std::string formatBytes(std::uint64_t bytes);
+
+} // namespace lotus
+
+#endif // LOTUS_COMMON_STRINGS_H

@@ -1,0 +1,40 @@
+#include "common/thread_util.h"
+
+#include <atomic>
+
+#include <pthread.h>
+
+namespace lotus {
+
+namespace {
+
+std::atomic<std::uint32_t> next_tid{1};
+
+thread_local std::uint32_t this_tid = 0;
+thread_local std::string this_name;
+
+} // namespace
+
+std::uint32_t
+currentTid()
+{
+    if (this_tid == 0)
+        this_tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+    return this_tid;
+}
+
+void
+setCurrentThreadName(const std::string &name)
+{
+    this_name = name;
+    // Best effort: also expose to native tooling (15-char limit).
+    pthread_setname_np(pthread_self(), name.substr(0, 15).c_str());
+}
+
+std::string
+currentThreadName()
+{
+    return this_name;
+}
+
+} // namespace lotus

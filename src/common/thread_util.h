@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Thread identification helpers.
+ *
+ * The DataLoader analogue runs the main coordinator and worker loops
+ * on named threads; traces and kernel timelines key on a small dense
+ * process-like id (pid analogue) rather than opaque std::thread::id.
+ */
+
+#ifndef LOTUS_COMMON_THREAD_UTIL_H
+#define LOTUS_COMMON_THREAD_UTIL_H
+
+#include <cstdint>
+#include <string>
+
+namespace lotus {
+
+/** Dense process-like id of the calling thread (stable for its life). */
+std::uint32_t currentTid();
+
+/** Set the calling thread's name for traces and debugging. */
+void setCurrentThreadName(const std::string &name);
+
+/** Name previously assigned to the calling thread ("" if none). */
+std::string currentThreadName();
+
+} // namespace lotus
+
+#endif // LOTUS_COMMON_THREAD_UTIL_H

@@ -1,0 +1,71 @@
+#include "core/lotusmap/evaluate.h"
+
+#include <map>
+#include <set>
+
+namespace lotus::core::lotusmap {
+
+using hwcount::KernelId;
+using hwcount::KernelRegistry;
+
+std::vector<MappingQuality>
+evaluateMapping(const LotusMapper &mapper,
+                const hwcount::RegistrySnapshot &snapshot,
+                TimeNs min_self_time)
+{
+    auto &registry = KernelRegistry::instance();
+
+    // Ground truth: op name -> kernels (with self time).
+    std::map<std::string, std::map<KernelId, TimeNs>> truth;
+    for (const auto &[key, accum] : snapshot.by_op) {
+        if (accum.self_time < min_self_time)
+            continue;
+        truth[registry.opName(key.first)][key.second] = accum.self_time;
+    }
+
+    std::vector<MappingQuality> out;
+    for (const auto &mapping : mapper.mappings()) {
+        MappingQuality quality;
+        quality.op = mapping.op;
+        const auto truth_it = truth.find(mapping.op);
+        const std::map<KernelId, TimeNs> empty;
+        const auto &true_kernels =
+            truth_it == truth.end() ? empty : truth_it->second;
+
+        std::size_t correct = 0;
+        for (const auto &[kernel, samples] : mapping.kernels) {
+            (void)samples;
+            if (true_kernels.count(kernel) > 0)
+                ++correct;
+            else
+                quality.spurious.push_back(kernel);
+        }
+        TimeNs covered_time = 0;
+        TimeNs total_time = 0;
+        for (const auto &[kernel, self_time] : true_kernels) {
+            total_time += self_time;
+            if (mapping.contains(kernel))
+                covered_time += self_time;
+            else
+                quality.missed.push_back(kernel);
+        }
+        quality.precision =
+            mapping.kernels.empty()
+                ? 0.0
+                : static_cast<double>(correct) / mapping.kernels.size();
+        quality.recall =
+            true_kernels.empty()
+                ? 0.0
+                : static_cast<double>(true_kernels.size() -
+                                      quality.missed.size()) /
+                      true_kernels.size();
+        quality.time_weighted_recall =
+            total_time > 0 ? static_cast<double>(covered_time) /
+                                 static_cast<double>(total_time)
+                           : 0.0;
+        out.push_back(std::move(quality));
+    }
+    return out;
+}
+
+} // namespace lotus::core::lotusmap

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Mapping-quality evaluation against ground truth.
+ *
+ * The production Lotus methodology cannot see which kernels an
+ * operation truly invoked — that is the gap it approximates across.
+ * Our reproduction *can* (the registry's opt-in (op, kernel)
+ * accounting), so we score the reconstruction: per-op precision and
+ * recall over kernels, weighted by kernel self time. Used by tests
+ * and the Table I bench's quality report.
+ */
+
+#ifndef LOTUS_CORE_LOTUSMAP_EVALUATE_H
+#define LOTUS_CORE_LOTUSMAP_EVALUATE_H
+
+#include <string>
+#include <vector>
+
+#include "core/lotusmap/mapper.h"
+#include "hwcount/registry.h"
+
+namespace lotus::core::lotusmap {
+
+struct MappingQuality
+{
+    std::string op;
+    /** Fraction of mapped kernels that are truly used by the op. */
+    double precision = 0.0;
+    /** Fraction of the op's true kernels that were mapped. */
+    double recall = 0.0;
+    /** Recall weighted by each true kernel's self time. */
+    double time_weighted_recall = 0.0;
+    std::vector<hwcount::KernelId> missed;
+    std::vector<hwcount::KernelId> spurious;
+};
+
+/**
+ * Score @p mapper against the ground truth in @p snapshot (collected
+ * with KernelRegistry ground-truth mode enabled). Kernels whose true
+ * self time is under @p min_self_time are ignored.
+ */
+std::vector<MappingQuality>
+evaluateMapping(const LotusMapper &mapper,
+                const hwcount::RegistrySnapshot &snapshot,
+                TimeNs min_self_time = 0);
+
+} // namespace lotus::core::lotusmap
+
+#endif // LOTUS_CORE_LOTUSMAP_EVALUATE_H

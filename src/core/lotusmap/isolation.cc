@@ -1,0 +1,73 @@
+#include "core/lotusmap/isolation.h"
+
+#include "common/logging.h"
+#include "hwcount/collection.h"
+#include "hwcount/registry.h"
+
+namespace lotus::core::lotusmap {
+
+using hwcount::CollectionWindow;
+using hwcount::KernelRegistry;
+using hwcount::SamplingDriver;
+
+IsolationRunner::IsolationRunner() : IsolationRunner(IsolationConfig{}) {}
+
+IsolationRunner::IsolationRunner(IsolationConfig config) : config_(config)
+{
+    LOTUS_ASSERT(config_.runs > 0 && config_.warmup_runs >= 0 &&
+                 config_.sleep_gap >= 0);
+}
+
+IsolationProfile
+IsolationRunner::profileOp(const std::string &op_name,
+                           const std::function<void()> &op) const
+{
+    auto &registry = KernelRegistry::instance();
+    registry.reset();
+    hwcount::collection::reset();
+
+    const auto quietGap = [&] {
+        if (config_.sleep_gap <= 0)
+            return;
+        // A quiet spin keeps this thread scheduled (matching
+        // time.sleep()'s effect of separating windows in the sampled
+        // timeline) without recording any kernel.
+        const TimeNs deadline = registry.clock().now() + config_.sleep_gap;
+        while (registry.clock().now() < deadline) {
+        }
+    };
+
+    // Warm-up runs outside any collection window (Listing 4: the
+    // profiler resumes only on the final iterations).
+    for (int i = 0; i < config_.warmup_runs; ++i) {
+        quietGap();
+        op();
+    }
+
+    for (int i = 0; i < config_.runs; ++i) {
+        quietGap();
+        hwcount::collection::resume();
+        op();
+        hwcount::collection::pause();
+    }
+
+    const auto snapshot = registry.snapshot();
+    const auto windows = hwcount::collection::windows();
+    SamplingDriver driver(config_.sampling);
+
+    IsolationProfile profile;
+    profile.op = op_name;
+    profile.runs = config_.runs;
+    for (const auto &window : windows) {
+        const auto samples =
+            driver.sampleWindow(snapshot.timeline, window.start, window.end);
+        const auto counts = SamplingDriver::countByKernel(samples);
+        for (const auto &[kernel, count] : counts) {
+            profile.samples[kernel] += count;
+            profile.runs_seen[kernel] += 1;
+        }
+    }
+    return profile;
+}
+
+} // namespace lotus::core::lotusmap

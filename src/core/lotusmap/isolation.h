@@ -1,0 +1,72 @@
+/**
+ * @file
+ * LotusMap isolation runs (paper §IV-B, Listing 4).
+ *
+ * Each high-level operation is executed repeatedly in isolation with
+ * the sampling profiler attached only during measured runs: warm-up
+ * iterations precede collection (cold-start exclusion), a sleep gap
+ * separates runs so attribution skid cannot bleed a previous
+ * function into the window, and the number of runs follows the
+ * capture-probability formula C >= 1 - (1 - f/s)^n so short-lived
+ * functions are still observed.
+ */
+
+#ifndef LOTUS_CORE_LOTUSMAP_ISOLATION_H
+#define LOTUS_CORE_LOTUSMAP_ISOLATION_H
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "hwcount/sampling_driver.h"
+
+namespace lotus::core::lotusmap {
+
+struct IsolationConfig
+{
+    /** Measured runs per operation (n in the capture formula). */
+    int runs = 20;
+    /** Unmeasured warm-up runs before collection. */
+    int warmup_runs = 2;
+    /** Quiet gap between runs (anti-skid, Listing 4 line 14). */
+    TimeNs sleep_gap = 2 * kMillisecond;
+    /** The modelled sampling driver (VTune: 10 ms; uProf: 1 ms). */
+    hwcount::SamplingConfig sampling;
+};
+
+/** What the sampling driver observed for one isolated operation. */
+struct IsolationProfile
+{
+    std::string op;
+    int runs = 0;
+    /** Total samples per kernel across all measured runs. */
+    std::map<hwcount::KernelId, std::uint64_t> samples;
+    /** Number of distinct runs in which each kernel appeared. */
+    std::map<hwcount::KernelId, int> runs_seen;
+};
+
+class IsolationRunner
+{
+  public:
+    IsolationRunner();
+    explicit IsolationRunner(IsolationConfig config);
+
+    const IsolationConfig &config() const { return config_; }
+
+    /**
+     * Profile @p op in isolation.
+     *
+     * Resets the kernel registry's recorded timeline (the mapping
+     * phase is a dedicated preparatory step, per the paper) and the
+     * collection-window list.
+     */
+    IsolationProfile profileOp(const std::string &op_name,
+                               const std::function<void()> &op) const;
+
+  private:
+    IsolationConfig config_;
+};
+
+} // namespace lotus::core::lotusmap
+
+#endif // LOTUS_CORE_LOTUSMAP_ISOLATION_H

@@ -1,0 +1,156 @@
+#include "core/lotusmap/mapper.h"
+
+#include <algorithm>
+
+#include "analysis/table.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "trace/chrome_reader.h"
+#include "trace/chrome_trace.h"
+
+namespace lotus::core::lotusmap {
+
+using hwcount::KernelId;
+
+LotusMapper::LotusMapper() : LotusMapper(MappingConfig{}) {}
+
+LotusMapper::LotusMapper(MappingConfig config) : config_(std::move(config))
+{
+    LOTUS_ASSERT(config_.min_run_fraction >= 0.0 &&
+                 config_.min_run_fraction <= 1.0);
+}
+
+void
+LotusMapper::addProfile(const IsolationProfile &profile)
+{
+    OpMapping mapping;
+    mapping.op = profile.op;
+    for (const auto &[kernel, samples] : profile.samples) {
+        if (samples < config_.min_samples)
+            continue;
+        if (std::find(config_.exclude.begin(), config_.exclude.end(),
+                      kernel) != config_.exclude.end())
+            continue;
+        if (config_.min_run_fraction > 0.0 && profile.runs > 0) {
+            const auto seen = profile.runs_seen.find(kernel);
+            const double fraction =
+                seen == profile.runs_seen.end()
+                    ? 0.0
+                    : static_cast<double>(seen->second) / profile.runs;
+            if (fraction < config_.min_run_fraction)
+                continue;
+        }
+        mapping.kernels.emplace(kernel, samples);
+    }
+    addMapping(std::move(mapping));
+}
+
+void
+LotusMapper::addMapping(OpMapping mapping)
+{
+    for (const auto &existing : mappings_) {
+        LOTUS_ASSERT(existing.op != mapping.op,
+                     "duplicate mapping for op '%s'", mapping.op.c_str());
+    }
+    mappings_.push_back(std::move(mapping));
+}
+
+std::vector<std::string>
+LotusMapper::opsForKernel(KernelId kernel) const
+{
+    std::vector<std::string> ops;
+    for (const auto &mapping : mappings_) {
+        if (mapping.contains(kernel))
+            ops.push_back(mapping.op);
+    }
+    return ops;
+}
+
+std::string
+LotusMapper::renderTable() const
+{
+    analysis::TextTable table({"Transformation", "Function", "Library",
+                               "Samples"});
+    for (const auto &mapping : mappings_) {
+        // Most-sampled functions first, like the paper's Table I.
+        std::vector<std::pair<KernelId, std::uint64_t>> sorted(
+            mapping.kernels.begin(), mapping.kernels.end());
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second > b.second;
+                  });
+        bool first = true;
+        for (const auto &[kernel, samples] : sorted) {
+            const auto &info = hwcount::kernelInfo(kernel);
+            table.addRow({first ? mapping.op : "", info.name, info.library,
+                          strFormat("%llu", static_cast<unsigned long long>(
+                                                samples))});
+            first = false;
+        }
+        if (mapping.kernels.empty())
+            table.addRow({mapping.op, "<none captured>", "-", "0"});
+    }
+    return table.render();
+}
+
+std::string
+LotusMapper::toJson() const
+{
+    std::string out = "{";
+    for (std::size_t i = 0; i < mappings_.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        const auto &mapping = mappings_[i];
+        out += strFormat("\"%s\":[",
+                         trace::jsonEscape(mapping.op).c_str());
+        bool first = true;
+        for (const auto &[kernel, samples] : mapping.kernels) {
+            (void)samples;
+            if (!first)
+                out += ",";
+            const auto &info = hwcount::kernelInfo(kernel);
+            out += strFormat("{\"function\":\"%s\",\"library\":\"%s\"}",
+                             trace::jsonEscape(info.name).c_str(),
+                             trace::jsonEscape(info.library).c_str());
+            first = false;
+        }
+        out += "]";
+    }
+    out += "}";
+    return out;
+}
+
+LotusMapper
+LotusMapper::fromJson(const std::string &json)
+{
+    const auto document = trace::detail::parseJson(json);
+    LOTUS_ASSERT(document.kind ==
+                     trace::detail::JsonValue::Kind::Object,
+                 "mapping document must be a JSON object");
+    LotusMapper mapper;
+    for (const auto &[op, functions] : document.object) {
+        LOTUS_ASSERT(functions.kind ==
+                         trace::detail::JsonValue::Kind::Array,
+                     "mapping for '%s' must be an array", op.c_str());
+        OpMapping mapping;
+        mapping.op = op;
+        for (const auto &entry : functions.array) {
+            const auto *function = entry.find("function");
+            LOTUS_ASSERT(function != nullptr,
+                         "mapping entry lacks a function name");
+            const auto kernel = hwcount::kernelByName(function->string);
+            if (kernel == hwcount::KernelId::Invalid) {
+                LOTUS_WARN("mapping for '%s' names unknown function "
+                           "'%s'; skipping (mappings are machine-"
+                           "specific)",
+                           op.c_str(), function->string.c_str());
+                continue;
+            }
+            mapping.kernels.emplace(kernel, 0);
+        }
+        mapper.addMapping(std::move(mapping));
+    }
+    return mapper;
+}
+
+} // namespace lotus::core::lotusmap

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * LotusMap mapping construction (paper §IV-B): bucket the kernels
+ * observed in each operation's isolation profile, filter incorrect
+ * attributions, and expose the operation -> native-function mapping
+ * (the Table I artifact / mapping_funcs.json analogue).
+ */
+
+#ifndef LOTUS_CORE_LOTUSMAP_MAPPER_H
+#define LOTUS_CORE_LOTUSMAP_MAPPER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/lotusmap/isolation.h"
+#include "hwcount/kernel_id.h"
+
+namespace lotus::core::lotusmap {
+
+struct MappingConfig
+{
+    /** Minimum total samples for a kernel to enter the mapping. */
+    std::uint64_t min_samples = 1;
+    /**
+     * Minimum fraction of runs a kernel must appear in. 0 keeps
+     * every observation (the union needed to catch short-lived
+     * functions); raise it to suppress one-off skid artefacts.
+     */
+    double min_run_fraction = 0.0;
+    /**
+     * Kernels to exclude (the paper filters functions known to come
+     * from the surrounding pipeline, not the isolated op).
+     */
+    std::vector<hwcount::KernelId> exclude;
+};
+
+/** One operation's native-function bucket. */
+struct OpMapping
+{
+    std::string op;
+    /** Kernel -> total samples observed in isolation. */
+    std::map<hwcount::KernelId, std::uint64_t> kernels;
+
+    bool
+    contains(hwcount::KernelId kernel) const
+    {
+        return kernels.find(kernel) != kernels.end();
+    }
+};
+
+class LotusMapper
+{
+  public:
+    LotusMapper();
+    explicit LotusMapper(MappingConfig config);
+
+    /** Ingest one operation's isolation profile. */
+    void addProfile(const IsolationProfile &profile);
+
+    /** Directly install a mapping (e.g. loaded from a file). */
+    void addMapping(OpMapping mapping);
+
+    const std::vector<OpMapping> &mappings() const { return mappings_; }
+
+    /** Ops whose buckets contain @p kernel, in insertion order. */
+    std::vector<std::string> opsForKernel(hwcount::KernelId kernel) const;
+
+    /** Table I-style rendering (op, function, library). */
+    std::string renderTable() const;
+
+    /** mapping_funcs.json-style document. */
+    std::string toJson() const;
+
+    /**
+     * Rebuild a mapper from a toJson() document (the mapping is a
+     * one-time preparatory step; jobs load it afterwards). Functions
+     * whose names are unknown to this build are skipped with a
+     * warning — the paper notes mappings are machine-specific.
+     */
+    static LotusMapper fromJson(const std::string &json);
+
+  private:
+    MappingConfig config_;
+    std::vector<OpMapping> mappings_;
+};
+
+} // namespace lotus::core::lotusmap
+
+#endif // LOTUS_CORE_LOTUSMAP_MAPPER_H

@@ -1,0 +1,61 @@
+#include "core/lotusmap/splitter.h"
+
+#include "common/logging.h"
+
+namespace lotus::core::lotusmap {
+
+using hwcount::CounterSet;
+using hwcount::KernelId;
+using hwcount::kNumKernels;
+
+AttributionResult
+splitCounters(const LotusMapper &mapper,
+              const std::vector<CounterSet> &per_kernel,
+              const std::map<std::string, double> &op_seconds)
+{
+    LOTUS_ASSERT(per_kernel.size() == kNumKernels,
+                 "per_kernel must be indexed by KernelId (%zu entries)",
+                 kNumKernels);
+    AttributionResult result;
+    // Ensure every mapped op has an entry even if it gets nothing.
+    for (const auto &mapping : mapper.mappings())
+        result.per_op[mapping.op];
+
+    for (std::size_t k = 1; k < kNumKernels; ++k) {
+        const CounterSet &counters = per_kernel[k];
+        if (counters.cycles == 0 && counters.instructions == 0)
+            continue;
+        const auto kernel = static_cast<KernelId>(k);
+        const auto ops = mapper.opsForKernel(kernel);
+        if (ops.empty()) {
+            result.unattributed += counters;
+            continue;
+        }
+        // Weight each op by its LotusTrace elapsed time among the ops
+        // sharing this function.
+        double total_seconds = 0.0;
+        for (const auto &op : ops) {
+            const auto it = op_seconds.find(op);
+            if (it != op_seconds.end())
+                total_seconds += it->second;
+        }
+        if (total_seconds <= 0.0) {
+            // No timing data: split evenly.
+            const double weight = 1.0 / static_cast<double>(ops.size());
+            for (const auto &op : ops)
+                result.per_op[op] += counters.scaled(weight);
+            continue;
+        }
+        for (const auto &op : ops) {
+            const auto it = op_seconds.find(op);
+            const double seconds =
+                it != op_seconds.end() ? it->second : 0.0;
+            if (seconds <= 0.0)
+                continue;
+            result.per_op[op] += counters.scaled(seconds / total_seconds);
+        }
+    }
+    return result;
+}
+
+} // namespace lotus::core::lotusmap

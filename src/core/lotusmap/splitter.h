@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Hardware-metric splitting (paper §IV-B, "Splitting Hardware
+ * Metrics"): a native function's counters are divided among the
+ * high-level operations it maps to, weighted by each operation's
+ * LotusTrace elapsed time. This is what produces the per-operation
+ * hardware views of Fig. 6(e)-(h).
+ */
+
+#ifndef LOTUS_CORE_LOTUSMAP_SPLITTER_H
+#define LOTUS_CORE_LOTUSMAP_SPLITTER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/lotusmap/mapper.h"
+#include "hwcount/counters.h"
+
+namespace lotus::core::lotusmap {
+
+struct AttributionResult
+{
+    /** Counters attributed to each operation. */
+    std::map<std::string, hwcount::CounterSet> per_op;
+    /** Counters of mapped-to-nothing kernels (filtered functions). */
+    hwcount::CounterSet unattributed;
+};
+
+/**
+ * Split per-kernel counters across operations.
+ *
+ * @param mapper finalized op -> kernel mapping
+ * @param per_kernel counters indexed by KernelId (as produced by
+ *        SimulatedPmu::countersForSnapshot or a VTune-style export)
+ * @param op_seconds LotusTrace per-op elapsed seconds (the weights)
+ */
+AttributionResult
+splitCounters(const LotusMapper &mapper,
+              const std::vector<hwcount::CounterSet> &per_kernel,
+              const std::map<std::string, double> &op_seconds);
+
+} // namespace lotus::core::lotusmap
+
+#endif // LOTUS_CORE_LOTUSMAP_SPLITTER_H

@@ -1,0 +1,197 @@
+#include "core/lotustrace/analysis.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lotus::core::lotustrace {
+
+using trace::RecordKind;
+using trace::TraceRecord;
+
+TraceAnalysis::TraceAnalysis(std::vector<TraceRecord> records)
+    : records_(std::move(records))
+{
+    std::map<std::int64_t, BatchTimeline> by_batch;
+    for (const auto &record : records_) {
+        if (record.batch_id < 0)
+            continue;
+        BatchTimeline &batch = by_batch[record.batch_id];
+        batch.batch_id = record.batch_id;
+        switch (record.kind) {
+          case RecordKind::BatchPreprocessed:
+            batch.worker_pid = record.pid;
+            batch.preprocess_start = record.start;
+            batch.preprocess_end = record.end();
+            batch.has_preprocess = true;
+            break;
+          case RecordKind::BatchWait:
+            batch.main_pid = record.pid;
+            batch.wait_start = record.start;
+            batch.wait_duration = record.duration;
+            batch.has_wait = true;
+            break;
+          case RecordKind::BatchConsumed:
+            batch.main_pid = record.pid;
+            batch.consumed_start = record.start;
+            batch.consumed_duration = record.duration;
+            batch.has_consumed = true;
+            break;
+          case RecordKind::GpuCompute:
+            batch.gpu_start = record.start;
+            batch.gpu_duration = record.duration;
+            batch.has_gpu = true;
+            break;
+          case RecordKind::TransformOp:
+          case RecordKind::EpochBoundary:
+            break;
+        }
+    }
+    batches_.reserve(by_batch.size());
+    for (auto &[id, batch] : by_batch)
+        batches_.push_back(batch);
+}
+
+std::vector<OpStats>
+TraceAnalysis::opStats() const
+{
+    std::vector<std::string> order;
+    std::map<std::string, std::vector<double>> durations_ms;
+    for (const auto &record : records_) {
+        if (record.kind != RecordKind::TransformOp)
+            continue;
+        auto [it, inserted] = durations_ms.try_emplace(record.op_name);
+        if (inserted)
+            order.push_back(record.op_name);
+        it->second.push_back(toMs(record.duration));
+    }
+    std::vector<OpStats> out;
+    out.reserve(order.size());
+    for (const auto &name : order) {
+        const auto &values = durations_ms[name];
+        OpStats stats;
+        stats.name = name;
+        stats.summary_ms = analysis::summarize(values);
+        stats.frac_below_10ms = analysis::fractionBelow(values, 10.0);
+        stats.frac_below_100us = analysis::fractionBelow(values, 0.1);
+        double total = 0.0;
+        for (const double v : values)
+            total += v;
+        stats.total_seconds = total / 1e3;
+        out.push_back(std::move(stats));
+    }
+    return out;
+}
+
+TimeNs
+TraceAnalysis::epochSpan() const
+{
+    if (records_.empty())
+        return 0;
+    TimeNs lo = records_.front().start;
+    TimeNs hi = records_.front().end();
+    for (const auto &record : records_) {
+        lo = std::min(lo, record.start);
+        hi = std::max(hi, record.end());
+    }
+    return hi - lo;
+}
+
+std::vector<double>
+TraceAnalysis::perBatchPreprocessMs() const
+{
+    std::vector<double> out;
+    for (const auto &batch : batches_) {
+        if (batch.has_preprocess)
+            out.push_back(toMs(batch.preprocessTime()));
+    }
+    return out;
+}
+
+std::vector<double>
+TraceAnalysis::waitTimesMs() const
+{
+    std::vector<double> out;
+    for (const auto &batch : batches_) {
+        if (batch.has_wait)
+            out.push_back(toMs(batch.wait_duration));
+    }
+    return out;
+}
+
+std::vector<double>
+TraceAnalysis::delayTimesMs() const
+{
+    std::vector<double> out;
+    for (const auto &batch : batches_) {
+        if (batch.has_preprocess && batch.has_consumed)
+            out.push_back(toMs(batch.delayTime()));
+    }
+    return out;
+}
+
+double
+TraceAnalysis::fractionWaitsOver(TimeNs threshold) const
+{
+    return analysis::fractionAtLeast(waitTimesMs(), toMs(threshold));
+}
+
+double
+TraceAnalysis::fractionDelaysOver(TimeNs threshold) const
+{
+    return analysis::fractionAtLeast(delayTimesMs(), toMs(threshold));
+}
+
+double
+TraceAnalysis::outOfOrderFraction() const
+{
+    if (batches_.empty())
+        return 0.0;
+    std::size_t ooo = 0;
+    std::size_t with_wait = 0;
+    for (const auto &batch : batches_) {
+        if (!batch.has_wait)
+            continue;
+        ++with_wait;
+        if (batch.outOfOrder())
+            ++ooo;
+    }
+    return with_wait == 0
+               ? 0.0
+               : static_cast<double>(ooo) / static_cast<double>(with_wait);
+}
+
+double
+TraceAnalysis::totalPreprocessCpuSeconds() const
+{
+    double total = 0.0;
+    for (const auto &batch : batches_) {
+        if (batch.has_preprocess)
+            total += toSec(batch.preprocessTime());
+    }
+    return total;
+}
+
+std::map<std::string, double>
+TraceAnalysis::cpuSecondsByOp() const
+{
+    std::map<std::string, double> out;
+    for (const auto &record : records_) {
+        if (record.kind == RecordKind::TransformOp)
+            out[record.op_name] += toSec(record.duration);
+    }
+    return out;
+}
+
+TimeNs
+TraceAnalysis::maxGpuTime() const
+{
+    TimeNs max_time = 0;
+    for (const auto &batch : batches_) {
+        if (batch.has_gpu)
+            max_time = std::max(max_time, batch.gpu_duration);
+    }
+    return max_time;
+}
+
+} // namespace lotus::core::lotustrace

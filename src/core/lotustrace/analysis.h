@@ -1,0 +1,133 @@
+/**
+ * @file
+ * LotusTrace analysis: everything §V of the paper derives from the
+ * collected records — per-batch timelines, wait/delay metrics,
+ * per-operation elapsed-time distributions, and epoch aggregates.
+ */
+
+#ifndef LOTUS_CORE_LOTUSTRACE_ANALYSIS_H
+#define LOTUS_CORE_LOTUSTRACE_ANALYSIS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "trace/record.h"
+
+namespace lotus::core::lotustrace {
+
+/** Reconstructed life of one batch. */
+struct BatchTimeline
+{
+    std::int64_t batch_id = -1;
+    std::uint32_t worker_pid = 0;
+    std::uint32_t main_pid = 0;
+
+    TimeNs preprocess_start = 0;
+    TimeNs preprocess_end = 0;
+    TimeNs wait_start = 0;
+    TimeNs wait_duration = 0;
+    TimeNs consumed_start = 0;
+    TimeNs consumed_duration = 0;
+    TimeNs gpu_start = 0;
+    TimeNs gpu_duration = 0;
+
+    bool has_preprocess = false;
+    bool has_wait = false;
+    bool has_consumed = false;
+    bool has_gpu = false;
+
+    /** [T1] preprocessing time. */
+    TimeNs preprocessTime() const
+    {
+        return preprocess_end - preprocess_start;
+    }
+
+    /** Arrived before the main process wanted it (1 µs sentinel). */
+    bool
+    outOfOrder() const
+    {
+        return has_wait && wait_duration <= trace::kOutOfOrderSentinel;
+    }
+
+    /**
+     * Delay time (Fig. 3): how long the batch sat preprocessed
+     * before the main process consumed it. 0 when unknown/negative.
+     */
+    TimeNs
+    delayTime() const
+    {
+        if (!has_preprocess || !has_consumed)
+            return 0;
+        const TimeNs delay = consumed_start - preprocess_end;
+        return delay > 0 ? delay : 0;
+    }
+};
+
+/** Per-operation elapsed-time statistics (Table II row block). */
+struct OpStats
+{
+    std::string name;
+    analysis::Summary summary_ms;
+    /** Fraction of invocations under 10 ms / 100 µs. */
+    double frac_below_10ms = 0.0;
+    double frac_below_100us = 0.0;
+    /** Total CPU seconds across the epoch. */
+    double total_seconds = 0.0;
+};
+
+class TraceAnalysis
+{
+  public:
+    explicit TraceAnalysis(std::vector<trace::TraceRecord> records);
+
+    const std::vector<trace::TraceRecord> &records() const
+    {
+        return records_;
+    }
+
+    /** Batch timelines ordered by batch id. */
+    const std::vector<BatchTimeline> &batches() const { return batches_; }
+
+    /** Per-op statistics, in first-seen order. */
+    std::vector<OpStats> opStats() const;
+
+    /** Wall-clock span covered by the records. */
+    TimeNs epochSpan() const;
+
+    /** Per-batch preprocessing times, ms, ordered by batch id. */
+    std::vector<double> perBatchPreprocessMs() const;
+
+    /** Per-batch main-process wait times, ms (sentinels included). */
+    std::vector<double> waitTimesMs() const;
+
+    /** Per-batch delay times, ms. */
+    std::vector<double> delayTimesMs() const;
+
+    /** Fraction of batches whose wait exceeds @p threshold. */
+    double fractionWaitsOver(TimeNs threshold) const;
+
+    /** Fraction of batches whose delay exceeds @p threshold. */
+    double fractionDelaysOver(TimeNs threshold) const;
+
+    /** Fraction of batches that arrived out of order. */
+    double outOfOrderFraction() const;
+
+    /** Total preprocessing CPU seconds ([T1] sum over batches). */
+    double totalPreprocessCpuSeconds() const;
+
+    /** CPU seconds per op name ([T3] sums). */
+    std::map<std::string, double> cpuSecondsByOp() const;
+
+    /** Longest observed GPU service time, ns (0 if none). */
+    TimeNs maxGpuTime() const;
+
+  private:
+    std::vector<trace::TraceRecord> records_;
+    std::vector<BatchTimeline> batches_;
+};
+
+} // namespace lotus::core::lotustrace
+
+#endif // LOTUS_CORE_LOTUSTRACE_ANALYSIS_H

@@ -1,0 +1,163 @@
+#include "core/lotustrace/report.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace lotus::core::lotustrace {
+
+const char *
+bottleneckName(Bottleneck bottleneck)
+{
+    switch (bottleneck) {
+      case Bottleneck::Preprocessing: return "preprocessing-bound";
+      case Bottleneck::Accelerator: return "accelerator-bound";
+      case Bottleneck::Balanced: return "balanced";
+      case Bottleneck::Unknown: return "unknown";
+    }
+    LOTUS_PANIC("bad bottleneck %d", static_cast<int>(bottleneck));
+}
+
+PipelineReport
+buildReport(const std::vector<trace::TraceRecord> &records)
+{
+    TraceAnalysis analysis(records);
+    PipelineReport report;
+    if (analysis.batches().empty())
+        return report;
+
+    for (const double w : analysis.waitTimesMs())
+        report.total_wait_s += w / 1e3;
+    for (const double d : analysis.delayTimesMs())
+        report.total_delay_s += d / 1e3;
+    report.max_gpu_ms = toMs(analysis.maxGpuTime());
+    report.batch_ms = analysis::summarize(analysis.perBatchPreprocessMs());
+    report.out_of_order_fraction = analysis.outOfOrderFraction();
+
+    report.ops_by_cost = analysis.opStats();
+    std::sort(report.ops_by_cost.begin(), report.ops_by_cost.end(),
+              [](const OpStats &a, const OpStats &b) {
+                  return a.total_seconds > b.total_seconds;
+              });
+
+    // Regime classification from the wait/delay balance (Fig. 2's
+    // diagnostic): a clear majority on either side decides.
+    const double total = report.total_wait_s + report.total_delay_s;
+    if (total <= 0.0) {
+        report.bottleneck = Bottleneck::Unknown;
+    } else if (report.total_wait_s > 0.6 * total) {
+        report.bottleneck = Bottleneck::Preprocessing;
+    } else if (report.total_delay_s > 0.6 * total) {
+        report.bottleneck = Bottleneck::Accelerator;
+    } else {
+        report.bottleneck = Bottleneck::Balanced;
+    }
+
+    // Findings.
+    if (!report.ops_by_cost.empty()) {
+        const auto &top = report.ops_by_cost.front();
+        double op_total = 0.0;
+        for (const auto &op : report.ops_by_cost)
+            op_total += op.total_seconds;
+        report.findings.push_back(strFormat(
+            "'%s' is the most expensive operation: %.2f s (%.0f%% of "
+            "per-op CPU time).",
+            top.name.c_str(), top.total_seconds,
+            op_total > 0.0 ? 100.0 * top.total_seconds / op_total : 0.0));
+    }
+    for (const auto &op : report.ops_by_cost) {
+        if (op.summary_ms.mean > 0.0 &&
+            op.summary_ms.p90 > 3.0 * op.summary_ms.mean) {
+            report.findings.push_back(strFormat(
+                "'%s' is heavy-tailed: P90 %.2f ms is %.1fx its mean "
+                "%.2f ms.",
+                op.name.c_str(), op.summary_ms.p90,
+                op.summary_ms.p90 / op.summary_ms.mean,
+                op.summary_ms.mean));
+        }
+    }
+    if (report.batch_ms.cv() > 0.10) {
+        report.findings.push_back(strFormat(
+            "Per-batch preprocessing time is volatile (stddev %.0f%% of "
+            "the mean; IQR %.1f ms) — resource provisioning from a few "
+            "sampled batches will mis-size (Takeaway 3).",
+            100.0 * report.batch_ms.cv(), report.batch_ms.iqr()));
+    }
+    if (report.out_of_order_fraction > 0.25) {
+        report.findings.push_back(strFormat(
+            "%.0f%% of batches arrived out of order on the shared data "
+            "queue and sat pinned in the reorder cache (Takeaway 4).",
+            100.0 * report.out_of_order_fraction));
+    }
+
+    // Recommendations keyed to the regime.
+    switch (report.bottleneck) {
+      case Bottleneck::Preprocessing:
+        report.recommendations.push_back(
+            "Add DataLoader workers or move deterministic operations "
+            "offline (decode/resize ahead of training) — the accelerator "
+            "is starving.");
+        if (!report.ops_by_cost.empty() &&
+            report.ops_by_cost.front().name == "Loader") {
+            report.recommendations.push_back(
+                "Loader dominates: consider a lighter codec, cached "
+                "decoded samples, or faster storage.");
+        }
+        break;
+      case Bottleneck::Accelerator:
+        report.recommendations.push_back(
+            "Preprocessing is ahead of the accelerator: fewer workers "
+            "would free CPU (and memory) without slowing the epoch.");
+        break;
+      case Bottleneck::Balanced:
+        report.recommendations.push_back(
+            "Wait and delay are comparable; profile at the hardware "
+            "level (LotusMap) before re-provisioning.");
+        break;
+      case Bottleneck::Unknown:
+        break;
+    }
+    if (report.out_of_order_fraction > 0.25) {
+        report.recommendations.push_back(
+            "Out-of-order pressure: lower the prefetch factor or "
+            "schedule index batches by observed worker pace to keep the "
+            "shared data queue in order.");
+    }
+    return report;
+}
+
+std::string
+PipelineReport::render() const
+{
+    std::string out;
+    out += strFormat("verdict: %s\n", bottleneckName(bottleneck));
+    out += strFormat(
+        "evidence: total wait %.2f s vs total delay %.2f s (max GPU "
+        "service %.1f ms)\n",
+        total_wait_s, total_delay_s, max_gpu_ms);
+    out += strFormat(
+        "batches: mean preprocess %.1f ms, stddev %.0f%%, IQR %.1f ms, "
+        "out-of-order %.0f%%\n",
+        batch_ms.mean, 100.0 * batch_ms.cv(), batch_ms.iqr(),
+        100.0 * out_of_order_fraction);
+    out += "op cost ranking:\n";
+    for (const auto &op : ops_by_cost) {
+        out += strFormat("  %-28s %8.3f s   avg %7.2f ms   P90 %7.2f ms\n",
+                         op.name.c_str(), op.total_seconds,
+                         op.summary_ms.mean, op.summary_ms.p90);
+    }
+    if (!findings.empty()) {
+        out += "findings:\n";
+        for (const auto &finding : findings)
+            out += "  - " + finding + "\n";
+    }
+    if (!recommendations.empty()) {
+        out += "recommendations:\n";
+        for (const auto &rec : recommendations)
+            out += "  - " + rec + "\n";
+    }
+    return out;
+}
+
+} // namespace lotus::core::lotustrace

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Automated log analysis (the extension the paper's conclusion
+ * names): turn a LotusTrace record set into a structured diagnosis —
+ * bottleneck regime, dominant operations, wait/delay pressure,
+ * out-of-order pathology — plus actionable recommendations, rendered
+ * as a plain-text report.
+ */
+
+#ifndef LOTUS_CORE_LOTUSTRACE_REPORT_H
+#define LOTUS_CORE_LOTUSTRACE_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "core/lotustrace/analysis.h"
+
+namespace lotus::core::lotustrace {
+
+enum class Bottleneck
+{
+    Preprocessing, ///< main process starves waiting for batches
+    Accelerator,   ///< batches queue preprocessed; GPU is the limit
+    Balanced,      ///< neither side clearly dominates
+    Unknown,       ///< not enough data
+};
+
+const char *bottleneckName(Bottleneck bottleneck);
+
+struct PipelineReport
+{
+    Bottleneck bottleneck = Bottleneck::Unknown;
+    /** Wait-vs-delay evidence behind the verdict, in seconds. */
+    double total_wait_s = 0.0;
+    double total_delay_s = 0.0;
+    double max_gpu_ms = 0.0;
+
+    /** Ops sorted by total CPU time, largest first. */
+    std::vector<OpStats> ops_by_cost;
+
+    /** Per-batch preprocessing variability. */
+    analysis::Summary batch_ms;
+    double out_of_order_fraction = 0.0;
+
+    /** Human-readable findings and recommendations. */
+    std::vector<std::string> findings;
+    std::vector<std::string> recommendations;
+
+    /** Render the whole report as text. */
+    std::string render() const;
+};
+
+/** Analyze records into a report. */
+PipelineReport buildReport(const std::vector<trace::TraceRecord> &records);
+
+} // namespace lotus::core::lotustrace
+
+#endif // LOTUS_CORE_LOTUSTRACE_REPORT_H

@@ -1,0 +1,121 @@
+#include "core/lotustrace/visualize.h"
+
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "core/lotustrace/analysis.h"
+
+namespace lotus::core::lotustrace {
+
+using trace::ChromeTraceBuilder;
+using trace::RecordKind;
+using trace::TraceRecord;
+
+void
+augmentTrace(ChromeTraceBuilder &builder,
+             const std::vector<TraceRecord> &records,
+             const VisualizeOptions &options)
+{
+    // Identify lanes: main process, each worker, the GPU.
+    std::set<std::uint32_t> worker_pids;
+    std::uint32_t main_pid = 0;
+    std::uint32_t gpu_pid = 0;
+    for (const auto &record : records) {
+        switch (record.kind) {
+          case RecordKind::BatchPreprocessed:
+            worker_pids.insert(record.pid);
+            break;
+          case RecordKind::BatchWait:
+          case RecordKind::BatchConsumed:
+            main_pid = record.pid;
+            break;
+          case RecordKind::GpuCompute:
+            gpu_pid = record.pid;
+            break;
+          default:
+            break;
+        }
+    }
+
+    if (main_pid != 0)
+        builder.setProcessName(main_pid, options.main_label);
+    int worker_index = 0;
+    for (const auto pid : worker_pids) {
+        builder.setProcessName(
+            pid, strFormat("DataLoader worker %d", worker_index++));
+    }
+    if (gpu_pid != 0)
+        builder.setProcessName(gpu_pid, "GPU");
+
+    for (const auto &record : records) {
+        switch (record.kind) {
+          case RecordKind::BatchPreprocessed:
+            builder.addComplete(
+                strFormat("SBatchPreprocessed_%lld",
+                          static_cast<long long>(record.batch_id)),
+                "preprocess", record.start, record.duration, record.pid,
+                record.pid);
+            break;
+          case RecordKind::BatchWait:
+            builder.addComplete(
+                strFormat("SBatchWait_%lld",
+                          static_cast<long long>(record.batch_id)),
+                "wait", record.start, record.duration, record.pid,
+                record.pid);
+            break;
+          case RecordKind::BatchConsumed:
+            builder.addComplete(
+                strFormat("SBatchConsumed_%lld",
+                          static_cast<long long>(record.batch_id)),
+                "consume", record.start, record.duration, record.pid,
+                record.pid);
+            break;
+          case RecordKind::GpuCompute:
+            builder.addComplete(
+                strFormat("SGpuCompute_%lld",
+                          static_cast<long long>(record.batch_id)),
+                "gpu", record.start, record.duration, record.pid,
+                record.pid);
+            break;
+          case RecordKind::TransformOp:
+            if (options.per_op) {
+                builder.addComplete("S" + record.op_name, "op",
+                                    record.start, record.duration,
+                                    record.pid, record.pid);
+                builder.addArgToLast(
+                    "batch", strFormat("%lld", static_cast<long long>(
+                                                   record.batch_id)));
+            }
+            break;
+          case RecordKind::EpochBoundary:
+            builder.addInstant("epoch", record.start, record.pid,
+                               record.pid);
+            break;
+        }
+    }
+
+    if (options.flow_arrows) {
+        TraceAnalysis analysis(records);
+        for (const auto &batch : analysis.batches()) {
+            if (!batch.has_preprocess || !batch.has_consumed)
+                continue;
+            builder.addFlow(
+                strFormat("batch_%lld",
+                          static_cast<long long>(batch.batch_id)),
+                batch.preprocess_end, batch.worker_pid, batch.worker_pid,
+                batch.consumed_start, batch.main_pid, batch.main_pid);
+        }
+    }
+}
+
+std::string
+toChromeJson(const std::vector<TraceRecord> &records,
+             const VisualizeOptions &options)
+{
+    ChromeTraceBuilder builder;
+    augmentTrace(builder, records, options);
+    return builder.toJson();
+}
+
+} // namespace lotus::core::lotustrace

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * LotusTrace visualization (paper §III-C): turn collected records
+ * into a Chrome Trace Viewer document with one lane per process and
+ * flow arrows from each SBatchPreprocessed span to its
+ * SBatchConsumed marker, at batch (coarse) or batch+op (fine)
+ * granularity. Lotus events use negative synthetic ids so an
+ * existing framework-profiler trace can be augmented in place.
+ */
+
+#ifndef LOTUS_CORE_LOTUSTRACE_VISUALIZE_H
+#define LOTUS_CORE_LOTUSTRACE_VISUALIZE_H
+
+#include <string>
+#include <vector>
+
+#include "trace/chrome_trace.h"
+#include "trace/record.h"
+
+namespace lotus::core::lotustrace {
+
+struct VisualizeOptions
+{
+    /** Include per-op [T3] spans (fine granularity). */
+    bool per_op = false;
+    /** Draw preprocessed -> consumed flow arrows. */
+    bool flow_arrows = true;
+    /** Label for the main process lane. */
+    std::string main_label = "main process";
+};
+
+/**
+ * Append visualization events for @p records to @p builder
+ * (augmenting whatever the builder already holds).
+ */
+void augmentTrace(trace::ChromeTraceBuilder &builder,
+                  const std::vector<trace::TraceRecord> &records,
+                  const VisualizeOptions &options = {});
+
+/** Build a standalone Chrome trace JSON for @p records. */
+std::string toChromeJson(const std::vector<trace::TraceRecord> &records,
+                         const VisualizeOptions &options = {});
+
+} // namespace lotus::core::lotustrace
+
+#endif // LOTUS_CORE_LOTUSTRACE_VISUALIZE_H

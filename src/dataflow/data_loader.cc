@@ -1,0 +1,270 @@
+#include "dataflow/data_loader.h"
+
+#include <chrono>
+
+#include "common/strings.h"
+#include "common/thread_util.h"
+#include "dataflow/sampler.h"
+
+namespace lotus::dataflow {
+
+using pipeline::Batch;
+
+DataLoader::DataLoader(std::shared_ptr<const pipeline::Dataset> dataset,
+                       std::shared_ptr<const pipeline::Collate> collate,
+                       DataLoaderOptions options)
+    : dataset_(dataset), fetcher_(std::move(dataset), std::move(collate)),
+      options_(options), main_pid_(currentTid())
+{
+    LOTUS_ASSERT(options_.batch_size > 0, "batch_size must be positive");
+    LOTUS_ASSERT(options_.num_workers > 0, "num_workers must be positive");
+    LOTUS_ASSERT(options_.prefetch_factor > 0,
+                 "prefetch_factor must be positive");
+    rebuildBatches();
+}
+
+void
+DataLoader::rebuildBatches()
+{
+    // Like PyTorch, a shuffled loader reshuffles every epoch, with a
+    // deterministic per-epoch seed derived from the base seed.
+    const auto indices =
+        options_.shuffle
+            ? shuffledIndices(dataset_->size(),
+                              options_.seed +
+                                  0x9E3779B97F4A7C15ull *
+                                      static_cast<std::uint64_t>(epoch_))
+            : sequentialIndices(dataset_->size());
+    batches_ = batchIndices(indices, options_.batch_size,
+                            options_.drop_last);
+}
+
+DataLoader::~DataLoader()
+{
+    shutdownWorkers();
+}
+
+std::int64_t
+DataLoader::numBatches() const
+{
+    return static_cast<std::int64_t>(batches_.size());
+}
+
+void
+DataLoader::startEpoch()
+{
+    shutdownWorkers();
+
+    if (epoch_started_) {
+        ++epoch_;
+        rebuildBatches();
+    }
+    send_idx_ = 0;
+    rcvd_idx_ = 0;
+    reorder_cache_.clear();
+    batch_worker_.clear();
+
+    index_queues_.clear();
+    for (int w = 0; w < options_.num_workers; ++w)
+        index_queues_.push_back(std::make_unique<MpmcQueue<IndexMsg>>());
+    data_queue_ = std::make_unique<MpmcQueue<DataMsg>>();
+
+    {
+        std::lock_guard lock(worker_pids_mutex_);
+        worker_pids_.assign(static_cast<std::size_t>(options_.num_workers),
+                            0);
+    }
+    for (int w = 0; w < options_.num_workers; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+
+    // Wait for every worker to announce its pid so trace records and
+    // workerPids() are complete from the first batch on.
+    for (;;) {
+        bool all_ready = true;
+        {
+            std::lock_guard lock(worker_pids_mutex_);
+            for (const auto pid : worker_pids_) {
+                if (pid == 0)
+                    all_ready = false;
+            }
+        }
+        if (all_ready)
+            break;
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+
+    // Prime every worker's index queue with prefetch_factor batches,
+    // round-robin across workers (paper §II-B).
+    for (int round = 0; round < options_.prefetch_factor; ++round) {
+        for (int w = 0; w < options_.num_workers; ++w)
+            tryPutIndex(w);
+    }
+    if (options_.logger) {
+        trace::TraceRecord marker;
+        marker.kind = trace::RecordKind::EpochBoundary;
+        marker.pid = main_pid_;
+        marker.start = options_.logger->now();
+        marker.op_name = "epoch_start";
+        options_.logger->log(std::move(marker));
+    }
+    epoch_started_ = true;
+}
+
+void
+DataLoader::tryPutIndex(int worker_id)
+{
+    if (send_idx_ >= numBatches())
+        return;
+    IndexMsg msg;
+    msg.batch_id = send_idx_;
+    msg.indices = batches_[static_cast<std::size_t>(send_idx_)];
+    batch_worker_[send_idx_] = worker_id;
+    ++send_idx_;
+    index_queues_[static_cast<std::size_t>(worker_id)]->push(
+        std::move(msg));
+}
+
+void
+DataLoader::workerLoop(int worker_id)
+{
+    setCurrentThreadName(strFormat("loader-%d", worker_id));
+    const std::uint32_t pid = currentTid();
+    {
+        std::lock_guard lock(worker_pids_mutex_);
+        worker_pids_[static_cast<std::size_t>(worker_id)] = pid;
+    }
+    Rng rng(options_.seed * 0x9E3779B97F4A7C15ull +
+            static_cast<std::uint64_t>(worker_id) + 1);
+
+    auto &index_queue = *index_queues_[static_cast<std::size_t>(worker_id)];
+    for (;;) {
+        auto msg = index_queue.pop();
+        if (!msg.has_value())
+            break; // queue closed: epoch over
+
+        pipeline::PipelineContext ctx;
+        ctx.logger = options_.logger;
+        ctx.pid = pid;
+        ctx.rng = &rng;
+
+        // [T1]: the fetch() call inside the worker loop.
+        trace::SpanTimer span(options_.logger,
+                              trace::RecordKind::BatchPreprocessed);
+        span.record().batch_id = msg->batch_id;
+        span.record().pid = pid;
+        Batch batch = fetcher_.fetch(msg->batch_id, msg->indices, ctx);
+        span.finish();
+
+        DataMsg out;
+        out.batch_id = msg->batch_id;
+        out.worker_id = worker_id;
+        out.batch = std::move(batch);
+        data_queue_->push(std::move(out));
+    }
+}
+
+void
+DataLoader::pinBatch(Batch &batch) const
+{
+    if (!options_.pin_memory || batch.data.empty())
+        return;
+    hwcount::KernelScope scope(hwcount::KernelId::PinMemoryCopy);
+    batch.data = batch.data.clone();
+    scope.stats().bytes_read += batch.data.byteSize();
+    scope.stats().bytes_written += batch.data.byteSize();
+    scope.stats().items += 1;
+}
+
+std::optional<Batch>
+DataLoader::next()
+{
+    if (!epoch_started_)
+        startEpoch();
+    if (rcvd_idx_ >= numBatches()) {
+        shutdownWorkers();
+        return std::nullopt;
+    }
+
+    const std::int64_t wanted = rcvd_idx_;
+    Batch result;
+    bool have_result = false;
+
+    // [T2]: wait for the desired batch. Early out-of-order arrivals
+    // already pinned and cached get the 1 µs sentinel duration.
+    trace::SpanTimer wait_span(options_.logger, trace::RecordKind::BatchWait);
+    wait_span.record().batch_id = wanted;
+    wait_span.record().pid = main_pid_;
+
+    if (auto cached = reorder_cache_.find(wanted);
+        cached != reorder_cache_.end()) {
+        result = std::move(cached->second);
+        reorder_cache_.erase(cached);
+        have_result = true;
+        if (options_.logger) {
+            trace::TraceRecord sentinel = wait_span.record();
+            sentinel.duration = trace::kOutOfOrderSentinel;
+            options_.logger->log(std::move(sentinel));
+        }
+    } else {
+        while (!have_result) {
+            auto msg = data_queue_->pop();
+            LOTUS_ASSERT(msg.has_value(),
+                         "data queue closed with batches outstanding");
+            if (msg->batch_id == wanted) {
+                result = std::move(msg->batch);
+                have_result = true;
+            } else {
+                // Early arrival: pin to CPU memory and cache it
+                // (paper §III-B).
+                pinBatch(msg->batch);
+                reorder_cache_.emplace(msg->batch_id,
+                                       std::move(msg->batch));
+            }
+        }
+        wait_span.finish();
+        pinBatch(result);
+    }
+
+    // Consumption span: bookkeeping + dispatch of new work for the
+    // producing worker (paper §II-B: one new batch of indices goes to
+    // the worker that produced the consumed batch).
+    trace::SpanTimer consumed_span(options_.logger,
+                                   trace::RecordKind::BatchConsumed);
+    consumed_span.record().batch_id = wanted;
+    consumed_span.record().pid = main_pid_;
+    const auto producer = batch_worker_.find(wanted);
+    LOTUS_ASSERT(producer != batch_worker_.end(),
+                 "unknown producer for batch %lld",
+                 static_cast<long long>(wanted));
+    tryPutIndex(producer->second);
+    batch_worker_.erase(producer);
+    consumed_span.finish();
+
+    ++rcvd_idx_;
+    if (rcvd_idx_ >= numBatches()) {
+        // All batches consumed; release the workers.
+        shutdownWorkers();
+    }
+    return result;
+}
+
+std::vector<std::uint32_t>
+DataLoader::workerPids() const
+{
+    std::lock_guard lock(worker_pids_mutex_);
+    return worker_pids_;
+}
+
+void
+DataLoader::shutdownWorkers()
+{
+    for (auto &queue : index_queues_)
+        queue->close();
+    for (auto &worker : workers_) {
+        if (worker.joinable())
+            worker.join();
+    }
+    workers_.clear();
+}
+
+} // namespace lotus::dataflow

@@ -1,0 +1,44 @@
+#include "dataflow/fetcher.h"
+
+namespace lotus::dataflow {
+
+Fetcher::Fetcher(std::shared_ptr<const pipeline::Dataset> dataset,
+                 std::shared_ptr<const pipeline::Collate> collate)
+    : dataset_(std::move(dataset)), collate_(std::move(collate)),
+      collate_tag_(hwcount::KernelRegistry::instance().registerOp(
+          pipeline::Collate::kOpName))
+{
+    LOTUS_ASSERT(dataset_ != nullptr && collate_ != nullptr);
+}
+
+pipeline::Batch
+Fetcher::fetch(std::int64_t batch_id,
+               const std::vector<std::int64_t> &indices,
+               pipeline::PipelineContext &ctx) const
+{
+    LOTUS_ASSERT(!indices.empty(), "empty batch requested");
+    ctx.batch_id = batch_id;
+
+    std::vector<pipeline::Sample> samples;
+    samples.reserve(indices.size());
+    for (const auto index : indices) {
+        ctx.sample_index = index;
+        samples.push_back(dataset_->get(index, ctx));
+    }
+    ctx.sample_index = -1;
+
+    trace::SpanTimer span(ctx.logger, trace::RecordKind::TransformOp);
+    span.record().op_name = pipeline::Collate::kOpName;
+    span.record().batch_id = batch_id;
+    span.record().pid = ctx.pid;
+    pipeline::Batch batch;
+    {
+        hwcount::OpTagScope op_scope(collate_tag_);
+        batch = collate_->collate(std::move(samples));
+    }
+    span.finish();
+    batch.batch_id = batch_id;
+    return batch;
+}
+
+} // namespace lotus::dataflow

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Dataset fetcher: produce one collated batch from a list of indices
+ * (the common fetch() method across PyTorch's _MapDatasetFetcher /
+ * _IterableDatasetFetcher that LotusTrace instruments for [T1]).
+ */
+
+#ifndef LOTUS_DATAFLOW_FETCHER_H
+#define LOTUS_DATAFLOW_FETCHER_H
+
+#include <memory>
+
+#include "hwcount/registry.h"
+#include "pipeline/collate.h"
+#include "pipeline/dataset.h"
+
+namespace lotus::dataflow {
+
+class Fetcher
+{
+  public:
+    Fetcher(std::shared_ptr<const pipeline::Dataset> dataset,
+            std::shared_ptr<const pipeline::Collate> collate);
+
+    /**
+     * Produce the batch for @p indices. ctx supplies the tracer, the
+     * worker identity and RNG; per-op [T3] records come from the
+     * dataset's Compose, and the collation is logged as a [T3] op
+     * named "Collate".
+     */
+    pipeline::Batch fetch(std::int64_t batch_id,
+                          const std::vector<std::int64_t> &indices,
+                          pipeline::PipelineContext &ctx) const;
+
+    const pipeline::Dataset &dataset() const { return *dataset_; }
+
+  private:
+    std::shared_ptr<const pipeline::Dataset> dataset_;
+    std::shared_ptr<const pipeline::Collate> collate_;
+    hwcount::OpTag collate_tag_;
+};
+
+} // namespace lotus::dataflow
+
+#endif // LOTUS_DATAFLOW_FETCHER_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * DataLoader for iterable datasets (_IterableDatasetFetcher path).
+ *
+ * Workers stream their shard, assemble batches of batch_size, and
+ * push them to the shared data queue. There is no index protocol and
+ * no expected consumption order: the main process yields batches in
+ * arrival order, so out-of-order caching never happens — but [T1]
+ * fetch spans and [T2] wait spans are instrumented identically to the
+ * map-style loader, via the same common fetch points.
+ */
+
+#ifndef LOTUS_DATAFLOW_ITERABLE_LOADER_H
+#define LOTUS_DATAFLOW_ITERABLE_LOADER_H
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.h"
+#include "hwcount/registry.h"
+#include "pipeline/collate.h"
+#include "pipeline/iterable_dataset.h"
+#include "trace/logger.h"
+
+namespace lotus::dataflow {
+
+struct IterableLoaderOptions
+{
+    int batch_size = 1;
+    int num_workers = 1;
+    /** Keep a trailing partial batch per worker shard. */
+    bool drop_last = false;
+    std::uint64_t seed = 0;
+    trace::TraceLogger *logger = nullptr;
+};
+
+class IterableDataLoader
+{
+  public:
+    IterableDataLoader(
+        std::shared_ptr<const pipeline::IterableDataset> dataset,
+        std::shared_ptr<const pipeline::Collate> collate,
+        IterableLoaderOptions options);
+    ~IterableDataLoader();
+
+    IterableDataLoader(const IterableDataLoader &) = delete;
+    IterableDataLoader &operator=(const IterableDataLoader &) = delete;
+
+    /** Begin (or restart) streaming. Implicit on first next(). */
+    void startEpoch();
+
+    /** Next batch in arrival order; nullopt once every shard ends. */
+    std::optional<pipeline::Batch> next();
+
+    std::uint32_t mainPid() const { return main_pid_; }
+
+  private:
+    struct DataMsg
+    {
+        bool done = false; ///< worker-exhausted marker
+        pipeline::Batch batch;
+    };
+
+    void workerLoop(int worker_id);
+    void shutdownWorkers();
+
+    std::shared_ptr<const pipeline::IterableDataset> dataset_;
+    std::shared_ptr<const pipeline::Collate> collate_;
+    IterableLoaderOptions options_;
+    std::uint32_t main_pid_;
+    hwcount::OpTag collate_tag_;
+
+    bool epoch_started_ = false;
+    int workers_done_ = 0;
+    std::unique_ptr<MpmcQueue<DataMsg>> data_queue_;
+    std::vector<std::thread> workers_;
+    std::atomic<std::int64_t> next_batch_id_{0};
+};
+
+} // namespace lotus::dataflow
+
+#endif // LOTUS_DATAFLOW_ITERABLE_LOADER_H

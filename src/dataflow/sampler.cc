@@ -1,0 +1,51 @@
+#include "dataflow/sampler.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace lotus::dataflow {
+
+std::vector<std::int64_t>
+sequentialIndices(std::int64_t dataset_size)
+{
+    LOTUS_ASSERT(dataset_size >= 0);
+    std::vector<std::int64_t> indices(
+        static_cast<std::size_t>(dataset_size));
+    std::iota(indices.begin(), indices.end(), 0);
+    return indices;
+}
+
+std::vector<std::int64_t>
+shuffledIndices(std::int64_t dataset_size, std::uint64_t seed)
+{
+    auto indices = sequentialIndices(dataset_size);
+    Rng rng(seed);
+    for (std::size_t i = indices.size(); i > 1; --i) {
+        const std::size_t j = static_cast<std::size_t>(rng.nextBelow(i));
+        std::swap(indices[i - 1], indices[j]);
+    }
+    return indices;
+}
+
+std::vector<std::vector<std::int64_t>>
+batchIndices(const std::vector<std::int64_t> &indices, int batch_size,
+             bool drop_last)
+{
+    LOTUS_ASSERT(batch_size > 0, "batch size must be positive");
+    std::vector<std::vector<std::int64_t>> batches;
+    std::size_t i = 0;
+    while (i < indices.size()) {
+        const std::size_t take = std::min(
+            static_cast<std::size_t>(batch_size), indices.size() - i);
+        if (take < static_cast<std::size_t>(batch_size) && drop_last)
+            break;
+        batches.emplace_back(indices.begin() + static_cast<std::ptrdiff_t>(i),
+                             indices.begin() +
+                                 static_cast<std::ptrdiff_t>(i + take));
+        i += take;
+    }
+    return batches;
+}
+
+} // namespace lotus::dataflow

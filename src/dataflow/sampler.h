@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Index samplers and batch grouping (torch.utils.data.Sampler
+ * analogues).
+ */
+
+#ifndef LOTUS_DATAFLOW_SAMPLER_H
+#define LOTUS_DATAFLOW_SAMPLER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lotus::dataflow {
+
+/** Dataset indices in sequential order. */
+std::vector<std::int64_t> sequentialIndices(std::int64_t dataset_size);
+
+/** Dataset indices in seeded shuffled order (Fisher-Yates). */
+std::vector<std::int64_t> shuffledIndices(std::int64_t dataset_size,
+                                          std::uint64_t seed);
+
+/**
+ * Group indices into batches of @p batch_size.
+ * @param drop_last discard a trailing partial batch.
+ */
+std::vector<std::vector<std::int64_t>>
+batchIndices(const std::vector<std::int64_t> &indices, int batch_size,
+             bool drop_last);
+
+} // namespace lotus::dataflow
+
+#endif // LOTUS_DATAFLOW_SAMPLER_H

@@ -1,0 +1,73 @@
+#include "hwcount/collection.h"
+
+#include <mutex>
+
+#include "hwcount/registry.h"
+
+namespace lotus::hwcount::collection {
+
+namespace {
+
+std::mutex mutex;
+bool window_open = false;
+TimeNs window_start = 0;
+std::vector<CollectionWindow> closed_windows;
+
+} // namespace
+
+void
+resume()
+{
+    auto &registry = KernelRegistry::instance();
+    std::lock_guard lock(mutex);
+    if (window_open)
+        return;
+    window_open = true;
+    window_start = registry.clock().now();
+    registry.setTimelineEnabled(true);
+}
+
+void
+pause()
+{
+    auto &registry = KernelRegistry::instance();
+    std::lock_guard lock(mutex);
+    if (!window_open)
+        return;
+    registry.setTimelineEnabled(false);
+    window_open = false;
+    closed_windows.push_back(
+        CollectionWindow{window_start, registry.clock().now()});
+}
+
+void
+detach()
+{
+    pause();
+}
+
+bool
+active()
+{
+    std::lock_guard lock(mutex);
+    return window_open;
+}
+
+std::vector<CollectionWindow>
+windows()
+{
+    std::lock_guard lock(mutex);
+    return closed_windows;
+}
+
+void
+reset()
+{
+    auto &registry = KernelRegistry::instance();
+    std::lock_guard lock(mutex);
+    registry.setTimelineEnabled(false);
+    window_open = false;
+    closed_windows.clear();
+}
+
+} // namespace lotus::hwcount::collection

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Collection-window control, mirroring the ITT (Intel) and
+ * AMDProfileControl APIs the paper binds into Python (Listing 4).
+ *
+ * resume() opens a window (timeline recording on), pause() closes it,
+ * detach() closes it and finalizes. Windows are recorded so the
+ * sampling driver can restrict itself to them.
+ */
+
+#ifndef LOTUS_HWCOUNT_COLLECTION_H
+#define LOTUS_HWCOUNT_COLLECTION_H
+
+#include <vector>
+
+#include "common/clock.h"
+
+namespace lotus::hwcount {
+
+/** One closed collection window. */
+struct CollectionWindow
+{
+    TimeNs start = 0;
+    TimeNs end = 0;
+};
+
+namespace collection {
+
+/** Start (or restart) collecting; timestamps from the registry clock. */
+void resume();
+
+/** Stop collecting, closing the current window. */
+void pause();
+
+/** Stop collecting and mark the session finalized. */
+void detach();
+
+/** True while a window is open. */
+bool active();
+
+/** All closed windows since the last reset, in order. */
+std::vector<CollectionWindow> windows();
+
+/** Forget all windows and close any open one (without recording it). */
+void reset();
+
+} // namespace collection
+
+/** RAII collection window. */
+class CollectionScope
+{
+  public:
+    CollectionScope() { collection::resume(); }
+    ~CollectionScope() { collection::pause(); }
+
+    CollectionScope(const CollectionScope &) = delete;
+    CollectionScope &operator=(const CollectionScope &) = delete;
+};
+
+} // namespace lotus::hwcount
+
+#endif // LOTUS_HWCOUNT_COLLECTION_H

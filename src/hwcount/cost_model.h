@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Simulated PMU: derives hardware counters from kernel work accounting.
+ *
+ * The paper measures real PMUs through VTune/uProf. In environments
+ * where perf_event is unavailable (containers, CI), Lotus-CPP instead
+ * synthesizes counters deterministically from each kernel's WorkStats
+ * through a per-KernelClass microarchitectural cost model on a
+ * configurable machine (default: the paper's dual-socket 3.2 GHz,
+ * 32-core Xeon). The *attribution problem* LotusMap exists to solve is
+ * unaffected: counters remain observable only per native function.
+ *
+ * Contention modelling: the single scalar input `occupancy` (average
+ * runnable preprocessing threads divided by hardware cores) moves the
+ * counters the way the paper's Figure 6 observes on real hardware —
+ * higher occupancy raises front-end boundness, depresses the uop
+ * supply to the backend, and (because fewer uops reach the memory
+ * subsystem) lowers the share of cycles stalled on local DRAM.
+ */
+
+#ifndef LOTUS_HWCOUNT_COST_MODEL_H
+#define LOTUS_HWCOUNT_COST_MODEL_H
+
+#include "hwcount/counters.h"
+#include "hwcount/kernel_id.h"
+#include "hwcount/registry.h"
+#include "hwcount/work_stats.h"
+
+namespace lotus::hwcount {
+
+/** Machine the simulated PMU models. */
+struct MachineConfig
+{
+    int cores = 32;
+    double freq_ghz = 3.2;
+    /** Cache line size in bytes. */
+    int line_bytes = 64;
+    /** Local DRAM load-to-use latency in cycles. */
+    double dram_latency_cycles = 220.0;
+};
+
+/** Per-KernelClass microarchitectural characteristics. */
+struct ClassProfile
+{
+    /** Instructions per byte moved (read+written). */
+    double instr_per_byte;
+    /** Instructions per reported arithmetic op. */
+    double instr_per_arith;
+    /** Instructions per branch. */
+    double instr_per_branch;
+    /** Instructions per irregular access. */
+    double instr_per_random;
+    /** Retired uops per instruction. */
+    double uops_per_instr;
+    /** Baseline cycles per instruction at zero contention. */
+    double base_cpi;
+    /** Baseline fraction of top-down slots lost to the front end. */
+    double base_frontend_bound;
+    /** How strongly occupancy inflates front-end boundness. */
+    double frontend_contention_slope;
+    /** L1 misses per byte moved. */
+    double l1_miss_per_byte;
+    /** Fraction of L1 misses that also miss L2. */
+    double l2_miss_ratio;
+    /** Fraction of L2 misses that also miss LLC. */
+    double llc_miss_ratio;
+    /** Branch mispredict ratio. */
+    double mispredict_ratio;
+};
+
+/** Profile used for kernels of class @p cls. */
+const ClassProfile &classProfile(KernelClass cls);
+
+class SimulatedPmu
+{
+  public:
+    explicit SimulatedPmu(MachineConfig config = MachineConfig{});
+
+    const MachineConfig &machine() const { return config_; }
+
+    /**
+     * Counters for an amount of work executed by kernel @p id.
+     *
+     * @param occupancy average runnable preprocessing threads divided
+     *        by hardware cores; 0 means an otherwise idle machine.
+     */
+    CounterSet countersFor(KernelId id, const WorkStats &work,
+                           double occupancy = 0.0) const;
+
+    /** Counters for an aggregate registry entry. */
+    CounterSet countersFor(KernelId id, const KernelAccum &accum,
+                           double occupancy = 0.0) const;
+
+    /**
+     * Per-kernel counters for everything in a registry snapshot,
+     * indexed by KernelId; entries for unused kernels are all-zero.
+     */
+    std::vector<CounterSet>
+    countersForSnapshot(const RegistrySnapshot &snapshot,
+                        double occupancy = 0.0) const;
+
+    /**
+     * Multiplicative wall-time inflation the DES applies to CPU
+     * service times under the given occupancy (memory-bandwidth and
+     * SMT contention). 1.0 at zero occupancy.
+     */
+    double cpuTimeInflation(double occupancy) const;
+
+  private:
+    MachineConfig config_;
+};
+
+} // namespace lotus::hwcount
+
+#endif // LOTUS_HWCOUNT_COST_MODEL_H

@@ -1,0 +1,123 @@
+#include "hwcount/counters.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace lotus::hwcount {
+
+CounterSet &
+CounterSet::operator+=(const CounterSet &o)
+{
+    cycles += o.cycles;
+    instructions += o.instructions;
+    uops_delivered += o.uops_delivered;
+    uops_retired += o.uops_retired;
+    frontend_stall_slots += o.frontend_stall_slots;
+    backend_stall_slots += o.backend_stall_slots;
+    l1_misses += o.l1_misses;
+    l2_misses += o.l2_misses;
+    llc_misses += o.llc_misses;
+    dram_stall_cycles += o.dram_stall_cycles;
+    branches += o.branches;
+    branch_mispredicts += o.branch_mispredicts;
+    return *this;
+}
+
+namespace {
+std::uint64_t
+scaleU64(std::uint64_t v, double factor)
+{
+    const double scaled = static_cast<double>(v) * factor;
+    return scaled <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(scaled));
+}
+} // namespace
+
+CounterSet
+CounterSet::scaled(double factor) const
+{
+    CounterSet out;
+    out.cycles = scaleU64(cycles, factor);
+    out.instructions = scaleU64(instructions, factor);
+    out.uops_delivered = scaleU64(uops_delivered, factor);
+    out.uops_retired = scaleU64(uops_retired, factor);
+    out.frontend_stall_slots = scaleU64(frontend_stall_slots, factor);
+    out.backend_stall_slots = scaleU64(backend_stall_slots, factor);
+    out.l1_misses = scaleU64(l1_misses, factor);
+    out.l2_misses = scaleU64(l2_misses, factor);
+    out.llc_misses = scaleU64(llc_misses, factor);
+    out.dram_stall_cycles = scaleU64(dram_stall_cycles, factor);
+    out.branches = scaleU64(branches, factor);
+    out.branch_mispredicts = scaleU64(branch_mispredicts, factor);
+    return out;
+}
+
+double
+CounterSet::ipc() const
+{
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(instructions) / static_cast<double>(cycles);
+}
+
+double
+CounterSet::frontendBoundFraction() const
+{
+    if (cycles == 0)
+        return 0.0;
+    const double slots = static_cast<double>(cycles) * kSlotsPerCycle;
+    const double frac = static_cast<double>(frontend_stall_slots) / slots;
+    return frac > 1.0 ? 1.0 : frac;
+}
+
+double
+CounterSet::dramBoundFraction() const
+{
+    if (cycles == 0)
+        return 0.0;
+    const double frac =
+        static_cast<double>(dram_stall_cycles) / static_cast<double>(cycles);
+    return frac > 1.0 ? 1.0 : frac;
+}
+
+double
+CounterSet::uopSupplyPerCycle() const
+{
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(uops_delivered) / static_cast<double>(cycles);
+}
+
+std::string
+CounterSet::summary() const
+{
+    return strFormat(
+        "cycles=%llu instr=%llu ipc=%.2f uops_delivered=%llu "
+        "fe_bound=%.1f%% dram_bound=%.1f%% llc_miss=%llu",
+        static_cast<unsigned long long>(cycles),
+        static_cast<unsigned long long>(instructions), ipc(),
+        static_cast<unsigned long long>(uops_delivered),
+        100.0 * frontendBoundFraction(), 100.0 * dramBoundFraction(),
+        static_cast<unsigned long long>(llc_misses));
+}
+
+std::vector<std::pair<std::string, double>>
+counterFields(const CounterSet &c)
+{
+    return {
+        {"cycles", static_cast<double>(c.cycles)},
+        {"instructions", static_cast<double>(c.instructions)},
+        {"uops_delivered", static_cast<double>(c.uops_delivered)},
+        {"uops_retired", static_cast<double>(c.uops_retired)},
+        {"frontend_stall_slots", static_cast<double>(c.frontend_stall_slots)},
+        {"backend_stall_slots", static_cast<double>(c.backend_stall_slots)},
+        {"l1_misses", static_cast<double>(c.l1_misses)},
+        {"l2_misses", static_cast<double>(c.l2_misses)},
+        {"llc_misses", static_cast<double>(c.llc_misses)},
+        {"dram_stall_cycles", static_cast<double>(c.dram_stall_cycles)},
+        {"branches", static_cast<double>(c.branches)},
+        {"branch_mispredicts", static_cast<double>(c.branch_mispredicts)},
+    };
+}
+
+} // namespace lotus::hwcount

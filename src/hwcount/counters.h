@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Hardware performance counter values and derived metrics.
+ *
+ * Mirrors the subset of VTune's microarchitecture-exploration view the
+ * paper uses in Figure 6: CPU time, uop supply to the backend,
+ * front-end boundness, and stalls on loads serviced by local DRAM.
+ */
+
+#ifndef LOTUS_HWCOUNT_COUNTERS_H
+#define LOTUS_HWCOUNT_COUNTERS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lotus::hwcount {
+
+struct CounterSet
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    /** Uops issued by the front end toward the backend. */
+    std::uint64_t uops_delivered = 0;
+    /** Uops actually retired. */
+    std::uint64_t uops_retired = 0;
+    /** Top-down pipeline slots wasted on front-end stalls. */
+    std::uint64_t frontend_stall_slots = 0;
+    /** Top-down pipeline slots wasted on backend stalls. */
+    std::uint64_t backend_stall_slots = 0;
+    std::uint64_t l1_misses = 0;
+    std::uint64_t l2_misses = 0;
+    std::uint64_t llc_misses = 0;
+    /** Cycles stalled on loads serviced by local DRAM. */
+    std::uint64_t dram_stall_cycles = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t branch_mispredicts = 0;
+
+    CounterSet &operator+=(const CounterSet &o);
+    friend CounterSet
+    operator+(CounterSet a, const CounterSet &b)
+    {
+        a += b;
+        return a;
+    }
+
+    /** Scale every counter by @p factor (used for metric splitting). */
+    CounterSet scaled(double factor) const;
+
+    /** Instructions per cycle (0 when no cycles). */
+    double ipc() const;
+
+    /** Pipeline slots per cycle on the modelled machine. */
+    static constexpr double kSlotsPerCycle = 4.0;
+
+    /** Fraction of top-down slots lost to the front end, in [0, 1]. */
+    double frontendBoundFraction() const;
+
+    /** Fraction of cycles stalled on local-DRAM loads, in [0, 1]. */
+    double dramBoundFraction() const;
+
+    /** Average uops delivered to the backend per cycle. */
+    double uopSupplyPerCycle() const;
+
+    /** One-line rendering for tables and debugging. */
+    std::string summary() const;
+};
+
+/** Name/value pairs for tabular output, in a stable order. */
+std::vector<std::pair<std::string, double>>
+counterFields(const CounterSet &c);
+
+} // namespace lotus::hwcount
+
+#endif // LOTUS_HWCOUNT_COUNTERS_H

@@ -1,0 +1,88 @@
+#include "hwcount/csv_export.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace lotus::hwcount {
+
+std::string
+countersToCsv(const std::vector<CounterSet> &per_kernel)
+{
+    LOTUS_ASSERT(per_kernel.size() == kNumKernels,
+                 "per_kernel must be indexed by KernelId");
+    std::vector<std::size_t> active;
+    for (std::size_t k = 1; k < kNumKernels; ++k) {
+        if (per_kernel[k].cycles > 0 || per_kernel[k].instructions > 0)
+            active.push_back(k);
+    }
+    std::sort(active.begin(), active.end(), [&](std::size_t a,
+                                                std::size_t b) {
+        return per_kernel[a].cycles > per_kernel[b].cycles;
+    });
+
+    std::string out = "function,library";
+    for (const auto &[name, value] : counterFields(CounterSet{})) {
+        (void)value;
+        out += "," + name;
+    }
+    out += ",fe_bound,dram_bound\n";
+
+    for (const auto k : active) {
+        const auto &info = kernelInfo(static_cast<KernelId>(k));
+        const auto &counters = per_kernel[k];
+        out += strFormat("%s,%s", info.name, info.library);
+        for (const auto &[name, value] : counterFields(counters)) {
+            (void)name;
+            out += strFormat(",%.0f", value);
+        }
+        out += strFormat(",%.6f,%.6f\n",
+                         counters.frontendBoundFraction(),
+                         counters.dramBoundFraction());
+    }
+    return out;
+}
+
+std::vector<std::pair<KernelId, CounterSet>>
+countersFromCsv(const std::string &csv)
+{
+    const auto lines = strSplit(csv, '\n');
+    LOTUS_ASSERT(!lines.empty(), "empty CSV");
+    std::vector<std::pair<KernelId, CounterSet>> out;
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        if (lines[i].empty())
+            continue;
+        const auto cells = strSplit(lines[i], ',');
+        LOTUS_ASSERT(cells.size() >= 14, "short CSV row '%s'",
+                     lines[i].c_str());
+        const KernelId kernel = kernelByName(cells[0]);
+        if (kernel == KernelId::Invalid) {
+            LOTUS_WARN("unknown function '%s' in counters CSV; skipping",
+                       cells[0].c_str());
+            continue;
+        }
+        CounterSet counters;
+        auto u64 = [&cells](std::size_t index) {
+            return static_cast<std::uint64_t>(
+                std::strtoull(cells[index].c_str(), nullptr, 10));
+        };
+        counters.cycles = u64(2);
+        counters.instructions = u64(3);
+        counters.uops_delivered = u64(4);
+        counters.uops_retired = u64(5);
+        counters.frontend_stall_slots = u64(6);
+        counters.backend_stall_slots = u64(7);
+        counters.l1_misses = u64(8);
+        counters.l2_misses = u64(9);
+        counters.llc_misses = u64(10);
+        counters.dram_stall_cycles = u64(11);
+        counters.branches = u64(12);
+        counters.branch_mispredicts = u64(13);
+        out.emplace_back(kernel, counters);
+    }
+    return out;
+}
+
+} // namespace lotus::hwcount

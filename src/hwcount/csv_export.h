@@ -1,0 +1,35 @@
+/**
+ * @file
+ * CSV export of per-function hardware counters — the analogue of the
+ * paper's appendix workflow, where VTune's Microarchitecture
+ * Exploration grid is pasted into a CSV
+ * (b1024_gpu4_dataloader20.csv) that the LotusMap notebooks consume.
+ */
+
+#ifndef LOTUS_HWCOUNT_CSV_EXPORT_H
+#define LOTUS_HWCOUNT_CSV_EXPORT_H
+
+#include <string>
+#include <vector>
+
+#include "hwcount/counters.h"
+#include "hwcount/kernel_id.h"
+
+namespace lotus::hwcount {
+
+/**
+ * Render per-kernel counters (indexed by KernelId, as produced by
+ * SimulatedPmu::countersForSnapshot) as a CSV document with one row
+ * per function that has activity, ordered by cycles descending.
+ * Columns: function, library, then every counterFields() entry plus
+ * the derived fe_bound / dram_bound fractions.
+ */
+std::string countersToCsv(const std::vector<CounterSet> &per_kernel);
+
+/** Parse a countersToCsv() document back (function -> counters). */
+std::vector<std::pair<KernelId, CounterSet>>
+countersFromCsv(const std::string &csv);
+
+} // namespace lotus::hwcount
+
+#endif // LOTUS_HWCOUNT_CSV_EXPORT_H

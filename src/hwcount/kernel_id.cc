@@ -1,0 +1,149 @@
+#include "hwcount/kernel_id.h"
+
+#include <array>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace lotus::hwcount {
+
+namespace {
+
+constexpr const char *kJpeg = "liblotusjpeg.so.9";
+constexpr const char *kImaging = "_lotusimaging.cpython-310-x86_64.so";
+constexpr const char *kLibc = "libc.so.6";
+constexpr const char *kTensor = "liblotustensor.so";
+constexpr const char *kIo = "liblotusio.so";
+constexpr const char *kRuntime = "liblotusrt.so";
+
+const std::array<KernelInfo, kNumKernels> &
+table()
+{
+    static const std::array<KernelInfo, kNumKernels> infos = [] {
+        std::array<KernelInfo, kNumKernels> t{};
+        auto set = [&t](KernelId id, KernelClass cls, const char *name,
+                        const char *lib) {
+            t[static_cast<std::size_t>(id)] = KernelInfo{id, cls, name, lib};
+        };
+        set(KernelId::Invalid, KernelClass::Runtime, "<invalid>", "<none>");
+
+        set(KernelId::DecodeMcu, KernelClass::EntropyCode, "decode_mcu",
+            kJpeg);
+        set(KernelId::FillBitBuffer, KernelClass::EntropyCode,
+            "jpeg_fill_bit_buffer", kJpeg);
+        set(KernelId::IdctBlock, KernelClass::Dct, "jpeg_idct_islow", kJpeg);
+        set(KernelId::YccToRgb, KernelClass::ColorConvert, "ycc_rgb_convert",
+            kJpeg);
+        set(KernelId::ChromaUpsample, KernelClass::Resample, "sep_upsample",
+            kJpeg);
+        set(KernelId::DecompressOnepass, KernelClass::ColorConvert,
+            "decompress_onepass", kJpeg);
+        set(KernelId::EncodeMcu, KernelClass::EntropyCode, "encode_mcu",
+            kJpeg);
+        set(KernelId::ForwardDct, KernelClass::Dct, "forward_dct", kJpeg);
+        set(KernelId::RgbToYcc, KernelClass::ColorConvert, "rgb_ycc_convert",
+            kJpeg);
+        set(KernelId::QuantizeBlock, KernelClass::Dct, "quantize_block",
+            kJpeg);
+        set(KernelId::DequantizeBlock, KernelClass::Dct, "dequantize_block",
+            kJpeg);
+
+        set(KernelId::UnpackRgb, KernelClass::MemoryMove, "ImagingUnpackRGB",
+            kImaging);
+        set(KernelId::PackRgb, KernelClass::MemoryMove, "ImagingPackRGB",
+            kImaging);
+        set(KernelId::ResampleHorizontal, KernelClass::Resample,
+            "ImagingResampleHorizontal_8bpc", kImaging);
+        set(KernelId::ResampleVertical, KernelClass::Resample,
+            "ImagingResampleVertical_8bpc", kImaging);
+        set(KernelId::PrecomputeCoeffs, KernelClass::Arithmetic,
+            "precompute_coeffs", kImaging);
+        set(KernelId::ImagingCrop, KernelClass::MemoryMove, "ImagingCrop",
+            kImaging);
+        set(KernelId::ImagingFlipLeftRight, KernelClass::MemoryMove,
+            "ImagingFlipLeftRight", kImaging);
+
+        set(KernelId::MemcpyBulk, KernelClass::MemoryMove,
+            "__memcpy_avx_unaligned_erms", kLibc);
+        set(KernelId::MemsetBulk, KernelClass::MemoryMove,
+            "__memset_avx2_unaligned_erms", kLibc);
+        set(KernelId::MemmoveBulk, KernelClass::MemoryMove,
+            "__memmove_avx_unaligned_erms", kLibc);
+        set(KernelId::HeapFree, KernelClass::Runtime, "_int_free", kLibc);
+        set(KernelId::HeapCalloc, KernelClass::Runtime, "__libc_calloc",
+            kLibc);
+
+        set(KernelId::CastU8ToF32, KernelClass::Arithmetic, "cast_u8_to_f32",
+            kTensor);
+        set(KernelId::CastF32ToU8, KernelClass::Arithmetic, "cast_f32_to_u8",
+            kTensor);
+        set(KernelId::NormalizeChannels, KernelClass::Arithmetic,
+            "normalize_channels", kTensor);
+        set(KernelId::CollateCopy, KernelClass::MemoryMove, "collate_copy",
+            kTensor);
+        set(KernelId::GaussianNoiseAdd, KernelClass::Arithmetic,
+            "gaussian_noise_add", kTensor);
+        set(KernelId::BrightnessScale, KernelClass::Arithmetic,
+            "brightness_scale", kTensor);
+        set(KernelId::FlipAxisCopy, KernelClass::MemoryMove, "flip_axis_copy",
+            kTensor);
+        set(KernelId::CropWindowCopy, KernelClass::MemoryMove,
+            "crop_window_copy", kTensor);
+        set(KernelId::ForegroundSearch, KernelClass::RandomAccess,
+            "foreground_search", kTensor);
+
+        set(KernelId::FileRead, KernelClass::Io, "file_read", kIo);
+        set(KernelId::FileWrite, KernelClass::Io, "file_write", kIo);
+
+        set(KernelId::InterpEval, KernelClass::Runtime, "_PyEval_EvalFrame",
+            kRuntime);
+        set(KernelId::GcCollect, KernelClass::Runtime, "gc_collect_main",
+            kRuntime);
+        set(KernelId::PinMemoryCopy, KernelClass::MemoryMove,
+            "pin_memory_copy", kRuntime);
+        set(KernelId::AdamStep, KernelClass::Arithmetic, "adam_step",
+            kRuntime);
+        set(KernelId::LossForward, KernelClass::Arithmetic, "loss_forward",
+            kRuntime);
+        set(KernelId::AllreduceCopy, KernelClass::MemoryMove,
+            "allreduce_copy", kRuntime);
+        set(KernelId::QueueSerialize, KernelClass::MemoryMove,
+            "queue_serialize", kRuntime);
+        set(KernelId::QueueDeserialize, KernelClass::MemoryMove,
+            "queue_deserialize", kRuntime);
+        return t;
+    }();
+    return infos;
+}
+
+} // namespace
+
+const KernelInfo &
+kernelInfo(KernelId id)
+{
+    const auto idx = static_cast<std::size_t>(id);
+    LOTUS_ASSERT(idx > 0 && idx < kNumKernels, "bad kernel id %zu", idx);
+    return table()[idx];
+}
+
+KernelId
+kernelByName(const std::string &name)
+{
+    static const std::unordered_map<std::string, KernelId> index = [] {
+        std::unordered_map<std::string, KernelId> m;
+        for (std::size_t i = 1; i < kNumKernels; ++i)
+            m.emplace(table()[i].name, table()[i].id);
+        return m;
+    }();
+    const auto it = index.find(name);
+    return it == index.end() ? KernelId::Invalid : it->second;
+}
+
+std::string
+kernelLabel(KernelId id)
+{
+    const auto &info = kernelInfo(id);
+    return std::string(info.name) + " (" + info.library + ")";
+}
+
+} // namespace lotus::hwcount

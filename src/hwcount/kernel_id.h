@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Identities of the native "leaf functions" in Lotus-CPP.
+ *
+ * In the paper, hardware profilers observe C/C++ functions inside
+ * libjpeg, Pillow's _imaging extension, libc and friends, with no
+ * knowledge of the Python operation that invoked them. Our analogue
+ * keeps the same information barrier: compute kernels in the image,
+ * tensor and io layers annotate themselves with a KernelId, and all
+ * hardware-level observation (sampling, counters) happens at KernelId
+ * granularity only. The mapping from preprocessing operations to
+ * kernels is deliberately NOT exported from here; LotusMap has to
+ * reconstruct it the way the paper does.
+ */
+
+#ifndef LOTUS_HWCOUNT_KERNEL_ID_H
+#define LOTUS_HWCOUNT_KERNEL_ID_H
+
+#include <cstdint>
+#include <string>
+
+namespace lotus::hwcount {
+
+/**
+ * Broad microarchitectural behaviour class of a kernel; the simulated
+ * PMU cost model assigns per-class characteristics (uop density,
+ * cache behaviour, branchiness).
+ */
+enum class KernelClass : std::uint8_t
+{
+    EntropyCode,  ///< branchy bit-twiddling (huffman decode/encode)
+    Dct,          ///< dense arithmetic on small blocks
+    ColorConvert, ///< streaming arithmetic, moderate intensity
+    Resample,     ///< gather-heavy filtering
+    MemoryMove,   ///< memcpy/memset-like, bandwidth bound
+    Arithmetic,   ///< elementwise tensor math
+    RandomAccess, ///< pointer chasing / irregular search
+    Io,           ///< file read/write
+    Runtime,      ///< allocator, interpreter, glue
+    Accelerator,  ///< GPU-side work (never CPU-attributed)
+};
+
+/**
+ * Every native leaf function in the system.
+ *
+ * Names and "shared libraries" mirror the flavour of the paper's
+ * Table I so mapping output reads like the original.
+ */
+enum class KernelId : std::uint16_t
+{
+    Invalid = 0,
+
+    // --- liblotusjpeg (libjpeg analogue) ---
+    DecodeMcu,
+    FillBitBuffer,
+    IdctBlock,
+    YccToRgb,
+    ChromaUpsample,
+    DecompressOnepass,
+    EncodeMcu,
+    ForwardDct,
+    RgbToYcc,
+    QuantizeBlock,
+    DequantizeBlock,
+
+    // --- liblotusimaging (Pillow _imaging analogue) ---
+    UnpackRgb,
+    PackRgb,
+    ResampleHorizontal,
+    ResampleVertical,
+    PrecomputeCoeffs,
+    ImagingCrop,
+    ImagingFlipLeftRight,
+
+    // --- libc analogues ---
+    MemcpyBulk,
+    MemsetBulk,
+    MemmoveBulk,
+    HeapFree,
+    HeapCalloc,
+
+    // --- liblotustensor ---
+    CastU8ToF32,
+    CastF32ToU8,
+    NormalizeChannels,
+    CollateCopy,
+    GaussianNoiseAdd,
+    BrightnessScale,
+    FlipAxisCopy,
+    CropWindowCopy,
+    ForegroundSearch,
+
+    // --- liblotusio ---
+    FileRead,
+    FileWrite,
+
+    // --- unrelated pipeline machinery (must be filtered by LotusMap) ---
+    InterpEval,
+    GcCollect,
+    PinMemoryCopy,
+    AdamStep,
+    LossForward,
+    AllreduceCopy,
+    QueueSerialize,
+    QueueDeserialize,
+
+    NumKernels,
+};
+
+constexpr std::size_t kNumKernels =
+    static_cast<std::size_t>(KernelId::NumKernels);
+
+/** Static metadata describing one kernel. */
+struct KernelInfo
+{
+    KernelId id;
+    KernelClass cls;
+    /** Symbol-style name, e.g. "decode_mcu". */
+    const char *name;
+    /** Shared-object-style home, e.g. "liblotusjpeg.so.9". */
+    const char *library;
+};
+
+/** Metadata for @p id (panics on Invalid/NumKernels). */
+const KernelInfo &kernelInfo(KernelId id);
+
+/** Lookup by symbol name; returns Invalid when unknown. */
+KernelId kernelByName(const std::string &name);
+
+/** Human-readable "name (library)" string. */
+std::string kernelLabel(KernelId id);
+
+} // namespace lotus::hwcount
+
+#endif // LOTUS_HWCOUNT_KERNEL_ID_H

@@ -1,0 +1,125 @@
+#include "hwcount/perf_backend.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+namespace lotus::hwcount {
+
+namespace {
+
+long
+perfEventOpen(perf_event_attr *attr, pid_t pid, int cpu, int group_fd,
+              unsigned long flags)
+{
+    return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+struct EventSpec
+{
+    std::uint32_t type;
+    std::uint64_t config;
+};
+
+constexpr EventSpec kEvents[PerfEventPmu::kNumEvents] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+};
+
+} // namespace
+
+PerfEventPmu::PerfEventPmu()
+{
+    for (int &fd : fds_)
+        fd = -1;
+    for (int i = 0; i < kNumEvents; ++i) {
+        perf_event_attr attr{};
+        attr.size = sizeof(attr);
+        attr.type = kEvents[i].type;
+        attr.config = kEvents[i].config;
+        attr.disabled = 1;
+        attr.exclude_kernel = 1;
+        attr.exclude_hv = 1;
+        const long fd = perfEventOpen(&attr, 0, -1, -1, 0);
+        if (fd < 0) {
+            error_ = std::string("perf_event_open: ") + std::strerror(errno);
+            // Partial groups are torn down; an all-or-nothing backend
+            // keeps downstream interpretation simple.
+            for (int j = 0; j < i; ++j) {
+                ::close(fds_[j]);
+                fds_[j] = -1;
+            }
+            return;
+        }
+        fds_[i] = static_cast<int>(fd);
+    }
+    valid_ = true;
+}
+
+PerfEventPmu::~PerfEventPmu()
+{
+    for (int fd : fds_) {
+        if (fd >= 0)
+            ::close(fd);
+    }
+}
+
+void
+PerfEventPmu::start()
+{
+    if (!valid_)
+        return;
+    for (int fd : fds_) {
+        ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+        ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+    }
+}
+
+void
+PerfEventPmu::stop()
+{
+    if (!valid_)
+        return;
+    for (int fd : fds_)
+        ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+}
+
+CounterSet
+PerfEventPmu::read() const
+{
+    CounterSet c;
+    if (!valid_)
+        return c;
+    std::uint64_t values[kNumEvents] = {};
+    for (int i = 0; i < kNumEvents; ++i) {
+        if (::read(fds_[i], &values[i], sizeof(values[i])) !=
+            sizeof(values[i]))
+            values[i] = 0;
+    }
+    c.cycles = values[0];
+    c.instructions = values[1];
+    c.llc_misses = values[2];
+    c.branches = values[3];
+    c.branch_mispredicts = values[4];
+    c.l1_misses = values[5];
+    return c;
+}
+
+bool
+PerfEventPmu::available()
+{
+    PerfEventPmu probe;
+    return probe.valid();
+}
+
+} // namespace lotus::hwcount

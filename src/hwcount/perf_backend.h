@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Optional real-PMU backend via perf_event_open.
+ *
+ * When the host kernel permits it (perf_event_paranoid and container
+ * seccomp allowing), this backend measures real cycles, instructions,
+ * cache misses and branches for the calling thread. Lotus-CPP uses it
+ * opportunistically: examples and benches prefer it when available()
+ * and otherwise fall back to the SimulatedPmu. Sandboxed environments
+ * typically land on the fallback (documented in DESIGN.md §4.5).
+ */
+
+#ifndef LOTUS_HWCOUNT_PERF_BACKEND_H
+#define LOTUS_HWCOUNT_PERF_BACKEND_H
+
+#include <string>
+
+#include "hwcount/counters.h"
+
+namespace lotus::hwcount {
+
+class PerfEventPmu
+{
+  public:
+    /** Open counters for the calling thread. Check valid() after. */
+    PerfEventPmu();
+    ~PerfEventPmu();
+
+    PerfEventPmu(const PerfEventPmu &) = delete;
+    PerfEventPmu &operator=(const PerfEventPmu &) = delete;
+
+    /** True when the counter group opened successfully. */
+    bool valid() const { return valid_; }
+
+    /** Why the backend is unavailable ("" when valid). */
+    const std::string &error() const { return error_; }
+
+    /** Reset and start counting. */
+    void start();
+
+    /** Stop counting. */
+    void stop();
+
+    /** Read accumulated counts (only populated fields are nonzero). */
+    CounterSet read() const;
+
+    /** Probe whether this process can open PMU counters at all. */
+    static bool available();
+
+    static constexpr int kNumEvents = 6;
+
+  private:
+    int fds_[kNumEvents];
+    bool valid_ = false;
+    std::string error_;
+};
+
+} // namespace lotus::hwcount
+
+#endif // LOTUS_HWCOUNT_PERF_BACKEND_H

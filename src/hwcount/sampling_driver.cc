@@ -1,0 +1,164 @@
+#include "hwcount/sampling_driver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace lotus::hwcount {
+
+SamplingDriver::SamplingDriver(SamplingConfig config) : config_(config)
+{
+    LOTUS_ASSERT(config_.interval > 0, "sampling interval must be positive");
+    LOTUS_ASSERT(config_.skid >= 0, "skid must be non-negative");
+}
+
+namespace {
+
+/** Contiguous [first, last) range of one thread's intervals. */
+struct ThreadRange
+{
+    std::uint32_t tid;
+    std::size_t first;
+    std::size_t last;
+};
+
+std::vector<ThreadRange>
+splitByThread(const std::vector<KernelInterval> &timeline)
+{
+    std::vector<ThreadRange> ranges;
+    std::size_t i = 0;
+    while (i < timeline.size()) {
+        std::size_t j = i;
+        while (j < timeline.size() && timeline[j].tid == timeline[i].tid)
+            ++j;
+        ranges.push_back(ThreadRange{timeline[i].tid, i, j});
+        i = j;
+    }
+    return ranges;
+}
+
+/**
+ * Sweep one thread's intervals, attributing each sample time to the
+ * innermost active interval. Intervals are sorted by start (ties by
+ * depth), nesting is well-formed (children fully inside parents).
+ */
+void
+sweepThread(const std::vector<KernelInterval> &timeline,
+            const ThreadRange &range, const std::vector<TimeNs> &times,
+            TimeNs skid, std::vector<DriverSample> &out)
+{
+    std::vector<const KernelInterval *> stack;
+    std::size_t next = range.first;
+    for (const TimeNs t : times) {
+        const TimeNs lookup = t - skid;
+        // Push intervals that started at or before the lookup time.
+        while (next < range.last && timeline[next].start <= lookup) {
+            stack.push_back(&timeline[next]);
+            ++next;
+        }
+        // Pop intervals that have already ended.
+        while (!stack.empty() && stack.back()->end <= lookup)
+            stack.pop_back();
+        // The stack can still hold stale outer intervals whose nested
+        // children pushed after them ended before them; compact from
+        // the bottom: keep only intervals covering the lookup time.
+        while (!stack.empty() &&
+               (stack.back()->end <= lookup || stack.back()->start > lookup))
+            stack.pop_back();
+
+        DriverSample sample;
+        sample.time = t;
+        sample.tid = range.tid;
+        if (!stack.empty() && stack.back()->start <= lookup &&
+            stack.back()->end > lookup) {
+            sample.kernel = stack.back()->kernel;
+            sample.op = stack.back()->op;
+        }
+        out.push_back(sample);
+    }
+}
+
+} // namespace
+
+std::vector<DriverSample>
+SamplingDriver::sampleRange(const std::vector<KernelInterval> &timeline,
+                            TimeNs lo, TimeNs hi,
+                            bool clamp_per_thread) const
+{
+    std::vector<DriverSample> out;
+    for (const auto &range : splitByThread(timeline)) {
+        TimeNs begin = lo;
+        TimeNs end = hi;
+        if (clamp_per_thread) {
+            begin = timeline[range.first].start;
+            end = 0;
+            for (std::size_t i = range.first; i < range.last; ++i)
+                end = std::max(end, timeline[i].end);
+        }
+        if (end <= begin)
+            continue;
+        // The phase depends on the window start and the thread so
+        // repeated isolation windows sample different offsets — the
+        // behaviour behind the paper's capture-probability formula.
+        Rng rng(config_.seed ^
+                (static_cast<std::uint64_t>(begin) * 0x2545F4914F6CDD1Dull) ^
+                (static_cast<std::uint64_t>(range.tid) << 32));
+        const TimeNs phase = static_cast<TimeNs>(
+            rng.nextBelow(static_cast<std::uint64_t>(config_.interval)));
+        std::vector<TimeNs> times;
+        for (TimeNs t = begin + phase; t < end; t += config_.interval)
+            times.push_back(t);
+        sweepThread(timeline, range, times, config_.skid, out);
+    }
+    return out;
+}
+
+std::vector<DriverSample>
+SamplingDriver::sample(const std::vector<KernelInterval> &timeline) const
+{
+    return sampleRange(timeline, 0, 0, /*clamp_per_thread=*/true);
+}
+
+std::vector<DriverSample>
+SamplingDriver::sampleWindow(const std::vector<KernelInterval> &timeline,
+                             TimeNs window_start, TimeNs window_end) const
+{
+    LOTUS_ASSERT(window_end >= window_start);
+    return sampleRange(timeline, window_start, window_end,
+                       /*clamp_per_thread=*/false);
+}
+
+std::map<KernelId, std::uint64_t>
+SamplingDriver::countByKernel(const std::vector<DriverSample> &samples)
+{
+    std::map<KernelId, std::uint64_t> counts;
+    for (const auto &sample : samples) {
+        if (sample.kernel != KernelId::Invalid)
+            ++counts[sample.kernel];
+    }
+    return counts;
+}
+
+double
+SamplingDriver::captureProbability(TimeNs f, TimeNs s, int n)
+{
+    LOTUS_ASSERT(f > 0 && s > 0 && f <= s && n >= 0);
+    const double ratio = static_cast<double>(f) / static_cast<double>(s);
+    return 1.0 - std::pow(1.0 - ratio, n);
+}
+
+int
+SamplingDriver::runsForCapture(TimeNs f, TimeNs s, double confidence)
+{
+    LOTUS_ASSERT(f > 0 && s > 0 && f <= s);
+    LOTUS_ASSERT(confidence > 0.0 && confidence < 1.0);
+    if (f == s)
+        return 1;
+    const double ratio = static_cast<double>(f) / static_cast<double>(s);
+    const double n = std::log(1.0 - confidence) / std::log(1.0 - ratio);
+    return static_cast<int>(std::ceil(n - 1e-12));
+}
+
+} // namespace lotus::hwcount

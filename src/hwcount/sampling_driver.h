@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Deterministic emulation of a sampling hardware-profiler driver.
+ *
+ * VTune's user-mode sampling observes the running native function
+ * every ~10 ms (uProf: ~1 ms). LotusMap's methodology (and its
+ * pitfalls: missed short-lived functions, misattribution skid,
+ * cold-start pollution) all stem from that sampling process. We
+ * reproduce it by *post-sampling* recorded kernel timelines: kernels
+ * record exact enter/exit timestamps, and this driver walks the
+ * timeline taking virtual samples at the configured interval.
+ *
+ * The sample phase is seeded, and an optional attribution skid shifts
+ * each sample's lookup time backwards — modelling the out-of-order /
+ * driver-delay effect the paper works around with sleep() gaps
+ * (Listing 4, line 14).
+ */
+
+#ifndef LOTUS_HWCOUNT_SAMPLING_DRIVER_H
+#define LOTUS_HWCOUNT_SAMPLING_DRIVER_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/clock.h"
+#include "hwcount/kernel_id.h"
+#include "hwcount/registry.h"
+
+namespace lotus::hwcount {
+
+struct SamplingConfig
+{
+    /** Sampling interval; 10 ms mirrors VTune, 1 ms mirrors uProf. */
+    TimeNs interval = 10 * kMillisecond;
+    /**
+     * Attribution skid: each sample is charged to whatever ran this
+     * long *before* the sample fired. Models the OOO/driver effect
+     * that bleeds a previous function into the current window.
+     */
+    TimeNs skid = 0;
+    /** Seed for the per-thread sampling phase. */
+    std::uint64_t seed = 1;
+};
+
+/** One virtual PMU sample. */
+struct DriverSample
+{
+    TimeNs time = 0;
+    std::uint32_t tid = 0;
+    /** Innermost kernel active at the (skid-adjusted) time, or
+     *  Invalid when no annotated kernel was running. */
+    KernelId kernel = KernelId::Invalid;
+    OpTag op = kNoOp;
+};
+
+class SamplingDriver
+{
+  public:
+    explicit SamplingDriver(SamplingConfig config);
+
+    const SamplingConfig &config() const { return config_; }
+
+    /**
+     * Sample a timeline (as produced by RegistrySnapshot::timeline,
+     * i.e. sorted by tid then start). Each thread is sampled from its
+     * first interval start to its last interval end.
+     */
+    std::vector<DriverSample>
+    sample(const std::vector<KernelInterval> &timeline) const;
+
+    /**
+     * Sample only within [window_start, window_end) across all
+     * threads — the collection window between resume() and pause().
+     */
+    std::vector<DriverSample>
+    sampleWindow(const std::vector<KernelInterval> &timeline,
+                 TimeNs window_start, TimeNs window_end) const;
+
+    /** Histogram of samples per kernel (Invalid excluded). */
+    static std::map<KernelId, std::uint64_t>
+    countByKernel(const std::vector<DriverSample> &samples);
+
+    /**
+     * Probability that a function of span @p f is captured at least
+     * once in @p n runs at interval @p s: C = 1 - (1 - f/s)^n.
+     * (Paper §IV-B; requires 0 < f <= s.)
+     */
+    static double captureProbability(TimeNs f, TimeNs s, int n);
+
+    /**
+     * Minimum number of runs so a function of span @p f is captured
+     * with probability at least @p confidence.
+     */
+    static int runsForCapture(TimeNs f, TimeNs s, double confidence);
+
+  private:
+    std::vector<DriverSample>
+    sampleRange(const std::vector<KernelInterval> &timeline, TimeNs lo,
+                TimeNs hi, bool clamp_per_thread) const;
+
+    SamplingConfig config_;
+};
+
+} // namespace lotus::hwcount
+
+#endif // LOTUS_HWCOUNT_SAMPLING_DRIVER_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Architecture-independent work accounting for kernels.
+ *
+ * Each kernel invocation reports what it actually did (bytes moved,
+ * arithmetic operations, branches, irregular accesses). The simulated
+ * PMU turns these into hardware-counter values through a per-class
+ * cost model; a real perf_event backend ignores them.
+ */
+
+#ifndef LOTUS_HWCOUNT_WORK_STATS_H
+#define LOTUS_HWCOUNT_WORK_STATS_H
+
+#include <cstdint>
+
+namespace lotus::hwcount {
+
+struct WorkStats
+{
+    /** Bytes read from input buffers. */
+    std::uint64_t bytes_read = 0;
+    /** Bytes written to output buffers. */
+    std::uint64_t bytes_written = 0;
+    /** Arithmetic operations (integer or float). */
+    std::uint64_t arith_ops = 0;
+    /** Data-dependent branches executed. */
+    std::uint64_t branches = 0;
+    /** Irregular (non-streaming) memory accesses. */
+    std::uint64_t random_accesses = 0;
+    /** Logical items processed (pixels, symbols, elements). */
+    std::uint64_t items = 0;
+
+    WorkStats &
+    operator+=(const WorkStats &other)
+    {
+        bytes_read += other.bytes_read;
+        bytes_written += other.bytes_written;
+        arith_ops += other.arith_ops;
+        branches += other.branches;
+        random_accesses += other.random_accesses;
+        items += other.items;
+        return *this;
+    }
+
+    friend WorkStats
+    operator+(WorkStats a, const WorkStats &b)
+    {
+        a += b;
+        return a;
+    }
+
+    bool
+    empty() const
+    {
+        return bytes_read == 0 && bytes_written == 0 && arith_ops == 0 &&
+               branches == 0 && random_accesses == 0 && items == 0;
+    }
+
+    /** Multiply every field by @p factor (extrapolating a calibration
+     *  sample to a full epoch). */
+    WorkStats
+    scaled(double factor) const
+    {
+        auto scale = [factor](std::uint64_t v) {
+            const double s = static_cast<double>(v) * factor;
+            return s <= 0.0 ? std::uint64_t{0}
+                            : static_cast<std::uint64_t>(s + 0.5);
+        };
+        WorkStats out;
+        out.bytes_read = scale(bytes_read);
+        out.bytes_written = scale(bytes_written);
+        out.arith_ops = scale(arith_ops);
+        out.branches = scale(branches);
+        out.random_accesses = scale(random_accesses);
+        out.items = scale(items);
+        return out;
+    }
+};
+
+} // namespace lotus::hwcount
+
+#endif // LOTUS_HWCOUNT_WORK_STATS_H

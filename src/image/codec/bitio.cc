@@ -1,0 +1,125 @@
+#include "image/codec/bitio.h"
+
+#include <bit>
+
+namespace lotus::image::codec {
+
+void
+BitWriter::putBits(std::uint32_t bits, int count)
+{
+    LOTUS_ASSERT(count >= 0 && count <= 32, "bad bit count %d", count);
+    for (int i = count - 1; i >= 0; --i) {
+        current_ = static_cast<std::uint8_t>(
+            (current_ << 1) | ((bits >> i) & 1u));
+        if (++bit_pos_ == 8) {
+            bytes_.push_back(current_);
+            current_ = 0;
+            bit_pos_ = 0;
+        }
+    }
+}
+
+void
+BitWriter::putUe(std::uint32_t value)
+{
+    // Exp-Golomb: N leading zeros, then the (N+1)-bit value+1.
+    const std::uint32_t v = value + 1;
+    const int bits = 32 - std::countl_zero(v);
+    putBits(0, bits - 1);
+    putBits(v, bits);
+}
+
+void
+BitWriter::putSe(std::int32_t value)
+{
+    // Zigzag map: 0, -1, 1, -2, 2 ... -> 0, 1, 2, 3, 4 ...
+    const std::uint32_t mapped =
+        value <= 0 ? static_cast<std::uint32_t>(-2 * static_cast<std::int64_t>(value))
+                   : static_cast<std::uint32_t>(2 * static_cast<std::int64_t>(value) - 1);
+    putUe(mapped);
+}
+
+void
+BitWriter::alignByte()
+{
+    if (bit_pos_ > 0)
+        putBits(0, 8 - bit_pos_);
+}
+
+std::string
+BitWriter::take()
+{
+    alignByte();
+    std::string out(reinterpret_cast<const char *>(bytes_.data()),
+                    bytes_.size());
+    bytes_.clear();
+    return out;
+}
+
+BitReader::BitReader(const std::uint8_t *data, std::size_t size)
+    : data_(data), size_bits_(size * 8), size_bytes_(size)
+{
+}
+
+void
+BitReader::refill()
+{
+    while (window_bits_ <= 56 && byte_cursor_ < size_bytes_) {
+        window_ = (window_ << 8) | data_[byte_cursor_++];
+        window_bits_ += 8;
+    }
+}
+
+std::uint32_t
+BitReader::getBits(int count)
+{
+    LOTUS_ASSERT(count >= 0 && count <= 32, "bad bit count %d", count);
+    if (count == 0)
+        return 0;
+    if (bit_index_ + static_cast<std::size_t>(count) > size_bits_) {
+        overrun_ = true;
+        bit_index_ = size_bits_;
+        return 0;
+    }
+    if (window_bits_ < count)
+        refill();
+    bit_index_ += static_cast<std::size_t>(count);
+    window_bits_ -= count;
+    return static_cast<std::uint32_t>((window_ >> window_bits_) &
+                                      ((1ull << count) - 1));
+}
+
+std::uint32_t
+BitReader::getUe()
+{
+    int zeros = 0;
+    while (!overrun_ && getBits(1) == 0) {
+        if (++zeros > 32) {
+            overrun_ = true;
+            return 0;
+        }
+    }
+    if (overrun_)
+        return 0;
+    const std::uint32_t tail = zeros == 0 ? 0 : getBits(zeros);
+    return ((1u << zeros) | tail) - 1;
+}
+
+std::int32_t
+BitReader::getSe()
+{
+    const std::uint32_t mapped = getUe();
+    if (mapped % 2 == 0)
+        return -static_cast<std::int32_t>(mapped / 2);
+    return static_cast<std::int32_t>((mapped + 1) / 2);
+}
+
+void
+BitReader::alignByte()
+{
+    const std::size_t rem = bit_index_ % 8;
+    if (rem != 0)
+        getBits(static_cast<int>(8 - rem));
+}
+
+} // namespace lotus::image::codec

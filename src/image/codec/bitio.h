@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Bit-level I/O for the LJPG codec, with Exp-Golomb entropy codes.
+ *
+ * Deliberately unannotated: bit extraction is far too hot to scope per
+ * call. The codec layer accounts entropy-input movement at block-row
+ * granularity (jpeg_fill_bit_buffer / decode_mcu kernels).
+ */
+
+#ifndef LOTUS_IMAGE_CODEC_BITIO_H
+#define LOTUS_IMAGE_CODEC_BITIO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace lotus::image::codec {
+
+class BitWriter
+{
+  public:
+    /** Append the low @p count bits of @p bits (MSB first). */
+    void putBits(std::uint32_t bits, int count);
+
+    /** Exp-Golomb code an unsigned value. */
+    void putUe(std::uint32_t value);
+
+    /** Exp-Golomb code a signed value (zigzag mapped). */
+    void putSe(std::int32_t value);
+
+    /** Pad to a byte boundary with zero bits. */
+    void alignByte();
+
+    /** Finish and take the encoded bytes. */
+    std::string take();
+
+    std::size_t bitCount() const { return bytes_.size() * 8 + bit_pos_; }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    std::uint8_t current_ = 0;
+    int bit_pos_ = 0;
+};
+
+class BitReader
+{
+  public:
+    BitReader(const std::uint8_t *data, std::size_t size);
+
+    /** Read @p count bits (MSB first). Reads past the end return 0s
+     *  and set overrun(). */
+    std::uint32_t getBits(int count);
+
+    /** Exp-Golomb decode an unsigned value. */
+    std::uint32_t getUe();
+
+    /** Exp-Golomb decode a signed value. */
+    std::int32_t getSe();
+
+    /** Skip to the next byte boundary. */
+    void alignByte();
+
+    /** True once a read went past the end of the stream. */
+    bool overrun() const { return overrun_; }
+
+    std::size_t bitPosition() const { return bit_index_; }
+
+  private:
+    /** Refill the 64-bit window from the byte stream. */
+    void refill();
+
+    const std::uint8_t *data_;
+    std::size_t size_bits_;
+    std::size_t bit_index_ = 0;
+    std::uint64_t window_ = 0;
+    int window_bits_ = 0;
+    std::size_t byte_cursor_ = 0;
+    std::size_t size_bytes_;
+    bool overrun_ = false;
+};
+
+} // namespace lotus::image::codec
+
+#endif // LOTUS_IMAGE_CODEC_BITIO_H

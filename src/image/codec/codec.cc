@@ -1,0 +1,326 @@
+#include "image/codec/codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "hwcount/registry.h"
+#include "image/codec/bitio.h"
+#include "image/codec/color.h"
+#include "image/codec/dct.h"
+
+namespace lotus::image::codec {
+
+using hwcount::KernelId;
+using hwcount::KernelScope;
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'J', '0', '1'};
+constexpr std::uint32_t kEobRun = 63;
+
+int
+blocksAcross(int extent)
+{
+    return (extent + kBlockDim - 1) / kBlockDim;
+}
+
+/** Load an 8x8 block from a plane with edge replication, centered
+ *  around zero (sample - 128). */
+void
+loadBlock(const Plane &plane, int bx, int by, Block &out)
+{
+    for (int y = 0; y < kBlockDim; ++y) {
+        const int sy = std::min(by * kBlockDim + y, plane.height - 1);
+        const float *row = plane.row(sy);
+        for (int x = 0; x < kBlockDim; ++x) {
+            const int sx = std::min(bx * kBlockDim + x, plane.width - 1);
+            out[static_cast<std::size_t>(y * kBlockDim + x)] =
+                row[sx] - 128.0f;
+        }
+    }
+}
+
+/** Store an 8x8 block into a plane, clipping to plane bounds. */
+void
+storeBlock(Plane &plane, int bx, int by, const Block &in)
+{
+    for (int y = 0; y < kBlockDim; ++y) {
+        const int sy = by * kBlockDim + y;
+        if (sy >= plane.height)
+            break;
+        float *row = plane.row(sy);
+        for (int x = 0; x < kBlockDim; ++x) {
+            const int sx = bx * kBlockDim + x;
+            if (sx >= plane.width)
+                break;
+            row[sx] = std::clamp(
+                in[static_cast<std::size_t>(y * kBlockDim + x)] + 128.0f,
+                0.0f, 255.0f);
+        }
+    }
+}
+
+/** Entropy-code one quantized block (DC delta + AC runs). */
+void
+writeBlock(BitWriter &writer, const QuantBlock &q, std::int32_t &dc_pred,
+           std::uint64_t &symbols)
+{
+    const auto &zz = zigzagOrder();
+    const std::int32_t dc = q[static_cast<std::size_t>(zz[0])];
+    writer.putSe(dc - dc_pred);
+    dc_pred = dc;
+    ++symbols;
+
+    int run = 0;
+    for (int k = 1; k < kBlockSize; ++k) {
+        const std::int32_t level = q[static_cast<std::size_t>(zz[k])];
+        if (level == 0) {
+            ++run;
+            continue;
+        }
+        writer.putUe(static_cast<std::uint32_t>(run));
+        writer.putSe(level);
+        symbols += 2;
+        run = 0;
+    }
+    writer.putUe(kEobRun);
+    ++symbols;
+}
+
+/** Decode one quantized block. Returns false on stream corruption. */
+bool
+readBlock(BitReader &reader, QuantBlock &q, std::int32_t &dc_pred,
+          std::uint64_t &symbols)
+{
+    const auto &zz = zigzagOrder();
+    q.fill(0);
+    dc_pred += reader.getSe();
+    q[static_cast<std::size_t>(zz[0])] = dc_pred;
+    ++symbols;
+
+    int k = 1;
+    while (k < kBlockSize) {
+        const std::uint32_t run = reader.getUe();
+        if (reader.overrun())
+            return false;
+        ++symbols;
+        if (run == kEobRun)
+            return true;
+        k += static_cast<int>(run);
+        if (k >= kBlockSize)
+            return false;
+        const std::int32_t level = reader.getSe();
+        if (reader.overrun() || level == 0)
+            return false;
+        q[static_cast<std::size_t>(zz[k])] = level;
+        ++symbols;
+        ++k;
+    }
+    // A full block of 63 coded ACs still carries its EOB marker.
+    const std::uint32_t eob = reader.getUe();
+    ++symbols;
+    return !reader.overrun() && eob == kEobRun;
+}
+
+void
+encodePlane(const Plane &plane, const std::array<std::uint16_t, 64> &table,
+            BitWriter &writer)
+{
+    const int bw = blocksAcross(plane.width);
+    const int bh = blocksAcross(plane.height);
+    std::int32_t dc_pred = 0;
+    std::vector<QuantBlock> row_blocks(static_cast<std::size_t>(bw));
+    for (int by = 0; by < bh; ++by) {
+        {
+            KernelScope fdct_scope(KernelId::ForwardDct);
+            KernelScope quant_scope(KernelId::QuantizeBlock);
+            // Interleaved per-block fdct+quant; attribute the DCT math
+            // to forward_dct and the division pass to quantize_block
+            // by splitting work stats (time lands on the inner scope's
+            // self time, which is the quantize pass here).
+            for (int bx = 0; bx < bw; ++bx) {
+                Block spatial, freq;
+                loadBlock(plane, bx, by, spatial);
+                forwardDct(spatial, freq);
+                quantize(freq, table, row_blocks[static_cast<std::size_t>(bx)]);
+            }
+            fdct_scope.stats().arith_ops +=
+                static_cast<std::uint64_t>(bw) * 64 * 16;
+            fdct_scope.stats().bytes_read +=
+                static_cast<std::uint64_t>(bw) * 64 * 4;
+            fdct_scope.stats().items += static_cast<std::uint64_t>(bw);
+            quant_scope.stats().arith_ops +=
+                static_cast<std::uint64_t>(bw) * 64 * 2;
+            quant_scope.stats().bytes_written +=
+                static_cast<std::uint64_t>(bw) * 64 * 4;
+            quant_scope.stats().items += static_cast<std::uint64_t>(bw);
+        }
+        {
+            KernelScope entropy_scope(KernelId::EncodeMcu);
+            std::uint64_t symbols = 0;
+            const std::size_t bits_before = writer.bitCount();
+            for (int bx = 0; bx < bw; ++bx)
+                writeBlock(writer, row_blocks[static_cast<std::size_t>(bx)],
+                           dc_pred, symbols);
+            entropy_scope.stats().branches += symbols * 3;
+            entropy_scope.stats().arith_ops += symbols * 4;
+            entropy_scope.stats().bytes_written +=
+                (writer.bitCount() - bits_before) / 8;
+            entropy_scope.stats().items += symbols;
+        }
+    }
+}
+
+bool
+decodePlane(Plane &plane, const std::array<std::uint16_t, 64> &table,
+            BitReader &reader)
+{
+    const int bw = blocksAcross(plane.width);
+    const int bh = blocksAcross(plane.height);
+    std::int32_t dc_pred = 0;
+    std::vector<QuantBlock> row_blocks(static_cast<std::size_t>(bw));
+    for (int by = 0; by < bh; ++by) {
+        {
+            KernelScope entropy_scope(KernelId::DecodeMcu);
+            std::uint64_t symbols = 0;
+            const std::size_t bits_before = reader.bitPosition();
+            for (int bx = 0; bx < bw; ++bx) {
+                if (!readBlock(reader,
+                               row_blocks[static_cast<std::size_t>(bx)],
+                               dc_pred, symbols))
+                    return false;
+            }
+            entropy_scope.stats().branches += symbols * 3;
+            entropy_scope.stats().arith_ops += symbols * 4;
+            entropy_scope.stats().bytes_read +=
+                (reader.bitPosition() - bits_before) / 8;
+            entropy_scope.stats().items += symbols;
+        }
+        {
+            KernelScope dequant_scope(KernelId::DequantizeBlock);
+            KernelScope idct_scope(KernelId::IdctBlock);
+            for (int bx = 0; bx < bw; ++bx) {
+                Block freq, spatial;
+                dequantize(row_blocks[static_cast<std::size_t>(bx)], table,
+                           freq);
+                inverseDct(freq, spatial);
+                storeBlock(plane, bx, by, spatial);
+            }
+            dequant_scope.stats().arith_ops +=
+                static_cast<std::uint64_t>(bw) * 64;
+            dequant_scope.stats().bytes_read +=
+                static_cast<std::uint64_t>(bw) * 64 * 4;
+            dequant_scope.stats().items += static_cast<std::uint64_t>(bw);
+            idct_scope.stats().arith_ops +=
+                static_cast<std::uint64_t>(bw) * 64 * 16;
+            idct_scope.stats().bytes_written +=
+                static_cast<std::uint64_t>(bw) * 64 * 4;
+            idct_scope.stats().items += static_cast<std::uint64_t>(bw);
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+encode(const Image &input, const EncodeOptions &options)
+{
+    LOTUS_ASSERT(input.width() > 0 && input.height() > 0,
+                 "cannot encode an empty image");
+    LOTUS_ASSERT(input.width() <= 0xFFFF && input.height() <= 0xFFFF,
+                 "image too large for LJPG header");
+
+    Plane y, cb, cr;
+    rgbToYcc(input, y, cb, cr);
+    if (options.subsample_chroma) {
+        cb = downsample2x2(cb);
+        cr = downsample2x2(cr);
+    }
+
+    BitWriter writer;
+    const auto luma_table = quantTable(options.quality, /*chroma=*/false);
+    const auto chroma_table = quantTable(options.quality, /*chroma=*/true);
+    encodePlane(y, luma_table, writer);
+    writer.alignByte();
+    encodePlane(cb, chroma_table, writer);
+    writer.alignByte();
+    encodePlane(cr, chroma_table, writer);
+
+    std::string payload = writer.take();
+    std::string out;
+    out.reserve(payload.size() + 10);
+    out.append(kMagic, sizeof(kMagic));
+    const auto w = static_cast<std::uint16_t>(input.width());
+    const auto h = static_cast<std::uint16_t>(input.height());
+    out.push_back(static_cast<char>(w & 0xFF));
+    out.push_back(static_cast<char>(w >> 8));
+    out.push_back(static_cast<char>(h & 0xFF));
+    out.push_back(static_cast<char>(h >> 8));
+    out.push_back(static_cast<char>(options.quality));
+    out.push_back(static_cast<char>(options.subsample_chroma ? 1 : 0));
+    out += payload;
+    return out;
+}
+
+LjpgHeader
+peekHeader(const std::string &bytes)
+{
+    if (bytes.size() < 10 || std::memcmp(bytes.data(), kMagic, 4) != 0)
+        LOTUS_FATAL("not an LJPG stream (%zu bytes)", bytes.size());
+    LjpgHeader header;
+    const auto *u = reinterpret_cast<const std::uint8_t *>(bytes.data());
+    header.width = u[4] | (u[5] << 8);
+    header.height = u[6] | (u[7] << 8);
+    header.quality = u[8];
+    header.subsampled = u[9] != 0;
+    if (header.width <= 0 || header.height <= 0 || header.quality < 1 ||
+        header.quality > 100)
+        LOTUS_FATAL("corrupt LJPG header (%dx%d q%d)", header.width,
+                    header.height, header.quality);
+    return header;
+}
+
+Image
+decode(const std::string &bytes)
+{
+    const LjpgHeader header = peekHeader(bytes);
+
+    // Source-manager style bulk buffering of the compressed payload.
+    std::vector<std::uint8_t> buffered;
+    {
+        KernelScope fill_scope(KernelId::FillBitBuffer);
+        buffered.assign(bytes.begin() + 10, bytes.end());
+        fill_scope.stats().bytes_read += buffered.size();
+        fill_scope.stats().bytes_written += buffered.size();
+        fill_scope.stats().items += buffered.size();
+    }
+    BitReader reader(buffered.data(), buffered.size());
+
+    Plane y(header.width, header.height);
+    const int cw = header.subsampled ? (header.width + 1) / 2 : header.width;
+    const int ch =
+        header.subsampled ? (header.height + 1) / 2 : header.height;
+    Plane cb(cw, ch);
+    Plane cr(cw, ch);
+
+    const auto luma_table = quantTable(header.quality, /*chroma=*/false);
+    const auto chroma_table = quantTable(header.quality, /*chroma=*/true);
+    if (!decodePlane(y, luma_table, reader))
+        LOTUS_FATAL("corrupt LJPG luma plane");
+    reader.alignByte();
+    if (!decodePlane(cb, chroma_table, reader))
+        LOTUS_FATAL("corrupt LJPG Cb plane");
+    reader.alignByte();
+    if (!decodePlane(cr, chroma_table, reader))
+        LOTUS_FATAL("corrupt LJPG Cr plane");
+
+    if (header.subsampled) {
+        cb = upsample2x(cb, header.width, header.height);
+        cr = upsample2x(cr, header.width, header.height);
+    }
+    return yccToRgb(y, cb, cr);
+}
+
+} // namespace lotus::image::codec

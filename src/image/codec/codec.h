@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The LJPG image codec (libjpeg analogue).
+ *
+ * A real lossy block-transform codec: RGB -> YCbCr with optional
+ * 4:2:0 chroma subsampling, 8x8 orthonormal DCT, JPEG-style quality-
+ * scaled quantization, zigzag scan, and zero-run/Exp-Golomb entropy
+ * coding with per-plane DC prediction. Encoded size is content
+ * dependent, decode cost scales with pixels and coded symbols, and
+ * the decode path exposes the leaf kernels the paper's Table I lists
+ * for Image.convert (decode_mcu, jpeg_idct_islow, ycc_rgb_convert,
+ * sep_upsample, decompress_onepass, jpeg_fill_bit_buffer, ...).
+ */
+
+#ifndef LOTUS_IMAGE_CODEC_CODEC_H
+#define LOTUS_IMAGE_CODEC_CODEC_H
+
+#include <string>
+
+#include "image/image.h"
+
+namespace lotus::image::codec {
+
+struct EncodeOptions
+{
+    /** JPEG-style quality in [1, 100]. */
+    int quality = 85;
+    /** 4:2:0 chroma subsampling. */
+    bool subsample_chroma = true;
+};
+
+/** Encode an image into an LJPG byte string. */
+std::string encode(const Image &input, const EncodeOptions &options = {});
+
+/** Metadata readable without decoding (the format header). */
+struct LjpgHeader
+{
+    int width = 0;
+    int height = 0;
+    int quality = 0;
+    bool subsampled = false;
+};
+
+/** Parse just the header. Fatal on malformed magic. */
+LjpgHeader peekHeader(const std::string &bytes);
+
+/** Decode an LJPG byte string back to an RGB image. Fatal on
+ *  malformed input. */
+Image decode(const std::string &bytes);
+
+} // namespace lotus::image::codec
+
+#endif // LOTUS_IMAGE_CODEC_CODEC_H

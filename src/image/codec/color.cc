@@ -1,0 +1,134 @@
+#include "image/codec/color.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hwcount/registry.h"
+
+namespace lotus::image::codec {
+
+using hwcount::KernelId;
+using hwcount::KernelScope;
+
+void
+rgbToYcc(const Image &rgb, Plane &y, Plane &cb, Plane &cr)
+{
+    KernelScope scope(KernelId::RgbToYcc);
+    const int w = rgb.width();
+    const int h = rgb.height();
+    y = Plane(w, h);
+    cb = Plane(w, h);
+    cr = Plane(w, h);
+    for (int row = 0; row < h; ++row) {
+        const std::uint8_t *src = rgb.row(row);
+        float *yp = y.row(row);
+        float *cbp = cb.row(row);
+        float *crp = cr.row(row);
+        for (int x = 0; x < w; ++x) {
+            const float r = src[x * 3 + 0];
+            const float g = src[x * 3 + 1];
+            const float b = src[x * 3 + 2];
+            yp[x] = 0.299f * r + 0.587f * g + 0.114f * b;
+            cbp[x] = -0.168736f * r - 0.331264f * g + 0.5f * b + 128.0f;
+            crp[x] = 0.5f * r - 0.418688f * g - 0.081312f * b + 128.0f;
+        }
+    }
+    const auto pixels = static_cast<std::uint64_t>(rgb.pixelCount());
+    scope.stats().bytes_read += pixels * 3;
+    scope.stats().bytes_written += pixels * 12;
+    scope.stats().arith_ops += pixels * 15;
+    scope.stats().items += pixels;
+}
+
+Plane
+downsample2x2(const Plane &full)
+{
+    const int hw = (full.width + 1) / 2;
+    const int hh = (full.height + 1) / 2;
+    Plane half(hw, hh);
+    for (int y = 0; y < hh; ++y) {
+        for (int x = 0; x < hw; ++x) {
+            const int x0 = 2 * x;
+            const int y0 = 2 * y;
+            const int x1 = std::min(x0 + 1, full.width - 1);
+            const int y1 = std::min(y0 + 1, full.height - 1);
+            half.row(y)[x] = 0.25f * (full.row(y0)[x0] + full.row(y0)[x1] +
+                                      full.row(y1)[x0] + full.row(y1)[x1]);
+        }
+    }
+    return half;
+}
+
+Plane
+upsample2x(const Plane &half, int width, int height)
+{
+    KernelScope scope(KernelId::ChromaUpsample);
+    Plane full(width, height);
+    for (int y = 0; y < height; ++y) {
+        // Sample the half-res plane at (x/2, y/2) bilinearly.
+        const float fy = (static_cast<float>(y) - 0.5f) / 2.0f;
+        const int y0 = std::clamp(static_cast<int>(std::floor(fy)), 0,
+                                  half.height - 1);
+        const int y1 = std::min(y0 + 1, half.height - 1);
+        const float wy = std::clamp(fy - static_cast<float>(y0), 0.0f, 1.0f);
+        for (int x = 0; x < width; ++x) {
+            const float fx = (static_cast<float>(x) - 0.5f) / 2.0f;
+            const int x0 = std::clamp(static_cast<int>(std::floor(fx)), 0,
+                                      half.width - 1);
+            const int x1 = std::min(x0 + 1, half.width - 1);
+            const float wx =
+                std::clamp(fx - static_cast<float>(x0), 0.0f, 1.0f);
+            const float top = half.row(y0)[x0] * (1.0f - wx) +
+                              half.row(y0)[x1] * wx;
+            const float bottom = half.row(y1)[x0] * (1.0f - wx) +
+                                 half.row(y1)[x1] * wx;
+            full.row(y)[x] = top * (1.0f - wy) + bottom * wy;
+        }
+    }
+    const auto pixels =
+        static_cast<std::uint64_t>(width) * static_cast<std::uint64_t>(height);
+    scope.stats().bytes_read += pixels * 4;
+    scope.stats().bytes_written += pixels * 4;
+    scope.stats().arith_ops += pixels * 10;
+    scope.stats().items += pixels;
+    return full;
+}
+
+Image
+yccToRgb(const Plane &y, const Plane &cb, const Plane &cr)
+{
+    KernelScope outer(KernelId::DecompressOnepass);
+    const int w = y.width;
+    const int h = y.height;
+    Image out(w, h);
+    for (int row = 0; row < h; ++row) {
+        KernelScope inner(KernelId::YccToRgb);
+        const float *yp = y.row(row);
+        const float *cbp = cb.row(row);
+        const float *crp = cr.row(row);
+        std::uint8_t *dst = out.row(row);
+        for (int x = 0; x < w; ++x) {
+            const float yy = yp[x];
+            const float cbv = cbp[x] - 128.0f;
+            const float crv = crp[x] - 128.0f;
+            const float r = yy + 1.402f * crv;
+            const float g = yy - 0.344136f * cbv - 0.714136f * crv;
+            const float b = yy + 1.772f * cbv;
+            dst[x * 3 + 0] = static_cast<std::uint8_t>(
+                std::clamp(r, 0.0f, 255.0f));
+            dst[x * 3 + 1] = static_cast<std::uint8_t>(
+                std::clamp(g, 0.0f, 255.0f));
+            dst[x * 3 + 2] = static_cast<std::uint8_t>(
+                std::clamp(b, 0.0f, 255.0f));
+        }
+        const auto row_pixels = static_cast<std::uint64_t>(w);
+        inner.stats().bytes_read += row_pixels * 12;
+        inner.stats().bytes_written += row_pixels * 3;
+        inner.stats().arith_ops += row_pixels * 12;
+        inner.stats().items += row_pixels;
+    }
+    outer.stats().items += static_cast<std::uint64_t>(h);
+    return out;
+}
+
+} // namespace lotus::image::codec

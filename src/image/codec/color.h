@@ -1,0 +1,58 @@
+/**
+ * @file
+ * RGB <-> YCbCr conversion and plane containers for the LJPG codec.
+ */
+
+#ifndef LOTUS_IMAGE_CODEC_COLOR_H
+#define LOTUS_IMAGE_CODEC_COLOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.h"
+
+namespace lotus::image::codec {
+
+/** A single-channel float plane. */
+struct Plane
+{
+    int width = 0;
+    int height = 0;
+    std::vector<float> samples;
+
+    Plane() = default;
+    Plane(int w, int h)
+        : width(w), height(h),
+          samples(static_cast<std::size_t>(w) * static_cast<std::size_t>(h),
+                  0.0f)
+    {
+    }
+
+    float *row(int y) { return samples.data() + static_cast<std::size_t>(y) * width; }
+    const float *
+    row(int y) const
+    {
+        return samples.data() + static_cast<std::size_t>(y) * width;
+    }
+};
+
+/** Split an RGB image into full-resolution Y, Cb, Cr planes.
+ *  Annotated as rgb_ycc_convert. */
+void rgbToYcc(const Image &rgb, Plane &y, Plane &cb, Plane &cr);
+
+/** 2x2 box downsample of a plane (chroma subsampling on encode). */
+Plane downsample2x2(const Plane &full);
+
+/** Bilinear 2x upsample back to (w, h). Annotated as sep_upsample. */
+Plane upsample2x(const Plane &half, int width, int height);
+
+/**
+ * Recombine Y/Cb/Cr planes (all full resolution) into an RGB image.
+ * The row-assembly loop is annotated as decompress_onepass and the
+ * per-row color math as ycc_rgb_convert, mirroring libjpeg's split.
+ */
+Image yccToRgb(const Plane &y, const Plane &cb, const Plane &cr);
+
+} // namespace lotus::image::codec
+
+#endif // LOTUS_IMAGE_CODEC_COLOR_H

@@ -1,0 +1,155 @@
+#include "image/codec/dct.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lotus::image::codec {
+
+namespace {
+
+/** A[u][x] = 0.5 * C(u) * cos((2x+1) u pi / 16); orthonormal. */
+const std::array<std::array<float, 8>, 8> &
+basis()
+{
+    static const auto table = [] {
+        std::array<std::array<float, 8>, 8> a{};
+        for (int u = 0; u < 8; ++u) {
+            const double cu = u == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
+            for (int x = 0; x < 8; ++x) {
+                a[u][x] = static_cast<float>(
+                    0.5 * cu *
+                    std::cos((2.0 * x + 1.0) * u * M_PI / 16.0));
+            }
+        }
+        return a;
+    }();
+    return table;
+}
+
+// Standard JPEG Annex K base quantization tables.
+constexpr std::array<std::uint16_t, 64> kLumaBase = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+
+constexpr std::array<std::uint16_t, 64> kChromaBase = {
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99,
+    24, 26, 56, 99, 99, 99, 99, 99, 47, 66, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99};
+
+} // namespace
+
+void
+forwardDct(const Block &spatial, Block &freq)
+{
+    const auto &a = basis();
+    // tmp = A * spatial
+    Block tmp;
+    for (int u = 0; u < 8; ++u) {
+        for (int x = 0; x < 8; ++x) {
+            float acc = 0.0f;
+            for (int k = 0; k < 8; ++k)
+                acc += a[u][k] * spatial[static_cast<std::size_t>(k * 8 + x)];
+            tmp[static_cast<std::size_t>(u * 8 + x)] = acc;
+        }
+    }
+    // freq = tmp * A^T
+    for (int u = 0; u < 8; ++u) {
+        for (int v = 0; v < 8; ++v) {
+            float acc = 0.0f;
+            for (int k = 0; k < 8; ++k)
+                acc += tmp[static_cast<std::size_t>(u * 8 + k)] * a[v][k];
+            freq[static_cast<std::size_t>(u * 8 + v)] = acc;
+        }
+    }
+}
+
+void
+inverseDct(const Block &freq, Block &spatial)
+{
+    const auto &a = basis();
+    // tmp = A^T * freq
+    Block tmp;
+    for (int x = 0; x < 8; ++x) {
+        for (int v = 0; v < 8; ++v) {
+            float acc = 0.0f;
+            for (int k = 0; k < 8; ++k)
+                acc += a[k][x] * freq[static_cast<std::size_t>(k * 8 + v)];
+            tmp[static_cast<std::size_t>(x * 8 + v)] = acc;
+        }
+    }
+    // spatial = tmp * A
+    for (int x = 0; x < 8; ++x) {
+        for (int y = 0; y < 8; ++y) {
+            float acc = 0.0f;
+            for (int k = 0; k < 8; ++k)
+                acc += tmp[static_cast<std::size_t>(x * 8 + k)] * a[k][y];
+            spatial[static_cast<std::size_t>(x * 8 + y)] = acc;
+        }
+    }
+}
+
+std::array<std::uint16_t, 64>
+quantTable(int quality, bool chroma)
+{
+    LOTUS_ASSERT(quality >= 1 && quality <= 100, "quality %d out of range",
+                 quality);
+    const auto &base = chroma ? kChromaBase : kLumaBase;
+    const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+    std::array<std::uint16_t, 64> out{};
+    for (int i = 0; i < 64; ++i) {
+        int q = (base[static_cast<std::size_t>(i)] * scale + 50) / 100;
+        q = q < 1 ? 1 : (q > 255 ? 255 : q);
+        out[static_cast<std::size_t>(i)] = static_cast<std::uint16_t>(q);
+    }
+    return out;
+}
+
+void
+quantize(const Block &freq, const std::array<std::uint16_t, 64> &table,
+         QuantBlock &out)
+{
+    for (int i = 0; i < 64; ++i) {
+        out[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(
+            std::lround(freq[static_cast<std::size_t>(i)] /
+                        static_cast<float>(table[static_cast<std::size_t>(i)])));
+    }
+}
+
+void
+dequantize(const QuantBlock &in, const std::array<std::uint16_t, 64> &table,
+           Block &freq)
+{
+    for (int i = 0; i < 64; ++i) {
+        freq[static_cast<std::size_t>(i)] =
+            static_cast<float>(in[static_cast<std::size_t>(i)]) *
+            static_cast<float>(table[static_cast<std::size_t>(i)]);
+    }
+}
+
+const std::array<int, 64> &
+zigzagOrder()
+{
+    static const auto order = [] {
+        std::array<int, 64> zz{};
+        int index = 0;
+        for (int s = 0; s < 15; ++s) {
+            if (s % 2 == 0) {
+                // Walk up-right.
+                for (int y = std::min(s, 7); y >= 0 && s - y <= 7; --y)
+                    zz[static_cast<std::size_t>(index++)] = y * 8 + (s - y);
+            } else {
+                // Walk down-left.
+                for (int x = std::min(s, 7); x >= 0 && s - x <= 7; --x)
+                    zz[static_cast<std::size_t>(index++)] = (s - x) * 8 + x;
+            }
+        }
+        return zz;
+    }();
+    return order;
+}
+
+} // namespace lotus::image::codec

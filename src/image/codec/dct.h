@@ -1,0 +1,48 @@
+/**
+ * @file
+ * 8x8 block DCT and quantization for the LJPG codec.
+ */
+
+#ifndef LOTUS_IMAGE_CODEC_DCT_H
+#define LOTUS_IMAGE_CODEC_DCT_H
+
+#include <array>
+#include <cstdint>
+
+namespace lotus::image::codec {
+
+/** One 8x8 block of spatial samples or frequency coefficients. */
+using Block = std::array<float, 64>;
+using QuantBlock = std::array<std::int32_t, 64>;
+
+constexpr int kBlockDim = 8;
+constexpr int kBlockSize = 64;
+
+/** Forward orthonormal DCT-II of an 8x8 block. */
+void forwardDct(const Block &spatial, Block &freq);
+
+/** Inverse of forwardDct. */
+void inverseDct(const Block &freq, Block &spatial);
+
+/**
+ * Quantization matrix for the given quality in [1, 100], using the
+ * libjpeg quality scaling of the standard tables.
+ * @param chroma selects the chrominance base table.
+ */
+std::array<std::uint16_t, 64> quantTable(int quality, bool chroma);
+
+/** Quantize: q[i] = round(freq[i] / table[i]). */
+void quantize(const Block &freq, const std::array<std::uint16_t, 64> &table,
+              QuantBlock &out);
+
+/** Dequantize: freq[i] = q[i] * table[i]. */
+void dequantize(const QuantBlock &in,
+                const std::array<std::uint16_t, 64> &table, Block &freq);
+
+/** Zigzag scan order: zigzagOrder()[k] = raster index of the k-th
+ *  coefficient in zigzag order. */
+const std::array<int, 64> &zigzagOrder();
+
+} // namespace lotus::image::codec
+
+#endif // LOTUS_IMAGE_CODEC_DCT_H

@@ -1,0 +1,61 @@
+#include "image/geometry.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "hwcount/registry.h"
+
+namespace lotus::image {
+
+using hwcount::KernelId;
+using hwcount::KernelScope;
+
+Image
+crop(const Image &input, const Rect &region)
+{
+    LOTUS_ASSERT(region.x >= 0 && region.y >= 0 && region.width > 0 &&
+                     region.height > 0 &&
+                     region.x + region.width <= input.width() &&
+                     region.y + region.height <= input.height(),
+                 "crop (%d,%d %dx%d) outside %dx%d image", region.x,
+                 region.y, region.width, region.height, input.width(),
+                 input.height());
+    KernelScope scope(KernelId::ImagingCrop);
+    Image out(region.width, region.height);
+    const std::size_t row_bytes =
+        static_cast<std::size_t>(region.width) * Image::kChannels;
+    for (int y = 0; y < region.height; ++y) {
+        const std::uint8_t *src =
+            input.row(region.y + y) +
+            static_cast<std::size_t>(region.x) * Image::kChannels;
+        std::copy_n(src, row_bytes, out.row(y));
+    }
+    scope.stats().bytes_read += out.byteSize();
+    scope.stats().bytes_written += out.byteSize();
+    scope.stats().items += static_cast<std::uint64_t>(out.pixelCount());
+    return out;
+}
+
+Image
+flipHorizontal(const Image &input)
+{
+    KernelScope scope(KernelId::ImagingFlipLeftRight);
+    Image out(input.width(), input.height());
+    const int w = input.width();
+    for (int y = 0; y < input.height(); ++y) {
+        const std::uint8_t *src = input.row(y);
+        std::uint8_t *dst = out.row(y);
+        for (int x = 0; x < w; ++x) {
+            const int mx = w - 1 - x;
+            dst[x * 3 + 0] = src[mx * 3 + 0];
+            dst[x * 3 + 1] = src[mx * 3 + 1];
+            dst[x * 3 + 2] = src[mx * 3 + 2];
+        }
+    }
+    scope.stats().bytes_read += input.byteSize();
+    scope.stats().bytes_written += out.byteSize();
+    scope.stats().items += static_cast<std::uint64_t>(out.pixelCount());
+    return out;
+}
+
+} // namespace lotus::image

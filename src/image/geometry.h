@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Geometric image operations (Pillow ImagingCrop / ImagingFlip
+ * analogues).
+ */
+
+#ifndef LOTUS_IMAGE_GEOMETRY_H
+#define LOTUS_IMAGE_GEOMETRY_H
+
+#include "image/image.h"
+
+namespace lotus::image {
+
+/** Rectangular region in pixel coordinates. */
+struct Rect
+{
+    int x = 0;
+    int y = 0;
+    int width = 0;
+    int height = 0;
+};
+
+/** Copy out the given region. Fatal when out of bounds. */
+Image crop(const Image &input, const Rect &region);
+
+/** Mirror the image left-right. */
+Image flipHorizontal(const Image &input);
+
+} // namespace lotus::image
+
+#endif // LOTUS_IMAGE_GEOMETRY_H

@@ -1,0 +1,36 @@
+#include "image/image.h"
+
+#include <algorithm>
+
+namespace lotus::image {
+
+Image::Image(int width, int height)
+    : width_(width), height_(height),
+      data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height) *
+                kChannels,
+            0)
+{
+    LOTUS_ASSERT(width >= 0 && height >= 0, "negative image size");
+}
+
+tensor::Tensor
+Image::toTensorHwc() const
+{
+    tensor::Tensor out(tensor::DType::U8, {height_, width_, kChannels});
+    std::copy(data_.begin(), data_.end(), out.raw());
+    return out;
+}
+
+Image
+Image::fromTensorHwc(const tensor::Tensor &hwc)
+{
+    LOTUS_ASSERT(hwc.rank() == 3 && hwc.dim(2) == kChannels &&
+                     hwc.dtype() == tensor::DType::U8,
+                 "expected u8 [H, W, 3] tensor, got %s",
+                 hwc.description().c_str());
+    Image out(static_cast<int>(hwc.dim(1)), static_cast<int>(hwc.dim(0)));
+    std::copy_n(hwc.raw(), hwc.byteSize(), out.raw());
+    return out;
+}
+
+} // namespace lotus::image

@@ -1,0 +1,184 @@
+#include "image/resample.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "hwcount/registry.h"
+
+namespace lotus::image {
+
+using hwcount::KernelId;
+using hwcount::KernelScope;
+
+namespace detail {
+
+namespace {
+
+double
+filterValue(Filter filter, double x)
+{
+    switch (filter) {
+      case Filter::Bilinear: {
+        const double ax = std::abs(x);
+        return ax < 1.0 ? 1.0 - ax : 0.0;
+      }
+      case Filter::Box:
+        return x > -0.5 && x <= 0.5 ? 1.0 : 0.0;
+    }
+    LOTUS_PANIC("bad filter %d", static_cast<int>(filter));
+}
+
+double
+filterSupport(Filter filter)
+{
+    switch (filter) {
+      case Filter::Bilinear: return 1.0;
+      case Filter::Box: return 0.5;
+    }
+    LOTUS_PANIC("bad filter %d", static_cast<int>(filter));
+}
+
+} // namespace
+
+std::vector<FilterWindow>
+precomputeCoeffs(int in_size, int out_size, Filter filter)
+{
+    LOTUS_ASSERT(in_size > 0 && out_size > 0, "resample sizes must be > 0");
+    KernelScope scope(KernelId::PrecomputeCoeffs);
+
+    const double scale = static_cast<double>(in_size) / out_size;
+    const double filterscale = std::max(scale, 1.0);
+    const double support = filterSupport(filter) * filterscale;
+
+    std::vector<FilterWindow> windows(static_cast<std::size_t>(out_size));
+    std::uint64_t total_weights = 0;
+    for (int i = 0; i < out_size; ++i) {
+        const double center = (i + 0.5) * scale;
+        int first = static_cast<int>(std::floor(center - support));
+        int last = static_cast<int>(std::ceil(center + support));
+        first = std::max(first, 0);
+        last = std::min(last, in_size);
+        if (last <= first)
+            last = std::min(first + 1, in_size);
+
+        auto &window = windows[static_cast<std::size_t>(i)];
+        window.first = first;
+        window.weights.resize(static_cast<std::size_t>(last - first));
+        double sum = 0.0;
+        for (int k = first; k < last; ++k) {
+            const double w =
+                filterValue(filter, (k + 0.5 - center) / filterscale);
+            window.weights[static_cast<std::size_t>(k - first)] =
+                static_cast<float>(w);
+            sum += w;
+        }
+        if (sum > 0.0) {
+            for (auto &w : window.weights)
+                w = static_cast<float>(w / sum);
+        } else {
+            // Degenerate window: fall back to nearest neighbour.
+            std::fill(window.weights.begin(), window.weights.end(), 0.0f);
+            if (!window.weights.empty())
+                window.weights[0] = 1.0f;
+        }
+        total_weights += window.weights.size();
+    }
+    scope.stats().arith_ops += total_weights * 6;
+    scope.stats().bytes_written += total_weights * 4;
+    scope.stats().items += static_cast<std::uint64_t>(out_size);
+    return windows;
+}
+
+} // namespace detail
+
+namespace {
+
+/** Horizontal pass: input HxW -> HxW'. */
+Image
+resampleHorizontal(const Image &input, int out_width,
+                   const std::vector<detail::FilterWindow> &windows)
+{
+    KernelScope scope(KernelId::ResampleHorizontal);
+    Image out(out_width, input.height());
+    std::uint64_t macs = 0;
+    for (int y = 0; y < input.height(); ++y) {
+        const std::uint8_t *src = input.row(y);
+        std::uint8_t *dst = out.row(y);
+        for (int x = 0; x < out_width; ++x) {
+            const auto &window = windows[static_cast<std::size_t>(x)];
+            float acc[3] = {0.0f, 0.0f, 0.0f};
+            for (std::size_t k = 0; k < window.weights.size(); ++k) {
+                const float w = window.weights[k];
+                const std::size_t s =
+                    (static_cast<std::size_t>(window.first) + k) * 3;
+                acc[0] += w * src[s + 0];
+                acc[1] += w * src[s + 1];
+                acc[2] += w * src[s + 2];
+            }
+            macs += window.weights.size() * 3;
+            for (int c = 0; c < 3; ++c) {
+                dst[x * 3 + c] = static_cast<std::uint8_t>(
+                    std::clamp(acc[c] + 0.5f, 0.0f, 255.0f));
+            }
+        }
+    }
+    scope.stats().arith_ops += macs * 2;
+    scope.stats().bytes_read += macs;
+    scope.stats().bytes_written += out.byteSize();
+    scope.stats().items += static_cast<std::uint64_t>(out.pixelCount());
+    return out;
+}
+
+/** Vertical pass: input HxW -> H'xW. */
+Image
+resampleVertical(const Image &input, int out_height,
+                 const std::vector<detail::FilterWindow> &windows)
+{
+    KernelScope scope(KernelId::ResampleVertical);
+    Image out(input.width(), out_height);
+    std::uint64_t macs = 0;
+    const int row_bytes = input.width() * Image::kChannels;
+    std::vector<float> acc(static_cast<std::size_t>(row_bytes));
+    for (int y = 0; y < out_height; ++y) {
+        const auto &window = windows[static_cast<std::size_t>(y)];
+        std::fill(acc.begin(), acc.end(), 0.0f);
+        for (std::size_t k = 0; k < window.weights.size(); ++k) {
+            const float w = window.weights[k];
+            const std::uint8_t *src =
+                input.row(window.first + static_cast<int>(k));
+            for (int b = 0; b < row_bytes; ++b)
+                acc[static_cast<std::size_t>(b)] += w * src[b];
+        }
+        macs += window.weights.size() * static_cast<std::uint64_t>(row_bytes);
+        std::uint8_t *dst = out.row(y);
+        for (int b = 0; b < row_bytes; ++b) {
+            dst[b] = static_cast<std::uint8_t>(
+                std::clamp(acc[static_cast<std::size_t>(b)] + 0.5f, 0.0f,
+                           255.0f));
+        }
+    }
+    scope.stats().arith_ops += macs * 2;
+    scope.stats().bytes_read += macs;
+    scope.stats().bytes_written += out.byteSize();
+    scope.stats().items += static_cast<std::uint64_t>(out.pixelCount());
+    return out;
+}
+
+} // namespace
+
+Image
+resize(const Image &input, int out_width, int out_height, Filter filter)
+{
+    LOTUS_ASSERT(!input.empty(), "cannot resize an empty image");
+    LOTUS_ASSERT(out_width > 0 && out_height > 0,
+                 "bad target size %dx%d", out_width, out_height);
+    const auto h_windows =
+        detail::precomputeCoeffs(input.width(), out_width, filter);
+    const auto v_windows =
+        detail::precomputeCoeffs(input.height(), out_height, filter);
+    const Image horizontal = resampleHorizontal(input, out_width, h_windows);
+    return resampleVertical(horizontal, out_height, v_windows);
+}
+
+} // namespace lotus::image

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Two-pass separable image resampling (Pillow ImagingResample
+ * analogue) with precomputed filter coefficients.
+ */
+
+#ifndef LOTUS_IMAGE_RESAMPLE_H
+#define LOTUS_IMAGE_RESAMPLE_H
+
+#include <vector>
+
+#include "image/image.h"
+
+namespace lotus::image {
+
+enum class Filter
+{
+    /** Triangle / bilinear filter (support 1). */
+    Bilinear,
+    /** Box filter (support 0.5); cheaper, blockier. */
+    Box,
+};
+
+/**
+ * Resize @p input to @p out_width x @p out_height with the given
+ * filter. Runs the horizontal pass then the vertical pass, each
+ * annotated as its ImagingResample*_8bpc kernel; coefficient
+ * precomputation is annotated as precompute_coeffs.
+ */
+Image resize(const Image &input, int out_width, int out_height,
+             Filter filter = Filter::Bilinear);
+
+namespace detail {
+
+/** Per-output-pixel filter window over one source axis. */
+struct FilterWindow
+{
+    int first = 0;
+    /** Normalized weights over [first, first + size). */
+    std::vector<float> weights;
+};
+
+/** Precompute windows for mapping @p in_size to @p out_size. */
+std::vector<FilterWindow> precomputeCoeffs(int in_size, int out_size,
+                                           Filter filter);
+
+} // namespace detail
+
+} // namespace lotus::image
+
+#endif // LOTUS_IMAGE_RESAMPLE_H

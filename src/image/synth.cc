@@ -1,0 +1,107 @@
+#include "image/synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lotus::image {
+
+namespace {
+
+struct Blob
+{
+    double cx, cy, rx, ry;
+    float color[3];
+};
+
+} // namespace
+
+Image
+synthesize(Rng &rng, int width, int height, const SynthOptions &options)
+{
+    LOTUS_ASSERT(width > 0 && height > 0, "bad synth size %dx%d", width,
+                 height);
+    Image out(width, height);
+
+    // Base gradient between two random colors.
+    float c0[3], c1[3];
+    for (int c = 0; c < 3; ++c) {
+        c0[c] = static_cast<float>(rng.uniform(30.0, 220.0));
+        c1[c] = static_cast<float>(rng.uniform(30.0, 220.0));
+    }
+    const double angle = rng.uniform(0.0, 2.0 * M_PI);
+    const double gx = std::cos(angle);
+    const double gy = std::sin(angle);
+
+    // Band-limited texture: a few random sinusoids whose frequency
+    // rises with the detail knob.
+    struct Wave
+    {
+        double fx, fy, phase;
+        float amp;
+    };
+    std::vector<Wave> waves;
+    const int n_waves = 2 + static_cast<int>(options.detail * 5.0);
+    for (int i = 0; i < n_waves; ++i) {
+        Wave wave;
+        const double max_freq = 0.02 + options.detail * 0.45;
+        wave.fx = rng.uniform(-max_freq, max_freq) * 2.0 * M_PI;
+        wave.fy = rng.uniform(-max_freq, max_freq) * 2.0 * M_PI;
+        wave.phase = rng.uniform(0.0, 2.0 * M_PI);
+        wave.amp = static_cast<float>(rng.uniform(4.0, 18.0));
+        waves.push_back(wave);
+    }
+
+    std::vector<Blob> blobs;
+    for (int i = 0; i < options.blobs; ++i) {
+        Blob blob;
+        blob.cx = rng.uniform(0.1, 0.9) * width;
+        blob.cy = rng.uniform(0.1, 0.9) * height;
+        blob.rx = rng.uniform(0.05, 0.3) * width;
+        blob.ry = rng.uniform(0.05, 0.3) * height;
+        for (int c = 0; c < 3; ++c)
+            blob.color[c] = static_cast<float>(rng.uniform(0.0, 255.0));
+        blobs.push_back(blob);
+    }
+
+    const float noise_amp = static_cast<float>(options.detail * 24.0);
+    const double diag = std::sqrt(static_cast<double>(width) * width +
+                                  static_cast<double>(height) * height);
+    for (int y = 0; y < height; ++y) {
+        std::uint8_t *row = out.row(y);
+        for (int x = 0; x < width; ++x) {
+            const double t =
+                0.5 + (gx * (x - width / 2.0) + gy * (y - height / 2.0)) /
+                          diag;
+            float texture = 0.0f;
+            for (const auto &wave : waves) {
+                texture += wave.amp *
+                           static_cast<float>(std::sin(
+                               wave.fx * x + wave.fy * y + wave.phase));
+            }
+            for (int c = 0; c < 3; ++c) {
+                float v = c0[c] + static_cast<float>(t) * (c1[c] - c0[c]);
+                for (const auto &blob : blobs) {
+                    const double dx = (x - blob.cx) / blob.rx;
+                    const double dy = (y - blob.cy) / blob.ry;
+                    const double d2 = dx * dx + dy * dy;
+                    if (d2 < 1.0) {
+                        const float mix = static_cast<float>(1.0 - d2);
+                        v = v * (1.0f - mix) + blob.color[c] * mix;
+                    }
+                }
+                v += texture;
+                if (noise_amp > 0.0f) {
+                    v += static_cast<float>(rng.uniform(-1.0, 1.0)) *
+                         noise_amp;
+                }
+                row[x * 3 + c] = static_cast<std::uint8_t>(
+                    std::clamp(v, 0.0f, 255.0f));
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace lotus::image

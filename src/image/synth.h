@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Synthetic image content generation.
+ *
+ * Stands in for ImageNet/COCO photographs: smooth gradients plus
+ * band-limited texture plus blob structure. The `detail` knob sets
+ * high-frequency content, which directly controls LJPG encoded size —
+ * the mechanism behind the file-size variance the paper's Takeaway 3
+ * attributes per-batch preprocessing variance to.
+ */
+
+#ifndef LOTUS_IMAGE_SYNTH_H
+#define LOTUS_IMAGE_SYNTH_H
+
+#include "common/rng.h"
+#include "image/image.h"
+
+namespace lotus::image {
+
+struct SynthOptions
+{
+    /** High-frequency content in [0, 1]; higher -> larger encodings. */
+    double detail = 0.5;
+    /** Number of elliptical blobs ("objects"). */
+    int blobs = 3;
+};
+
+/** Generate a deterministic synthetic photo-like image. */
+Image synthesize(Rng &rng, int width, int height,
+                 const SynthOptions &options = {});
+
+} // namespace lotus::image
+
+#endif // LOTUS_IMAGE_SYNTH_H

@@ -1,0 +1,111 @@
+#include "pipeline/collate.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+
+namespace lotus::pipeline {
+
+Batch
+StackCollate::collate(std::vector<Sample> samples) const
+{
+    LOTUS_ASSERT(!samples.empty(), "cannot collate an empty batch");
+    Batch batch;
+    std::vector<const tensor::Tensor *> tensors;
+    tensors.reserve(samples.size());
+    for (const auto &sample : samples) {
+        LOTUS_ASSERT(!sample.hasImage(),
+                     "collate needs tensor samples (missing ToTensor?)");
+        tensors.push_back(&sample.data);
+    }
+    batch.data = tensor::stack(tensors);
+    batch.labels.reserve(samples.size());
+    for (const auto &sample : samples)
+        batch.labels.push_back(sample.label);
+    return batch;
+}
+
+PadCollate::PadCollate(std::int64_t size_divisor)
+    : size_divisor_(size_divisor)
+{
+    LOTUS_ASSERT(size_divisor >= 0);
+}
+
+Batch
+PadCollate::collate(std::vector<Sample> samples) const
+{
+    LOTUS_ASSERT(!samples.empty(), "cannot collate an empty batch");
+    const std::size_t rank = samples.front().data.rank();
+    std::vector<std::int64_t> max_shape(rank, 0);
+    for (const auto &sample : samples) {
+        LOTUS_ASSERT(!sample.hasImage(),
+                     "collate needs tensor samples (missing ToTensor?)");
+        LOTUS_ASSERT(sample.data.rank() == rank,
+                     "pad collate requires uniform rank");
+        LOTUS_ASSERT(sample.data.dtype() == samples.front().data.dtype(),
+                     "pad collate requires uniform dtype");
+        for (std::size_t i = 0; i < rank; ++i) {
+            max_shape[i] = std::max(max_shape[i],
+                                    sample.data.dim(static_cast<int>(i)));
+        }
+    }
+    if (size_divisor_ > 1) {
+        // Pad spatial axes (all but the leading channel axis) up to a
+        // multiple of the divisor, as detection frameworks do.
+        for (std::size_t i = 1; i < rank; ++i) {
+            const std::int64_t rem = max_shape[i] % size_divisor_;
+            if (rem != 0)
+                max_shape[i] += size_divisor_ - rem;
+        }
+    }
+
+    // Pad each sample with zeros to the common shape, then stack.
+    std::vector<tensor::Tensor> padded;
+    padded.reserve(samples.size());
+    for (const auto &sample : samples) {
+        if (sample.data.shape() == max_shape) {
+            padded.push_back(sample.data.clone());
+            continue;
+        }
+        tensor::Tensor grown(sample.data.dtype(), max_shape);
+        // Copy the sample into the origin corner row by row.
+        const std::size_t esize = tensor::dtypeSize(sample.data.dtype());
+        std::vector<std::int64_t> out_strides(rank, 1);
+        for (int i = static_cast<int>(rank) - 2; i >= 0; --i)
+            out_strides[static_cast<std::size_t>(i)] =
+                out_strides[static_cast<std::size_t>(i) + 1] *
+                max_shape[static_cast<std::size_t>(i) + 1];
+        std::vector<std::int64_t> idx(rank, 0);
+        std::int64_t outer = 1;
+        for (std::size_t i = 0; i + 1 < rank; ++i)
+            outer *= sample.data.dim(static_cast<int>(i));
+        const std::int64_t inner = sample.data.dim(static_cast<int>(rank) - 1);
+        const std::uint8_t *src = sample.data.raw();
+        std::uint8_t *dst = grown.raw();
+        for (std::int64_t o = 0; o < outer; ++o) {
+            std::int64_t dst_index = 0;
+            for (std::size_t i = 0; i + 1 < rank; ++i)
+                dst_index += idx[i] * out_strides[i];
+            std::copy_n(
+                src + static_cast<std::size_t>(o * inner) * esize,
+                static_cast<std::size_t>(inner) * esize,
+                dst + static_cast<std::size_t>(dst_index) * esize);
+            for (int i = static_cast<int>(rank) - 2; i >= 0; --i) {
+                if (++idx[static_cast<std::size_t>(i)] <
+                    sample.data.dim(i))
+                    break;
+                idx[static_cast<std::size_t>(i)] = 0;
+            }
+        }
+        padded.push_back(std::move(grown));
+    }
+
+    Batch batch;
+    batch.data = tensor::stack(padded);
+    batch.labels.reserve(samples.size());
+    for (const auto &sample : samples)
+        batch.labels.push_back(sample.label);
+    return batch;
+}
+
+} // namespace lotus::pipeline

@@ -1,0 +1,49 @@
+#include "pipeline/compose.h"
+
+namespace lotus::pipeline {
+
+Compose::Compose(std::vector<TransformPtr> transforms)
+{
+    for (auto &transform : transforms)
+        add(std::move(transform));
+}
+
+void
+Compose::add(TransformPtr transform)
+{
+    LOTUS_ASSERT(transform != nullptr, "null transform");
+    Entry entry;
+    entry.op_tag =
+        hwcount::KernelRegistry::instance().registerOp(transform->name());
+    entry.transform = std::move(transform);
+    entries_.push_back(std::move(entry));
+}
+
+std::vector<std::string>
+Compose::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &entry : entries_)
+        out.push_back(entry.transform->name());
+    return out;
+}
+
+void
+Compose::operator()(Sample &sample, PipelineContext &ctx) const
+{
+    for (const auto &entry : entries_) {
+        trace::SpanTimer span(ctx.logger, trace::RecordKind::TransformOp);
+        span.record().op_name = entry.transform->name();
+        span.record().batch_id = ctx.batch_id;
+        span.record().pid = ctx.pid;
+        span.record().sample_index = ctx.sample_index;
+        {
+            hwcount::OpTagScope op_scope(entry.op_tag);
+            entry.transform->apply(sample, ctx.rngRef());
+        }
+        span.finish();
+    }
+}
+
+} // namespace lotus::pipeline

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Compose: a declaratively chained sequence of transforms, with the
+ * paper's [T3] instrumentation (Listing 3) built in.
+ *
+ * When a TraceLogger is supplied, every transform application on
+ * every sample is logged with two timestamps — name, start, duration —
+ * and also wrapped in a ground-truth OpTagScope so LotusMap's
+ * reconstruction can be scored against reality in tests.
+ */
+
+#ifndef LOTUS_PIPELINE_COMPOSE_H
+#define LOTUS_PIPELINE_COMPOSE_H
+
+#include <vector>
+
+#include "hwcount/registry.h"
+#include "pipeline/transform.h"
+
+namespace lotus::pipeline {
+
+class Compose
+{
+  public:
+    Compose() = default;
+    explicit Compose(std::vector<TransformPtr> transforms);
+
+    /** Append a transform. */
+    void add(TransformPtr transform);
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    const Transform &
+    transform(std::size_t i) const
+    {
+        return *entries_.at(i).transform;
+    }
+
+    /** Names of all transforms, in order. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Apply every transform in order to @p sample.
+     * [T3] per-op records go to ctx.logger when present.
+     */
+    void operator()(Sample &sample, PipelineContext &ctx) const;
+
+  private:
+    struct Entry
+    {
+        TransformPtr transform;
+        hwcount::OpTag op_tag;
+    };
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace lotus::pipeline
+
+#endif // LOTUS_PIPELINE_COMPOSE_H

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Map-style dataset interface (torch.utils.data.Dataset analogue).
+ */
+
+#ifndef LOTUS_PIPELINE_DATASET_H
+#define LOTUS_PIPELINE_DATASET_H
+
+#include "pipeline/sample.h"
+
+namespace lotus::pipeline {
+
+class Dataset
+{
+  public:
+    virtual ~Dataset() = default;
+
+    /** Number of samples. */
+    virtual std::int64_t size() const = 0;
+
+    /**
+     * Produce sample @p index, fully preprocessed. Must be safe to
+     * call concurrently from multiple workers; per-worker randomness
+     * comes from @p ctx.
+     */
+    virtual Sample get(std::int64_t index, PipelineContext &ctx) const = 0;
+};
+
+} // namespace lotus::pipeline
+
+#endif // LOTUS_PIPELINE_DATASET_H

@@ -1,0 +1,47 @@
+#include "pipeline/image_folder.h"
+
+#include "image/codec/codec.h"
+
+namespace lotus::pipeline {
+
+ImageFolderDataset::ImageFolderDataset(
+    std::shared_ptr<const BlobStore> store,
+    std::shared_ptr<const Compose> transforms, std::int64_t num_classes)
+    : store_(std::move(store)), transforms_(std::move(transforms)),
+      num_classes_(num_classes),
+      loader_tag_(hwcount::KernelRegistry::instance().registerOp(
+          kLoaderOpName))
+{
+    LOTUS_ASSERT(store_ != nullptr && transforms_ != nullptr);
+    LOTUS_ASSERT(num_classes_ > 0);
+}
+
+std::int64_t
+ImageFolderDataset::size() const
+{
+    return store_->size();
+}
+
+Sample
+ImageFolderDataset::get(std::int64_t index, PipelineContext &ctx) const
+{
+    Sample sample;
+    sample.label = index % num_classes_;
+    {
+        trace::SpanTimer span(ctx.logger, trace::RecordKind::TransformOp);
+        span.record().op_name = kLoaderOpName;
+        span.record().batch_id = ctx.batch_id;
+        span.record().pid = ctx.pid;
+        span.record().sample_index = ctx.sample_index;
+        {
+            hwcount::OpTagScope op_scope(loader_tag_);
+            const std::string blob = store_->read(index);
+            sample.image = image::codec::decode(blob);
+        }
+        span.finish();
+    }
+    (*transforms_)(sample, ctx);
+    return sample;
+}
+
+} // namespace lotus::pipeline

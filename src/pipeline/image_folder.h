@@ -1,0 +1,51 @@
+/**
+ * @file
+ * ImageFolder analogue: decode-from-store dataset for vision
+ * pipelines.
+ *
+ * get() performs the Loader operation (blob read + LJPG decode),
+ * logged as a [T3] op named "Loader" exactly like the paper's
+ * instrumented torchvision.datasets, then applies the Compose chain.
+ */
+
+#ifndef LOTUS_PIPELINE_IMAGE_FOLDER_H
+#define LOTUS_PIPELINE_IMAGE_FOLDER_H
+
+#include <memory>
+
+#include "hwcount/registry.h"
+#include "pipeline/compose.h"
+#include "pipeline/dataset.h"
+#include "pipeline/store.h"
+
+namespace lotus::pipeline {
+
+class ImageFolderDataset : public Dataset
+{
+  public:
+    static constexpr const char *kLoaderOpName = "Loader";
+
+    /**
+     * @param store encoded image blobs
+     * @param transforms transform chain applied after decode
+     * @param num_classes labels are index % num_classes
+     */
+    ImageFolderDataset(std::shared_ptr<const BlobStore> store,
+                       std::shared_ptr<const Compose> transforms,
+                       std::int64_t num_classes = 1000);
+
+    std::int64_t size() const override;
+    Sample get(std::int64_t index, PipelineContext &ctx) const override;
+
+    const Compose &transforms() const { return *transforms_; }
+
+  private:
+    std::shared_ptr<const BlobStore> store_;
+    std::shared_ptr<const Compose> transforms_;
+    std::int64_t num_classes_;
+    hwcount::OpTag loader_tag_;
+};
+
+} // namespace lotus::pipeline
+
+#endif // LOTUS_PIPELINE_IMAGE_FOLDER_H

@@ -1,0 +1,51 @@
+#include "pipeline/iterable_dataset.h"
+
+namespace lotus::pipeline {
+
+namespace {
+
+class StridedStream : public SampleStream
+{
+  public:
+    StridedStream(std::shared_ptr<const Dataset> dataset, int worker_id,
+                  int num_workers)
+        : dataset_(std::move(dataset)), cursor_(worker_id),
+          stride_(num_workers)
+    {
+    }
+
+    std::optional<Sample>
+    next(PipelineContext &ctx) override
+    {
+        if (cursor_ >= dataset_->size())
+            return std::nullopt;
+        Sample sample = dataset_->get(cursor_, ctx);
+        cursor_ += stride_;
+        return sample;
+    }
+
+  private:
+    std::shared_ptr<const Dataset> dataset_;
+    std::int64_t cursor_;
+    std::int64_t stride_;
+};
+
+} // namespace
+
+ShardedIterable::ShardedIterable(std::shared_ptr<const Dataset> dataset)
+    : dataset_(std::move(dataset))
+{
+    LOTUS_ASSERT(dataset_ != nullptr);
+}
+
+std::unique_ptr<SampleStream>
+ShardedIterable::shard(int worker_id, int num_workers) const
+{
+    LOTUS_ASSERT(num_workers > 0 && worker_id >= 0 &&
+                 worker_id < num_workers,
+                 "bad shard (%d of %d)", worker_id, num_workers);
+    return std::make_unique<StridedStream>(dataset_, worker_id,
+                                           num_workers);
+}
+
+} // namespace lotus::pipeline

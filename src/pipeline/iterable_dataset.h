@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Iterable (stream-style) datasets — the IterableDataset side of
+ * PyTorch's two dataset flavors. Each worker gets its own shard
+ * iterator (the worker_info pattern); the paper's [T1]
+ * instrumentation targets the fetch() method shared by both fetcher
+ * kinds, which is why our loaders instrument the same way.
+ */
+
+#ifndef LOTUS_PIPELINE_ITERABLE_DATASET_H
+#define LOTUS_PIPELINE_ITERABLE_DATASET_H
+
+#include <memory>
+#include <optional>
+
+#include "pipeline/dataset.h"
+
+namespace lotus::pipeline {
+
+/** A stream of samples owned by one worker. */
+class SampleStream
+{
+  public:
+    virtual ~SampleStream() = default;
+
+    /** Next sample, or nullopt when the shard is exhausted. */
+    virtual std::optional<Sample> next(PipelineContext &ctx) = 0;
+};
+
+class IterableDataset
+{
+  public:
+    virtual ~IterableDataset() = default;
+
+    /**
+     * Open this worker's shard: worker @p worker_id of
+     * @p num_workers. Streams must partition the data (no sample
+     * duplicated across workers).
+     */
+    virtual std::unique_ptr<SampleStream>
+    shard(int worker_id, int num_workers) const = 0;
+};
+
+/**
+ * Adapter: expose a map-style Dataset as an IterableDataset with
+ * strided sharding (worker w yields indices w, w+W, w+2W, ...).
+ */
+class ShardedIterable : public IterableDataset
+{
+  public:
+    explicit ShardedIterable(std::shared_ptr<const Dataset> dataset);
+
+    std::unique_ptr<SampleStream> shard(int worker_id,
+                                        int num_workers) const override;
+
+  private:
+    std::shared_ptr<const Dataset> dataset_;
+};
+
+} // namespace lotus::pipeline
+
+#endif // LOTUS_PIPELINE_ITERABLE_DATASET_H

@@ -1,0 +1,104 @@
+#include "pipeline/store.h"
+
+#include "common/files.h"
+#include "common/logging.h"
+#include "hwcount/registry.h"
+
+namespace lotus::pipeline {
+
+using hwcount::KernelId;
+using hwcount::KernelScope;
+
+std::uint64_t
+BlobStore::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (std::int64_t i = 0; i < size(); ++i)
+        total += blobSize(i);
+    return total;
+}
+
+InMemoryStore::InMemoryStore(TimeNs io_base_ns, double io_ns_per_byte)
+    : io_base_ns_(io_base_ns), io_ns_per_byte_(io_ns_per_byte)
+{
+    LOTUS_ASSERT(io_base_ns >= 0 && io_ns_per_byte >= 0.0);
+}
+
+std::int64_t
+InMemoryStore::add(std::string blob)
+{
+    blobs_.push_back(std::move(blob));
+    return static_cast<std::int64_t>(blobs_.size()) - 1;
+}
+
+std::int64_t
+InMemoryStore::size() const
+{
+    return static_cast<std::int64_t>(blobs_.size());
+}
+
+std::string
+InMemoryStore::read(std::int64_t index) const
+{
+    LOTUS_ASSERT(index >= 0 && index < size(), "blob index %lld out of range",
+                 static_cast<long long>(index));
+    KernelScope scope(KernelId::FileRead);
+    const std::string &blob = blobs_[static_cast<std::size_t>(index)];
+    if (io_base_ns_ > 0 || io_ns_per_byte_ > 0.0) {
+        const auto &clock = SteadyClock::instance();
+        const TimeNs deadline =
+            clock.now() + io_base_ns_ +
+            static_cast<TimeNs>(io_ns_per_byte_ *
+                                static_cast<double>(blob.size()));
+        // Busy wait: modelled device latency should appear as blocked
+        // loader time, and sleeping would deschedule the worker in a
+        // way a synchronous read() would not.
+        while (clock.now() < deadline) {
+        }
+    }
+    std::string copy = blob;
+    scope.stats().bytes_read += copy.size();
+    scope.stats().bytes_written += copy.size();
+    scope.stats().items += 1;
+    return copy;
+}
+
+std::uint64_t
+InMemoryStore::blobSize(std::int64_t index) const
+{
+    LOTUS_ASSERT(index >= 0 && index < size());
+    return blobs_[static_cast<std::size_t>(index)].size();
+}
+
+DiskStore::DiskStore(std::vector<std::string> paths)
+    : paths_(std::move(paths))
+{
+}
+
+std::int64_t
+DiskStore::size() const
+{
+    return static_cast<std::int64_t>(paths_.size());
+}
+
+std::string
+DiskStore::read(std::int64_t index) const
+{
+    LOTUS_ASSERT(index >= 0 && index < size(), "blob index %lld out of range",
+                 static_cast<long long>(index));
+    KernelScope scope(KernelId::FileRead);
+    std::string bytes = readFile(paths_[static_cast<std::size_t>(index)]);
+    scope.stats().bytes_read += bytes.size();
+    scope.stats().bytes_written += bytes.size();
+    scope.stats().items += 1;
+    return bytes;
+}
+
+std::uint64_t
+DiskStore::blobSize(std::int64_t index) const
+{
+    LOTUS_ASSERT(index >= 0 && index < size());
+    return fileSize(paths_[static_cast<std::size_t>(index)]);
+}
+
+} // namespace lotus::pipeline

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Sample blob storage backing datasets.
+ *
+ * InMemoryStore keeps encoded blobs resident (used by benches so
+ * timing reflects compute, not the sandbox's filesystem), with an
+ * optional modelled I/O latency per byte to stand in for the paper's
+ * iSCSI-mounted remote dataset. DiskStore round-trips real files.
+ * Reads are annotated as the file_read kernel either way.
+ */
+
+#ifndef LOTUS_PIPELINE_STORE_H
+#define LOTUS_PIPELINE_STORE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace lotus::pipeline {
+
+class BlobStore
+{
+  public:
+    virtual ~BlobStore() = default;
+
+    /** Number of stored blobs. */
+    virtual std::int64_t size() const = 0;
+
+    /** Fetch blob @p index (0-based). */
+    virtual std::string read(std::int64_t index) const = 0;
+
+    /** Size in bytes of blob @p index without reading it. */
+    virtual std::uint64_t blobSize(std::int64_t index) const = 0;
+
+    /** Sum of all blob sizes. */
+    std::uint64_t totalBytes() const;
+};
+
+class InMemoryStore : public BlobStore
+{
+  public:
+    InMemoryStore() = default;
+
+    /**
+     * @param io_ns_per_byte modelled storage latency applied on every
+     *        read via busy-wait (0 disables).
+     * @param io_base_ns per-read fixed latency (seek/request cost).
+     */
+    InMemoryStore(TimeNs io_base_ns, double io_ns_per_byte);
+
+    /** Append a blob, returning its index. */
+    std::int64_t add(std::string blob);
+
+    std::int64_t size() const override;
+    std::string read(std::int64_t index) const override;
+    std::uint64_t blobSize(std::int64_t index) const override;
+
+  private:
+    std::vector<std::string> blobs_;
+    TimeNs io_base_ns_ = 0;
+    double io_ns_per_byte_ = 0.0;
+};
+
+class DiskStore : public BlobStore
+{
+  public:
+    /** Serve the given files in order. */
+    explicit DiskStore(std::vector<std::string> paths);
+
+    std::int64_t size() const override;
+    std::string read(std::int64_t index) const override;
+    std::uint64_t blobSize(std::int64_t index) const override;
+
+    const std::vector<std::string> &paths() const { return paths_; }
+
+  private:
+    std::vector<std::string> paths_;
+};
+
+} // namespace lotus::pipeline
+
+#endif // LOTUS_PIPELINE_STORE_H

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The Transform interface: one declaratively specified preprocessing
+ * operation (a torchvision transform analogue).
+ */
+
+#ifndef LOTUS_PIPELINE_TRANSFORM_H
+#define LOTUS_PIPELINE_TRANSFORM_H
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "pipeline/sample.h"
+
+namespace lotus::pipeline {
+
+class Transform
+{
+  public:
+    virtual ~Transform() = default;
+
+    /** Class-style name shown in traces (e.g. "RandomResizedCrop"). */
+    virtual const std::string &name() const = 0;
+
+    /** Apply in place. Randomized transforms draw from @p rng. */
+    virtual void apply(Sample &sample, Rng &rng) const = 0;
+};
+
+using TransformPtr = std::unique_ptr<Transform>;
+
+/** Helper base that stores the name. */
+class NamedTransform : public Transform
+{
+  public:
+    explicit NamedTransform(std::string name) : name_(std::move(name)) {}
+    const std::string &name() const override { return name_; }
+
+  private:
+    std::string name_;
+};
+
+} // namespace lotus::pipeline
+
+#endif // LOTUS_PIPELINE_TRANSFORM_H

@@ -1,0 +1,134 @@
+#include "pipeline/transforms/volumetric.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+
+namespace lotus::pipeline {
+
+RandBalancedCrop::RandBalancedCrop() : RandBalancedCrop(Params{}) {}
+
+RandBalancedCrop::RandBalancedCrop(Params params)
+    : NamedTransform("RandBalancedCrop"), params_(params)
+{
+    for (const auto extent : params_.patch)
+        LOTUS_ASSERT(extent > 0, "bad patch extent");
+    LOTUS_ASSERT(params_.oversampling >= 0.0 && params_.oversampling <= 1.0);
+}
+
+void
+RandBalancedCrop::apply(Sample &sample, Rng &rng) const
+{
+    const tensor::Tensor &input = sample.data;
+    LOTUS_ASSERT(input.rank() == 4, "RandBalancedCrop expects (C, D, H, W)");
+    const std::int64_t c = input.dim(0);
+    const std::array<std::int64_t, 3> dims = {input.dim(1), input.dim(2),
+                                              input.dim(3)};
+    std::array<std::int64_t, 3> patch = params_.patch;
+    for (int axis = 0; axis < 3; ++axis)
+        patch[static_cast<std::size_t>(axis)] = std::min(
+            patch[static_cast<std::size_t>(axis)],
+            dims[static_cast<std::size_t>(axis)]);
+
+    std::array<std::int64_t, 3> offset{};
+    if (rng.chance(params_.oversampling)) {
+        // Foreground-centered: scan for bright voxels, then center the
+        // window on a random hit (clamped to bounds).
+        const auto hits = tensor::foregroundSearch(
+            input, params_.foreground_threshold, 4096);
+        if (!hits.empty()) {
+            const std::int64_t pick = hits[static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<std::int64_t>(hits.size()) - 1))];
+            const std::int64_t plane = dims[1] * dims[2];
+            std::array<std::int64_t, 3> center = {
+                pick / plane, (pick % plane) / dims[2], pick % dims[2]};
+            for (int axis = 0; axis < 3; ++axis) {
+                const auto a = static_cast<std::size_t>(axis);
+                offset[a] = std::clamp<std::int64_t>(
+                    center[a] - patch[a] / 2, 0, dims[a] - patch[a]);
+            }
+        }
+    } else {
+        for (int axis = 0; axis < 3; ++axis) {
+            const auto a = static_cast<std::size_t>(axis);
+            offset[a] = rng.uniformInt(0, dims[a] - patch[a]);
+        }
+    }
+
+    sample.data = tensor::cropWindow(
+        input, {0, offset[0], offset[1], offset[2]},
+        {c, patch[0], patch[1], patch[2]});
+    // Volumes smaller than the requested patch are zero-padded so the
+    // output shape is always (C, patch) and batches stack cleanly.
+    sample.data = tensor::padTo(sample.data,
+                                {c, params_.patch[0], params_.patch[1],
+                                 params_.patch[2]});
+}
+
+RandomFlip::RandomFlip(double per_axis_probability)
+    : NamedTransform("RandomFlip"), probability_(per_axis_probability)
+{
+    LOTUS_ASSERT(probability_ >= 0.0 && probability_ <= 1.0);
+}
+
+void
+RandomFlip::apply(Sample &sample, Rng &rng) const
+{
+    const int rank = static_cast<int>(sample.data.rank());
+    LOTUS_ASSERT(rank >= 2, "RandomFlip expects a channel-first tensor");
+    for (int axis = 1; axis < rank; ++axis) {
+        if (rng.chance(probability_))
+            sample.data = tensor::flipAxis(sample.data, axis);
+    }
+}
+
+Cast::Cast(tensor::DType target) : NamedTransform("Cast"), target_(target) {}
+
+void
+Cast::apply(Sample &sample, Rng &rng) const
+{
+    (void)rng;
+    if (sample.data.dtype() == target_)
+        return;
+    if (target_ == tensor::DType::F32)
+        sample.data = tensor::castU8ToF32(sample.data, 1.0f);
+    else
+        sample.data = tensor::castF32ToU8(sample.data, 1.0f);
+}
+
+RandomBrightnessAugmentation::RandomBrightnessAugmentation(double factor,
+                                                           double probability)
+    : NamedTransform("RandomBrightnessAugmentation"), factor_(factor),
+      probability_(probability)
+{
+    LOTUS_ASSERT(factor_ >= 0.0 && probability_ >= 0.0 &&
+                 probability_ <= 1.0);
+}
+
+void
+RandomBrightnessAugmentation::apply(Sample &sample, Rng &rng) const
+{
+    if (!rng.chance(probability_))
+        return;
+    const float scale = static_cast<float>(
+        rng.uniform(1.0 - factor_, 1.0 + factor_));
+    tensor::scaleBrightness(sample.data, scale);
+}
+
+GaussianNoise::GaussianNoise(float mean, float stddev, double probability)
+    : NamedTransform("GaussianNoise"), mean_(mean), stddev_(stddev),
+      probability_(probability)
+{
+    LOTUS_ASSERT(stddev_ >= 0.0f && probability_ >= 0.0 &&
+                 probability_ <= 1.0);
+}
+
+void
+GaussianNoise::apply(Sample &sample, Rng &rng) const
+{
+    if (!rng.chance(probability_))
+        return;
+    tensor::addGaussianNoise(sample.data, rng, mean_, stddev_);
+}
+
+} // namespace lotus::pipeline

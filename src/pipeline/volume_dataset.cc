@@ -1,0 +1,44 @@
+#include "pipeline/volume_dataset.h"
+
+#include "tensor/serialize.h"
+
+namespace lotus::pipeline {
+
+VolumeDataset::VolumeDataset(std::shared_ptr<const BlobStore> store,
+                             std::shared_ptr<const Compose> transforms)
+    : store_(std::move(store)), transforms_(std::move(transforms)),
+      loader_tag_(hwcount::KernelRegistry::instance().registerOp(
+          kLoaderOpName))
+{
+    LOTUS_ASSERT(store_ != nullptr && transforms_ != nullptr);
+}
+
+std::int64_t
+VolumeDataset::size() const
+{
+    return store_->size();
+}
+
+Sample
+VolumeDataset::get(std::int64_t index, PipelineContext &ctx) const
+{
+    Sample sample;
+    sample.label = index;
+    {
+        trace::SpanTimer span(ctx.logger, trace::RecordKind::TransformOp);
+        span.record().op_name = kLoaderOpName;
+        span.record().batch_id = ctx.batch_id;
+        span.record().pid = ctx.pid;
+        span.record().sample_index = ctx.sample_index;
+        {
+            hwcount::OpTagScope op_scope(loader_tag_);
+            const std::string blob = store_->read(index);
+            sample.data = tensor::fromBytes(blob);
+        }
+        span.finish();
+    }
+    (*transforms_)(sample, ctx);
+    return sample;
+}
+
+} // namespace lotus::pipeline

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Volume dataset for the segmentation pipeline: serialized tensors
+ * (the KiTS19 "preprocessed numpy" analogue) loaded from a store.
+ *
+ * get() performs the Load operation (blob read + tensor
+ * deserialization), logged as a [T3] op named "Loader", then applies
+ * the Compose chain of volumetric transforms.
+ */
+
+#ifndef LOTUS_PIPELINE_VOLUME_DATASET_H
+#define LOTUS_PIPELINE_VOLUME_DATASET_H
+
+#include <memory>
+
+#include "hwcount/registry.h"
+#include "pipeline/compose.h"
+#include "pipeline/dataset.h"
+#include "pipeline/store.h"
+
+namespace lotus::pipeline {
+
+class VolumeDataset : public Dataset
+{
+  public:
+    static constexpr const char *kLoaderOpName = "Loader";
+
+    VolumeDataset(std::shared_ptr<const BlobStore> store,
+                  std::shared_ptr<const Compose> transforms);
+
+    std::int64_t size() const override;
+    Sample get(std::int64_t index, PipelineContext &ctx) const override;
+
+  private:
+    std::shared_ptr<const BlobStore> store_;
+    std::shared_ptr<const Compose> transforms_;
+    hwcount::OpTag loader_tag_;
+};
+
+} // namespace lotus::pipeline
+
+#endif // LOTUS_PIPELINE_VOLUME_DATASET_H

@@ -1,0 +1,91 @@
+#include "profilers/framework_tracer.h"
+
+#include "hwcount/registry.h"
+
+namespace lotus::profilers {
+
+FrameworkTracer::FrameworkTracer() : FrameworkTracer(FrameworkTracerConfig{})
+{
+}
+
+FrameworkTracer::FrameworkTracer(FrameworkTracerConfig config)
+    : config_(config)
+{
+}
+
+const std::string &
+FrameworkTracer::name() const
+{
+    static const std::string kName = "PyTorch Profiler";
+    return kName;
+}
+
+void
+FrameworkTracer::attach(trace::TraceLogger &logger)
+{
+    logger.setStoreRecords(false);
+    logger.setObserver([this](const trace::TraceRecord &record) {
+        // Only main-process-visible events exist for this profiler.
+        if (record.kind != trace::RecordKind::BatchWait &&
+            record.kind != trace::RecordKind::BatchConsumed &&
+            record.kind != trace::RecordKind::GpuCompute)
+            return;
+        // Modelled per-event serialization cost on the producer.
+        const auto &clock = SteadyClock::instance();
+        const TimeNs deadline = clock.now() + config_.per_event_cost;
+        while (clock.now() < deadline) {
+        }
+        std::lock_guard lock(mutex_);
+        main_events_.push_back(record);
+    });
+}
+
+void
+FrameworkTracer::start()
+{
+    auto &registry = hwcount::KernelRegistry::instance();
+    was_timeline_enabled_ = registry.timelineEnabled();
+    registry.setTimelineEnabled(true); // trace every native op event
+}
+
+void
+FrameworkTracer::stop()
+{
+    auto &registry = hwcount::KernelRegistry::instance();
+    registry.setTimelineEnabled(was_timeline_enabled_);
+    const auto snapshot = registry.snapshot();
+    std::lock_guard lock(mutex_);
+    native_events_ = snapshot.timeline.size();
+}
+
+std::uint64_t
+FrameworkTracer::logStorageBytes() const
+{
+    std::lock_guard lock(mutex_);
+    return native_events_ * config_.bytes_per_native_event +
+           main_events_.size() * 160;
+}
+
+std::vector<double>
+FrameworkTracer::waitTimesMs() const
+{
+    std::lock_guard lock(mutex_);
+    std::vector<double> out;
+    for (const auto &record : main_events_) {
+        if (record.kind == trace::RecordKind::BatchWait)
+            out.push_back(toMs(record.duration));
+    }
+    return out;
+}
+
+std::uint64_t
+FrameworkTracer::bufferedBytes() const
+{
+    std::lock_guard lock(mutex_);
+    const auto snapshot =
+        hwcount::KernelRegistry::instance().snapshot();
+    return snapshot.timeline.size() * sizeof(hwcount::KernelInterval) +
+           main_events_.size() * sizeof(trace::TraceRecord);
+}
+
+} // namespace lotus::profilers

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Framework tracer model (the PyTorch profiler analogue).
+ *
+ * Trace-based: while active it records every native framework op
+ * event through the kernel registry's timeline (real per-event cost,
+ * real memory growth — the mechanism behind the paper's OOM on full
+ * ImageNet) and observes main-process batch events from the logger,
+ * paying a modelled per-event serialization cost. It reports the
+ * main process's wait times but has no visibility into preprocessing
+ * worker execution as *labelled* work: its native events carry no
+ * operation names (the "__call__" problem), so per-op epoch times
+ * are unavailable (Table IV: Wait only).
+ */
+
+#ifndef LOTUS_PROFILERS_FRAMEWORK_TRACER_H
+#define LOTUS_PROFILERS_FRAMEWORK_TRACER_H
+
+#include <mutex>
+#include <vector>
+
+#include "profilers/profiler.h"
+#include "trace/record.h"
+
+namespace lotus::profilers {
+
+struct FrameworkTracerConfig
+{
+    /** Modelled serialization cost per main-process event. */
+    TimeNs per_event_cost = 200 * kMicrosecond;
+    /** JSON bytes per recorded native event. */
+    std::size_t bytes_per_native_event = 120;
+};
+
+class FrameworkTracer : public Profiler
+{
+  public:
+    FrameworkTracer();
+    explicit FrameworkTracer(FrameworkTracerConfig config);
+
+    const std::string &name() const override;
+
+    ProfilerCapabilities
+    capabilities() const override
+    {
+        return ProfilerCapabilities{false, false, false, true, false};
+    }
+
+    void attach(trace::TraceLogger &logger) override;
+    void start() override;
+    void stop() override;
+
+    std::uint64_t logStorageBytes() const override;
+    std::map<std::string, double> perOpEpochSeconds() const override
+    {
+        return {}; // native frames are unlabelled ("__call__")
+    }
+
+    /** Main-process wait times it captured, ms. */
+    std::vector<double> waitTimesMs() const;
+
+    /** In-memory buffered trace size (the OOM pressure point). */
+    std::uint64_t bufferedBytes() const;
+
+  private:
+    FrameworkTracerConfig config_;
+    mutable std::mutex mutex_;
+    std::vector<trace::TraceRecord> main_events_;
+    std::uint64_t native_events_ = 0;
+    bool was_timeline_enabled_ = false;
+};
+
+} // namespace lotus::profilers
+
+#endif // LOTUS_PROFILERS_FRAMEWORK_TRACER_H

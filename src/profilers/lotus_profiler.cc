@@ -1,0 +1,38 @@
+#include "profilers/lotus_profiler.h"
+
+#include "core/lotustrace/analysis.h"
+
+namespace lotus::profilers {
+
+const std::string &
+LotusTraceProfiler::name() const
+{
+    static const std::string kName = "Lotus";
+    return kName;
+}
+
+void
+LotusTraceProfiler::attach(trace::TraceLogger &logger)
+{
+    logger_ = &logger;
+    logger.setStoreRecords(true);
+}
+
+std::uint64_t
+LotusTraceProfiler::logStorageBytes() const
+{
+    if (!logger_)
+        return 0;
+    return trace::recordsToText(logger_->records()).size();
+}
+
+std::map<std::string, double>
+LotusTraceProfiler::perOpEpochSeconds() const
+{
+    if (!logger_)
+        return {};
+    core::lotustrace::TraceAnalysis analysis(logger_->records());
+    return analysis.cpuSecondsByOp();
+}
+
+} // namespace lotus::profilers

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * LotusTrace as a Profiler: the full instrumentation, kept.
+ */
+
+#ifndef LOTUS_PROFILERS_LOTUS_PROFILER_H
+#define LOTUS_PROFILERS_LOTUS_PROFILER_H
+
+#include "profilers/profiler.h"
+
+namespace lotus::profilers {
+
+class LotusTraceProfiler : public Profiler
+{
+  public:
+    const std::string &name() const override;
+
+    ProfilerCapabilities
+    capabilities() const override
+    {
+        return ProfilerCapabilities{true, true, true, true, true};
+    }
+
+    void attach(trace::TraceLogger &logger) override;
+    void start() override {}
+    void stop() override {}
+
+    std::uint64_t logStorageBytes() const override;
+    std::map<std::string, double> perOpEpochSeconds() const override;
+
+    /** The attached logger (for full LotusTrace analysis). */
+    trace::TraceLogger *logger() const { return logger_; }
+
+  private:
+    trace::TraceLogger *logger_ = nullptr;
+};
+
+} // namespace lotus::profilers
+
+#endif // LOTUS_PROFILERS_LOTUS_PROFILER_H

@@ -1,0 +1,58 @@
+#include "profilers/presets.h"
+
+namespace lotus::profilers {
+
+std::unique_ptr<LotusTraceProfiler>
+makeLotus()
+{
+    return std::make_unique<LotusTraceProfiler>();
+}
+
+std::unique_ptr<SamplingProfiler>
+makePySpyLike()
+{
+    SamplingProfilerConfig config;
+    config.name = "py-spy";
+    config.interval = 10 * kMillisecond;
+    config.per_op_call_cost = 0;
+    config.bytes_per_sample = 64;
+    config.aggregate_only = false;
+    return std::make_unique<SamplingProfiler>(config);
+}
+
+std::unique_ptr<SamplingProfiler>
+makeAustinLike()
+{
+    SamplingProfilerConfig config;
+    config.name = "austin";
+    config.interval = 100 * kMicrosecond;
+    config.per_op_call_cost = 0;
+    config.bytes_per_sample = 96; // full frame line per sample
+    config.aggregate_only = false;
+    return std::make_unique<SamplingProfiler>(config);
+}
+
+std::unique_ptr<SamplingProfiler>
+makeScaleneLike()
+{
+    SamplingProfilerConfig config;
+    config.name = "Scalene";
+    config.interval = 10 * kMillisecond;
+    // In-process line tracing + memory hooks: modelled per-op-call
+    // interference (DESIGN.md §4 documents this constant).
+    config.per_op_call_cost = 350 * kMicrosecond;
+    config.bytes_per_sample = 64;
+    config.aggregate_only = true;
+    return std::make_unique<SamplingProfiler>(config);
+}
+
+std::unique_ptr<FrameworkTracer>
+makeTorchProfilerLike()
+{
+    FrameworkTracerConfig config;
+    config.per_event_cost = 200 * kMicrosecond;
+    config.bytes_per_native_event = 120;
+    return std::make_unique<FrameworkTracer>(config);
+}
+
+} // namespace lotus::profilers

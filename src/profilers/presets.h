@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Ready-made profiler configurations matching §VI's comparison set.
+ */
+
+#ifndef LOTUS_PROFILERS_PRESETS_H
+#define LOTUS_PROFILERS_PRESETS_H
+
+#include <memory>
+
+#include "profilers/framework_tracer.h"
+#include "profilers/lotus_profiler.h"
+#include "profilers/sampling_profiler.h"
+
+namespace lotus::profilers {
+
+/** LotusTrace: full instrumentation kept, no interference. */
+std::unique_ptr<LotusTraceProfiler> makeLotus();
+
+/** py-spy model: out-of-process sampler, 10 ms, raw sample log. */
+std::unique_ptr<SamplingProfiler> makePySpyLike();
+
+/** austin model: out-of-process sampler, 100 µs, raw sample log
+ *  (the 1000x storage blow-up). */
+std::unique_ptr<SamplingProfiler> makeAustinLike();
+
+/** Scalene model: 10 ms sampler plus in-process line-tracing cost
+ *  per op call; aggregated (small) profile on disk. */
+std::unique_ptr<SamplingProfiler> makeScaleneLike();
+
+/** PyTorch-profiler model: traces native framework events + main
+ *  process, buffers in memory. */
+std::unique_ptr<FrameworkTracer> makeTorchProfilerLike();
+
+} // namespace lotus::profilers
+
+#endif // LOTUS_PROFILERS_PRESETS_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Common interface for the profilers compared in the paper's §VI:
+ * LotusTrace itself plus models of the four baselines (Scalene,
+ * py-spy, austin, PyTorch profiler).
+ *
+ * A profiler attaches to a run through the pipeline's TraceLogger —
+ * the framework's single hook point — and may: observe events
+ * synchronously (instrumentation-style, paying cost on the producing
+ * thread, like sys.settrace), run its own sampling thread over the
+ * process's live operations (sampling-style), or enable native-event
+ * tracing in the kernel registry (framework-tracer style). What each
+ * profiler can *report* afterwards defines its Table IV capabilities.
+ */
+
+#ifndef LOTUS_PROFILERS_PROFILER_H
+#define LOTUS_PROFILERS_PROFILER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "trace/logger.h"
+
+namespace lotus::profilers {
+
+/** The functionality matrix of the paper's Table IV. */
+struct ProfilerCapabilities
+{
+    /** Overall + per-op elapsed times for the epoch. */
+    bool epoch_ops = false;
+    /** Per-batch elapsed time. */
+    bool per_batch = false;
+    /** Main <-> worker asynchronous data-flow visualization. */
+    bool async_flow = false;
+    /** Main-process batch wait time. */
+    bool wait_time = false;
+    /** Batch consumption delay time. */
+    bool delay_time = false;
+};
+
+class Profiler
+{
+  public:
+    virtual ~Profiler() = default;
+
+    virtual const std::string &name() const = 0;
+    virtual ProfilerCapabilities capabilities() const = 0;
+
+    /** Hook into the run's logger. Call before the run starts. The
+     *  logger must outlive every later query on this profiler. */
+    virtual void attach(trace::TraceLogger &logger) = 0;
+
+    /** Begin collection. */
+    virtual void start() = 0;
+
+    /** End collection. */
+    virtual void stop() = 0;
+
+    /** Bytes this profiler's log/trace output occupies. */
+    virtual std::uint64_t logStorageBytes() const = 0;
+
+    /**
+     * Per-op elapsed seconds over the epoch, as reconstructable from
+     * this profiler's own data. Empty when unsupported.
+     */
+    virtual std::map<std::string, double> perOpEpochSeconds() const = 0;
+};
+
+} // namespace lotus::profilers
+
+#endif // LOTUS_PROFILERS_PROFILER_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Sampling profiler model (Scalene / py-spy / austin).
+ *
+ * A sampler thread polls every thread's live operation at the
+ * configured interval. Out-of-process samplers (py-spy, austin) add
+ * no cost to the pipeline threads beyond the CPU the sampler itself
+ * burns; in-process line tracers (Scalene) additionally charge a
+ * modelled per-op-call cost to the producing thread via the logger
+ * observer, standing in for sys.settrace-style interference (a
+ * documented modelled constant — see DESIGN.md §4).
+ *
+ * The reported per-op time is samples x interval — which is exactly
+ * why operations shorter than the interval are systematically
+ * missed (paper §VI-B).
+ */
+
+#ifndef LOTUS_PROFILERS_SAMPLING_PROFILER_H
+#define LOTUS_PROFILERS_SAMPLING_PROFILER_H
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+#include "hwcount/registry.h"
+#include "profilers/profiler.h"
+
+namespace lotus::profilers {
+
+struct SamplingProfilerConfig
+{
+    std::string name = "py-spy";
+    TimeNs interval = 10 * kMillisecond;
+    /** Per-op-call interference charged to pipeline threads
+     *  (0 = out-of-process sampler). */
+    TimeNs per_op_call_cost = 0;
+    /** Raw log bytes per (thread, sample) record. */
+    std::size_t bytes_per_sample = 64;
+    /** Store only aggregated per-op counters (Scalene-style small
+     *  profile) instead of raw sample records. */
+    bool aggregate_only = false;
+};
+
+class SamplingProfiler : public Profiler
+{
+  public:
+    explicit SamplingProfiler(SamplingProfilerConfig config);
+    ~SamplingProfiler() override;
+
+    const std::string &name() const override { return config_.name; }
+
+    ProfilerCapabilities
+    capabilities() const override
+    {
+        // Sampling profilers recover epoch-level op times but have no
+        // batch markers, no async flow, no wait/delay (Table IV).
+        return ProfilerCapabilities{true, false, false, false, false};
+    }
+
+    void attach(trace::TraceLogger &logger) override;
+    void start() override;
+    void stop() override;
+
+    std::uint64_t logStorageBytes() const override;
+    std::map<std::string, double> perOpEpochSeconds() const override;
+
+    /** Raw samples taken (all threads). */
+    std::uint64_t totalSamples() const;
+
+  private:
+    void samplerLoop();
+
+    SamplingProfilerConfig config_;
+    std::thread sampler_;
+    std::atomic<bool> running_{false};
+
+    mutable std::mutex mutex_;
+    std::map<hwcount::OpTag, std::uint64_t> samples_by_op_;
+    std::uint64_t raw_samples_ = 0;
+};
+
+} // namespace lotus::profilers
+
+#endif // LOTUS_PROFILERS_SAMPLING_PROFILER_H

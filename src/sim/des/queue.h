@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Awaitable FIFO queue for DES processes — the virtual-time analogue
+ * of the multiprocessing.Queue channels in the DataLoader protocol.
+ */
+
+#ifndef LOTUS_SIM_DES_QUEUE_H
+#define LOTUS_SIM_DES_QUEUE_H
+
+#include <deque>
+#include <optional>
+
+#include "sim/des/engine.h"
+
+namespace lotus::sim::des {
+
+template <typename T>
+class SimQueue
+{
+  public:
+    /** @param capacity 0 means unbounded. */
+    explicit SimQueue(Engine &engine, std::size_t capacity = 0)
+        : engine_(engine), capacity_(capacity)
+    {
+    }
+
+    SimQueue(const SimQueue &) = delete;
+    SimQueue &operator=(const SimQueue &) = delete;
+
+    struct PushAwaiter
+    {
+        SimQueue &queue;
+        std::optional<T> item;
+        bool accepted = false;
+
+        bool
+        await_ready()
+        {
+            if (queue.closed_) {
+                accepted = false;
+                return true;
+            }
+            if (queue.tryDeliver(*item)) {
+                accepted = true;
+                item.reset();
+                return true;
+            }
+            return false;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> handle)
+        {
+            queue.push_waiters_.push_back({this, handle});
+        }
+
+        /** @return false when the queue was closed before acceptance. */
+        bool await_resume() const noexcept { return accepted; }
+    };
+
+    struct PopAwaiter
+    {
+        SimQueue &queue;
+        std::optional<T> value;
+        bool finished = false;
+
+        bool
+        await_ready()
+        {
+            if (!queue.items_.empty()) {
+                value = std::move(queue.items_.front());
+                queue.items_.pop_front();
+                queue.admitWaitingPush();
+                finished = true;
+                return true;
+            }
+            if (queue.closed_) {
+                finished = true;
+                return true; // value stays empty: end of stream
+            }
+            return false;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> handle)
+        {
+            queue.pop_waiters_.push_back({this, handle});
+        }
+
+        /** @return the item, or nullopt on closed-and-drained. */
+        std::optional<T> await_resume() noexcept { return std::move(value); }
+    };
+
+    /** co_await queue.push(item) -> bool accepted. */
+    PushAwaiter push(T item) { return PushAwaiter{*this, std::move(item)}; }
+
+    /** co_await queue.pop() -> std::optional<T>. */
+    PopAwaiter pop() { return PopAwaiter{*this, std::nullopt, false}; }
+
+    /** Close: pending and future pops drain then see nullopt;
+     *  blocked pushes fail. */
+    void
+    close()
+    {
+        closed_ = true;
+        // Fail blocked pushers.
+        auto pushers = std::move(push_waiters_);
+        push_waiters_.clear();
+        for (auto &[awaiter, handle] : pushers) {
+            awaiter->accepted = false;
+            engine_.scheduleResume(engine_.now(), handle);
+        }
+        // Wake blocked poppers (queue is empty if they were blocked).
+        auto poppers = std::move(pop_waiters_);
+        pop_waiters_.clear();
+        for (auto &[awaiter, handle] : poppers) {
+            awaiter->finished = true;
+            engine_.scheduleResume(engine_.now(), handle);
+        }
+    }
+
+    std::size_t size() const { return items_.size(); }
+    bool closed() const { return closed_; }
+
+  private:
+    friend struct PushAwaiter;
+    friend struct PopAwaiter;
+
+    struct PushWaiter
+    {
+        PushAwaiter *awaiter;
+        std::coroutine_handle<> handle;
+    };
+
+    struct PopWaiter
+    {
+        PopAwaiter *awaiter;
+        std::coroutine_handle<> handle;
+    };
+
+    /** Hand @p item to a waiting popper or buffer it if space allows. */
+    bool
+    tryDeliver(T &item)
+    {
+        if (!pop_waiters_.empty()) {
+            PopWaiter waiter = pop_waiters_.front();
+            pop_waiters_.pop_front();
+            waiter.awaiter->value = std::move(item);
+            waiter.awaiter->finished = true;
+            engine_.scheduleResume(engine_.now(), waiter.handle);
+            return true;
+        }
+        if (capacity_ == 0 || items_.size() < capacity_) {
+            items_.push_back(std::move(item));
+            return true;
+        }
+        return false;
+    }
+
+    /** After a buffered slot freed, admit one blocked pusher. */
+    void
+    admitWaitingPush()
+    {
+        if (push_waiters_.empty())
+            return;
+        if (capacity_ != 0 && items_.size() >= capacity_)
+            return;
+        PushWaiter waiter = push_waiters_.front();
+        push_waiters_.pop_front();
+        items_.push_back(std::move(*waiter.awaiter->item));
+        waiter.awaiter->item.reset();
+        waiter.awaiter->accepted = true;
+        engine_.scheduleResume(engine_.now(), waiter.handle);
+    }
+
+    Engine &engine_;
+    std::size_t capacity_;
+    std::deque<T> items_;
+    std::deque<PushWaiter> push_waiters_;
+    std::deque<PopWaiter> pop_waiters_;
+    bool closed_ = false;
+};
+
+} // namespace lotus::sim::des
+
+#endif // LOTUS_SIM_DES_QUEUE_H

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Counted resource (CPU cores) for DES processes, with a
+ * time-weighted busy integral for occupancy statistics.
+ */
+
+#ifndef LOTUS_SIM_DES_RESOURCE_H
+#define LOTUS_SIM_DES_RESOURCE_H
+
+#include <deque>
+
+#include "sim/des/engine.h"
+
+namespace lotus::sim::des {
+
+class Resource
+{
+  public:
+    Resource(Engine &engine, int capacity)
+        : engine_(engine), capacity_(capacity)
+    {
+        LOTUS_ASSERT(capacity > 0, "resource capacity must be positive");
+    }
+
+    Resource(const Resource &) = delete;
+    Resource &operator=(const Resource &) = delete;
+
+    struct AcquireAwaiter
+    {
+        Resource &resource;
+
+        bool
+        await_ready()
+        {
+            if (resource.in_use_ < resource.capacity_) {
+                resource.accrue();
+                ++resource.in_use_;
+                return true;
+            }
+            return false;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> handle)
+        {
+            resource.waiters_.push_back(handle);
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    /** co_await resource.acquire(); pair with release(). */
+    AcquireAwaiter acquire() { return AcquireAwaiter{*this}; }
+
+    /** Free one unit, waking the oldest waiter (FIFO). */
+    void
+    release()
+    {
+        LOTUS_ASSERT(in_use_ > 0, "release without acquire");
+        accrue();
+        --in_use_;
+        if (!waiters_.empty()) {
+            auto handle = waiters_.front();
+            waiters_.pop_front();
+            // The waiter re-acquires at resume time.
+            accrue();
+            ++in_use_;
+            engine_.scheduleResume(engine_.now(), handle);
+        }
+    }
+
+    int inUse() const { return in_use_; }
+    int capacity() const { return capacity_; }
+
+    /** Fraction of capacity currently busy. */
+    double
+    occupancy() const
+    {
+        return static_cast<double>(in_use_) / capacity_;
+    }
+
+    /** Busy core-nanoseconds accumulated so far. */
+    double
+    busyIntegral() const
+    {
+        return busy_integral_ +
+               static_cast<double>(in_use_) *
+                   static_cast<double>(engine_.now() - last_change_);
+    }
+
+  private:
+    friend struct AcquireAwaiter;
+
+    void
+    accrue()
+    {
+        const TimeNs now = engine_.now();
+        busy_integral_ += static_cast<double>(in_use_) *
+                          static_cast<double>(now - last_change_);
+        last_change_ = now;
+    }
+
+    Engine &engine_;
+    int capacity_;
+    int in_use_ = 0;
+    std::deque<std::coroutine_handle<>> waiters_;
+    double busy_integral_ = 0.0;
+    TimeNs last_change_ = 0;
+};
+
+} // namespace lotus::sim::des
+
+#endif // LOTUS_SIM_DES_RESOURCE_H

@@ -1,0 +1,111 @@
+#include "sim/gpu_model.h"
+
+#include "common/thread_util.h"
+#include "hwcount/registry.h"
+
+namespace lotus::sim {
+
+GpuModel::GpuModel(GpuConfig config)
+    : config_(config), rng_(config.seed),
+      queue_(static_cast<std::size_t>(config.max_outstanding))
+{
+    LOTUS_ASSERT(config_.num_gpus > 0 && config_.max_outstanding > 0);
+    device_ = std::thread([this] { deviceLoop(); });
+}
+
+GpuModel::~GpuModel()
+{
+    queue_.close();
+    if (device_.joinable())
+        device_.join();
+}
+
+TimeNs
+GpuModel::serviceTime(std::int64_t batch_size) const
+{
+    // DataParallel splits the batch across the available GPUs.
+    const std::int64_t per_gpu =
+        (batch_size + config_.num_gpus - 1) / config_.num_gpus;
+    return config_.base_time + per_gpu * config_.time_per_sample;
+}
+
+void
+GpuModel::submit(pipeline::Batch batch)
+{
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    queue_.push(std::move(batch));
+}
+
+void
+GpuModel::drain()
+{
+    std::unique_lock lock(drain_mutex_);
+    drained_.wait(lock, [this] {
+        return serviced_.load(std::memory_order_acquire) ==
+               submitted_.load(std::memory_order_acquire);
+    });
+}
+
+std::int64_t
+GpuModel::servicedBatches() const
+{
+    return serviced_.load(std::memory_order_acquire);
+}
+
+void
+GpuModel::deviceLoop()
+{
+    setCurrentThreadName("gpu-model");
+    const std::uint32_t pid = currentTid();
+    const auto &clock = SteadyClock::instance();
+    for (;;) {
+        auto batch = queue_.pop();
+        if (!batch.has_value())
+            break;
+        TimeNs service = serviceTime(batch->size());
+        if (config_.jitter > 0.0) {
+            service = static_cast<TimeNs>(
+                static_cast<double>(service) *
+                rng_.uniform(1.0 - config_.jitter, 1.0 + config_.jitter));
+        }
+        const TimeNs start = clock.now();
+
+        // A sliver of host-side unrelated work (optimizer + loss),
+        // so end-to-end hardware profiles contain non-preprocessing
+        // functions that LotusMap must filter out.
+        {
+            hwcount::KernelScope loss(hwcount::KernelId::LossForward);
+            volatile float acc = 0.0f;
+            for (int i = 0; i < 2000; ++i)
+                acc = acc + static_cast<float>(i) * 0.5f;
+            loss.stats().arith_ops += 2000;
+        }
+        {
+            hwcount::KernelScope adam(hwcount::KernelId::AdamStep);
+            volatile float acc = 1.0f;
+            for (int i = 1; i < 2000; ++i)
+                acc = acc * 1.0000001f + 0.25f;
+            adam.stats().arith_ops += 4000;
+        }
+
+        const TimeNs elapsed = clock.now() - start;
+        if (elapsed < service)
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(service - elapsed));
+
+        if (config_.logger) {
+            trace::TraceRecord record;
+            record.kind = trace::RecordKind::GpuCompute;
+            record.batch_id = batch->batch_id;
+            record.pid = pid;
+            record.start = start;
+            record.duration = clock.now() - start;
+            config_.logger->log(std::move(record));
+        }
+
+        serviced_.fetch_add(1, std::memory_order_acq_rel);
+        drained_.notify_all();
+    }
+}
+
+} // namespace lotus::sim

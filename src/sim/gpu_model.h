@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Accelerator consumer model (real-threaded mode).
+ *
+ * The paper uses GPUs only as a batch consumer with a characteristic
+ * per-batch service time (e.g. 750 ms for IS, 250 ms for OD). GpuModel
+ * reproduces that role: a device thread services submitted batches
+ * after a configurable model time; submit() applies backpressure once
+ * max_outstanding batches are in flight, which is what turns a slow
+ * consumer into the GPU-bound regime of Fig. 2(b)/(c).
+ */
+
+#ifndef LOTUS_SIM_GPU_MODEL_H
+#define LOTUS_SIM_GPU_MODEL_H
+
+#include <thread>
+
+#include "common/mpmc_queue.h"
+#include "common/rng.h"
+#include "pipeline/sample.h"
+#include "trace/logger.h"
+
+namespace lotus::sim {
+
+struct GpuConfig
+{
+    int num_gpus = 1;
+    /** Service time per sample on one GPU. */
+    TimeNs time_per_sample = 500 * kMicrosecond;
+    /** Fixed per-batch overhead (launch, sync). */
+    TimeNs base_time = 2 * kMillisecond;
+    /** Multiplicative jitter fraction (+-). */
+    double jitter = 0.05;
+    /** Batches allowed in flight before submit() blocks. */
+    int max_outstanding = 2;
+    std::uint64_t seed = 42;
+    /** Optional tracer for GpuCompute spans. */
+    trace::TraceLogger *logger = nullptr;
+};
+
+class GpuModel
+{
+  public:
+    explicit GpuModel(GpuConfig config);
+    ~GpuModel();
+
+    GpuModel(const GpuModel &) = delete;
+    GpuModel &operator=(const GpuModel &) = delete;
+
+    /** Modelled service time for a batch of @p batch_size (no jitter). */
+    TimeNs serviceTime(std::int64_t batch_size) const;
+
+    /**
+     * Submit a batch; blocks while max_outstanding batches are
+     * already in flight (the training loop's implicit sync).
+     */
+    void submit(pipeline::Batch batch);
+
+    /** Block until every submitted batch has been serviced. */
+    void drain();
+
+    /** Total batches serviced so far. */
+    std::int64_t servicedBatches() const;
+
+  private:
+    void deviceLoop();
+
+    GpuConfig config_;
+    Rng rng_;
+    MpmcQueue<pipeline::Batch> queue_;
+    std::thread device_;
+    std::atomic<std::int64_t> submitted_{0};
+    std::atomic<std::int64_t> serviced_{0};
+    std::mutex drain_mutex_;
+    std::condition_variable drained_;
+};
+
+} // namespace lotus::sim
+
+#endif // LOTUS_SIM_GPU_MODEL_H

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Virtual-time DataLoader simulation.
+ *
+ * Re-runs the exact protocol of dataflow::DataLoader (per-worker index
+ * queues, shared data queue, prefetch priming, producer-directed
+ * refill, in-order consumption with pin-and-cache) as DES coroutines
+ * on a modelled machine, with per-op service times drawn from a
+ * ServiceModel. Emits the same LotusTrace records a real instrumented
+ * run produces, so every LotusTrace analysis (wait/delay, variance,
+ * visualization) runs unchanged on simulated sweeps that exceed the
+ * host's core count.
+ */
+
+#ifndef LOTUS_SIM_LOADER_SIM_H
+#define LOTUS_SIM_LOADER_SIM_H
+
+#include <vector>
+
+#include "hwcount/cost_model.h"
+#include "sim/service_model.h"
+#include "trace/record.h"
+
+namespace lotus::sim {
+
+/** Data-return channel topology (ablation of the paper's Takeaway 4:
+ *  the shared queue is what produces out-of-order arrivals). */
+enum class DataQueuePolicy
+{
+    /** One queue shared by all workers (PyTorch; the paper's setup). */
+    Shared,
+    /** One queue per worker; the main process pops the producer's
+     *  queue directly, so arrivals are always in order. */
+    PerWorker,
+};
+
+struct LoaderSimConfig
+{
+    ServiceModel model;
+    int batch_size = 128;
+    int num_workers = 1;
+    int prefetch_factor = 2;
+    std::int64_t num_batches = 50;
+    DataQueuePolicy queue_policy = DataQueuePolicy::Shared;
+
+    /** Modelled machine (paper: 32 cores). */
+    int cores = 32;
+    /** Apply occupancy-driven CPU time inflation (contention). */
+    bool apply_contention = true;
+
+    int num_gpus = 1;
+    /** GPU service time per sample (batch is split across GPUs). */
+    TimeNs gpu_time_per_sample = 550 * kMicrosecond;
+    TimeNs gpu_base = 2 * kMillisecond;
+    double gpu_jitter = 0.05;
+    /** Batches in flight before the main process blocks on submit. */
+    int gpu_max_outstanding = 2;
+
+    std::uint64_t seed = 1;
+    /** Emit per-sample [T3] records (large; disable for big sweeps). */
+    bool log_ops = true;
+};
+
+struct LoaderSimResult
+{
+    TimeNs e2e_time = 0;
+    /** Mean busy fraction of the modelled cores. */
+    double avg_occupancy = 0.0;
+    /** Worker CPU seconds actually consumed (inflation included). */
+    double total_cpu_seconds = 0.0;
+    /** All LotusTrace records, sorted by start. */
+    std::vector<trace::TraceRecord> records;
+
+    /** Process ids used in records. */
+    static constexpr std::uint32_t kMainPid = 1;
+    static constexpr std::uint32_t kGpuPid = 2;
+    static constexpr std::uint32_t kFirstWorkerPid = 10;
+};
+
+class LoaderSim
+{
+  public:
+    explicit LoaderSim(LoaderSimConfig config);
+
+    /** Run the simulated epoch to completion. Deterministic. */
+    LoaderSimResult run();
+
+    const LoaderSimConfig &config() const { return config_; }
+
+  private:
+    LoaderSimConfig config_;
+};
+
+} // namespace lotus::sim
+
+#endif // LOTUS_SIM_LOADER_SIM_H

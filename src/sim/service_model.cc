@@ -1,0 +1,177 @@
+#include "sim/service_model.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+#include "pipeline/collate.h"
+
+namespace lotus::sim {
+
+TimeNs
+drawLogNormal(TimeNs mean, double cv, Rng &rng)
+{
+    if (mean <= 0)
+        return 0;
+    if (cv <= 0.0)
+        return mean;
+    const double value = rng.logNormalFromMoments(
+        static_cast<double>(mean), cv * static_cast<double>(mean));
+    return value < 0.0 ? 0 : static_cast<TimeNs>(std::llround(value));
+}
+
+TimeNs
+ServiceModel::drawOpTime(std::size_t op_index, Rng &rng) const
+{
+    LOTUS_ASSERT(op_index < per_sample_ops.size(), "op index out of range");
+    const OpCost &op = per_sample_ops[op_index];
+    return drawLogNormal(op.mean, op.cv, rng);
+}
+
+TimeNs
+ServiceModel::drawCollateTime(std::int64_t batch_size, Rng &rng) const
+{
+    return drawLogNormal(collate.mean * batch_size, collate.cv, rng);
+}
+
+double
+ServiceModel::drawBatchFactor(Rng &rng) const
+{
+    if (batch_factor_cv <= 0.0)
+        return 1.0;
+    return rng.logNormalFromMoments(1.0, batch_factor_cv);
+}
+
+TimeNs
+ServiceModel::meanSampleTime() const
+{
+    TimeNs total = 0;
+    for (const auto &op : per_sample_ops)
+        total += op.mean;
+    return total;
+}
+
+ServiceModel
+ServiceModel::imageClassification()
+{
+    ServiceModel model;
+    // Table II, IC row (per image, average). The Loader has the widest
+    // spread: encoded sizes vary a lot (ImageNet file-size cv ~1.2).
+    model.per_sample_ops = {
+        {"Loader", static_cast<TimeNs>(4.76 * kMillisecond), 0.55},
+        {"RandomResizedCrop", static_cast<TimeNs>(1.11 * kMillisecond), 0.30},
+        {"RandomHorizontalFlip", static_cast<TimeNs>(0.06 * kMillisecond),
+         0.80},
+        {"ToTensor", static_cast<TimeNs>(0.34 * kMillisecond), 0.15},
+        {"Normalize", static_cast<TimeNs>(0.21 * kMillisecond), 0.12},
+    };
+    // C(128) = 49.76 ms -> ~0.389 ms per sample.
+    model.collate = {"Collate", static_cast<TimeNs>(0.389 * kMillisecond),
+                     0.10};
+    model.pin_per_sample = 60 * kMicrosecond;
+    // Fig. 4: per-batch stddev 5.48-10.73% of the mean at every size.
+    model.batch_factor_cv = 0.075;
+    return model;
+}
+
+ServiceModel
+ServiceModel::imageSegmentation()
+{
+    ServiceModel model;
+    // Table II, IS row: bimodal/heavy-tailed ops (RBC P90 is 3.3x its
+    // mean; GN fires with probability ~0.1 and is huge when it does).
+    model.per_sample_ops = {
+        {"Loader", static_cast<TimeNs>(72.03 * kMillisecond), 0.60},
+        {"RandBalancedCrop", static_cast<TimeNs>(91.10 * kMillisecond), 1.6},
+        {"RandomFlip", static_cast<TimeNs>(4.39 * kMillisecond), 0.9},
+        {"Cast", static_cast<TimeNs>(2.16 * kMillisecond), 0.5},
+        {"RandomBrightnessAugmentation",
+         static_cast<TimeNs>(0.78 * kMillisecond), 2.5},
+        {"GaussianNoise", static_cast<TimeNs>(6.46 * kMillisecond), 3.0},
+    };
+    // C(2) = 14.24 ms -> 7.12 ms per sample.
+    model.collate = {"Collate", static_cast<TimeNs>(7.12 * kMillisecond),
+                     0.12};
+    model.pin_per_sample = 800 * kMicrosecond;
+    // Paper: IS per-batch stddev 15.47% of the mean.
+    model.batch_factor_cv = 0.12;
+    return model;
+}
+
+ServiceModel
+ServiceModel::objectDetection()
+{
+    ServiceModel model;
+    // Table II, OD row.
+    model.per_sample_ops = {
+        {"Loader", static_cast<TimeNs>(9.59 * kMillisecond), 0.55},
+        {"Resize", static_cast<TimeNs>(9.43 * kMillisecond), 0.25},
+        {"RandomHorizontalFlip", static_cast<TimeNs>(0.52 * kMillisecond),
+         1.0},
+        {"ToTensor", static_cast<TimeNs>(6.75 * kMillisecond), 0.55},
+        {"Normalize", static_cast<TimeNs>(7.80 * kMillisecond), 0.45},
+    };
+    // C(2) = 7.39 ms -> 3.70 ms per sample.
+    model.collate = {"Collate", static_cast<TimeNs>(3.70 * kMillisecond),
+                     0.25};
+    model.pin_per_sample = 500 * kMicrosecond;
+    // Paper: OD per-batch stddev 66.8% of the mean.
+    model.batch_factor_cv = 0.60;
+    return model;
+}
+
+ServiceModel
+ServiceModel::calibrate(const std::vector<trace::TraceRecord> &records,
+                        std::int64_t collate_batch_size)
+{
+    LOTUS_ASSERT(collate_batch_size > 0);
+    struct Moments
+    {
+        double sum = 0.0;
+        double sum_sq = 0.0;
+        std::uint64_t count = 0;
+    };
+    std::map<std::string, Moments> by_op;
+    std::vector<std::string> order;
+    for (const auto &record : records) {
+        if (record.kind != trace::RecordKind::TransformOp)
+            continue;
+        auto [it, inserted] = by_op.try_emplace(record.op_name);
+        if (inserted)
+            order.push_back(record.op_name);
+        const auto duration = static_cast<double>(record.duration);
+        it->second.sum += duration;
+        it->second.sum_sq += duration * duration;
+        it->second.count += 1;
+    }
+    LOTUS_ASSERT(!order.empty(), "no TransformOp records to calibrate from");
+
+    auto costOf = [&](const std::string &name) {
+        const Moments &m = by_op.at(name);
+        OpCost cost;
+        cost.name = name;
+        const double mean = m.sum / static_cast<double>(m.count);
+        const double var =
+            m.count > 1
+                ? std::max(0.0, m.sum_sq / static_cast<double>(m.count) -
+                                    mean * mean)
+                : 0.0;
+        cost.mean = static_cast<TimeNs>(std::llround(mean));
+        cost.cv = mean > 0.0 ? std::sqrt(var) / mean : 0.0;
+        return cost;
+    };
+
+    ServiceModel model;
+    for (const auto &name : order) {
+        if (name == pipeline::Collate::kOpName) {
+            OpCost collate = costOf(name);
+            collate.mean /= collate_batch_size; // per-sample share
+            model.collate = collate;
+        } else {
+            model.per_sample_ops.push_back(costOf(name));
+        }
+    }
+    return model;
+}
+
+} // namespace lotus::sim

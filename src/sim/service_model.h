@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Per-operation service-time model driving the DES workers.
+ *
+ * Each preprocessing op costs a lognormal per-sample CPU time
+ * (mean + coefficient of variation), the distribution family that
+ * matches the heavy-tailed per-op times Table II reports. Models can
+ * be built from the paper's published means, or calibrated from a
+ * real instrumented run's [T3] records.
+ */
+
+#ifndef LOTUS_SIM_SERVICE_MODEL_H
+#define LOTUS_SIM_SERVICE_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "trace/record.h"
+
+namespace lotus::sim {
+
+struct OpCost
+{
+    std::string name;
+    /** Mean per-sample CPU time. */
+    TimeNs mean = 0;
+    /** Coefficient of variation (stddev / mean). */
+    double cv = 0.3;
+};
+
+struct ServiceModel
+{
+    /** Ops applied per sample, in order (first is the Loader). */
+    std::vector<OpCost> per_sample_ops;
+    /** Collation cost per sample in the batch. */
+    OpCost collate{"Collate", 350 * kMicrosecond, 0.15};
+    /** Main-process pin cost per sample in a batch. */
+    TimeNs pin_per_sample = 60 * kMicrosecond;
+    /**
+     * Batch-level correlated variation: one lognormal factor drawn
+     * per batch multiplies every op time in it. Models input-size
+     * clustering and scheduling noise, which is why the paper's
+     * per-batch stddev stays at 5-11% of the mean at every batch size
+     * instead of shrinking with sqrt(batch_size).
+     */
+    double batch_factor_cv = 0.0;
+
+    /** Draw the batch-level multiplier (1.0 when batch_factor_cv=0). */
+    double drawBatchFactor(Rng &rng) const;
+
+    /** Draw one op's per-sample time. */
+    TimeNs drawOpTime(std::size_t op_index, Rng &rng) const;
+
+    /** Draw the collate time for a batch of @p batch_size. */
+    TimeNs drawCollateTime(std::int64_t batch_size, Rng &rng) const;
+
+    /** Mean total per-sample preprocessing time (excluding collate). */
+    TimeNs meanSampleTime() const;
+
+    /**
+     * The paper's Image Classification pipeline at Table II
+     * magnitudes (Loader 4.76 ms, RRC 1.11 ms, RHF 0.06 ms,
+     * TT 0.34 ms, Normalize 0.21 ms; C(128) 49.76 ms).
+     */
+    static ServiceModel imageClassification();
+
+    /** IS pipeline at Table II magnitudes. */
+    static ServiceModel imageSegmentation();
+
+    /** OD pipeline at Table II magnitudes. */
+    static ServiceModel objectDetection();
+
+    /**
+     * Fit a model from [T3] TransformOp records of a real
+     * instrumented run: per-op mean and cv, with collate split out by
+     * name. Ops appear in first-seen order.
+     */
+    static ServiceModel calibrate(
+        const std::vector<trace::TraceRecord> &records,
+        std::int64_t collate_batch_size);
+};
+
+/** Lognormal draw with the given mean and coefficient of variation. */
+TimeNs drawLogNormal(TimeNs mean, double cv, Rng &rng);
+
+} // namespace lotus::sim
+
+#endif // LOTUS_SIM_SERVICE_MODEL_H

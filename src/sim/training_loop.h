@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Single-epoch training driver (real-threaded mode): DataLoader as
+ * producer, GpuModel as consumer, with the per-iteration host-side
+ * overhead a Python training loop would add.
+ */
+
+#ifndef LOTUS_SIM_TRAINING_LOOP_H
+#define LOTUS_SIM_TRAINING_LOOP_H
+
+#include <memory>
+
+#include "dataflow/data_loader.h"
+#include "sim/gpu_model.h"
+
+namespace lotus::sim {
+
+struct EpochStats
+{
+    std::int64_t batches = 0;
+    std::int64_t samples = 0;
+    TimeNs wall_time = 0;
+};
+
+class TrainingLoop
+{
+  public:
+    TrainingLoop(dataflow::DataLoader &loader, GpuModel &gpu);
+
+    /** Run one epoch to completion; returns wall-clock statistics. */
+    EpochStats runEpoch();
+
+  private:
+    dataflow::DataLoader &loader_;
+    GpuModel &gpu_;
+};
+
+} // namespace lotus::sim
+
+#endif // LOTUS_SIM_TRAINING_LOOP_H

@@ -1,0 +1,80 @@
+#include "tensor/serialize.h"
+
+#include <cstring>
+
+#include "hwcount/registry.h"
+
+namespace lotus::tensor {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'T', '0', '1'};
+
+void
+appendU64(std::string &out, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+}
+
+std::uint64_t
+readU64(const std::string &bytes, std::size_t offset)
+{
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+        value |= static_cast<std::uint64_t>(
+                     static_cast<std::uint8_t>(bytes[offset + i]))
+                 << (8 * i);
+    }
+    return value;
+}
+
+} // namespace
+
+std::string
+toBytes(const Tensor &input)
+{
+    hwcount::KernelScope scope(hwcount::KernelId::QueueSerialize);
+    std::string out;
+    out.reserve(16 + input.rank() * 8 + input.byteSize());
+    out.append(kMagic, sizeof(kMagic));
+    out.push_back(static_cast<char>(input.dtype()));
+    out.push_back(static_cast<char>(input.rank()));
+    for (const auto dim : input.shape())
+        appendU64(out, static_cast<std::uint64_t>(dim));
+    out.append(reinterpret_cast<const char *>(input.raw()),
+               input.byteSize());
+    scope.stats().bytes_read += input.byteSize();
+    scope.stats().bytes_written += out.size();
+    scope.stats().items += 1;
+    return out;
+}
+
+Tensor
+fromBytes(const std::string &bytes)
+{
+    hwcount::KernelScope scope(hwcount::KernelId::QueueDeserialize);
+    if (bytes.size() < 6 || std::memcmp(bytes.data(), kMagic, 4) != 0)
+        LOTUS_FATAL("not a serialized tensor (%zu bytes)", bytes.size());
+    const auto dtype = static_cast<DType>(bytes[4]);
+    LOTUS_ASSERT(dtype == DType::U8 || dtype == DType::F32,
+                 "bad dtype byte %d", bytes[4]);
+    const auto rank = static_cast<std::size_t>(
+        static_cast<std::uint8_t>(bytes[5]));
+    LOTUS_ASSERT(bytes.size() >= 6 + rank * 8, "truncated tensor header");
+    std::vector<std::int64_t> shape(rank);
+    for (std::size_t i = 0; i < rank; ++i)
+        shape[i] = static_cast<std::int64_t>(readU64(bytes, 6 + i * 8));
+    Tensor out(dtype, shape);
+    const std::size_t payload_offset = 6 + rank * 8;
+    LOTUS_ASSERT(bytes.size() == payload_offset + out.byteSize(),
+                 "tensor payload size mismatch (%zu vs %zu)",
+                 bytes.size() - payload_offset, out.byteSize());
+    std::memcpy(out.raw(), bytes.data() + payload_offset, out.byteSize());
+    scope.stats().bytes_read += bytes.size();
+    scope.stats().bytes_written += out.byteSize();
+    scope.stats().items += 1;
+    return out;
+}
+
+} // namespace lotus::tensor

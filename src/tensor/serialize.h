@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Flat binary tensor (de)serialization — the "numpy file" analogue
+ * used by the segmentation workload's preprocessed dataset.
+ */
+
+#ifndef LOTUS_TENSOR_SERIALIZE_H
+#define LOTUS_TENSOR_SERIALIZE_H
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace lotus::tensor {
+
+/** Serialize to a self-describing byte string. */
+std::string toBytes(const Tensor &input);
+
+/** Parse bytes produced by toBytes(). Fatal on malformed input. */
+Tensor fromBytes(const std::string &bytes);
+
+} // namespace lotus::tensor
+
+#endif // LOTUS_TENSOR_SERIALIZE_H

@@ -1,0 +1,95 @@
+#include "tensor/tensor.h"
+
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace lotus::tensor {
+
+std::size_t
+dtypeSize(DType dtype)
+{
+    switch (dtype) {
+      case DType::U8: return 1;
+      case DType::F32: return 4;
+    }
+    LOTUS_PANIC("bad dtype %d", static_cast<int>(dtype));
+}
+
+const char *
+dtypeName(DType dtype)
+{
+    switch (dtype) {
+      case DType::U8: return "u8";
+      case DType::F32: return "f32";
+    }
+    LOTUS_PANIC("bad dtype %d", static_cast<int>(dtype));
+}
+
+namespace {
+
+std::int64_t
+shapeNumel(const std::vector<std::int64_t> &shape)
+{
+    std::int64_t numel = 1;
+    for (const auto dim : shape) {
+        LOTUS_ASSERT(dim >= 0, "negative dimension %lld",
+                     static_cast<long long>(dim));
+        numel *= dim;
+    }
+    return numel;
+}
+
+} // namespace
+
+Tensor::Tensor(DType dtype, std::vector<std::int64_t> shape)
+    : dtype_(dtype), shape_(std::move(shape)), numel_(shapeNumel(shape_)),
+      data_(static_cast<std::size_t>(numel_) * dtypeSize(dtype), 0)
+{
+}
+
+std::int64_t
+Tensor::dim(int i) const
+{
+    const int rank = static_cast<int>(shape_.size());
+    if (i < 0)
+        i += rank;
+    LOTUS_ASSERT(i >= 0 && i < rank, "dim %d out of range for rank %d", i,
+                 rank);
+    return shape_[static_cast<std::size_t>(i)];
+}
+
+Tensor
+Tensor::clone() const
+{
+    Tensor copy(dtype_, shape_);
+    copy.data_ = data_;
+    return copy;
+}
+
+Tensor
+Tensor::reshaped(std::vector<std::int64_t> shape) &&
+{
+    LOTUS_ASSERT(shapeNumel(shape) == numel_,
+                 "reshape changes element count");
+    shape_ = std::move(shape);
+    return std::move(*this);
+}
+
+bool
+Tensor::sameShape(const Tensor &other) const
+{
+    return shape_ == other.shape_;
+}
+
+std::string
+Tensor::description() const
+{
+    std::vector<std::string> dims;
+    dims.reserve(shape_.size());
+    for (const auto dim : shape_)
+        dims.push_back(strFormat("%lld", static_cast<long long>(dim)));
+    return std::string(dtypeName(dtype_)) + "[" + strJoin(dims, ", ") + "]";
+}
+
+} // namespace lotus::tensor

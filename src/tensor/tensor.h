@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Dense in-memory tensors, the data currency of preprocessing.
+ *
+ * A deliberately small numpy/torch analogue: contiguous row-major
+ * storage, u8 or f32 elements, explicit shapes. Image decoding
+ * produces HWC u8 tensors (via lotus::image), ToTensor converts to
+ * CHW f32, segmentation volumes are CDHW, and collation stacks a
+ * leading batch dimension.
+ */
+
+#ifndef LOTUS_TENSOR_TENSOR_H
+#define LOTUS_TENSOR_TENSOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace lotus::tensor {
+
+enum class DType : std::uint8_t
+{
+    U8,
+    F32,
+};
+
+/** Element size in bytes. */
+std::size_t dtypeSize(DType dtype);
+
+/** "u8" / "f32". */
+const char *dtypeName(DType dtype);
+
+class Tensor
+{
+  public:
+    /** Empty tensor (numel 0, no storage). */
+    Tensor() = default;
+
+    /** Zero-initialized tensor of the given shape. */
+    Tensor(DType dtype, std::vector<std::int64_t> shape);
+
+    DType dtype() const { return dtype_; }
+    const std::vector<std::int64_t> &shape() const { return shape_; }
+    std::size_t rank() const { return shape_.size(); }
+
+    /** Size of dimension @p i (supports negative indices). */
+    std::int64_t dim(int i) const;
+
+    /** Total number of elements. */
+    std::int64_t numel() const { return numel_; }
+
+    /** Total storage in bytes. */
+    std::size_t byteSize() const { return data_.size(); }
+
+    bool empty() const { return numel_ == 0; }
+
+    /** Typed element access; panics on dtype mismatch. */
+    template <typename T>
+    T *
+    data()
+    {
+        checkType<T>();
+        return reinterpret_cast<T *>(data_.data());
+    }
+
+    template <typename T>
+    const T *
+    data() const
+    {
+        checkType<T>();
+        return reinterpret_cast<const T *>(data_.data());
+    }
+
+    std::uint8_t *raw() { return data_.data(); }
+    const std::uint8_t *raw() const { return data_.data(); }
+
+    /** Deep copy. */
+    Tensor clone() const;
+
+    /**
+     * Reinterpret the storage with a new shape (same numel).
+     * Cheap: storage is moved, not copied, on rvalue use.
+     */
+    Tensor reshaped(std::vector<std::int64_t> shape) &&;
+
+    bool sameShape(const Tensor &other) const;
+
+    /** "f32[3, 224, 224]" */
+    std::string description() const;
+
+  private:
+    template <typename T>
+    void
+    checkType() const
+    {
+        if constexpr (std::is_same_v<T, std::uint8_t>) {
+            LOTUS_ASSERT(dtype_ == DType::U8, "tensor is %s not u8",
+                         dtypeName(dtype_));
+        } else if constexpr (std::is_same_v<T, float>) {
+            LOTUS_ASSERT(dtype_ == DType::F32, "tensor is %s not f32",
+                         dtypeName(dtype_));
+        } else {
+            static_assert(std::is_same_v<T, std::uint8_t> ||
+                              std::is_same_v<T, float>,
+                          "unsupported element type");
+        }
+    }
+
+    DType dtype_ = DType::U8;
+    std::vector<std::int64_t> shape_;
+    std::int64_t numel_ = 0;
+    std::vector<std::uint8_t> data_;
+};
+
+} // namespace lotus::tensor
+
+#endif // LOTUS_TENSOR_TENSOR_H

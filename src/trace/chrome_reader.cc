@@ -1,0 +1,324 @@
+#include "trace/chrome_reader.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "common/files.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace lotus::trace {
+
+namespace detail {
+
+namespace {
+
+/** Recursive-descent JSON parser over a string view. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue value = parseValue();
+        skipWhitespace();
+        LOTUS_ASSERT(pos_ == text_.size(),
+                     "trailing garbage at offset %zu in trace JSON", pos_);
+        return value;
+    }
+
+  private:
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWhitespace();
+        LOTUS_ASSERT(pos_ < text_.size(), "unexpected end of trace JSON");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        LOTUS_ASSERT(peek() == c,
+                     "expected '%c' at offset %zu in trace JSON", c, pos_);
+        ++pos_;
+    }
+
+    bool
+    consumeIf(char c)
+    {
+        if (peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': {
+            JsonValue value;
+            value.kind = JsonValue::Kind::String;
+            value.string = parseString();
+            return value;
+          }
+          case 't':
+          case 'f': return parseKeyword();
+          case 'n': return parseKeyword();
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue value;
+        value.kind = JsonValue::Kind::Object;
+        if (consumeIf('}'))
+            return value;
+        for (;;) {
+            std::string key = parseString();
+            expect(':');
+            value.object.emplace_back(std::move(key), parseValue());
+            if (consumeIf('}'))
+                return value;
+            expect(',');
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue value;
+        value.kind = JsonValue::Kind::Array;
+        if (consumeIf(']'))
+            return value;
+        for (;;) {
+            value.array.push_back(parseValue());
+            if (consumeIf(']'))
+                return value;
+            expect(',');
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            LOTUS_ASSERT(pos_ < text_.size(), "truncated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                LOTUS_ASSERT(pos_ + 4 <= text_.size(), "truncated \\u");
+                const unsigned code = static_cast<unsigned>(
+                    std::stoul(text_.substr(pos_, 4), nullptr, 16));
+                pos_ += 4;
+                // Minimal UTF-8 encode (trace names are ASCII-mostly).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                LOTUS_FATAL("bad escape '\\%c' in trace JSON", esc);
+            }
+        }
+        LOTUS_FATAL("unterminated string in trace JSON");
+    }
+
+    JsonValue
+    parseKeyword()
+    {
+        JsonValue value;
+        auto matches = [&](const char *word) {
+            const std::size_t len = std::string(word).size();
+            if (text_.compare(pos_, len, word) == 0) {
+                pos_ += len;
+                return true;
+            }
+            return false;
+        };
+        skipWhitespace();
+        if (matches("true")) {
+            value.kind = JsonValue::Kind::Bool;
+            value.boolean = true;
+        } else if (matches("false")) {
+            value.kind = JsonValue::Kind::Bool;
+            value.boolean = false;
+        } else if (matches("null")) {
+            value.kind = JsonValue::Kind::Null;
+        } else {
+            LOTUS_FATAL("bad keyword at offset %zu in trace JSON", pos_);
+        }
+        return value;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        skipWhitespace();
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        LOTUS_ASSERT(pos_ > start, "expected number at offset %zu", start);
+        JsonValue value;
+        value.kind = JsonValue::Kind::Number;
+        value.number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                                   nullptr);
+        return value;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : object) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+std::string
+JsonValue::asString() const
+{
+    switch (kind) {
+      case Kind::String: return string;
+      case Kind::Number: {
+        if (number == std::floor(number) && std::abs(number) < 1e15) {
+            return strFormat("%lld",
+                             static_cast<long long>(std::llround(number)));
+        }
+        return strFormat("%g", number);
+      }
+      case Kind::Bool: return boolean ? "true" : "false";
+      case Kind::Null: return "null";
+      default: return "<composite>";
+    }
+}
+
+JsonValue
+parseJson(const std::string &text)
+{
+    Parser parser(text);
+    return parser.parse();
+}
+
+} // namespace detail
+
+namespace {
+
+ChromeEvent
+eventFromJson(const detail::JsonValue &value)
+{
+    ChromeEvent event;
+    if (const auto *name = value.find("name"))
+        event.name = name->asString();
+    if (const auto *cat = value.find("cat"))
+        event.category = cat->asString();
+    if (const auto *ph = value.find("ph");
+        ph && !ph->string.empty())
+        event.phase = ph->string[0];
+    if (const auto *ts = value.find("ts"))
+        event.ts_us = ts->number;
+    if (const auto *dur = value.find("dur"))
+        event.dur_us = dur->number;
+    if (const auto *pid = value.find("pid"))
+        event.pid = static_cast<std::int64_t>(pid->number);
+    if (const auto *tid = value.find("tid"))
+        event.tid = static_cast<std::int64_t>(tid->number);
+    if (const auto *id = value.find("id")) {
+        event.id = static_cast<std::int64_t>(id->number);
+        event.has_id = true;
+    }
+    if (const auto *args = value.find("args");
+        args && args->kind == detail::JsonValue::Kind::Object) {
+        for (const auto &[key, arg] : args->object)
+            event.args.emplace_back(key, arg.asString());
+    }
+    return event;
+}
+
+} // namespace
+
+std::vector<ChromeEvent>
+parseChromeTrace(const std::string &json)
+{
+    const auto document = detail::parseJson(json);
+    const detail::JsonValue *events = nullptr;
+    if (document.kind == detail::JsonValue::Kind::Array) {
+        events = &document;
+    } else if (document.kind == detail::JsonValue::Kind::Object) {
+        events = document.find("traceEvents");
+        LOTUS_ASSERT(events != nullptr,
+                     "trace JSON object lacks traceEvents");
+    } else {
+        LOTUS_FATAL("trace JSON is neither an object nor an array");
+    }
+    LOTUS_ASSERT(events->kind == detail::JsonValue::Kind::Array,
+                 "traceEvents is not an array");
+    std::vector<ChromeEvent> out;
+    out.reserve(events->array.size());
+    for (const auto &value : events->array)
+        out.push_back(eventFromJson(value));
+    return out;
+}
+
+std::vector<ChromeEvent>
+readChromeTraceFile(const std::string &path)
+{
+    return parseChromeTrace(readFile(path));
+}
+
+} // namespace lotus::trace

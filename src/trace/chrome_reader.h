@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reader for Chrome Trace Event JSON documents.
+ *
+ * LotusTrace can augment an existing framework-profiler trace
+ * (paper §III-C): this parser loads such a document's traceEvents —
+ * either the object form {"traceEvents": [...]} or the bare array
+ * form — into ChromeEvents that ChromeTraceBuilder::addRaw can carry
+ * forward unchanged next to Lotus's negative-id events.
+ *
+ * Scope: the subset of JSON the trace format uses (objects, arrays,
+ * strings with escapes, numbers, booleans, null). Unknown keys are
+ * preserved only insofar as they map onto ChromeEvent fields; args
+ * values are stringified.
+ */
+
+#ifndef LOTUS_TRACE_CHROME_READER_H
+#define LOTUS_TRACE_CHROME_READER_H
+
+#include <string>
+#include <vector>
+
+#include "trace/chrome_trace.h"
+
+namespace lotus::trace {
+
+/**
+ * Parse a Chrome trace JSON document. Fatal on malformed JSON;
+ * events missing a phase default to 'X'.
+ */
+std::vector<ChromeEvent> parseChromeTrace(const std::string &json);
+
+/** Parse a Chrome trace file from disk. */
+std::vector<ChromeEvent> readChromeTraceFile(const std::string &path);
+
+namespace detail {
+
+/** Minimal JSON value used by the trace reader. */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue *find(const std::string &key) const;
+    std::string asString() const;
+};
+
+/** Parse one JSON document. Fatal on malformed input. */
+JsonValue parseJson(const std::string &text);
+
+} // namespace detail
+
+} // namespace lotus::trace
+
+#endif // LOTUS_TRACE_CHROME_READER_H

@@ -1,0 +1,184 @@
+#include "trace/chrome_trace.h"
+
+#include "common/files.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace lotus::trace {
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strFormat("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+ChromeEvent::toJson() const
+{
+    std::string out = "{";
+    out += strFormat("\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\"",
+                     jsonEscape(name).c_str(),
+                     jsonEscape(category.empty() ? "lotus" : category).c_str(),
+                     phase);
+    out += strFormat(",\"ts\":%.3f", ts_us);
+    if (phase == 'X')
+        out += strFormat(",\"dur\":%.3f", dur_us);
+    out += strFormat(",\"pid\":%lld,\"tid\":%lld",
+                     static_cast<long long>(pid),
+                     static_cast<long long>(tid));
+    if (has_id)
+        out += strFormat(",\"id\":%lld", static_cast<long long>(id));
+    if (phase == 'f')
+        out += ",\"bp\":\"e\"";
+    if (!args.empty()) {
+        out += ",\"args\":{";
+        for (std::size_t i = 0; i < args.size(); ++i) {
+            if (i > 0)
+                out += ",";
+            out += strFormat("\"%s\":\"%s\"",
+                             jsonEscape(args[i].first).c_str(),
+                             jsonEscape(args[i].second).c_str());
+        }
+        out += "}";
+    }
+    out += "}";
+    return out;
+}
+
+void
+ChromeTraceBuilder::addComplete(const std::string &name,
+                                const std::string &category, TimeNs start,
+                                TimeNs duration, std::int64_t pid,
+                                std::int64_t tid)
+{
+    ChromeEvent event;
+    event.name = name;
+    event.category = category;
+    event.phase = 'X';
+    event.ts_us = toUs(start);
+    event.dur_us = toUs(duration);
+    event.pid = pid;
+    event.tid = tid;
+    event.id = nextSyntheticId();
+    event.has_id = true;
+    events_.push_back(std::move(event));
+}
+
+std::int64_t
+ChromeTraceBuilder::addFlow(const std::string &name, TimeNs from_time,
+                            std::int64_t from_pid, std::int64_t from_tid,
+                            TimeNs to_time, std::int64_t to_pid,
+                            std::int64_t to_tid)
+{
+    const std::int64_t flow_id = nextSyntheticId();
+    ChromeEvent start;
+    start.name = name;
+    start.phase = 's';
+    start.ts_us = toUs(from_time);
+    start.pid = from_pid;
+    start.tid = from_tid;
+    start.id = flow_id;
+    start.has_id = true;
+    events_.push_back(std::move(start));
+
+    ChromeEvent finish;
+    finish.name = name;
+    finish.phase = 'f';
+    finish.ts_us = toUs(to_time);
+    finish.pid = to_pid;
+    finish.tid = to_tid;
+    finish.id = flow_id;
+    finish.has_id = true;
+    events_.push_back(std::move(finish));
+    return flow_id;
+}
+
+void
+ChromeTraceBuilder::addInstant(const std::string &name, TimeNs time,
+                               std::int64_t pid, std::int64_t tid)
+{
+    ChromeEvent event;
+    event.name = name;
+    event.phase = 'i';
+    event.ts_us = toUs(time);
+    event.pid = pid;
+    event.tid = tid;
+    events_.push_back(std::move(event));
+}
+
+void
+ChromeTraceBuilder::setProcessName(std::int64_t pid, const std::string &name)
+{
+    ChromeEvent event;
+    event.name = "process_name";
+    event.phase = 'M';
+    event.pid = pid;
+    event.args.emplace_back("name", name);
+    events_.push_back(std::move(event));
+}
+
+void
+ChromeTraceBuilder::setThreadName(std::int64_t pid, std::int64_t tid,
+                                  const std::string &name)
+{
+    ChromeEvent event;
+    event.name = "thread_name";
+    event.phase = 'M';
+    event.pid = pid;
+    event.tid = tid;
+    event.args.emplace_back("name", name);
+    events_.push_back(std::move(event));
+}
+
+void
+ChromeTraceBuilder::addArgToLast(const std::string &key,
+                                 const std::string &value)
+{
+    LOTUS_ASSERT(!events_.empty(), "no event to attach an arg to");
+    events_.back().args.emplace_back(key, value);
+}
+
+void
+ChromeTraceBuilder::addRaw(ChromeEvent event)
+{
+    events_.push_back(std::move(event));
+}
+
+std::string
+ChromeTraceBuilder::toJson() const
+{
+    std::string out = "{\"traceEvents\":[";
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        if (i > 0)
+            out += ",\n";
+        out += events_[i].toJson();
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}";
+    return out;
+}
+
+std::uint64_t
+ChromeTraceBuilder::writeTo(const std::string &path) const
+{
+    const std::string json = toJson();
+    writeFile(path, json);
+    return json.size();
+}
+
+} // namespace lotus::trace

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Chrome Trace Event JSON output (the format used by chrome://tracing
+ * and the PyTorch profiler, which LotusTrace piggybacks on).
+ *
+ * Supports complete ('X') spans, flow arrows ('s'/'f') used to draw
+ * the preprocessed -> consumed data-flow edges, instant events, and
+ * process/thread name metadata. Lotus events carry negative synthetic
+ * ids so they never collide with a framework profiler's positive ids
+ * (paper §III-C).
+ */
+
+#ifndef LOTUS_TRACE_CHROME_TRACE_H
+#define LOTUS_TRACE_CHROME_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace lotus::trace {
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &text);
+
+struct ChromeEvent
+{
+    std::string name;
+    std::string category;
+    /** 'X' complete, 's' flow start, 'f' flow finish, 'i' instant,
+     *  'M' metadata. */
+    char phase = 'X';
+    /** Microseconds (Chrome Trace convention). */
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    std::int64_t pid = 0;
+    std::int64_t tid = 0;
+    /** Event/flow id; Lotus uses negative synthetic ids. */
+    std::int64_t id = 0;
+    bool has_id = false;
+    std::vector<std::pair<std::string, std::string>> args;
+
+    std::string toJson() const;
+};
+
+class ChromeTraceBuilder
+{
+  public:
+    /** Allocate the next negative synthetic id. */
+    std::int64_t nextSyntheticId() { return next_synthetic_id_--; }
+
+    /** Add a complete span. */
+    void addComplete(const std::string &name, const std::string &category,
+                     TimeNs start, TimeNs duration, std::int64_t pid,
+                     std::int64_t tid);
+
+    /** Add a flow arrow from one point to another. Returns flow id. */
+    std::int64_t addFlow(const std::string &name, TimeNs from_time,
+                         std::int64_t from_pid, std::int64_t from_tid,
+                         TimeNs to_time, std::int64_t to_pid,
+                         std::int64_t to_tid);
+
+    /** Add an instant event. */
+    void addInstant(const std::string &name, TimeNs time, std::int64_t pid,
+                    std::int64_t tid);
+
+    /** Name a process lane. */
+    void setProcessName(std::int64_t pid, const std::string &name);
+
+    /** Name a thread lane. */
+    void setThreadName(std::int64_t pid, std::int64_t tid,
+                       const std::string &name);
+
+    /** Attach an argument to the most recently added event. */
+    void addArgToLast(const std::string &key, const std::string &value);
+
+    /** Append an event from another source (e.g. a framework
+     *  profiler's trace being augmented). */
+    void addRaw(ChromeEvent event);
+
+    const std::vector<ChromeEvent> &events() const { return events_; }
+
+    /** Render the complete JSON document. */
+    std::string toJson() const;
+
+    /** Render and write to @p path; returns bytes written. */
+    std::uint64_t writeTo(const std::string &path) const;
+
+  private:
+    std::vector<ChromeEvent> events_;
+    std::int64_t next_synthetic_id_ = -1;
+};
+
+} // namespace lotus::trace
+
+#endif // LOTUS_TRACE_CHROME_TRACE_H

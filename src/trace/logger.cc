@@ -1,0 +1,115 @@
+#include "trace/logger.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/files.h"
+
+namespace lotus::trace {
+
+namespace {
+std::atomic<std::uint64_t> next_logger_id{1};
+} // namespace
+
+TraceLogger::TraceLogger(const Clock *clock)
+    : clock_(clock), instance_id_(next_logger_id.fetch_add(1))
+{
+}
+
+TraceLogger::ThreadBuffer &
+TraceLogger::threadBuffer()
+{
+    thread_local std::vector<
+        std::pair<std::uint64_t, std::shared_ptr<ThreadBuffer>>>
+        cache;
+    for (const auto &[owner, buffer] : cache) {
+        if (owner == instance_id_)
+            return *buffer;
+    }
+    auto buffer = std::make_shared<ThreadBuffer>();
+    {
+        std::lock_guard lock(buffers_mutex_);
+        buffers_.push_back(buffer);
+    }
+    cache.emplace_back(instance_id_, buffer);
+    return *buffer;
+}
+
+void
+TraceLogger::log(TraceRecord record)
+{
+    if (observer_)
+        observer_(record);
+    if (!store_records_)
+        return;
+    auto &buffer = threadBuffer();
+    std::lock_guard lock(buffer.mutex);
+    buffer.records.push_back(std::move(record));
+}
+
+std::vector<TraceRecord>
+TraceLogger::records() const
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        std::lock_guard lock(buffers_mutex_);
+        buffers = buffers_;
+    }
+    std::vector<TraceRecord> merged;
+    for (const auto &buffer : buffers) {
+        std::lock_guard lock(buffer->mutex);
+        merged.insert(merged.end(), buffer->records.begin(),
+                      buffer->records.end());
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const TraceRecord &a, const TraceRecord &b) {
+                  return a.start < b.start;
+              });
+    return merged;
+}
+
+std::uint64_t
+TraceLogger::recordCount() const
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        std::lock_guard lock(buffers_mutex_);
+        buffers = buffers_;
+    }
+    std::uint64_t count = 0;
+    for (const auto &buffer : buffers) {
+        std::lock_guard lock(buffer->mutex);
+        count += buffer->records.size();
+    }
+    return count;
+}
+
+std::uint64_t
+TraceLogger::writeTo(const std::string &path) const
+{
+    const std::string text = recordsToText(records());
+    writeFile(path, text);
+    return text.size();
+}
+
+std::vector<TraceRecord>
+TraceLogger::readFrom(const std::string &path)
+{
+    return recordsFromText(readFile(path));
+}
+
+void
+TraceLogger::reset()
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        std::lock_guard lock(buffers_mutex_);
+        buffers = buffers_;
+    }
+    for (const auto &buffer : buffers) {
+        std::lock_guard lock(buffer->mutex);
+        buffer->records.clear();
+    }
+}
+
+} // namespace lotus::trace

@@ -1,0 +1,100 @@
+#include "trace/record.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace lotus::trace {
+
+const char *
+recordKindName(RecordKind kind)
+{
+    switch (kind) {
+      case RecordKind::BatchPreprocessed: return "SBatchPreprocessed";
+      case RecordKind::BatchWait: return "SBatchWait";
+      case RecordKind::BatchConsumed: return "SBatchConsumed";
+      case RecordKind::TransformOp: return "STransformOp";
+      case RecordKind::GpuCompute: return "SGpuCompute";
+      case RecordKind::EpochBoundary: return "SEpoch";
+    }
+    LOTUS_PANIC("bad record kind %d", static_cast<int>(kind));
+}
+
+namespace {
+
+RecordKind
+kindFromName(const std::string &name)
+{
+    static const std::pair<const char *, RecordKind> kinds[] = {
+        {"SBatchPreprocessed", RecordKind::BatchPreprocessed},
+        {"SBatchWait", RecordKind::BatchWait},
+        {"SBatchConsumed", RecordKind::BatchConsumed},
+        {"STransformOp", RecordKind::TransformOp},
+        {"SGpuCompute", RecordKind::GpuCompute},
+        {"SEpoch", RecordKind::EpochBoundary},
+    };
+    for (const auto &[text, kind] : kinds) {
+        if (name == text)
+            return kind;
+    }
+    LOTUS_FATAL("unknown record kind '%s'", name.c_str());
+}
+
+} // namespace
+
+std::string
+TraceRecord::toLine() const
+{
+    // op names never contain commas; everything else is numeric.
+    return strFormat("%s,%lld,%u,%lld,%lld,%s,%lld",
+                     recordKindName(kind),
+                     static_cast<long long>(batch_id), pid,
+                     static_cast<long long>(start),
+                     static_cast<long long>(duration), op_name.c_str(),
+                     static_cast<long long>(sample_index));
+}
+
+TraceRecord
+TraceRecord::fromLine(const std::string &line)
+{
+    const auto fields = strSplit(line, ',');
+    if (fields.size() < 5)
+        LOTUS_FATAL("malformed trace line '%s'", line.c_str());
+    TraceRecord record;
+    record.kind = kindFromName(fields[0]);
+    record.batch_id = std::strtoll(fields[1].c_str(), nullptr, 10);
+    record.pid =
+        static_cast<std::uint32_t>(std::strtoul(fields[2].c_str(), nullptr, 10));
+    record.start = std::strtoll(fields[3].c_str(), nullptr, 10);
+    record.duration = std::strtoll(fields[4].c_str(), nullptr, 10);
+    if (fields.size() > 5)
+        record.op_name = fields[5];
+    if (fields.size() > 6)
+        record.sample_index = std::strtoll(fields[6].c_str(), nullptr, 10);
+    return record;
+}
+
+std::string
+recordsToText(const std::vector<TraceRecord> &records)
+{
+    std::string out;
+    for (const auto &record : records) {
+        out += record.toLine();
+        out += '\n';
+    }
+    return out;
+}
+
+std::vector<TraceRecord>
+recordsFromText(const std::string &text)
+{
+    std::vector<TraceRecord> records;
+    for (const auto &line : strSplit(text, '\n')) {
+        if (!line.empty())
+            records.push_back(TraceRecord::fromLine(line));
+    }
+    return records;
+}
+
+} // namespace lotus::trace

@@ -1,0 +1,81 @@
+#include "workloads/pipelines.h"
+
+#include "pipeline/compose.h"
+#include "pipeline/image_folder.h"
+#include "pipeline/transforms/vision.h"
+#include "pipeline/transforms/volumetric.h"
+#include "pipeline/volume_dataset.h"
+
+namespace lotus::workloads {
+
+using namespace lotus::pipeline;
+
+Workload
+makeImageClassification(std::shared_ptr<const BlobStore> store,
+                        int crop_size)
+{
+    std::vector<TransformPtr> transforms;
+    RandomResizedCrop::Params rrc;
+    rrc.size = crop_size;
+    transforms.push_back(std::make_unique<RandomResizedCrop>(rrc));
+    transforms.push_back(std::make_unique<RandomHorizontalFlip>(0.5));
+    transforms.push_back(std::make_unique<ToTensor>());
+    transforms.push_back(std::make_unique<Normalize>(
+        std::vector<float>{0.485f, 0.456f, 0.406f},
+        std::vector<float>{0.229f, 0.224f, 0.225f}));
+
+    Workload workload;
+    workload.dataset = std::make_shared<ImageFolderDataset>(
+        std::move(store),
+        std::make_shared<Compose>(std::move(transforms)));
+    workload.collate = std::make_shared<StackCollate>();
+    return workload;
+}
+
+Workload
+makeImageSegmentation(std::shared_ptr<const BlobStore> store,
+                      std::int64_t patch_extent)
+{
+    std::vector<TransformPtr> transforms;
+    RandBalancedCrop::Params rbc;
+    rbc.patch = {patch_extent, patch_extent, patch_extent};
+    rbc.oversampling = 0.4;
+    rbc.foreground_threshold = 200.0f;
+    transforms.push_back(std::make_unique<RandBalancedCrop>(rbc));
+    transforms.push_back(std::make_unique<RandomFlip>(1.0 / 3.0));
+    transforms.push_back(std::make_unique<Cast>(tensor::DType::F32));
+    transforms.push_back(
+        std::make_unique<RandomBrightnessAugmentation>(0.3, 0.1));
+    transforms.push_back(std::make_unique<GaussianNoise>(0.0f, 3.0f, 0.1));
+
+    Workload workload;
+    workload.dataset = std::make_shared<VolumeDataset>(
+        std::move(store),
+        std::make_shared<Compose>(std::move(transforms)));
+    workload.collate = std::make_shared<StackCollate>();
+    return workload;
+}
+
+Workload
+makeObjectDetection(std::shared_ptr<const BlobStore> store,
+                    int resize_shorter, int resize_max,
+                    std::int64_t pad_divisor)
+{
+    std::vector<TransformPtr> transforms;
+    transforms.push_back(
+        std::make_unique<Resize>(resize_shorter, resize_max));
+    transforms.push_back(std::make_unique<RandomHorizontalFlip>(0.5));
+    transforms.push_back(std::make_unique<ToTensor>());
+    transforms.push_back(std::make_unique<Normalize>(
+        std::vector<float>{0.485f, 0.456f, 0.406f},
+        std::vector<float>{0.229f, 0.224f, 0.225f}));
+
+    Workload workload;
+    workload.dataset = std::make_shared<ImageFolderDataset>(
+        std::move(store),
+        std::make_shared<Compose>(std::move(transforms)), 80);
+    workload.collate = std::make_shared<PadCollate>(pad_divisor);
+    return workload;
+}
+
+} // namespace lotus::workloads

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The three MLPerf-like preprocessing pipelines of §V-A, assembled
+ * from the public pipeline API exactly as Listing 1 does in PyTorch.
+ */
+
+#ifndef LOTUS_WORKLOADS_PIPELINES_H
+#define LOTUS_WORKLOADS_PIPELINES_H
+
+#include <memory>
+
+#include "pipeline/collate.h"
+#include "pipeline/dataset.h"
+#include "pipeline/store.h"
+
+namespace lotus::workloads {
+
+/** A ready-to-load pipeline: dataset (transforms inside) + collate. */
+struct Workload
+{
+    std::shared_ptr<const pipeline::Dataset> dataset;
+    std::shared_ptr<const pipeline::Collate> collate;
+};
+
+/**
+ * Image Classification (IC): Loader, RandomResizedCrop,
+ * RandomHorizontalFlip, ToTensor, Normalize, Collate.
+ * @param crop_size 224 in the paper; smaller for quick runs.
+ */
+Workload makeImageClassification(
+    std::shared_ptr<const pipeline::BlobStore> store, int crop_size = 224);
+
+/**
+ * Image Segmentation (IS): Loader, RandBalancedCrop, RandomFlip,
+ * Cast, RandomBrightnessAugmentation, GaussianNoise, Collate.
+ * @param patch_extent cubic crop size (paper/MLPerf: 128).
+ */
+Workload makeImageSegmentation(
+    std::shared_ptr<const pipeline::BlobStore> store,
+    std::int64_t patch_extent = 64);
+
+/**
+ * Object Detection (OD): Loader, Resize (shorter edge),
+ * RandomHorizontalFlip, ToTensor, Normalize, padded Collate.
+ */
+Workload makeObjectDetection(
+    std::shared_ptr<const pipeline::BlobStore> store,
+    int resize_shorter = 256, int resize_max = 512,
+    std::int64_t pad_divisor = 32);
+
+} // namespace lotus::workloads
+
+#endif // LOTUS_WORKLOADS_PIPELINES_H

@@ -1,0 +1,146 @@
+#include "workloads/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "image/codec/codec.h"
+#include "image/synth.h"
+#include "tensor/serialize.h"
+
+namespace lotus::workloads {
+
+namespace {
+
+int
+clampDim(double value, int lo, int hi)
+{
+    const int v = static_cast<int>(std::lround(value));
+    return std::clamp(v, lo, hi);
+}
+
+/** Round down to even (the codec's 4:2:0 path likes even dims). */
+int
+evenDim(int v)
+{
+    return v < 2 ? 2 : v - (v % 2);
+}
+
+} // namespace
+
+std::shared_ptr<pipeline::InMemoryStore>
+buildImageNetStore(const ImageNetConfig &config)
+{
+    LOTUS_ASSERT(config.num_images > 0 && config.median_width >= 32.0);
+    auto store = std::make_shared<pipeline::InMemoryStore>(
+        config.io_base, config.io_ns_per_byte);
+    Rng rng(config.seed);
+    for (std::int64_t i = 0; i < config.num_images; ++i) {
+        // Lognormal width (heavy right tail -> heavy-tailed encoded
+        // sizes, the variance driver of Takeaway 3).
+        const double log_w = std::log(config.median_width) +
+                             rng.normal(0.0, config.width_sigma);
+        const int width = evenDim(clampDim(std::exp(log_w), 48, 2048));
+        const double aspect = rng.uniform(0.6, 1.5);
+        const int height = evenDim(clampDim(width * aspect, 48, 2048));
+
+        image::SynthOptions synth;
+        synth.detail = rng.uniform(0.15, 0.9);
+        synth.blobs = static_cast<int>(rng.uniformInt(1, 6));
+        const image::Image img =
+            image::synthesize(rng, width, height, synth);
+
+        image::codec::EncodeOptions encode;
+        encode.quality = config.quality;
+        store->add(image::codec::encode(img, encode));
+    }
+    return store;
+}
+
+std::shared_ptr<pipeline::InMemoryStore>
+buildKits19Store(const Kits19Config &config)
+{
+    LOTUS_ASSERT(config.num_volumes > 0 && config.channels > 0 &&
+                 config.median_extent >= 8);
+    auto store = std::make_shared<pipeline::InMemoryStore>(
+        config.io_base, config.io_ns_per_byte);
+    Rng rng(config.seed);
+    for (std::int64_t i = 0; i < config.num_volumes; ++i) {
+        auto drawExtent = [&] {
+            const double log_e = std::log(
+                                     static_cast<double>(config.median_extent)) +
+                                 rng.normal(0.0, config.extent_sigma);
+            return static_cast<std::int64_t>(clampDim(std::exp(log_e), 16,
+                                                      512));
+        };
+        const std::int64_t d = drawExtent();
+        const std::int64_t h = drawExtent();
+        const std::int64_t w = drawExtent();
+
+        tensor::Tensor volume(tensor::DType::U8,
+                              {config.channels, d, h, w});
+        std::uint8_t *data = volume.data<std::uint8_t>();
+        const std::int64_t n = volume.numel();
+        // Soft-tissue background.
+        for (std::int64_t j = 0; j < n; ++j) {
+            data[j] =
+                static_cast<std::uint8_t>(60 + rng.uniformInt(0, 60));
+        }
+        // A few bright foreground lesions (values > 200) the
+        // RandBalancedCrop search targets.
+        const int lesions = static_cast<int>(rng.uniformInt(2, 5));
+        for (int l = 0; l < lesions; ++l) {
+            const std::int64_t cd = rng.uniformInt(0, d - 1);
+            const std::int64_t ch = rng.uniformInt(0, h - 1);
+            const std::int64_t cw = rng.uniformInt(0, w - 1);
+            const std::int64_t radius = rng.uniformInt(2, 6);
+            for (std::int64_t dz = -radius; dz <= radius; ++dz) {
+                for (std::int64_t dy = -radius; dy <= radius; ++dy) {
+                    for (std::int64_t dx = -radius; dx <= radius; ++dx) {
+                        if (dz * dz + dy * dy + dx * dx > radius * radius)
+                            continue;
+                        const std::int64_t z = cd + dz;
+                        const std::int64_t y = ch + dy;
+                        const std::int64_t x = cw + dx;
+                        if (z < 0 || z >= d || y < 0 || y >= h || x < 0 ||
+                            x >= w)
+                            continue;
+                        data[(z * h + y) * w + x] = static_cast<std::uint8_t>(
+                            210 + rng.uniformInt(0, 45));
+                    }
+                }
+            }
+        }
+        store->add(tensor::toBytes(volume));
+    }
+    return store;
+}
+
+std::shared_ptr<pipeline::InMemoryStore>
+buildCocoStore(const CocoConfig &config)
+{
+    LOTUS_ASSERT(config.num_images > 0 && config.median_width >= 32.0);
+    auto store = std::make_shared<pipeline::InMemoryStore>(
+        config.io_base, config.io_ns_per_byte);
+    Rng rng(config.seed);
+    for (std::int64_t i = 0; i < config.num_images; ++i) {
+        const double log_w = std::log(config.median_width) +
+                             rng.normal(0.0, config.width_sigma);
+        const int width = evenDim(clampDim(std::exp(log_w), 64, 2048));
+        const double aspect = rng.uniform(0.55, 1.1);
+        const int height = evenDim(clampDim(width * aspect, 64, 2048));
+
+        image::SynthOptions synth;
+        synth.detail = rng.uniform(0.3, 0.95); // busy multi-object scenes
+        synth.blobs = static_cast<int>(rng.uniformInt(4, 12));
+        const image::Image img =
+            image::synthesize(rng, width, height, synth);
+
+        image::codec::EncodeOptions encode;
+        encode.quality = config.quality;
+        store->add(image::codec::encode(img, encode));
+    }
+    return store;
+}
+
+} // namespace lotus::workloads

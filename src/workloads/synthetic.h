@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Synthetic dataset builders standing in for the paper's datasets.
+ *
+ * ImageNet -> LJPG-encoded synthetic photos whose encoded-size
+ * distribution is heavy-tailed like the paper's (mean 111 KB, sd
+ * 133 KB at full scale); KiTS19 -> serialized u8 CT-like volumes with
+ * bright foreground structures; COCO -> larger variable-resolution
+ * scenes. A scale knob shrinks dimensions so tests and benches fit
+ * the sandbox while preserving the distribution shapes.
+ */
+
+#ifndef LOTUS_WORKLOADS_SYNTHETIC_H
+#define LOTUS_WORKLOADS_SYNTHETIC_H
+
+#include <memory>
+
+#include "pipeline/store.h"
+
+namespace lotus::workloads {
+
+struct ImageNetConfig
+{
+    std::int64_t num_images = 64;
+    /** Median image width in pixels (height follows aspect draw). */
+    double median_width = 320.0;
+    /** Lognormal sigma of the width draw (size-spread driver). */
+    double width_sigma = 0.35;
+    int quality = 80;
+    std::uint64_t seed = 7;
+    /** Modelled storage latency (remote-dataset stand-in). */
+    TimeNs io_base = 0;
+    double io_ns_per_byte = 0.0;
+};
+
+struct Kits19Config
+{
+    std::int64_t num_volumes = 8;
+    int channels = 1;
+    /** Median spatial extent per axis (D, H, W all drawn near it). */
+    int median_extent = 96;
+    double extent_sigma = 0.25;
+    std::uint64_t seed = 11;
+    TimeNs io_base = 0;
+    double io_ns_per_byte = 0.0;
+};
+
+struct CocoConfig
+{
+    std::int64_t num_images = 32;
+    double median_width = 480.0;
+    double width_sigma = 0.25;
+    int quality = 85;
+    std::uint64_t seed = 13;
+    TimeNs io_base = 0;
+    double io_ns_per_byte = 0.0;
+};
+
+/** Build an in-memory store of LJPG-encoded ImageNet-like photos. */
+std::shared_ptr<pipeline::InMemoryStore>
+buildImageNetStore(const ImageNetConfig &config);
+
+/** Build an in-memory store of serialized KiTS19-like u8 volumes
+ *  (channel-first C, D, H, W with bright foreground lesions). */
+std::shared_ptr<pipeline::InMemoryStore>
+buildKits19Store(const Kits19Config &config);
+
+/** Build an in-memory store of LJPG-encoded COCO-like scenes. */
+std::shared_ptr<pipeline::InMemoryStore>
+buildCocoStore(const CocoConfig &config);
+
+} // namespace lotus::workloads
+
+#endif // LOTUS_WORKLOADS_SYNTHETIC_H

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the analysis utilities (statistics details, text table
+ * rendering) and for sim::GpuModel, the real-threaded accelerator
+ * consumer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+#include "analysis/stats.h"
+#include "analysis/table.h"
+#include "pipeline/sample.h"
+#include "sim/gpu_model.h"
+#include "trace/logger.h"
+
+namespace lotus {
+namespace {
+
+TEST(Stats, SummaryOfKnownData)
+{
+    const auto s = analysis::summarize({2.0, 4.0, 6.0, 8.0});
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.max, 8.0);
+    EXPECT_DOUBLE_EQ(s.p50, 5.0);
+    EXPECT_NEAR(s.stddev, std::sqrt(5.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.iqr(), 3.0); // p75 6.5 - p25 3.5
+    EXPECT_NEAR(s.cv(), std::sqrt(5.0) / 5.0, 1e-12);
+}
+
+TEST(Stats, SingleValueAndEmpty)
+{
+    const auto one = analysis::summarize({7.0});
+    EXPECT_DOUBLE_EQ(one.mean, 7.0);
+    EXPECT_DOUBLE_EQ(one.p90, 7.0);
+    EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+    const auto none = analysis::summarize({});
+    EXPECT_EQ(none.count, 0u);
+    EXPECT_DOUBLE_EQ(none.mean, 0.0);
+}
+
+TEST(Stats, FractionBoundaries)
+{
+    const std::vector<double> values = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(analysis::fractionBelow(values, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(analysis::fractionBelow(values, 3.5), 1.0);
+    EXPECT_DOUBLE_EQ(analysis::fractionAtLeast(values, 2.0), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(analysis::fractionBelow({}, 5.0), 0.0);
+}
+
+TEST(Stats, PercentileRangeChecked)
+{
+    EXPECT_DEATH(analysis::percentile({1.0}, 101.0), "percentile");
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    analysis::TextTable table({"op", "ms"});
+    table.addRow({"Loader", "4.76"});
+    table.addRow({"RandomResizedCrop", "1.11"});
+    const std::string out = table.render();
+    // Header, rule, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    // Columns align: both value cells start at the same offset.
+    const auto lines = strSplit(out, '\n');
+    EXPECT_EQ(lines[2].find("4.76"), lines[3].find("1.11"));
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow)
+{
+    analysis::TextTable table({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "row width");
+}
+
+TEST(GpuModel, ServiceTimeModel)
+{
+    sim::GpuConfig config;
+    config.num_gpus = 4;
+    config.time_per_sample = kMillisecond;
+    config.base_time = 2 * kMillisecond;
+    sim::GpuModel gpu(config);
+    // DataParallel split: 1024 samples across 4 GPUs.
+    EXPECT_EQ(gpu.serviceTime(1024), 2 * kMillisecond + 256 * kMillisecond);
+    EXPECT_EQ(gpu.serviceTime(2), 2 * kMillisecond + 1 * kMillisecond);
+}
+
+TEST(GpuModel, ServicesAllSubmittedBatches)
+{
+    trace::TraceLogger logger;
+    sim::GpuConfig config;
+    config.time_per_sample = 100 * kMicrosecond;
+    config.base_time = 0;
+    config.jitter = 0.0;
+    config.logger = &logger;
+    sim::GpuModel gpu(config);
+    for (int b = 0; b < 5; ++b) {
+        pipeline::Batch batch;
+        batch.batch_id = b;
+        batch.data = tensor::Tensor(tensor::DType::F32, {2, 2});
+        batch.labels = {1, 2};
+        gpu.submit(std::move(batch));
+    }
+    gpu.drain();
+    EXPECT_EQ(gpu.servicedBatches(), 5);
+    int gpu_records = 0;
+    for (const auto &record : logger.records()) {
+        if (record.kind == trace::RecordKind::GpuCompute) {
+            ++gpu_records;
+            EXPECT_GE(record.duration, 200 * kMicrosecond);
+        }
+    }
+    EXPECT_EQ(gpu_records, 5);
+}
+
+TEST(GpuModel, BackpressureBlocksSubmit)
+{
+    sim::GpuConfig config;
+    config.time_per_sample = 0;
+    config.base_time = 20 * kMillisecond;
+    config.jitter = 0.0;
+    config.max_outstanding = 1;
+    sim::GpuModel gpu(config);
+    const auto &clock = SteadyClock::instance();
+    const TimeNs start = clock.now();
+    for (int b = 0; b < 3; ++b) {
+        pipeline::Batch batch;
+        batch.batch_id = b;
+        batch.data = tensor::Tensor(tensor::DType::F32, {1});
+        gpu.submit(std::move(batch));
+    }
+    // With one slot, the third submit had to wait for ~one service.
+    EXPECT_GE(clock.now() - start, 15 * kMillisecond);
+    gpu.drain();
+    EXPECT_EQ(gpu.servicedBatches(), 3);
+}
+
+} // namespace
+} // namespace lotus

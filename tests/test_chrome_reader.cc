@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the Chrome trace JSON reader and the augment-existing-
+ * trace workflow (paper §III-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/files.h"
+#include "common/rng.h"
+#include "core/lotustrace/visualize.h"
+#include "trace/chrome_reader.h"
+#include "trace/chrome_trace.h"
+
+namespace lotus::trace {
+namespace {
+
+TEST(JsonParser, Scalars)
+{
+    using detail::parseJson;
+    EXPECT_EQ(parseJson("42").number, 42.0);
+    EXPECT_EQ(parseJson("-3.5e2").number, -350.0);
+    EXPECT_TRUE(parseJson("true").boolean);
+    EXPECT_EQ(parseJson("null").kind, detail::JsonValue::Kind::Null);
+    EXPECT_EQ(parseJson("\"hi\"").string, "hi");
+}
+
+TEST(JsonParser, StringEscapes)
+{
+    using detail::parseJson;
+    EXPECT_EQ(parseJson("\"a\\\"b\\\\c\\nd\\t\"").string, "a\"b\\c\nd\t");
+    EXPECT_EQ(parseJson("\"\\u0041\"").string, "A");
+    EXPECT_EQ(parseJson("\"\\u00e9\"").string, "\xc3\xa9"); // é in UTF-8
+}
+
+TEST(JsonParser, NestedStructures)
+{
+    const auto value = detail::parseJson(
+        "{\"a\": [1, 2, {\"b\": \"x\"}], \"c\": {}}");
+    ASSERT_EQ(value.kind, detail::JsonValue::Kind::Object);
+    const auto *a = value.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->array.size(), 3u);
+    EXPECT_EQ(a->array[2].find("b")->string, "x");
+    EXPECT_NE(value.find("c"), nullptr);
+    EXPECT_EQ(value.find("missing"), nullptr);
+}
+
+TEST(JsonParser, MalformedInputFatal)
+{
+    EXPECT_DEATH(detail::parseJson("{\"a\": }"), "");
+    EXPECT_DEATH(detail::parseJson("[1, 2"), "");
+    EXPECT_DEATH(detail::parseJson("\"unterminated"), "");
+    EXPECT_DEATH(detail::parseJson("{} trailing"), "");
+}
+
+TEST(ChromeReader, ParsesObjectAndArrayForms)
+{
+    const std::string object_form =
+        "{\"traceEvents\":[{\"name\":\"op\",\"ph\":\"X\",\"ts\":1.5,"
+        "\"dur\":2.0,\"pid\":3,\"tid\":4}],\"displayTimeUnit\":\"ms\"}";
+    auto events = parseChromeTrace(object_form);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].name, "op");
+    EXPECT_EQ(events[0].phase, 'X');
+    EXPECT_DOUBLE_EQ(events[0].ts_us, 1.5);
+    EXPECT_DOUBLE_EQ(events[0].dur_us, 2.0);
+    EXPECT_EQ(events[0].pid, 3);
+    EXPECT_EQ(events[0].tid, 4);
+
+    const std::string array_form =
+        "[{\"name\":\"a\",\"ph\":\"i\",\"ts\":0,\"pid\":1,\"tid\":1}]";
+    EXPECT_EQ(parseChromeTrace(array_form).size(), 1u);
+}
+
+TEST(ChromeReader, ReadsArgsAndIds)
+{
+    const std::string json =
+        "[{\"name\":\"f\",\"ph\":\"s\",\"ts\":0,\"pid\":1,\"tid\":1,"
+        "\"id\":-7,\"args\":{\"batch\":\"12\",\"n\":5}}]";
+    const auto events = parseChromeTrace(json);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_TRUE(events[0].has_id);
+    EXPECT_EQ(events[0].id, -7);
+    ASSERT_EQ(events[0].args.size(), 2u);
+    EXPECT_EQ(events[0].args[0].second, "12");
+    EXPECT_EQ(events[0].args[1].second, "5");
+}
+
+TEST(ChromeReader, RoundTripsBuilderOutput)
+{
+    ChromeTraceBuilder builder;
+    builder.setProcessName(9, "main process");
+    builder.addComplete("SBatchPreprocessed_0", "preprocess", 1000, 500,
+                        10, 10);
+    builder.addFlow("batch_0", 1500, 10, 10, 2000, 9, 9);
+    const auto events = parseChromeTrace(builder.toJson());
+    ASSERT_EQ(events.size(), builder.events().size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].name, builder.events()[i].name);
+        EXPECT_EQ(events[i].phase, builder.events()[i].phase);
+        EXPECT_DOUBLE_EQ(events[i].ts_us, builder.events()[i].ts_us);
+        EXPECT_EQ(events[i].pid, builder.events()[i].pid);
+    }
+}
+
+TEST(ChromeReader, AugmentWorkflowPreservesFrameworkEvents)
+{
+    // A "framework profiler" trace with positive ids...
+    const std::string framework =
+        "{\"traceEvents\":[{\"name\":\"aten::conv2d\",\"ph\":\"X\","
+        "\"ts\":100,\"dur\":50,\"pid\":1,\"tid\":1,\"id\":17}]}";
+
+    // ... plus Lotus records merged under negative synthetic ids.
+    std::vector<TraceRecord> records;
+    TraceRecord pre;
+    pre.kind = RecordKind::BatchPreprocessed;
+    pre.batch_id = 0;
+    pre.pid = 10;
+    pre.start = 0;
+    pre.duration = 90 * kMicrosecond;
+    records.push_back(pre);
+    TraceRecord consumed;
+    consumed.kind = RecordKind::BatchConsumed;
+    consumed.batch_id = 0;
+    consumed.pid = 1;
+    consumed.start = 100 * kMicrosecond;
+    consumed.duration = kMicrosecond;
+    records.push_back(consumed);
+
+    ChromeTraceBuilder builder;
+    for (const auto &event : parseChromeTrace(framework))
+        builder.addRaw(event);
+    core::lotustrace::augmentTrace(builder, records, {});
+
+    const std::string merged = builder.toJson();
+    EXPECT_NE(merged.find("aten::conv2d"), std::string::npos);
+    EXPECT_NE(merged.find("\"id\":17"), std::string::npos);
+    EXPECT_NE(merged.find("SBatchPreprocessed_0"), std::string::npos);
+    // Re-parse the merged document: it must still be valid.
+    const auto reparsed = parseChromeTrace(merged);
+    EXPECT_GE(reparsed.size(), 4u); // conv2d + 2 spans + flow pair...
+}
+
+/** Property: jsonEscape composed with the parser is the identity for
+ *  arbitrary byte strings (the writer and reader agree). */
+class EscapeRoundTrip : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(EscapeRoundTrip, EscapeThenParseIsIdentity)
+{
+    Rng rng(GetParam());
+    std::string original;
+    const int len = static_cast<int>(rng.uniformInt(0, 60));
+    for (int i = 0; i < len; ++i) {
+        // Printable ASCII plus the characters that need escaping.
+        const char *alphabet =
+            "abcXYZ 0123456789\"\\\n\r\t_:{}[],";
+        original += alphabet[rng.nextBelow(29)];
+    }
+    const std::string quoted = "\"" + jsonEscape(original) + "\"";
+    EXPECT_EQ(detail::parseJson(quoted).string, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EscapeRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+TEST(ChromeReader, FileRoundTrip)
+{
+    TempDir dir("lotus-reader");
+    ChromeTraceBuilder builder;
+    builder.addComplete("x", "", 0, 1, 1, 1);
+    const std::string path = dir.file("t.json");
+    builder.writeTo(path);
+    EXPECT_EQ(readChromeTraceFile(path).size(), 1u);
+}
+
+} // namespace
+} // namespace lotus::trace

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Unit tests for the common substrate: rng, strings, queue, files,
+ * clocks, thread ids.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/files.h"
+#include "common/mpmc_queue.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/thread_util.h"
+
+namespace lotus {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.nextU64() == b.nextU64())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(21);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniformInt(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect)
+{
+    Rng rng(33);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal(5.0, 2.0);
+        sum += v;
+        sum_sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 5.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, LogNormalMatchesRequestedMoments)
+{
+    Rng rng(44);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 60000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.logNormalFromMoments(100.0, 50.0);
+        EXPECT_GT(v, 0.0);
+        sum += v;
+        sum_sq += v * v;
+    }
+    const double mean = sum / n;
+    const double stddev = std::sqrt(sum_sq / n - mean * mean);
+    EXPECT_NEAR(mean, 100.0, 2.0);
+    EXPECT_NEAR(stddev, 50.0, 4.0);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(5);
+    Rng child = parent.fork();
+    // Child should not replay the parent's stream.
+    Rng parent2(5);
+    parent2.fork();
+    EXPECT_EQ(child.nextU64(), Rng(Rng(5).nextU64()).nextU64());
+    EXPECT_NE(child.nextU64(), parent.nextU64());
+}
+
+TEST(Strings, Format)
+{
+    EXPECT_EQ(strFormat("%d-%s", 5, "x"), "5-x");
+    EXPECT_EQ(strFormat("empty"), "empty");
+}
+
+TEST(Strings, JoinAndSplit)
+{
+    EXPECT_EQ(strJoin({"a", "b", "c"}, ","), "a,b,c");
+    EXPECT_EQ(strJoin({}, ","), "");
+    const auto parts = strSplit("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+    EXPECT_TRUE(strSplit("", ',').empty());
+}
+
+TEST(Strings, StartsEndsWith)
+{
+    EXPECT_TRUE(strStartsWith("lotus.log", "lotus"));
+    EXPECT_FALSE(strStartsWith("lo", "lotus"));
+    EXPECT_TRUE(strEndsWith("trace.json", ".json"));
+    EXPECT_FALSE(strEndsWith("json", "trace.json"));
+}
+
+TEST(Strings, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(6 * 1024 * 1024 + 100 * 1024), "6.1 MB");
+}
+
+TEST(Clock, SteadyClockMonotonic)
+{
+    const auto &clock = SteadyClock::instance();
+    const TimeNs a = clock.now();
+    const TimeNs b = clock.now();
+    EXPECT_LE(a, b);
+}
+
+TEST(Clock, VirtualClockAdvances)
+{
+    VirtualClock clock(100);
+    EXPECT_EQ(clock.now(), 100);
+    clock.advance(50);
+    EXPECT_EQ(clock.now(), 150);
+    clock.set(1000);
+    EXPECT_EQ(clock.now(), 1000);
+}
+
+TEST(Clock, Conversions)
+{
+    EXPECT_DOUBLE_EQ(toMs(2 * kMillisecond), 2.0);
+    EXPECT_DOUBLE_EQ(toUs(3 * kMicrosecond), 3.0);
+    EXPECT_DOUBLE_EQ(toSec(kSecond), 1.0);
+}
+
+TEST(MpmcQueue, FifoSingleThread)
+{
+    MpmcQueue<int> queue;
+    EXPECT_TRUE(queue.push(1));
+    EXPECT_TRUE(queue.push(2));
+    EXPECT_EQ(queue.size(), 2u);
+    EXPECT_EQ(queue.pop().value(), 1);
+    EXPECT_EQ(queue.pop().value(), 2);
+    EXPECT_FALSE(queue.tryPop().has_value());
+}
+
+TEST(MpmcQueue, CloseDrainsThenEnds)
+{
+    MpmcQueue<int> queue;
+    queue.push(7);
+    queue.close();
+    EXPECT_FALSE(queue.push(8));
+    EXPECT_EQ(queue.pop().value(), 7);
+    EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(MpmcQueue, PopForTimesOut)
+{
+    MpmcQueue<int> queue;
+    const auto result = queue.popFor(std::chrono::milliseconds(10));
+    EXPECT_FALSE(result.has_value());
+}
+
+TEST(MpmcQueue, BlockingProducerConsumer)
+{
+    MpmcQueue<int> queue(2);
+    std::vector<int> consumed;
+    std::thread consumer([&] {
+        for (;;) {
+            auto v = queue.pop();
+            if (!v.has_value())
+                break;
+            consumed.push_back(*v);
+        }
+    });
+    for (int i = 0; i < 100; ++i)
+        queue.push(i);
+    queue.close();
+    consumer.join();
+    ASSERT_EQ(consumed.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(consumed[static_cast<std::size_t>(i)], i);
+}
+
+TEST(MpmcQueue, MultipleProducersAllDelivered)
+{
+    MpmcQueue<int> queue;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+        producers.emplace_back([&queue, p] {
+            for (int i = 0; i < 50; ++i)
+                queue.push(p * 1000 + i);
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+    std::multiset<int> got;
+    for (int i = 0; i < 200; ++i)
+        got.insert(queue.pop().value());
+    EXPECT_EQ(got.size(), 200u);
+    EXPECT_EQ(got.count(3 * 1000 + 49), 1u);
+}
+
+TEST(Files, WriteReadRoundtrip)
+{
+    TempDir dir("lotus-test");
+    const std::string path = dir.file("blob.bin");
+    const std::string payload = "hello\0world\x01\xff";
+    writeFile(path, payload);
+    EXPECT_TRUE(fileExists(path));
+    EXPECT_EQ(readFile(path), payload);
+    EXPECT_EQ(fileSize(path), payload.size());
+}
+
+TEST(Files, TempDirCleansUp)
+{
+    std::string path;
+    {
+        TempDir dir("lotus-test");
+        path = dir.path();
+        writeFile(dir.file("x"), "x");
+        EXPECT_TRUE(fileExists(path));
+    }
+    EXPECT_FALSE(fileExists(path));
+}
+
+TEST(ThreadUtil, TidsStableAndDistinct)
+{
+    const auto main_tid = currentTid();
+    EXPECT_EQ(main_tid, currentTid());
+    std::uint32_t other = 0;
+    std::thread t([&] { other = currentTid(); });
+    t.join();
+    EXPECT_NE(other, 0u);
+    EXPECT_NE(other, main_tid);
+}
+
+TEST(ThreadUtil, ThreadNameRoundtrip)
+{
+    std::thread t([] {
+        setCurrentThreadName("loader-3");
+        EXPECT_EQ(currentThreadName(), "loader-3");
+    });
+    t.join();
+}
+
+} // namespace
+} // namespace lotus

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Unit and property tests for the LJPG codec: bit I/O, DCT,
+ * quantization, zigzag, and full encode/decode round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "image/codec/bitio.h"
+#include "image/codec/codec.h"
+#include "image/codec/color.h"
+#include "image/codec/dct.h"
+#include "image/synth.h"
+
+namespace lotus::image::codec {
+namespace {
+
+TEST(BitIo, BitsRoundTrip)
+{
+    BitWriter writer;
+    writer.putBits(0b101, 3);
+    writer.putBits(0xFFFF, 16);
+    writer.putBits(0, 1);
+    const std::string bytes = writer.take();
+    BitReader reader(reinterpret_cast<const std::uint8_t *>(bytes.data()),
+                     bytes.size());
+    EXPECT_EQ(reader.getBits(3), 0b101u);
+    EXPECT_EQ(reader.getBits(16), 0xFFFFu);
+    EXPECT_EQ(reader.getBits(1), 0u);
+    EXPECT_FALSE(reader.overrun());
+}
+
+TEST(BitIo, ExpGolombUnsignedRoundTrip)
+{
+    BitWriter writer;
+    const std::uint32_t values[] = {0, 1, 2, 3, 62, 63, 64, 255, 100000};
+    for (const auto v : values)
+        writer.putUe(v);
+    const std::string bytes = writer.take();
+    BitReader reader(reinterpret_cast<const std::uint8_t *>(bytes.data()),
+                     bytes.size());
+    for (const auto v : values)
+        EXPECT_EQ(reader.getUe(), v);
+}
+
+TEST(BitIo, ExpGolombSignedRoundTrip)
+{
+    BitWriter writer;
+    const std::int32_t values[] = {0, 1, -1, 2, -2, 1000, -1000, 32767};
+    for (const auto v : values)
+        writer.putSe(v);
+    const std::string bytes = writer.take();
+    BitReader reader(reinterpret_cast<const std::uint8_t *>(bytes.data()),
+                     bytes.size());
+    for (const auto v : values)
+        EXPECT_EQ(reader.getSe(), v);
+}
+
+TEST(BitIo, RandomizedGolombRoundTrip)
+{
+    Rng rng(99);
+    std::vector<std::int32_t> values;
+    BitWriter writer;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v =
+            static_cast<std::int32_t>(rng.uniformInt(-100000, 100000));
+        values.push_back(v);
+        writer.putSe(v);
+    }
+    const std::string bytes = writer.take();
+    BitReader reader(reinterpret_cast<const std::uint8_t *>(bytes.data()),
+                     bytes.size());
+    for (const auto v : values)
+        EXPECT_EQ(reader.getSe(), v);
+    EXPECT_FALSE(reader.overrun());
+}
+
+TEST(BitIo, OverrunDetected)
+{
+    const std::uint8_t byte = 0xAB;
+    BitReader reader(&byte, 1);
+    reader.getBits(8);
+    EXPECT_FALSE(reader.overrun());
+    reader.getBits(1);
+    EXPECT_TRUE(reader.overrun());
+}
+
+TEST(BitIo, AlignByte)
+{
+    BitWriter writer;
+    writer.putBits(1, 1);
+    writer.alignByte();
+    writer.putBits(0xAA, 8);
+    const std::string bytes = writer.take();
+    ASSERT_EQ(bytes.size(), 2u);
+    BitReader reader(reinterpret_cast<const std::uint8_t *>(bytes.data()),
+                     bytes.size());
+    reader.getBits(1);
+    reader.alignByte();
+    EXPECT_EQ(reader.getBits(8), 0xAAu);
+}
+
+TEST(Dct, RoundTripIsNearIdentity)
+{
+    Rng rng(5);
+    Block spatial, freq, back;
+    for (auto &v : spatial)
+        v = static_cast<float>(rng.uniform(-128.0, 127.0));
+    forwardDct(spatial, freq);
+    inverseDct(freq, back);
+    for (int i = 0; i < kBlockSize; ++i)
+        EXPECT_NEAR(back[static_cast<std::size_t>(i)],
+                    spatial[static_cast<std::size_t>(i)], 1e-3);
+}
+
+TEST(Dct, ConstantBlockConcentratesInDc)
+{
+    Block spatial, freq;
+    spatial.fill(100.0f);
+    forwardDct(spatial, freq);
+    EXPECT_NEAR(freq[0], 800.0f, 1e-2); // 8 * value
+    for (int i = 1; i < kBlockSize; ++i)
+        EXPECT_NEAR(freq[static_cast<std::size_t>(i)], 0.0f, 1e-3);
+}
+
+TEST(Dct, ZigzagIsAPermutation)
+{
+    const auto &zz = zigzagOrder();
+    std::set<int> seen(zz.begin(), zz.end());
+    EXPECT_EQ(seen.size(), 64u);
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), 63);
+    // Canonical JPEG start of the scan.
+    EXPECT_EQ(zz[0], 0);
+    EXPECT_EQ(zz[1], 1);
+    EXPECT_EQ(zz[2], 8);
+    EXPECT_EQ(zz[3], 16);
+    EXPECT_EQ(zz[4], 9);
+    EXPECT_EQ(zz[5], 2);
+}
+
+TEST(Dct, QuantTablesScaleWithQuality)
+{
+    const auto q10 = quantTable(10, false);
+    const auto q50 = quantTable(50, false);
+    const auto q95 = quantTable(95, false);
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_GE(q10[static_cast<std::size_t>(i)],
+                  q50[static_cast<std::size_t>(i)]);
+        EXPECT_GE(q50[static_cast<std::size_t>(i)],
+                  q95[static_cast<std::size_t>(i)]);
+        EXPECT_GE(q95[static_cast<std::size_t>(i)], 1);
+    }
+    // Quality 50 is the unscaled base table.
+    EXPECT_EQ(q50[0], 16);
+}
+
+TEST(Dct, QuantizeDequantizeApproximates)
+{
+    Block freq, back;
+    QuantBlock q;
+    freq.fill(0.0f);
+    freq[0] = 500.0f;
+    freq[1] = -80.0f;
+    const auto table = quantTable(75, false);
+    quantize(freq, table, q);
+    dequantize(q, table, back);
+    EXPECT_NEAR(back[0], 500.0f, table[0] / 2.0 + 1e-3);
+    EXPECT_NEAR(back[1], -80.0f, table[1] / 2.0 + 1e-3);
+}
+
+TEST(Color, RgbYccRoundTripClose)
+{
+    Rng rng(3);
+    Image img = synthesize(rng, 32, 24);
+    Plane y, cb, cr;
+    rgbToYcc(img, y, cb, cr);
+    Image back = yccToRgb(y, cb, cr);
+    ASSERT_TRUE(back.sameSize(img));
+    double max_err = 0.0;
+    for (int row = 0; row < img.height(); ++row) {
+        for (int col = 0; col < img.width() * 3; ++col) {
+            max_err = std::max(
+                max_err, std::abs(static_cast<double>(img.row(row)[col]) -
+                                  back.row(row)[col]));
+        }
+    }
+    EXPECT_LE(max_err, 2.0);
+}
+
+TEST(Color, UpsampleDoublesDimensions)
+{
+    Plane half(3, 2);
+    half.row(0)[0] = 10.0f;
+    const Plane full = upsample2x(half, 6, 4);
+    EXPECT_EQ(full.width, 6);
+    EXPECT_EQ(full.height, 4);
+}
+
+double
+psnr(const Image &a, const Image &b)
+{
+    double mse = 0.0;
+    const auto n = static_cast<double>(a.byteSize());
+    for (int y = 0; y < a.height(); ++y) {
+        for (int i = 0; i < a.width() * 3; ++i) {
+            const double d = static_cast<double>(a.row(y)[i]) - b.row(y)[i];
+            mse += d * d;
+        }
+    }
+    mse /= n;
+    return mse == 0.0 ? 99.0 : 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+TEST(Codec, RoundTripHighQualityIsFaithful)
+{
+    Rng rng(11);
+    Image img = synthesize(rng, 64, 48, SynthOptions{0.3, 2});
+    const std::string encoded = encode(img, EncodeOptions{95, false});
+    Image decoded = decode(encoded);
+    ASSERT_TRUE(decoded.sameSize(img));
+    EXPECT_GT(psnr(img, decoded), 30.0);
+}
+
+TEST(Codec, SubsampledRoundTripStillReasonable)
+{
+    Rng rng(12);
+    Image img = synthesize(rng, 64, 64, SynthOptions{0.3, 2});
+    Image decoded = decode(encode(img, EncodeOptions{90, true}));
+    EXPECT_GT(psnr(img, decoded), 26.0);
+}
+
+TEST(Codec, LowerQualityMeansSmallerOutput)
+{
+    Rng rng(13);
+    Image img = synthesize(rng, 96, 96, SynthOptions{0.6, 3});
+    const auto high = encode(img, EncodeOptions{95, true}).size();
+    const auto mid = encode(img, EncodeOptions{60, true}).size();
+    const auto low = encode(img, EncodeOptions{15, true}).size();
+    EXPECT_GT(high, mid);
+    EXPECT_GT(mid, low);
+}
+
+TEST(Codec, MoreDetailMeansLargerOutput)
+{
+    Rng rng1(14), rng2(14);
+    Image flat = synthesize(rng1, 96, 96, SynthOptions{0.05, 0});
+    Image busy = synthesize(rng2, 96, 96, SynthOptions{0.95, 6});
+    EXPECT_GT(encode(busy).size(), encode(flat).size() * 2);
+}
+
+TEST(Codec, HeaderRoundTrip)
+{
+    Rng rng(15);
+    Image img = synthesize(rng, 50, 34);
+    const std::string encoded = encode(img, EncodeOptions{70, true});
+    const LjpgHeader header = peekHeader(encoded);
+    EXPECT_EQ(header.width, 50);
+    EXPECT_EQ(header.height, 34);
+    EXPECT_EQ(header.quality, 70);
+    EXPECT_TRUE(header.subsampled);
+}
+
+TEST(Codec, OddDimensionsRoundTrip)
+{
+    Rng rng(16);
+    Image img = synthesize(rng, 37, 23, SynthOptions{0.4, 1});
+    Image decoded = decode(encode(img, EncodeOptions{85, true}));
+    EXPECT_EQ(decoded.width(), 37);
+    EXPECT_EQ(decoded.height(), 23);
+    EXPECT_GT(psnr(img, decoded), 22.0);
+}
+
+TEST(Codec, RejectsGarbage)
+{
+    EXPECT_DEATH(decode("garbage data here"), "");
+}
+
+TEST(Codec, RejectsTruncatedPayloadCleanly)
+{
+    Rng rng(31);
+    Image img = synthesize(rng, 48, 48);
+    const std::string encoded = encode(img);
+    // Chop the entropy payload: the decoder must exit with a clear
+    // error, never crash or emit a half-decoded image.
+    const std::string truncated = encoded.substr(0, encoded.size() / 3);
+    EXPECT_DEATH(decode(truncated), "corrupt LJPG");
+}
+
+TEST(Codec, RejectsBitFlippedHeader)
+{
+    Rng rng(32);
+    Image img = synthesize(rng, 32, 32);
+    std::string encoded = encode(img);
+    encoded[8] = static_cast<char>(200); // quality byte out of range
+    EXPECT_DEATH(decode(encoded), "corrupt LJPG header");
+}
+
+TEST(Codec, TinyImageRoundTrip)
+{
+    Image img(2, 2);
+    img.pixel(0, 0)[0] = 200;
+    img.pixel(1, 1)[2] = 100;
+    Image decoded = decode(encode(img, EncodeOptions{90, false}));
+    EXPECT_EQ(decoded.width(), 2);
+    EXPECT_EQ(decoded.height(), 2);
+}
+
+/** Property sweep: round trip across sizes and qualities. */
+class CodecRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool>>
+{
+};
+
+TEST_P(CodecRoundTrip, DecodeMatchesDimensionsAndQuality)
+{
+    const auto [width, height, quality, subsample] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(width * 1000 + height));
+    Image img = synthesize(rng, width, height, SynthOptions{0.5, 2});
+    Image decoded =
+        decode(encode(img, EncodeOptions{quality, subsample}));
+    ASSERT_EQ(decoded.width(), width);
+    ASSERT_EQ(decoded.height(), height);
+    const double floor = quality >= 80 ? 24.0 : 18.0;
+    EXPECT_GT(psnr(img, decoded), floor)
+        << width << "x" << height << " q" << quality;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CodecRoundTrip,
+    ::testing::Combine(::testing::Values(8, 17, 64, 129),
+                       ::testing::Values(8, 33, 64),
+                       ::testing::Values(40, 85),
+                       ::testing::Bool()));
+
+} // namespace
+} // namespace lotus::image::codec

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for LotusTrace analysis and Chrome-trace visualization over
+ * hand-crafted record sets with known answers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/lotustrace/analysis.h"
+#include "core/lotustrace/report.h"
+#include "core/lotustrace/visualize.h"
+
+namespace lotus::core::lotustrace {
+namespace {
+
+using trace::RecordKind;
+using trace::TraceRecord;
+
+TraceRecord
+record(RecordKind kind, std::int64_t batch, std::uint32_t pid, TimeNs start,
+       TimeNs duration, const std::string &op = "")
+{
+    TraceRecord r;
+    r.kind = kind;
+    r.batch_id = batch;
+    r.pid = pid;
+    r.start = start;
+    r.duration = duration;
+    r.op_name = op;
+    return r;
+}
+
+/** Two batches: batch 0 in order, batch 1 out of order. */
+std::vector<TraceRecord>
+twoBatchScenario()
+{
+    return {
+        // Worker 10 preprocesses batch 0 from 0 to 100 ms.
+        record(RecordKind::BatchPreprocessed, 0, 10, 0, 100 * kMillisecond),
+        // Worker 11 preprocesses batch 1 from 0 to 40 ms (finishes
+        // first -> out of order).
+        record(RecordKind::BatchPreprocessed, 1, 11, 0, 40 * kMillisecond),
+        // Main (pid 1) waits 100 ms for batch 0.
+        record(RecordKind::BatchWait, 0, 1, 0, 100 * kMillisecond),
+        record(RecordKind::BatchConsumed, 0, 1, 100 * kMillisecond,
+               2 * kMillisecond),
+        // Batch 1 was cached: sentinel wait, consumed at 110 ms.
+        record(RecordKind::BatchWait, 1, 1, 110 * kMillisecond,
+               trace::kOutOfOrderSentinel),
+        record(RecordKind::BatchConsumed, 1, 1, 110 * kMillisecond,
+               kMillisecond),
+        record(RecordKind::GpuCompute, 0, 2, 102 * kMillisecond,
+               30 * kMillisecond),
+        record(RecordKind::GpuCompute, 1, 2, 132 * kMillisecond,
+               30 * kMillisecond),
+    };
+}
+
+TEST(TraceAnalysis, BatchTimelinesReconstructed)
+{
+    TraceAnalysis analysis(twoBatchScenario());
+    ASSERT_EQ(analysis.batches().size(), 2u);
+    const auto &b0 = analysis.batches()[0];
+    EXPECT_EQ(b0.batch_id, 0);
+    EXPECT_EQ(b0.worker_pid, 10u);
+    EXPECT_EQ(b0.main_pid, 1u);
+    EXPECT_EQ(b0.preprocessTime(), 100 * kMillisecond);
+    EXPECT_FALSE(b0.outOfOrder());
+    // Consumed right at preprocess end: zero delay.
+    EXPECT_EQ(b0.delayTime(), 0);
+
+    const auto &b1 = analysis.batches()[1];
+    EXPECT_TRUE(b1.outOfOrder());
+    // Finished at 40 ms, consumed at 110 ms -> 70 ms delay.
+    EXPECT_EQ(b1.delayTime(), 70 * kMillisecond);
+}
+
+TEST(TraceAnalysis, WaitAndDelayAggregates)
+{
+    TraceAnalysis analysis(twoBatchScenario());
+    EXPECT_DOUBLE_EQ(analysis.outOfOrderFraction(), 0.5);
+    EXPECT_DOUBLE_EQ(analysis.fractionWaitsOver(50 * kMillisecond), 0.5);
+    EXPECT_DOUBLE_EQ(analysis.fractionDelaysOver(50 * kMillisecond), 0.5);
+    EXPECT_NEAR(analysis.totalPreprocessCpuSeconds(), 0.14, 1e-12);
+    EXPECT_EQ(analysis.maxGpuTime(), 30 * kMillisecond);
+    EXPECT_EQ(analysis.epochSpan(), 162 * kMillisecond);
+}
+
+TEST(TraceAnalysis, OpStatsComputeTableTwoColumns)
+{
+    std::vector<TraceRecord> records;
+    // 100 ops at 1 ms, 100 at 20 ms.
+    for (int i = 0; i < 100; ++i) {
+        records.push_back(record(RecordKind::TransformOp, 0, 10,
+                                 i * kMillisecond, kMillisecond, "Fast"));
+        records.push_back(record(RecordKind::TransformOp, 0, 10,
+                                 i * kMillisecond, 20 * kMillisecond,
+                                 "Slow"));
+    }
+    // And one sub-100 µs op.
+    for (int i = 0; i < 10; ++i) {
+        records.push_back(record(RecordKind::TransformOp, 0, 10, 0,
+                                 50 * kMicrosecond, "Tiny"));
+    }
+    TraceAnalysis analysis(records);
+    const auto stats = analysis.opStats();
+    ASSERT_EQ(stats.size(), 3u);
+    EXPECT_EQ(stats[0].name, "Fast");
+    EXPECT_DOUBLE_EQ(stats[0].summary_ms.mean, 1.0);
+    EXPECT_DOUBLE_EQ(stats[0].frac_below_10ms, 1.0);
+    EXPECT_DOUBLE_EQ(stats[0].frac_below_100us, 0.0);
+    EXPECT_EQ(stats[1].name, "Slow");
+    EXPECT_DOUBLE_EQ(stats[1].frac_below_10ms, 0.0);
+    EXPECT_NEAR(stats[1].total_seconds, 2.0, 1e-9);
+    EXPECT_EQ(stats[2].name, "Tiny");
+    EXPECT_DOUBLE_EQ(stats[2].frac_below_100us, 1.0);
+
+    const auto by_op = analysis.cpuSecondsByOp();
+    EXPECT_NEAR(by_op.at("Fast"), 0.1, 1e-9);
+}
+
+TEST(TraceAnalysis, PerBatchSeriesOrderedByBatchId)
+{
+    TraceAnalysis analysis(twoBatchScenario());
+    const auto pre = analysis.perBatchPreprocessMs();
+    ASSERT_EQ(pre.size(), 2u);
+    EXPECT_DOUBLE_EQ(pre[0], 100.0);
+    EXPECT_DOUBLE_EQ(pre[1], 40.0);
+    const auto waits = analysis.waitTimesMs();
+    EXPECT_DOUBLE_EQ(waits[0], 100.0);
+    EXPECT_NEAR(waits[1], 0.001, 1e-9);
+}
+
+TEST(TraceAnalysis, EmptyRecordsAreSafe)
+{
+    TraceAnalysis analysis({});
+    EXPECT_TRUE(analysis.batches().empty());
+    EXPECT_EQ(analysis.epochSpan(), 0);
+    EXPECT_DOUBLE_EQ(analysis.outOfOrderFraction(), 0.0);
+    EXPECT_TRUE(analysis.opStats().empty());
+}
+
+TEST(Visualize, CoarseTraceHasLanesSpansAndFlows)
+{
+    const std::string json = toChromeJson(twoBatchScenario());
+    EXPECT_NE(json.find("SBatchPreprocessed_0"), std::string::npos);
+    EXPECT_NE(json.find("SBatchWait_1"), std::string::npos);
+    EXPECT_NE(json.find("SBatchConsumed_0"), std::string::npos);
+    EXPECT_NE(json.find("SGpuCompute_1"), std::string::npos);
+    EXPECT_NE(json.find("DataLoader worker 0"), std::string::npos);
+    EXPECT_NE(json.find("main process"), std::string::npos);
+    // Flow arrows exist for both batches.
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("batch_1"), std::string::npos);
+}
+
+TEST(Visualize, FineTraceIncludesOps)
+{
+    auto records = twoBatchScenario();
+    records.push_back(record(RecordKind::TransformOp, 0, 10, kMillisecond,
+                             kMillisecond, "RandomResizedCrop"));
+    VisualizeOptions options;
+    options.per_op = true;
+    const std::string fine = toChromeJson(records, options);
+    EXPECT_NE(fine.find("SRandomResizedCrop"), std::string::npos);
+
+    VisualizeOptions coarse;
+    coarse.per_op = false;
+    EXPECT_EQ(toChromeJson(records, coarse).find("SRandomResizedCrop"),
+              std::string::npos);
+}
+
+TEST(Visualize, NegativeSyntheticIdsThroughout)
+{
+    trace::ChromeTraceBuilder builder;
+    // Simulate augmenting an existing framework trace with a
+    // positive-id event.
+    trace::ChromeEvent existing;
+    existing.name = "aten::conv2d";
+    existing.phase = 'X';
+    existing.id = 17;
+    existing.has_id = true;
+    builder.addRaw(existing);
+    augmentTrace(builder, twoBatchScenario());
+    for (const auto &event : builder.events()) {
+        if (event.has_id && event.name != "aten::conv2d") {
+            EXPECT_LT(event.id, 0);
+        }
+    }
+    // The framework event survives augmentation untouched.
+    EXPECT_NE(builder.toJson().find("aten::conv2d"), std::string::npos);
+}
+
+// --- Automated report -------------------------------------------------
+
+std::vector<TraceRecord>
+regimeScenario(TimeNs wait_each, TimeNs delay_each, int batches)
+{
+    std::vector<TraceRecord> records;
+    for (int b = 0; b < batches; ++b) {
+        const TimeNs base = b * kSecond;
+        records.push_back(record(RecordKind::BatchPreprocessed, b, 10,
+                                 base, 100 * kMillisecond));
+        records.push_back(record(RecordKind::BatchWait, b, 1, base,
+                                 wait_each));
+        records.push_back(record(
+            RecordKind::BatchConsumed, b, 1,
+            base + 100 * kMillisecond + delay_each, kMillisecond));
+        records.push_back(record(RecordKind::TransformOp, b, 10, base,
+                                 80 * kMillisecond, "Loader"));
+        records.push_back(record(RecordKind::TransformOp, b, 10, base,
+                                 20 * kMillisecond, "ToTensor"));
+        records.push_back(record(RecordKind::GpuCompute, b, 2,
+                                 base + 200 * kMillisecond,
+                                 30 * kMillisecond));
+    }
+    return records;
+}
+
+TEST(Report, DiagnosesPreprocessingBound)
+{
+    const auto report = buildReport(
+        regimeScenario(400 * kMillisecond, 5 * kMillisecond, 8));
+    EXPECT_EQ(report.bottleneck, Bottleneck::Preprocessing);
+    EXPECT_GT(report.total_wait_s, report.total_delay_s);
+    ASSERT_FALSE(report.ops_by_cost.empty());
+    EXPECT_EQ(report.ops_by_cost.front().name, "Loader");
+    EXPECT_FALSE(report.recommendations.empty());
+    const std::string text = report.render();
+    EXPECT_NE(text.find("preprocessing-bound"), std::string::npos);
+    EXPECT_NE(text.find("Loader"), std::string::npos);
+}
+
+TEST(Report, DiagnosesAcceleratorBound)
+{
+    const auto report = buildReport(
+        regimeScenario(2 * kMillisecond, 600 * kMillisecond, 8));
+    EXPECT_EQ(report.bottleneck, Bottleneck::Accelerator);
+    bool mentions_fewer_workers = false;
+    for (const auto &rec : report.recommendations) {
+        if (rec.find("fewer workers") != std::string::npos)
+            mentions_fewer_workers = true;
+    }
+    EXPECT_TRUE(mentions_fewer_workers);
+}
+
+TEST(Report, FlagsHeavyTailedOps)
+{
+    auto records = regimeScenario(400 * kMillisecond, kMillisecond, 8);
+    // Add an op whose P90 is far above its mean (a bimodal ~15%
+    // expensive path, like RandBalancedCrop's foreground search).
+    for (int i = 0; i < 18; ++i) {
+        records.push_back(record(RecordKind::TransformOp, 0, 10, 0,
+                                 kMillisecond, "RBC"));
+    }
+    for (int i = 0; i < 3; ++i) {
+        records.push_back(record(RecordKind::TransformOp, 0, 10, 0,
+                                 400 * kMillisecond, "RBC"));
+    }
+    const auto report = buildReport(records);
+    bool flagged = false;
+    for (const auto &finding : report.findings) {
+        if (finding.find("RBC") != std::string::npos &&
+            finding.find("heavy-tailed") != std::string::npos)
+            flagged = true;
+    }
+    EXPECT_TRUE(flagged);
+}
+
+TEST(Report, EmptyRecordsSafe)
+{
+    const auto report = buildReport({});
+    EXPECT_EQ(report.bottleneck, Bottleneck::Unknown);
+    EXPECT_TRUE(report.findings.empty());
+    EXPECT_FALSE(report.render().empty());
+}
+
+} // namespace
+} // namespace lotus::core::lotustrace

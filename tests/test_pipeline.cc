@@ -1,0 +1,414 @@
+/**
+ * @file
+ * Unit tests for the preprocessing framework: transforms, Compose
+ * instrumentation, stores, datasets, and collation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/files.h"
+#include "image/codec/codec.h"
+#include "image/synth.h"
+#include "pipeline/collate.h"
+#include "pipeline/compose.h"
+#include "pipeline/image_folder.h"
+#include "pipeline/store.h"
+#include "pipeline/transforms/vision.h"
+#include "pipeline/transforms/volumetric.h"
+#include "pipeline/volume_dataset.h"
+#include "tensor/serialize.h"
+
+namespace lotus::pipeline {
+namespace {
+
+Sample
+imageSample(int width, int height, std::uint64_t seed = 1)
+{
+    Rng rng(seed);
+    Sample sample;
+    sample.image = image::synthesize(rng, width, height);
+    return sample;
+}
+
+Sample
+volumeSample(std::int64_t d, std::int64_t h, std::int64_t w,
+             tensor::DType dtype = tensor::DType::F32)
+{
+    Sample sample;
+    sample.data = tensor::Tensor(dtype, {1, d, h, w});
+    return sample;
+}
+
+TEST(Transforms, RandomResizedCropProducesTargetSize)
+{
+    RandomResizedCrop::Params params;
+    params.size = 32;
+    RandomResizedCrop transform(params);
+    Rng rng(3);
+    for (int i = 0; i < 10; ++i) {
+        Sample sample = imageSample(80, 60, static_cast<std::uint64_t>(i));
+        transform.apply(sample, rng);
+        ASSERT_TRUE(sample.hasImage());
+        EXPECT_EQ(sample.image->width(), 32);
+        EXPECT_EQ(sample.image->height(), 32);
+    }
+}
+
+TEST(Transforms, RandomResizedCropWorksOnTinyImages)
+{
+    RandomResizedCrop::Params params;
+    params.size = 16;
+    RandomResizedCrop transform(params);
+    Rng rng(4);
+    Sample sample = imageSample(8, 8);
+    transform.apply(sample, rng);
+    EXPECT_EQ(sample.image->width(), 16);
+}
+
+TEST(Transforms, RandomHorizontalFlipProbabilityRespected)
+{
+    Sample original = imageSample(10, 10);
+    RandomHorizontalFlip never(0.0);
+    RandomHorizontalFlip always(1.0);
+    Rng rng(5);
+
+    Sample a = original;
+    never.apply(a, rng);
+    EXPECT_EQ(a.image->pixel(0, 0)[0], original.image->pixel(0, 0)[0]);
+
+    Sample b = original;
+    always.apply(b, rng);
+    EXPECT_EQ(b.image->pixel(0, 0)[0], original.image->pixel(9, 0)[0]);
+}
+
+TEST(Transforms, ResizeShorterEdge)
+{
+    Resize transform(50);
+    Rng rng(6);
+    Sample sample = imageSample(200, 100);
+    transform.apply(sample, rng);
+    EXPECT_EQ(sample.image->height(), 50);
+    EXPECT_EQ(sample.image->width(), 100);
+}
+
+TEST(Transforms, ResizeRespectsMaxSize)
+{
+    Resize transform(100, 120);
+    Rng rng(6);
+    Sample sample = imageSample(400, 100);
+    transform.apply(sample, rng);
+    EXPECT_LE(std::max(sample.image->width(), sample.image->height()), 120);
+}
+
+TEST(Transforms, ResizeExact)
+{
+    Resize transform(64, 0, /*exact=*/true);
+    Rng rng(6);
+    Sample sample = imageSample(123, 45);
+    transform.apply(sample, rng);
+    EXPECT_EQ(sample.image->width(), 64);
+    EXPECT_EQ(sample.image->height(), 64);
+}
+
+TEST(Transforms, ToTensorProducesChwFloatInUnitRange)
+{
+    ToTensor transform;
+    Rng rng(7);
+    Sample sample = imageSample(6, 4);
+    transform.apply(sample, rng);
+    EXPECT_FALSE(sample.hasImage());
+    ASSERT_EQ(sample.data.shape(), (std::vector<std::int64_t>{3, 4, 6}));
+    EXPECT_EQ(sample.data.dtype(), tensor::DType::F32);
+    for (std::int64_t i = 0; i < sample.data.numel(); ++i) {
+        EXPECT_GE(sample.data.data<float>()[i], 0.0f);
+        EXPECT_LE(sample.data.data<float>()[i], 1.0f);
+    }
+}
+
+TEST(Transforms, NormalizeAfterToTensor)
+{
+    ToTensor to_tensor;
+    Normalize normalize({0.5f, 0.5f, 0.5f}, {0.5f, 0.5f, 0.5f});
+    Rng rng(8);
+    Sample sample = imageSample(4, 4);
+    to_tensor.apply(sample, rng);
+    normalize.apply(sample, rng);
+    for (std::int64_t i = 0; i < sample.data.numel(); ++i) {
+        EXPECT_GE(sample.data.data<float>()[i], -1.0f);
+        EXPECT_LE(sample.data.data<float>()[i], 1.0f);
+    }
+}
+
+TEST(Transforms, RandBalancedCropShape)
+{
+    RandBalancedCrop::Params params;
+    params.patch = {8, 8, 8};
+    params.oversampling = 0.0;
+    RandBalancedCrop transform(params);
+    Rng rng(9);
+    Sample sample = volumeSample(16, 20, 24);
+    transform.apply(sample, rng);
+    EXPECT_EQ(sample.data.shape(), (std::vector<std::int64_t>{1, 8, 8, 8}));
+}
+
+TEST(Transforms, RandBalancedCropForegroundCentering)
+{
+    RandBalancedCrop::Params params;
+    params.patch = {4, 4, 4};
+    params.oversampling = 1.0; // always take the foreground path
+    params.foreground_threshold = 200.0f;
+    RandBalancedCrop transform(params);
+    Rng rng(10);
+    Sample sample = volumeSample(12, 12, 12);
+    // Single bright voxel in a corner region.
+    sample.data.data<float>()[(2 * 12 + 3) * 12 + 4] = 255.0f;
+    transform.apply(sample, rng);
+    ASSERT_EQ(sample.data.shape(),
+              (std::vector<std::int64_t>{1, 4, 4, 4}));
+    // The bright voxel must be inside the crop.
+    bool found = false;
+    for (std::int64_t i = 0; i < sample.data.numel(); ++i) {
+        if (sample.data.data<float>()[i] == 255.0f)
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Transforms, RandBalancedCropPadsUndersizedVolume)
+{
+    // A volume smaller than the patch is zero-padded: the output
+    // shape is always (C, patch) so batches stack (real loaders
+    // guarantee a fixed crop size).
+    RandBalancedCrop::Params params;
+    params.patch = {8, 8, 8};
+    params.oversampling = 0.0;
+    RandBalancedCrop transform(params);
+    Rng rng(11);
+    Sample sample = volumeSample(4, 5, 6);
+    for (std::int64_t i = 0; i < sample.data.numel(); ++i)
+        sample.data.data<float>()[i] = 3.0f;
+    transform.apply(sample, rng);
+    ASSERT_EQ(sample.data.shape(), (std::vector<std::int64_t>{1, 8, 8, 8}));
+    // Original voxels survive at the origin corner; padding is zero.
+    EXPECT_EQ(sample.data.data<float>()[0], 3.0f);
+    EXPECT_EQ(sample.data.data<float>()[sample.data.numel() - 1], 0.0f);
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < sample.data.numel(); ++i)
+        sum += sample.data.data<float>()[i];
+    EXPECT_DOUBLE_EQ(sum, 3.0 * 4 * 5 * 6);
+}
+
+TEST(Transforms, RandomFlipKeepsShape)
+{
+    RandomFlip transform(1.0);
+    Rng rng(12);
+    Sample sample = volumeSample(3, 4, 5);
+    sample.data.data<float>()[0] = 7.0f;
+    transform.apply(sample, rng);
+    EXPECT_EQ(sample.data.shape(), (std::vector<std::int64_t>{1, 3, 4, 5}));
+    // Flipping every axis moves element 0 to the far corner.
+    EXPECT_EQ(sample.data.data<float>()[sample.data.numel() - 1], 7.0f);
+}
+
+TEST(Transforms, CastConvertsDtype)
+{
+    Cast to_f32(tensor::DType::F32);
+    Rng rng(13);
+    Sample sample = volumeSample(2, 2, 2, tensor::DType::U8);
+    sample.data.data<std::uint8_t>()[0] = 200;
+    to_f32.apply(sample, rng);
+    EXPECT_EQ(sample.data.dtype(), tensor::DType::F32);
+    EXPECT_FLOAT_EQ(sample.data.data<float>()[0], 200.0f);
+    // Idempotent when already at the target dtype.
+    to_f32.apply(sample, rng);
+    EXPECT_EQ(sample.data.dtype(), tensor::DType::F32);
+}
+
+TEST(Transforms, BrightnessAndNoiseRespectProbability)
+{
+    RandomBrightnessAugmentation never(0.3, 0.0);
+    GaussianNoise never_noise(0.0f, 5.0f, 0.0);
+    Rng rng(14);
+    Sample sample = volumeSample(2, 2, 2);
+    sample.data.data<float>()[0] = 100.0f;
+    never.apply(sample, rng);
+    never_noise.apply(sample, rng);
+    EXPECT_FLOAT_EQ(sample.data.data<float>()[0], 100.0f);
+
+    RandomBrightnessAugmentation always(0.3, 1.0);
+    always.apply(sample, rng);
+    EXPECT_NE(sample.data.data<float>()[0], 100.0f);
+}
+
+TEST(Compose, AppliesInOrderAndLogs)
+{
+    std::vector<TransformPtr> transforms;
+    transforms.push_back(std::make_unique<ToTensor>());
+    transforms.push_back(std::make_unique<Normalize>(
+        std::vector<float>{0.0f, 0.0f, 0.0f},
+        std::vector<float>{1.0f, 1.0f, 1.0f}));
+    Compose compose(std::move(transforms));
+    EXPECT_EQ(compose.size(), 2u);
+    EXPECT_EQ(compose.names()[0], "ToTensor");
+
+    trace::TraceLogger logger;
+    Rng rng(15);
+    PipelineContext ctx;
+    ctx.logger = &logger;
+    ctx.pid = 77;
+    ctx.batch_id = 5;
+    ctx.sample_index = 3;
+    ctx.rng = &rng;
+
+    Sample sample = imageSample(4, 4);
+    compose(sample, ctx);
+    const auto records = logger.records();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].kind, trace::RecordKind::TransformOp);
+    EXPECT_EQ(records[0].op_name, "ToTensor");
+    EXPECT_EQ(records[1].op_name, "Normalize");
+    EXPECT_EQ(records[0].batch_id, 5);
+    EXPECT_EQ(records[0].pid, 77u);
+    EXPECT_EQ(records[0].sample_index, 3);
+    EXPECT_GE(records[0].duration, 0);
+}
+
+TEST(Compose, NoLoggerMeansNoRecordsButStillTransforms)
+{
+    std::vector<TransformPtr> transforms;
+    transforms.push_back(std::make_unique<ToTensor>());
+    Compose compose(std::move(transforms));
+    Rng rng(16);
+    PipelineContext ctx;
+    ctx.rng = &rng;
+    Sample sample = imageSample(4, 4);
+    compose(sample, ctx);
+    EXPECT_FALSE(sample.hasImage());
+}
+
+TEST(Store, InMemoryRoundTrip)
+{
+    InMemoryStore store;
+    EXPECT_EQ(store.add("alpha"), 0);
+    EXPECT_EQ(store.add("beta!"), 1);
+    EXPECT_EQ(store.size(), 2);
+    EXPECT_EQ(store.read(1), "beta!");
+    EXPECT_EQ(store.blobSize(0), 5u);
+    EXPECT_EQ(store.totalBytes(), 10u);
+}
+
+TEST(Store, ModelledIoLatencyApplies)
+{
+    InMemoryStore slow(2 * kMillisecond, 0.0);
+    slow.add("x");
+    const auto &clock = SteadyClock::instance();
+    const TimeNs before = clock.now();
+    slow.read(0);
+    EXPECT_GE(clock.now() - before, 2 * kMillisecond);
+}
+
+TEST(Store, DiskStoreReadsFiles)
+{
+    TempDir dir("lotus-store");
+    writeFile(dir.file("a.bin"), "AAA");
+    writeFile(dir.file("b.bin"), "BB");
+    DiskStore store({dir.file("a.bin"), dir.file("b.bin")});
+    EXPECT_EQ(store.size(), 2);
+    EXPECT_EQ(store.read(0), "AAA");
+    EXPECT_EQ(store.blobSize(1), 2u);
+}
+
+TEST(ImageFolder, LoaderOpLoggedAndDecoded)
+{
+    auto store = std::make_shared<InMemoryStore>();
+    Rng synth_rng(17);
+    image::Image img = image::synthesize(synth_rng, 24, 18);
+    store->add(image::codec::encode(img));
+
+    std::vector<TransformPtr> transforms;
+    transforms.push_back(std::make_unique<ToTensor>());
+    auto dataset = ImageFolderDataset(
+        store, std::make_shared<Compose>(std::move(transforms)), 10);
+
+    trace::TraceLogger logger;
+    Rng rng(18);
+    PipelineContext ctx;
+    ctx.logger = &logger;
+    ctx.rng = &rng;
+    ctx.batch_id = 0;
+    ctx.sample_index = 0;
+    const Sample sample = dataset.get(0, ctx);
+    EXPECT_EQ(sample.label, 0);
+    ASSERT_EQ(sample.data.shape(), (std::vector<std::int64_t>{3, 18, 24}));
+
+    const auto records = logger.records();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].op_name, "Loader");
+    EXPECT_EQ(records[1].op_name, "ToTensor");
+}
+
+TEST(VolumeDataset, LoadsSerializedTensors)
+{
+    auto store = std::make_shared<InMemoryStore>();
+    tensor::Tensor volume(tensor::DType::U8, {1, 4, 4, 4});
+    volume.data<std::uint8_t>()[7] = 200;
+    store->add(tensor::toBytes(volume));
+
+    auto dataset =
+        VolumeDataset(store, std::make_shared<Compose>());
+    trace::TraceLogger logger;
+    Rng rng(19);
+    PipelineContext ctx;
+    ctx.logger = &logger;
+    ctx.rng = &rng;
+    const Sample sample = dataset.get(0, ctx);
+    EXPECT_EQ(sample.data.shape(),
+              (std::vector<std::int64_t>{1, 4, 4, 4}));
+    EXPECT_EQ(sample.data.data<std::uint8_t>()[7], 200);
+    EXPECT_EQ(logger.records().size(), 1u); // just the Loader op
+}
+
+TEST(Collate, StackCombinesAndLabels)
+{
+    std::vector<Sample> samples(3);
+    for (int i = 0; i < 3; ++i) {
+        samples[static_cast<std::size_t>(i)].data =
+            tensor::Tensor(tensor::DType::F32, {2, 2});
+        samples[static_cast<std::size_t>(i)].label = 10 + i;
+    }
+    StackCollate collate;
+    const Batch batch = collate.collate(std::move(samples));
+    EXPECT_EQ(batch.size(), 3);
+    EXPECT_EQ(batch.data.shape(), (std::vector<std::int64_t>{3, 2, 2}));
+    EXPECT_EQ(batch.labels[2], 12);
+}
+
+TEST(Collate, PadCollateGrowsToMaxAndDivisor)
+{
+    std::vector<Sample> samples(2);
+    samples[0].data = tensor::Tensor(tensor::DType::F32, {3, 10, 20});
+    samples[1].data = tensor::Tensor(tensor::DType::F32, {3, 18, 12});
+    samples[0].data.data<float>()[0] = 5.0f;
+    PadCollate collate(16);
+    const Batch batch = collate.collate(std::move(samples));
+    // Max (18, 20) padded to divisor 16 -> (32, 32).
+    EXPECT_EQ(batch.data.shape(),
+              (std::vector<std::int64_t>{2, 3, 32, 32}));
+    EXPECT_FLOAT_EQ(batch.data.data<float>()[0], 5.0f);
+}
+
+TEST(Collate, PadCollateExactMaxWhenNoDivisor)
+{
+    std::vector<Sample> samples(2);
+    samples[0].data = tensor::Tensor(tensor::DType::U8, {1, 4, 8});
+    samples[1].data = tensor::Tensor(tensor::DType::U8, {1, 6, 2});
+    samples[1].data.data<std::uint8_t>()[0] = 9;
+    PadCollate collate(0);
+    const Batch batch = collate.collate(std::move(samples));
+    EXPECT_EQ(batch.data.shape(), (std::vector<std::int64_t>{2, 1, 6, 8}));
+    // Sample 1's (0,0,0) lands at batch position [1][0][0][0].
+    EXPECT_EQ(batch.data.data<std::uint8_t>()[6 * 8], 9);
+}
+
+} // namespace
+} // namespace lotus::pipeline

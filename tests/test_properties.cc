@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Property-based tests: invariants checked across randomized and
+ * parameterized sweeps (statistics, the capture-probability formula
+ * vs Monte Carlo, queue FIFO under random interleavings, tensor op
+ * algebra, DES determinism).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "analysis/stats.h"
+#include "common/mpmc_queue.h"
+#include "common/rng.h"
+#include "core/lotustrace/analysis.h"
+#include "hwcount/sampling_driver.h"
+#include "sim/loader_sim.h"
+#include "tensor/ops.h"
+
+namespace lotus {
+namespace {
+
+// --- Statistics invariants -------------------------------------------
+
+class StatsProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(StatsProperty, SummaryInvariants)
+{
+    Rng rng(GetParam());
+    std::vector<double> values;
+    const int n = static_cast<int>(rng.uniformInt(1, 500));
+    for (int i = 0; i < n; ++i)
+        values.push_back(rng.logNormalFromMoments(10.0, 8.0));
+    const auto s = analysis::summarize(values);
+    EXPECT_EQ(s.count, static_cast<std::uint64_t>(n));
+    EXPECT_LE(s.min, s.p25);
+    EXPECT_LE(s.p25, s.p50);
+    EXPECT_LE(s.p50, s.p75);
+    EXPECT_LE(s.p75, s.p90);
+    EXPECT_LE(s.p90, s.p99);
+    EXPECT_LE(s.p99, s.max);
+    EXPECT_GE(s.mean, s.min);
+    EXPECT_LE(s.mean, s.max);
+    EXPECT_GE(s.stddev, 0.0);
+    EXPECT_GE(s.iqr(), 0.0);
+    // fractionBelow is a CDF: monotone in the threshold.
+    EXPECT_LE(analysis::fractionBelow(values, s.p25 + 1e-9), 1.0);
+    EXPECT_LE(analysis::fractionBelow(values, 5.0),
+              analysis::fractionBelow(values, 50.0));
+    EXPECT_NEAR(analysis::fractionBelow(values, 1e18) +
+                    analysis::fractionAtLeast(values, 1e18),
+                1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+TEST(StatsProperty, PercentileMatchesExactForKnownData)
+{
+    std::vector<double> data = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    EXPECT_DOUBLE_EQ(analysis::percentile(data, 0), 1.0);
+    EXPECT_DOUBLE_EQ(analysis::percentile(data, 100), 10.0);
+    EXPECT_DOUBLE_EQ(analysis::percentile(data, 50), 5.5);
+}
+
+// --- Capture probability vs Monte Carlo ------------------------------
+
+class CaptureFormula
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CaptureFormula, MatchesMonteCarloSampling)
+{
+    const auto [f_us, n_runs] = GetParam();
+    const TimeNs f = f_us * kMicrosecond;
+    const TimeNs s = 10 * kMillisecond;
+    const double predicted =
+        hwcount::SamplingDriver::captureProbability(f, s, n_runs);
+
+    // Monte Carlo: place the function at a fixed offset in each run's
+    // window, sample with random phase, count runs where at least one
+    // of the n windows caught it.
+    int captured_trials = 0;
+    const int trials = 400;
+    for (int trial = 0; trial < trials; ++trial) {
+        bool caught = false;
+        for (int run = 0; run < n_runs && !caught; ++run) {
+            std::vector<hwcount::KernelInterval> timeline(1);
+            timeline[0].kernel = hwcount::KernelId::DecodeMcu;
+            timeline[0].tid = 1;
+            timeline[0].start = 2 * kMillisecond;
+            timeline[0].end = 2 * kMillisecond + f;
+            hwcount::SamplingDriver driver(
+                {s, 0,
+                 static_cast<std::uint64_t>(trial * 1000 + run + 1)});
+            const auto samples = driver.sampleWindow(
+                timeline, 0, 20 * kMillisecond);
+            for (const auto &sample : samples) {
+                if (sample.kernel == hwcount::KernelId::DecodeMcu)
+                    caught = true;
+            }
+        }
+        if (caught)
+            ++captured_trials;
+    }
+    const double observed = static_cast<double>(captured_trials) / trials;
+    // Binomial noise at 400 trials: allow ~4 sigma.
+    const double sigma =
+        std::sqrt(predicted * (1.0 - predicted) / trials) + 1e-3;
+    EXPECT_NEAR(observed, predicted, 4.0 * sigma + 0.02)
+        << "f=" << f_us << "us n=" << n_runs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spans, CaptureFormula,
+    ::testing::Combine(::testing::Values(500, 2000, 5000),
+                       ::testing::Values(1, 5, 20)));
+
+// --- Queue FIFO under random interleavings ---------------------------
+
+class QueueProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(QueueProperty, FifoPreservedUnderRandomOps)
+{
+    Rng rng(GetParam());
+    MpmcQueue<int> queue;
+    std::vector<int> pushed, popped;
+    int next = 0;
+    for (int step = 0; step < 2000; ++step) {
+        if (rng.chance(0.55)) {
+            queue.push(next);
+            pushed.push_back(next);
+            ++next;
+        } else if (auto v = queue.tryPop()) {
+            popped.push_back(*v);
+        }
+    }
+    while (auto v = queue.tryPop())
+        popped.push_back(*v);
+    EXPECT_EQ(popped, pushed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// --- Tensor op algebra across shapes ----------------------------------
+
+class TensorShapes
+    : public ::testing::TestWithParam<std::vector<std::int64_t>>
+{
+};
+
+TEST_P(TensorShapes, FlipIsInvolutionOnEveryAxis)
+{
+    Rng rng(13);
+    tensor::Tensor t(tensor::DType::F32, GetParam());
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        t.data<float>()[i] = static_cast<float>(rng.nextDouble());
+    for (int axis = 0; axis < static_cast<int>(t.rank()); ++axis) {
+        const auto twice = tensor::flipAxis(tensor::flipAxis(t, axis), axis);
+        for (std::int64_t i = 0; i < t.numel(); ++i)
+            ASSERT_EQ(twice.data<float>()[i], t.data<float>()[i]);
+    }
+}
+
+TEST_P(TensorShapes, FullCropIsIdentity)
+{
+    Rng rng(14);
+    tensor::Tensor t(tensor::DType::U8, GetParam());
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        t.data<std::uint8_t>()[i] =
+            static_cast<std::uint8_t>(rng.nextBelow(256));
+    const std::vector<std::int64_t> zeros(t.rank(), 0);
+    const auto copy = tensor::cropWindow(t, zeros, t.shape());
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        ASSERT_EQ(copy.data<std::uint8_t>()[i], t.data<std::uint8_t>()[i]);
+}
+
+TEST_P(TensorShapes, CastRoundTripPreservesBytes)
+{
+    Rng rng(15);
+    tensor::Tensor t(tensor::DType::U8, GetParam());
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        t.data<std::uint8_t>()[i] =
+            static_cast<std::uint8_t>(rng.nextBelow(256));
+    const auto back =
+        tensor::castF32ToU8(tensor::castU8ToF32(t, 1.0f), 1.0f);
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        ASSERT_EQ(back.data<std::uint8_t>()[i], t.data<std::uint8_t>()[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TensorShapes,
+    ::testing::Values(std::vector<std::int64_t>{7},
+                      std::vector<std::int64_t>{3, 5},
+                      std::vector<std::int64_t>{2, 3, 4},
+                      std::vector<std::int64_t>{1, 4, 6, 3},
+                      std::vector<std::int64_t>{2, 1, 3, 2, 2}));
+
+// --- DES protocol invariants across configurations --------------------
+
+class LoaderSimProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(LoaderSimProperty, ProtocolInvariantsHold)
+{
+    const auto [workers, batch_size, gpus] = GetParam();
+    sim::LoaderSimConfig config;
+    config.model = sim::ServiceModel::imageClassification();
+    config.batch_size = batch_size;
+    config.num_workers = workers;
+    config.num_batches = 12;
+    config.num_gpus = gpus;
+    config.seed = static_cast<std::uint64_t>(workers * 100 + batch_size);
+    config.log_ops = false;
+    const auto result = sim::LoaderSim(config).run();
+
+    // Every batch has exactly one preprocess, wait, consume, gpu.
+    std::map<std::int64_t, int> pre, wait, consume, gpu;
+    for (const auto &record : result.records) {
+        switch (record.kind) {
+          case trace::RecordKind::BatchPreprocessed:
+            ++pre[record.batch_id];
+            break;
+          case trace::RecordKind::BatchWait: ++wait[record.batch_id]; break;
+          case trace::RecordKind::BatchConsumed:
+            ++consume[record.batch_id];
+            break;
+          case trace::RecordKind::GpuCompute: ++gpu[record.batch_id]; break;
+          default: break;
+        }
+    }
+    for (std::int64_t b = 0; b < 12; ++b) {
+        ASSERT_EQ(pre[b], 1) << b;
+        ASSERT_EQ(wait[b], 1) << b;
+        ASSERT_EQ(consume[b], 1) << b;
+        ASSERT_EQ(gpu[b], 1) << b;
+    }
+
+    // Consumption strictly in order; consumption never precedes
+    // preprocessing completion.
+    core::lotustrace::TraceAnalysis analysis(result.records);
+    TimeNs last_consumed = -1;
+    for (const auto &batch : analysis.batches()) {
+        EXPECT_GE(batch.consumed_start, batch.preprocess_end);
+        // Non-strict: cached out-of-order batches can be consumed
+        // back-to-back at the same virtual instant.
+        EXPECT_GE(batch.consumed_start, last_consumed);
+        last_consumed = batch.consumed_start;
+    }
+    EXPECT_GT(result.e2e_time, 0);
+    EXPECT_GE(result.avg_occupancy, 0.0);
+    EXPECT_LE(result.avg_occupancy, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, LoaderSimProperty,
+    ::testing::Combine(::testing::Values(1, 3, 8, 28),
+                       ::testing::Values(2, 32),
+                       ::testing::Values(1, 4)));
+
+} // namespace
+} // namespace lotus

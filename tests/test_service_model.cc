@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the DES service-time model and its calibration from
+ * real LotusTrace records.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/service_model.h"
+
+namespace lotus::sim {
+namespace {
+
+TEST(ServiceModel, LogNormalDrawMatchesMoments)
+{
+    Rng rng(1);
+    const TimeNs mean = 5 * kMillisecond;
+    const double cv = 0.5;
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        const double v = static_cast<double>(drawLogNormal(mean, cv, rng));
+        EXPECT_GT(v, 0.0);
+        sum += v;
+        sum_sq += v * v;
+    }
+    const double m = sum / n;
+    const double sd = std::sqrt(sum_sq / n - m * m);
+    EXPECT_NEAR(m / static_cast<double>(mean), 1.0, 0.03);
+    EXPECT_NEAR(sd / m, cv, 0.05);
+}
+
+TEST(ServiceModel, ZeroCvIsDeterministic)
+{
+    Rng rng(2);
+    EXPECT_EQ(drawLogNormal(1000, 0.0, rng), 1000);
+    EXPECT_EQ(drawLogNormal(0, 0.5, rng), 0);
+}
+
+TEST(ServiceModel, PresetsMatchTableTwoMagnitudes)
+{
+    const auto ic = ServiceModel::imageClassification();
+    ASSERT_EQ(ic.per_sample_ops.size(), 5u);
+    EXPECT_EQ(ic.per_sample_ops[0].name, "Loader");
+    EXPECT_NEAR(toMs(ic.per_sample_ops[0].mean), 4.76, 0.01);
+    EXPECT_NEAR(toMs(ic.meanSampleTime()), 6.48, 0.05);
+
+    const auto is = ServiceModel::imageSegmentation();
+    ASSERT_EQ(is.per_sample_ops.size(), 6u);
+    EXPECT_EQ(is.per_sample_ops[1].name, "RandBalancedCrop");
+    EXPECT_GT(is.per_sample_ops[1].cv, 1.0); // heavy tail
+
+    const auto od = ServiceModel::objectDetection();
+    ASSERT_EQ(od.per_sample_ops.size(), 5u);
+    EXPECT_NEAR(toMs(od.per_sample_ops[1].mean), 9.43, 0.01);
+}
+
+TEST(ServiceModel, DrawOpTimeUsesOpIndex)
+{
+    const auto model = ServiceModel::imageClassification();
+    Rng rng(3);
+    double loader_sum = 0.0, flip_sum = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+        loader_sum += static_cast<double>(model.drawOpTime(0, rng));
+        flip_sum += static_cast<double>(model.drawOpTime(2, rng));
+    }
+    EXPECT_GT(loader_sum / flip_sum, 20.0); // 4.76 ms vs 0.06 ms
+}
+
+TEST(ServiceModel, CollateScalesWithBatchSize)
+{
+    const auto model = ServiceModel::imageClassification();
+    Rng rng(4);
+    double small = 0.0, large = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+        small += static_cast<double>(model.drawCollateTime(16, rng));
+        large += static_cast<double>(model.drawCollateTime(128, rng));
+    }
+    EXPECT_NEAR(large / small, 8.0, 0.5);
+}
+
+TEST(ServiceModel, CalibrateRecoversRecordedMoments)
+{
+    // Build synthetic [T3] records: op A at exactly 2 ms, op B at
+    // 4 ms, plus Collate at 10 ms per batch of 4.
+    std::vector<trace::TraceRecord> records;
+    for (int i = 0; i < 200; ++i) {
+        trace::TraceRecord a;
+        a.kind = trace::RecordKind::TransformOp;
+        a.op_name = "A";
+        a.duration = 2 * kMillisecond;
+        records.push_back(a);
+        trace::TraceRecord b = a;
+        b.op_name = "B";
+        b.duration = 4 * kMillisecond;
+        records.push_back(b);
+    }
+    for (int i = 0; i < 50; ++i) {
+        trace::TraceRecord c;
+        c.kind = trace::RecordKind::TransformOp;
+        c.op_name = "Collate";
+        c.duration = 10 * kMillisecond;
+        records.push_back(c);
+    }
+    const auto model = ServiceModel::calibrate(records, 4);
+    ASSERT_EQ(model.per_sample_ops.size(), 2u);
+    EXPECT_EQ(model.per_sample_ops[0].name, "A");
+    EXPECT_EQ(model.per_sample_ops[0].mean, 2 * kMillisecond);
+    EXPECT_NEAR(model.per_sample_ops[0].cv, 0.0, 1e-9);
+    EXPECT_EQ(model.per_sample_ops[1].mean, 4 * kMillisecond);
+    // Collate normalized to per-sample share.
+    EXPECT_EQ(model.collate.mean, 10 * kMillisecond / 4);
+}
+
+TEST(ServiceModel, CalibrateIgnoresNonOpRecords)
+{
+    std::vector<trace::TraceRecord> records;
+    trace::TraceRecord op;
+    op.kind = trace::RecordKind::TransformOp;
+    op.op_name = "X";
+    op.duration = kMillisecond;
+    records.push_back(op);
+    trace::TraceRecord wait;
+    wait.kind = trace::RecordKind::BatchWait;
+    wait.duration = 100 * kMillisecond;
+    records.push_back(wait);
+    const auto model = ServiceModel::calibrate(records, 1);
+    ASSERT_EQ(model.per_sample_ops.size(), 1u);
+    EXPECT_EQ(model.per_sample_ops[0].name, "X");
+}
+
+} // namespace
+} // namespace lotus::sim

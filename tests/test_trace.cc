@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit tests for trace records, the logger sink, and Chrome trace
+ * output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/files.h"
+#include "trace/chrome_trace.h"
+#include "trace/logger.h"
+#include "trace/record.h"
+
+namespace lotus::trace {
+namespace {
+
+TEST(Record, LineRoundTrip)
+{
+    TraceRecord record;
+    record.kind = RecordKind::TransformOp;
+    record.batch_id = 42;
+    record.pid = 7;
+    record.start = 123456789;
+    record.duration = 1000;
+    record.op_name = "RandomResizedCrop";
+    record.sample_index = 99;
+    const TraceRecord back = TraceRecord::fromLine(record.toLine());
+    EXPECT_EQ(back.kind, record.kind);
+    EXPECT_EQ(back.batch_id, record.batch_id);
+    EXPECT_EQ(back.pid, record.pid);
+    EXPECT_EQ(back.start, record.start);
+    EXPECT_EQ(back.duration, record.duration);
+    EXPECT_EQ(back.op_name, record.op_name);
+    EXPECT_EQ(back.sample_index, record.sample_index);
+}
+
+TEST(Record, TextRoundTripMany)
+{
+    std::vector<TraceRecord> records;
+    for (int i = 0; i < 10; ++i) {
+        TraceRecord record;
+        record.kind = i % 2 == 0 ? RecordKind::BatchWait
+                                 : RecordKind::BatchPreprocessed;
+        record.batch_id = i;
+        record.start = i * 100;
+        record.duration = i;
+        records.push_back(record);
+    }
+    const auto back = recordsFromText(recordsToText(records));
+    ASSERT_EQ(back.size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(back[i].kind, records[i].kind);
+        EXPECT_EQ(back[i].batch_id, records[i].batch_id);
+    }
+}
+
+TEST(Record, KindNamesMatchPaperSpans)
+{
+    EXPECT_STREQ(recordKindName(RecordKind::BatchPreprocessed),
+                 "SBatchPreprocessed");
+    EXPECT_STREQ(recordKindName(RecordKind::BatchWait), "SBatchWait");
+    EXPECT_STREQ(recordKindName(RecordKind::BatchConsumed),
+                 "SBatchConsumed");
+}
+
+TEST(Record, MalformedLineFatal)
+{
+    EXPECT_DEATH(TraceRecord::fromLine("bogus"), "");
+}
+
+TEST(Logger, CollectsAndSorts)
+{
+    VirtualClock clock(0);
+    TraceLogger logger(&clock);
+    TraceRecord late;
+    late.start = 100;
+    TraceRecord early;
+    early.start = 10;
+    logger.log(late);
+    logger.log(early);
+    const auto records = logger.records();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].start, 10);
+    EXPECT_EQ(logger.recordCount(), 2u);
+    logger.reset();
+    EXPECT_EQ(logger.recordCount(), 0u);
+}
+
+TEST(Logger, ThreadedLoggingLosesNothing)
+{
+    TraceLogger logger;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&logger, t] {
+            for (int i = 0; i < 500; ++i) {
+                TraceRecord record;
+                record.batch_id = t * 1000 + i;
+                record.start = i;
+                logger.log(record);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(logger.recordCount(), 2000u);
+}
+
+TEST(Logger, FileRoundTrip)
+{
+    TempDir dir("lotus-log");
+    TraceLogger logger;
+    TraceRecord record;
+    record.kind = RecordKind::BatchPreprocessed;
+    record.batch_id = 3;
+    record.duration = 500;
+    logger.log(record);
+    const std::string path = dir.file("trace.log");
+    const auto bytes = logger.writeTo(path);
+    EXPECT_GT(bytes, 0u);
+    EXPECT_EQ(fileSize(path), bytes);
+    const auto back = TraceLogger::readFrom(path);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].batch_id, 3);
+}
+
+TEST(Logger, ObserverSeesRecords)
+{
+    TraceLogger logger;
+    int observed = 0;
+    logger.setObserver([&](const TraceRecord &) { ++observed; });
+    logger.log(TraceRecord{});
+    logger.log(TraceRecord{});
+    EXPECT_EQ(observed, 2);
+    EXPECT_EQ(logger.recordCount(), 2u);
+}
+
+TEST(Logger, DiscardModeKeepsNothingButObserves)
+{
+    TraceLogger logger;
+    int observed = 0;
+    logger.setObserver([&](const TraceRecord &) { ++observed; });
+    logger.setStoreRecords(false);
+    logger.log(TraceRecord{});
+    EXPECT_EQ(observed, 1);
+    EXPECT_EQ(logger.recordCount(), 0u);
+}
+
+TEST(Logger, SpanTimerMeasuresDuration)
+{
+    VirtualClock clock(1000);
+    TraceLogger logger(&clock);
+    SpanTimer span(&logger, RecordKind::BatchWait);
+    span.record().batch_id = 5;
+    clock.advance(250);
+    span.finish();
+    const auto records = logger.records();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].start, 1000);
+    EXPECT_EQ(records[0].duration, 250);
+    EXPECT_EQ(records[0].batch_id, 5);
+}
+
+TEST(Logger, SpanTimerWithoutLoggerIsNoop)
+{
+    SpanTimer span(nullptr, RecordKind::BatchWait);
+    span.finish(); // must not crash
+}
+
+TEST(ChromeTrace, JsonEscaping)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(ChromeTrace, CompleteEventJson)
+{
+    ChromeEvent event;
+    event.name = "SBatchPreprocessed_1";
+    event.phase = 'X';
+    event.ts_us = 1.5;
+    event.dur_us = 2.0;
+    event.pid = 10;
+    event.tid = 10;
+    const std::string json = event.toJson();
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":2.000"), std::string::npos);
+    EXPECT_NE(json.find("\"pid\":10"), std::string::npos);
+}
+
+TEST(ChromeTrace, BuilderProducesValidSkeleton)
+{
+    ChromeTraceBuilder builder;
+    builder.setProcessName(1, "main process");
+    builder.addComplete("span", "cat", 1000, 500, 1, 1);
+    builder.addFlow("flow", 1500, 2, 2, 2000, 1, 1);
+    builder.addInstant("marker", 2500, 1, 1);
+    const std::string json = builder.toJson();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+    EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+    EXPECT_NE(json.find("process_name"), std::string::npos);
+}
+
+TEST(ChromeTrace, SyntheticIdsAreNegativeAndUnique)
+{
+    ChromeTraceBuilder builder;
+    builder.addComplete("a", "", 0, 1, 1, 1);
+    builder.addComplete("b", "", 0, 1, 1, 1);
+    builder.addFlow("f", 0, 1, 1, 1, 1, 1);
+    std::set<std::int64_t> ids;
+    for (const auto &event : builder.events()) {
+        if (event.has_id) {
+            EXPECT_LT(event.id, 0);
+            ids.insert(event.id);
+        }
+    }
+    // Two spans + one flow id (shared by its s/f pair).
+    EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST(ChromeTrace, WriteToFile)
+{
+    TempDir dir("lotus-chrome");
+    ChromeTraceBuilder builder;
+    builder.addComplete("x", "", 0, 1, 1, 1);
+    const std::string path = dir.file("trace.json");
+    const auto bytes = builder.writeTo(path);
+    EXPECT_EQ(fileSize(path), bytes);
+}
+
+} // namespace
+} // namespace lotus::trace

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the synthetic datasets and the three MLPerf-like
+ * pipelines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/files.h"
+#include "common/strings.h"
+#include "dataflow/data_loader.h"
+#include "image/codec/codec.h"
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+#include "workloads/pipelines.h"
+#include "workloads/synthetic.h"
+
+namespace lotus::workloads {
+namespace {
+
+TEST(SyntheticImageNet, BlobsAreDecodableAndVaried)
+{
+    ImageNetConfig config;
+    config.num_images = 12;
+    config.median_width = 96;
+    auto store = buildImageNetStore(config);
+    ASSERT_EQ(store->size(), 12);
+    std::uint64_t min_size = UINT64_MAX, max_size = 0;
+    for (std::int64_t i = 0; i < store->size(); ++i) {
+        const auto blob = store->read(i);
+        const auto header = image::codec::peekHeader(blob);
+        EXPECT_GE(header.width, 48);
+        EXPECT_GE(header.height, 48);
+        min_size = std::min(min_size, store->blobSize(i));
+        max_size = std::max(max_size, store->blobSize(i));
+    }
+    // Heavy-tailed size spread (Takeaway 3's variance driver).
+    EXPECT_GT(max_size, min_size * 2);
+    // Decode one fully.
+    const auto img = image::codec::decode(store->read(0));
+    EXPECT_GT(img.width(), 0);
+}
+
+TEST(SyntheticImageNet, DeterministicPerSeed)
+{
+    ImageNetConfig config;
+    config.num_images = 3;
+    config.median_width = 64;
+    auto a = buildImageNetStore(config);
+    auto b = buildImageNetStore(config);
+    for (std::int64_t i = 0; i < 3; ++i)
+        EXPECT_EQ(a->read(i), b->read(i));
+    config.seed = 99;
+    auto c = buildImageNetStore(config);
+    EXPECT_NE(a->read(0), c->read(0));
+}
+
+TEST(SyntheticKits19, VolumesHaveForeground)
+{
+    Kits19Config config;
+    config.num_volumes = 3;
+    config.median_extent = 24;
+    auto store = buildKits19Store(config);
+    for (std::int64_t i = 0; i < store->size(); ++i) {
+        const auto volume = tensor::fromBytes(store->read(i));
+        ASSERT_EQ(volume.rank(), 4u);
+        EXPECT_EQ(volume.dim(0), 1);
+        // Bright lesions exist (values > 200).
+        const auto hits = tensor::foregroundSearch(volume, 200.0f, 10);
+        EXPECT_FALSE(hits.empty());
+    }
+}
+
+TEST(SyntheticCoco, LargerThanImageNetOnAverage)
+{
+    ImageNetConfig in_config;
+    in_config.num_images = 8;
+    in_config.median_width = 64;
+    CocoConfig coco_config;
+    coco_config.num_images = 8;
+    coco_config.median_width = 128;
+    auto imagenet = buildImageNetStore(in_config);
+    auto coco = buildCocoStore(coco_config);
+    EXPECT_GT(coco->totalBytes(), imagenet->totalBytes());
+}
+
+dataflow::DataLoaderOptions
+quickOptions(int batch_size)
+{
+    dataflow::DataLoaderOptions options;
+    options.batch_size = batch_size;
+    options.num_workers = 2;
+    return options;
+}
+
+TEST(Pipelines, ImageClassificationEndToEndShapes)
+{
+    ImageNetConfig config;
+    config.num_images = 8;
+    config.median_width = 72;
+    auto workload = makeImageClassification(buildImageNetStore(config), 32);
+    dataflow::DataLoader loader(workload.dataset, workload.collate,
+                                quickOptions(4));
+    auto batch = loader.next();
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->data.shape(),
+              (std::vector<std::int64_t>{4, 3, 32, 32}));
+    EXPECT_EQ(batch->data.dtype(), tensor::DType::F32);
+    // Normalized values: roughly centered, not raw [0, 1].
+    double min_v = 1e9, max_v = -1e9;
+    for (std::int64_t i = 0; i < batch->data.numel(); ++i) {
+        min_v = std::min(min_v,
+                         static_cast<double>(batch->data.data<float>()[i]));
+        max_v = std::max(max_v,
+                         static_cast<double>(batch->data.data<float>()[i]));
+    }
+    EXPECT_LT(min_v, 0.0);
+    EXPECT_GT(max_v, 0.5);
+}
+
+TEST(Pipelines, ImageSegmentationEndToEndShapes)
+{
+    Kits19Config config;
+    config.num_volumes = 4;
+    config.median_extent = 32;
+    auto workload = makeImageSegmentation(buildKits19Store(config), 16);
+    dataflow::DataLoader loader(workload.dataset, workload.collate,
+                                quickOptions(2));
+    auto batch = loader.next();
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->data.shape(),
+              (std::vector<std::int64_t>{2, 1, 16, 16, 16}));
+    EXPECT_EQ(batch->data.dtype(), tensor::DType::F32);
+}
+
+TEST(Pipelines, ObjectDetectionEndToEndShapes)
+{
+    CocoConfig config;
+    config.num_images = 4;
+    config.median_width = 96;
+    auto workload =
+        makeObjectDetection(buildCocoStore(config), 64, 128, 32);
+    dataflow::DataLoader loader(workload.dataset, workload.collate,
+                                quickOptions(2));
+    auto batch = loader.next();
+    ASSERT_TRUE(batch.has_value());
+    ASSERT_EQ(batch->data.rank(), 4u);
+    EXPECT_EQ(batch->data.dim(0), 2);
+    EXPECT_EQ(batch->data.dim(1), 3);
+    // Pad collate: spatial dims are multiples of 32.
+    EXPECT_EQ(batch->data.dim(2) % 32, 0);
+    EXPECT_EQ(batch->data.dim(3) % 32, 0);
+}
+
+TEST(Pipelines, DiskStoreEndToEnd)
+{
+    // Materialize a synthetic dataset onto real files, then run the
+    // pipeline through DiskStore — the paper's on-disk ImageNet path.
+    TempDir dir("lotus-disk");
+    ImageNetConfig config;
+    config.num_images = 6;
+    config.median_width = 64;
+    auto memory_store = buildImageNetStore(config);
+    std::vector<std::string> paths;
+    for (std::int64_t i = 0; i < memory_store->size(); ++i) {
+        const std::string path =
+            dir.file(strFormat("img_%04lld.ljpg", static_cast<long long>(i)));
+        writeFile(path, memory_store->read(i));
+        paths.push_back(path);
+    }
+    auto disk_store =
+        std::make_shared<pipeline::DiskStore>(std::move(paths));
+    auto workload = makeImageClassification(disk_store, 24);
+    dataflow::DataLoader loader(workload.dataset, workload.collate,
+                                quickOptions(2));
+    std::int64_t samples = 0;
+    while (auto batch = loader.next())
+        samples += batch->size();
+    EXPECT_EQ(samples, 6);
+}
+
+TEST(Pipelines, TraceContainsEveryDeclaredOp)
+{
+    trace::TraceLogger logger;
+    ImageNetConfig config;
+    config.num_images = 4;
+    config.median_width = 64;
+    auto workload = makeImageClassification(buildImageNetStore(config), 24);
+    auto options = quickOptions(2);
+    options.logger = &logger;
+    dataflow::DataLoader loader(workload.dataset, workload.collate,
+                                options);
+    while (loader.next().has_value()) {
+    }
+    std::set<std::string> ops;
+    for (const auto &record : logger.records()) {
+        if (record.kind == trace::RecordKind::TransformOp)
+            ops.insert(record.op_name);
+    }
+    for (const auto *expected :
+         {"Loader", "RandomResizedCrop", "RandomHorizontalFlip",
+          "ToTensor", "Normalize", "Collate"})
+        EXPECT_EQ(ops.count(expected), 1u) << expected;
+}
+
+} // namespace
+} // namespace lotus::workloads

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * lotus_map_capture — print the run-count plan for a LotusMap
+ * isolation campaign (the paper's §IV-B capture arithmetic as a
+ * utility).
+ *
+ *   lotus_map_capture <function_span_us> <sampling_interval_ms>
+ *                     [confidence=0.75]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/clock.h"
+#include "hwcount/sampling_driver.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lotus;
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: %s <function_span_us> <interval_ms> "
+                     "[confidence]\n",
+                     argv[0]);
+        return 2;
+    }
+    const double span_us = std::atof(argv[1]);
+    const double interval_ms = std::atof(argv[2]);
+    const double confidence = argc > 3 ? std::atof(argv[3]) : 0.75;
+    if (span_us <= 0.0 || interval_ms <= 0.0 || confidence <= 0.0 ||
+        confidence >= 1.0) {
+        std::fprintf(stderr, "arguments out of range\n");
+        return 2;
+    }
+    const auto f = static_cast<TimeNs>(span_us * 1e3);
+    const auto s = static_cast<TimeNs>(interval_ms * 1e6);
+    if (f > s) {
+        std::printf("span exceeds the interval: one run suffices "
+                    "(C = 1).\n");
+        return 0;
+    }
+    const int n =
+        hwcount::SamplingDriver::runsForCapture(f, s, confidence);
+    std::printf("f = %.0f us, s = %.1f ms, target C = %.0f%%\n", span_us,
+                interval_ms, 100.0 * confidence);
+    std::printf("runs needed: %d\n", n);
+    for (const int k : {1, 5, 10, n}) {
+        std::printf("  C(%2d runs) = %.4f\n", k,
+                    hwcount::SamplingDriver::captureProbability(f, s, k));
+    }
+    return 0;
+}
