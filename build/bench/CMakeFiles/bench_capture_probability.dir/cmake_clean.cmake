@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_capture_probability.dir/bench_capture_probability.cc.o"
+  "CMakeFiles/bench_capture_probability.dir/bench_capture_probability.cc.o.d"
+  "bench_capture_probability"
+  "bench_capture_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_capture_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/lotus_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/profilers/CMakeFiles/lotus_profilers.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lotus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lotus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lotus_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/lotus_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/lotus_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lotus_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/lotus_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/lotus_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcount/CMakeFiles/lotus_hwcount.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lotus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

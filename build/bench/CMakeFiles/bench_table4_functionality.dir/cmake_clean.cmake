@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_functionality.dir/bench_table4_functionality.cc.o"
+  "CMakeFiles/bench_table4_functionality.dir/bench_table4_functionality.cc.o.d"
+  "bench_table4_functionality"
+  "bench_table4_functionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_functionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_pipeline.dir/characterize_pipeline.cpp.o"
+  "CMakeFiles/characterize_pipeline.dir/characterize_pipeline.cpp.o.d"
+  "characterize_pipeline"
+  "characterize_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

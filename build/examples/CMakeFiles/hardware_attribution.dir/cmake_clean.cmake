@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_attribution.dir/hardware_attribution.cpp.o"
+  "CMakeFiles/hardware_attribution.dir/hardware_attribution.cpp.o.d"
+  "hardware_attribution"
+  "hardware_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiler_shootout.dir/profiler_shootout.cpp.o"
+  "CMakeFiles/profiler_shootout.dir/profiler_shootout.cpp.o.d"
+  "profiler_shootout"
+  "profiler_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiler_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

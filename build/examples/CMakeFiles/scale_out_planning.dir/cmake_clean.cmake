@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_out_planning.dir/scale_out_planning.cpp.o"
+  "CMakeFiles/scale_out_planning.dir/scale_out_planning.cpp.o.d"
+  "scale_out_planning"
+  "scale_out_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_out_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

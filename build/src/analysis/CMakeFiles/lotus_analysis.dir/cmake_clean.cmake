@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_analysis.dir/stats.cc.o"
+  "CMakeFiles/lotus_analysis.dir/stats.cc.o.d"
+  "CMakeFiles/lotus_analysis.dir/table.cc.o"
+  "CMakeFiles/lotus_analysis.dir/table.cc.o.d"
+  "liblotus_analysis.a"
+  "liblotus_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

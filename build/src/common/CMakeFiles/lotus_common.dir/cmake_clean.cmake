@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_common.dir/clock.cc.o"
+  "CMakeFiles/lotus_common.dir/clock.cc.o.d"
+  "CMakeFiles/lotus_common.dir/files.cc.o"
+  "CMakeFiles/lotus_common.dir/files.cc.o.d"
+  "CMakeFiles/lotus_common.dir/logging.cc.o"
+  "CMakeFiles/lotus_common.dir/logging.cc.o.d"
+  "CMakeFiles/lotus_common.dir/rng.cc.o"
+  "CMakeFiles/lotus_common.dir/rng.cc.o.d"
+  "CMakeFiles/lotus_common.dir/strings.cc.o"
+  "CMakeFiles/lotus_common.dir/strings.cc.o.d"
+  "CMakeFiles/lotus_common.dir/thread_util.cc.o"
+  "CMakeFiles/lotus_common.dir/thread_util.cc.o.d"
+  "liblotus_common.a"
+  "liblotus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/lotusmap/evaluate.cc" "src/core/CMakeFiles/lotus_core.dir/lotusmap/evaluate.cc.o" "gcc" "src/core/CMakeFiles/lotus_core.dir/lotusmap/evaluate.cc.o.d"
+  "/root/repo/src/core/lotusmap/isolation.cc" "src/core/CMakeFiles/lotus_core.dir/lotusmap/isolation.cc.o" "gcc" "src/core/CMakeFiles/lotus_core.dir/lotusmap/isolation.cc.o.d"
+  "/root/repo/src/core/lotusmap/mapper.cc" "src/core/CMakeFiles/lotus_core.dir/lotusmap/mapper.cc.o" "gcc" "src/core/CMakeFiles/lotus_core.dir/lotusmap/mapper.cc.o.d"
+  "/root/repo/src/core/lotusmap/splitter.cc" "src/core/CMakeFiles/lotus_core.dir/lotusmap/splitter.cc.o" "gcc" "src/core/CMakeFiles/lotus_core.dir/lotusmap/splitter.cc.o.d"
+  "/root/repo/src/core/lotustrace/analysis.cc" "src/core/CMakeFiles/lotus_core.dir/lotustrace/analysis.cc.o" "gcc" "src/core/CMakeFiles/lotus_core.dir/lotustrace/analysis.cc.o.d"
+  "/root/repo/src/core/lotustrace/report.cc" "src/core/CMakeFiles/lotus_core.dir/lotustrace/report.cc.o" "gcc" "src/core/CMakeFiles/lotus_core.dir/lotustrace/report.cc.o.d"
+  "/root/repo/src/core/lotustrace/visualize.cc" "src/core/CMakeFiles/lotus_core.dir/lotustrace/visualize.cc.o" "gcc" "src/core/CMakeFiles/lotus_core.dir/lotustrace/visualize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/lotus_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcount/CMakeFiles/lotus_hwcount.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lotus_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lotus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

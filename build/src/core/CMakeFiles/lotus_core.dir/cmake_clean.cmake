@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_core.dir/lotusmap/evaluate.cc.o"
+  "CMakeFiles/lotus_core.dir/lotusmap/evaluate.cc.o.d"
+  "CMakeFiles/lotus_core.dir/lotusmap/isolation.cc.o"
+  "CMakeFiles/lotus_core.dir/lotusmap/isolation.cc.o.d"
+  "CMakeFiles/lotus_core.dir/lotusmap/mapper.cc.o"
+  "CMakeFiles/lotus_core.dir/lotusmap/mapper.cc.o.d"
+  "CMakeFiles/lotus_core.dir/lotusmap/splitter.cc.o"
+  "CMakeFiles/lotus_core.dir/lotusmap/splitter.cc.o.d"
+  "CMakeFiles/lotus_core.dir/lotustrace/analysis.cc.o"
+  "CMakeFiles/lotus_core.dir/lotustrace/analysis.cc.o.d"
+  "CMakeFiles/lotus_core.dir/lotustrace/report.cc.o"
+  "CMakeFiles/lotus_core.dir/lotustrace/report.cc.o.d"
+  "CMakeFiles/lotus_core.dir/lotustrace/visualize.cc.o"
+  "CMakeFiles/lotus_core.dir/lotustrace/visualize.cc.o.d"
+  "liblotus_core.a"
+  "liblotus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

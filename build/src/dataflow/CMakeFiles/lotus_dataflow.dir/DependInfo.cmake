@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/data_loader.cc" "src/dataflow/CMakeFiles/lotus_dataflow.dir/data_loader.cc.o" "gcc" "src/dataflow/CMakeFiles/lotus_dataflow.dir/data_loader.cc.o.d"
+  "/root/repo/src/dataflow/fetcher.cc" "src/dataflow/CMakeFiles/lotus_dataflow.dir/fetcher.cc.o" "gcc" "src/dataflow/CMakeFiles/lotus_dataflow.dir/fetcher.cc.o.d"
+  "/root/repo/src/dataflow/iterable_loader.cc" "src/dataflow/CMakeFiles/lotus_dataflow.dir/iterable_loader.cc.o" "gcc" "src/dataflow/CMakeFiles/lotus_dataflow.dir/iterable_loader.cc.o.d"
+  "/root/repo/src/dataflow/sampler.cc" "src/dataflow/CMakeFiles/lotus_dataflow.dir/sampler.cc.o" "gcc" "src/dataflow/CMakeFiles/lotus_dataflow.dir/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/lotus_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/lotus_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/lotus_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcount/CMakeFiles/lotus_hwcount.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lotus_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lotus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_dataflow.dir/data_loader.cc.o"
+  "CMakeFiles/lotus_dataflow.dir/data_loader.cc.o.d"
+  "CMakeFiles/lotus_dataflow.dir/fetcher.cc.o"
+  "CMakeFiles/lotus_dataflow.dir/fetcher.cc.o.d"
+  "CMakeFiles/lotus_dataflow.dir/iterable_loader.cc.o"
+  "CMakeFiles/lotus_dataflow.dir/iterable_loader.cc.o.d"
+  "CMakeFiles/lotus_dataflow.dir/sampler.cc.o"
+  "CMakeFiles/lotus_dataflow.dir/sampler.cc.o.d"
+  "liblotus_dataflow.a"
+  "liblotus_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwcount/collection.cc" "src/hwcount/CMakeFiles/lotus_hwcount.dir/collection.cc.o" "gcc" "src/hwcount/CMakeFiles/lotus_hwcount.dir/collection.cc.o.d"
+  "/root/repo/src/hwcount/cost_model.cc" "src/hwcount/CMakeFiles/lotus_hwcount.dir/cost_model.cc.o" "gcc" "src/hwcount/CMakeFiles/lotus_hwcount.dir/cost_model.cc.o.d"
+  "/root/repo/src/hwcount/counters.cc" "src/hwcount/CMakeFiles/lotus_hwcount.dir/counters.cc.o" "gcc" "src/hwcount/CMakeFiles/lotus_hwcount.dir/counters.cc.o.d"
+  "/root/repo/src/hwcount/csv_export.cc" "src/hwcount/CMakeFiles/lotus_hwcount.dir/csv_export.cc.o" "gcc" "src/hwcount/CMakeFiles/lotus_hwcount.dir/csv_export.cc.o.d"
+  "/root/repo/src/hwcount/kernel_id.cc" "src/hwcount/CMakeFiles/lotus_hwcount.dir/kernel_id.cc.o" "gcc" "src/hwcount/CMakeFiles/lotus_hwcount.dir/kernel_id.cc.o.d"
+  "/root/repo/src/hwcount/perf_backend.cc" "src/hwcount/CMakeFiles/lotus_hwcount.dir/perf_backend.cc.o" "gcc" "src/hwcount/CMakeFiles/lotus_hwcount.dir/perf_backend.cc.o.d"
+  "/root/repo/src/hwcount/registry.cc" "src/hwcount/CMakeFiles/lotus_hwcount.dir/registry.cc.o" "gcc" "src/hwcount/CMakeFiles/lotus_hwcount.dir/registry.cc.o.d"
+  "/root/repo/src/hwcount/sampling_driver.cc" "src/hwcount/CMakeFiles/lotus_hwcount.dir/sampling_driver.cc.o" "gcc" "src/hwcount/CMakeFiles/lotus_hwcount.dir/sampling_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lotus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

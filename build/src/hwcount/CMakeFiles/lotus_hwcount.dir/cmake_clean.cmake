@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_hwcount.dir/collection.cc.o"
+  "CMakeFiles/lotus_hwcount.dir/collection.cc.o.d"
+  "CMakeFiles/lotus_hwcount.dir/cost_model.cc.o"
+  "CMakeFiles/lotus_hwcount.dir/cost_model.cc.o.d"
+  "CMakeFiles/lotus_hwcount.dir/counters.cc.o"
+  "CMakeFiles/lotus_hwcount.dir/counters.cc.o.d"
+  "CMakeFiles/lotus_hwcount.dir/csv_export.cc.o"
+  "CMakeFiles/lotus_hwcount.dir/csv_export.cc.o.d"
+  "CMakeFiles/lotus_hwcount.dir/kernel_id.cc.o"
+  "CMakeFiles/lotus_hwcount.dir/kernel_id.cc.o.d"
+  "CMakeFiles/lotus_hwcount.dir/perf_backend.cc.o"
+  "CMakeFiles/lotus_hwcount.dir/perf_backend.cc.o.d"
+  "CMakeFiles/lotus_hwcount.dir/registry.cc.o"
+  "CMakeFiles/lotus_hwcount.dir/registry.cc.o.d"
+  "CMakeFiles/lotus_hwcount.dir/sampling_driver.cc.o"
+  "CMakeFiles/lotus_hwcount.dir/sampling_driver.cc.o.d"
+  "liblotus_hwcount.a"
+  "liblotus_hwcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_hwcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

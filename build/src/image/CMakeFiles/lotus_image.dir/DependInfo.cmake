@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/codec/bitio.cc" "src/image/CMakeFiles/lotus_image.dir/codec/bitio.cc.o" "gcc" "src/image/CMakeFiles/lotus_image.dir/codec/bitio.cc.o.d"
+  "/root/repo/src/image/codec/codec.cc" "src/image/CMakeFiles/lotus_image.dir/codec/codec.cc.o" "gcc" "src/image/CMakeFiles/lotus_image.dir/codec/codec.cc.o.d"
+  "/root/repo/src/image/codec/color.cc" "src/image/CMakeFiles/lotus_image.dir/codec/color.cc.o" "gcc" "src/image/CMakeFiles/lotus_image.dir/codec/color.cc.o.d"
+  "/root/repo/src/image/codec/dct.cc" "src/image/CMakeFiles/lotus_image.dir/codec/dct.cc.o" "gcc" "src/image/CMakeFiles/lotus_image.dir/codec/dct.cc.o.d"
+  "/root/repo/src/image/geometry.cc" "src/image/CMakeFiles/lotus_image.dir/geometry.cc.o" "gcc" "src/image/CMakeFiles/lotus_image.dir/geometry.cc.o.d"
+  "/root/repo/src/image/image.cc" "src/image/CMakeFiles/lotus_image.dir/image.cc.o" "gcc" "src/image/CMakeFiles/lotus_image.dir/image.cc.o.d"
+  "/root/repo/src/image/resample.cc" "src/image/CMakeFiles/lotus_image.dir/resample.cc.o" "gcc" "src/image/CMakeFiles/lotus_image.dir/resample.cc.o.d"
+  "/root/repo/src/image/synth.cc" "src/image/CMakeFiles/lotus_image.dir/synth.cc.o" "gcc" "src/image/CMakeFiles/lotus_image.dir/synth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lotus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcount/CMakeFiles/lotus_hwcount.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/lotus_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

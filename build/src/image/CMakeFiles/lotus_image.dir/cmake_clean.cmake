@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_image.dir/codec/bitio.cc.o"
+  "CMakeFiles/lotus_image.dir/codec/bitio.cc.o.d"
+  "CMakeFiles/lotus_image.dir/codec/codec.cc.o"
+  "CMakeFiles/lotus_image.dir/codec/codec.cc.o.d"
+  "CMakeFiles/lotus_image.dir/codec/color.cc.o"
+  "CMakeFiles/lotus_image.dir/codec/color.cc.o.d"
+  "CMakeFiles/lotus_image.dir/codec/dct.cc.o"
+  "CMakeFiles/lotus_image.dir/codec/dct.cc.o.d"
+  "CMakeFiles/lotus_image.dir/geometry.cc.o"
+  "CMakeFiles/lotus_image.dir/geometry.cc.o.d"
+  "CMakeFiles/lotus_image.dir/image.cc.o"
+  "CMakeFiles/lotus_image.dir/image.cc.o.d"
+  "CMakeFiles/lotus_image.dir/resample.cc.o"
+  "CMakeFiles/lotus_image.dir/resample.cc.o.d"
+  "CMakeFiles/lotus_image.dir/synth.cc.o"
+  "CMakeFiles/lotus_image.dir/synth.cc.o.d"
+  "liblotus_image.a"
+  "liblotus_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

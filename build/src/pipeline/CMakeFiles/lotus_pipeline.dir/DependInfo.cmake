@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/collate.cc" "src/pipeline/CMakeFiles/lotus_pipeline.dir/collate.cc.o" "gcc" "src/pipeline/CMakeFiles/lotus_pipeline.dir/collate.cc.o.d"
+  "/root/repo/src/pipeline/compose.cc" "src/pipeline/CMakeFiles/lotus_pipeline.dir/compose.cc.o" "gcc" "src/pipeline/CMakeFiles/lotus_pipeline.dir/compose.cc.o.d"
+  "/root/repo/src/pipeline/image_folder.cc" "src/pipeline/CMakeFiles/lotus_pipeline.dir/image_folder.cc.o" "gcc" "src/pipeline/CMakeFiles/lotus_pipeline.dir/image_folder.cc.o.d"
+  "/root/repo/src/pipeline/iterable_dataset.cc" "src/pipeline/CMakeFiles/lotus_pipeline.dir/iterable_dataset.cc.o" "gcc" "src/pipeline/CMakeFiles/lotus_pipeline.dir/iterable_dataset.cc.o.d"
+  "/root/repo/src/pipeline/store.cc" "src/pipeline/CMakeFiles/lotus_pipeline.dir/store.cc.o" "gcc" "src/pipeline/CMakeFiles/lotus_pipeline.dir/store.cc.o.d"
+  "/root/repo/src/pipeline/transforms/vision.cc" "src/pipeline/CMakeFiles/lotus_pipeline.dir/transforms/vision.cc.o" "gcc" "src/pipeline/CMakeFiles/lotus_pipeline.dir/transforms/vision.cc.o.d"
+  "/root/repo/src/pipeline/transforms/volumetric.cc" "src/pipeline/CMakeFiles/lotus_pipeline.dir/transforms/volumetric.cc.o" "gcc" "src/pipeline/CMakeFiles/lotus_pipeline.dir/transforms/volumetric.cc.o.d"
+  "/root/repo/src/pipeline/volume_dataset.cc" "src/pipeline/CMakeFiles/lotus_pipeline.dir/volume_dataset.cc.o" "gcc" "src/pipeline/CMakeFiles/lotus_pipeline.dir/volume_dataset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lotus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcount/CMakeFiles/lotus_hwcount.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/lotus_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/lotus_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lotus_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_pipeline.dir/collate.cc.o"
+  "CMakeFiles/lotus_pipeline.dir/collate.cc.o.d"
+  "CMakeFiles/lotus_pipeline.dir/compose.cc.o"
+  "CMakeFiles/lotus_pipeline.dir/compose.cc.o.d"
+  "CMakeFiles/lotus_pipeline.dir/image_folder.cc.o"
+  "CMakeFiles/lotus_pipeline.dir/image_folder.cc.o.d"
+  "CMakeFiles/lotus_pipeline.dir/iterable_dataset.cc.o"
+  "CMakeFiles/lotus_pipeline.dir/iterable_dataset.cc.o.d"
+  "CMakeFiles/lotus_pipeline.dir/store.cc.o"
+  "CMakeFiles/lotus_pipeline.dir/store.cc.o.d"
+  "CMakeFiles/lotus_pipeline.dir/transforms/vision.cc.o"
+  "CMakeFiles/lotus_pipeline.dir/transforms/vision.cc.o.d"
+  "CMakeFiles/lotus_pipeline.dir/transforms/volumetric.cc.o"
+  "CMakeFiles/lotus_pipeline.dir/transforms/volumetric.cc.o.d"
+  "CMakeFiles/lotus_pipeline.dir/volume_dataset.cc.o"
+  "CMakeFiles/lotus_pipeline.dir/volume_dataset.cc.o.d"
+  "liblotus_pipeline.a"
+  "liblotus_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

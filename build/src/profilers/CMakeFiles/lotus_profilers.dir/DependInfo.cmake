@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profilers/framework_tracer.cc" "src/profilers/CMakeFiles/lotus_profilers.dir/framework_tracer.cc.o" "gcc" "src/profilers/CMakeFiles/lotus_profilers.dir/framework_tracer.cc.o.d"
+  "/root/repo/src/profilers/lotus_profiler.cc" "src/profilers/CMakeFiles/lotus_profilers.dir/lotus_profiler.cc.o" "gcc" "src/profilers/CMakeFiles/lotus_profilers.dir/lotus_profiler.cc.o.d"
+  "/root/repo/src/profilers/presets.cc" "src/profilers/CMakeFiles/lotus_profilers.dir/presets.cc.o" "gcc" "src/profilers/CMakeFiles/lotus_profilers.dir/presets.cc.o.d"
+  "/root/repo/src/profilers/sampling_profiler.cc" "src/profilers/CMakeFiles/lotus_profilers.dir/sampling_profiler.cc.o" "gcc" "src/profilers/CMakeFiles/lotus_profilers.dir/sampling_profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lotus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lotus_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lotus_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcount/CMakeFiles/lotus_hwcount.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lotus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

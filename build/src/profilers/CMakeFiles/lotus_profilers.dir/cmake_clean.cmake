@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_profilers.dir/framework_tracer.cc.o"
+  "CMakeFiles/lotus_profilers.dir/framework_tracer.cc.o.d"
+  "CMakeFiles/lotus_profilers.dir/lotus_profiler.cc.o"
+  "CMakeFiles/lotus_profilers.dir/lotus_profiler.cc.o.d"
+  "CMakeFiles/lotus_profilers.dir/presets.cc.o"
+  "CMakeFiles/lotus_profilers.dir/presets.cc.o.d"
+  "CMakeFiles/lotus_profilers.dir/sampling_profiler.cc.o"
+  "CMakeFiles/lotus_profilers.dir/sampling_profiler.cc.o.d"
+  "liblotus_profilers.a"
+  "liblotus_profilers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_profilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

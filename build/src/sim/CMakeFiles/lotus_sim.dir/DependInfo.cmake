@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/gpu_model.cc" "src/sim/CMakeFiles/lotus_sim.dir/gpu_model.cc.o" "gcc" "src/sim/CMakeFiles/lotus_sim.dir/gpu_model.cc.o.d"
+  "/root/repo/src/sim/loader_sim.cc" "src/sim/CMakeFiles/lotus_sim.dir/loader_sim.cc.o" "gcc" "src/sim/CMakeFiles/lotus_sim.dir/loader_sim.cc.o.d"
+  "/root/repo/src/sim/service_model.cc" "src/sim/CMakeFiles/lotus_sim.dir/service_model.cc.o" "gcc" "src/sim/CMakeFiles/lotus_sim.dir/service_model.cc.o.d"
+  "/root/repo/src/sim/training_loop.cc" "src/sim/CMakeFiles/lotus_sim.dir/training_loop.cc.o" "gcc" "src/sim/CMakeFiles/lotus_sim.dir/training_loop.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/lotus_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcount/CMakeFiles/lotus_hwcount.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/lotus_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/lotus_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/lotus_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lotus_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lotus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

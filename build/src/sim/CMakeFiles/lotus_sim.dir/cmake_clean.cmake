@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_sim.dir/gpu_model.cc.o"
+  "CMakeFiles/lotus_sim.dir/gpu_model.cc.o.d"
+  "CMakeFiles/lotus_sim.dir/loader_sim.cc.o"
+  "CMakeFiles/lotus_sim.dir/loader_sim.cc.o.d"
+  "CMakeFiles/lotus_sim.dir/service_model.cc.o"
+  "CMakeFiles/lotus_sim.dir/service_model.cc.o.d"
+  "CMakeFiles/lotus_sim.dir/training_loop.cc.o"
+  "CMakeFiles/lotus_sim.dir/training_loop.cc.o.d"
+  "liblotus_sim.a"
+  "liblotus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblotus_sim.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_tensor.dir/ops.cc.o"
+  "CMakeFiles/lotus_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/lotus_tensor.dir/serialize.cc.o"
+  "CMakeFiles/lotus_tensor.dir/serialize.cc.o.d"
+  "CMakeFiles/lotus_tensor.dir/tensor.cc.o"
+  "CMakeFiles/lotus_tensor.dir/tensor.cc.o.d"
+  "liblotus_tensor.a"
+  "liblotus_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

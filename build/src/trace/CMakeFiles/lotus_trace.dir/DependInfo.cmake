@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/chrome_reader.cc" "src/trace/CMakeFiles/lotus_trace.dir/chrome_reader.cc.o" "gcc" "src/trace/CMakeFiles/lotus_trace.dir/chrome_reader.cc.o.d"
+  "/root/repo/src/trace/chrome_trace.cc" "src/trace/CMakeFiles/lotus_trace.dir/chrome_trace.cc.o" "gcc" "src/trace/CMakeFiles/lotus_trace.dir/chrome_trace.cc.o.d"
+  "/root/repo/src/trace/logger.cc" "src/trace/CMakeFiles/lotus_trace.dir/logger.cc.o" "gcc" "src/trace/CMakeFiles/lotus_trace.dir/logger.cc.o.d"
+  "/root/repo/src/trace/record.cc" "src/trace/CMakeFiles/lotus_trace.dir/record.cc.o" "gcc" "src/trace/CMakeFiles/lotus_trace.dir/record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lotus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_trace.dir/chrome_reader.cc.o"
+  "CMakeFiles/lotus_trace.dir/chrome_reader.cc.o.d"
+  "CMakeFiles/lotus_trace.dir/chrome_trace.cc.o"
+  "CMakeFiles/lotus_trace.dir/chrome_trace.cc.o.d"
+  "CMakeFiles/lotus_trace.dir/logger.cc.o"
+  "CMakeFiles/lotus_trace.dir/logger.cc.o.d"
+  "CMakeFiles/lotus_trace.dir/record.cc.o"
+  "CMakeFiles/lotus_trace.dir/record.cc.o.d"
+  "liblotus_trace.a"
+  "liblotus_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

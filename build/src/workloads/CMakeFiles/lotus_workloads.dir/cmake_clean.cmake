@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_workloads.dir/pipelines.cc.o"
+  "CMakeFiles/lotus_workloads.dir/pipelines.cc.o.d"
+  "CMakeFiles/lotus_workloads.dir/synthetic.cc.o"
+  "CMakeFiles/lotus_workloads.dir/synthetic.cc.o.d"
+  "liblotus_workloads.a"
+  "liblotus_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

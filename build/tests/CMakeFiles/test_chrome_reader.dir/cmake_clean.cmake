@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chrome_reader.dir/test_chrome_reader.cc.o"
+  "CMakeFiles/test_chrome_reader.dir/test_chrome_reader.cc.o.d"
+  "test_chrome_reader"
+  "test_chrome_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chrome_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

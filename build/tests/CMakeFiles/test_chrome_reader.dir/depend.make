@@ -1,0 +1,2 @@
+# Empty dependencies file for test_chrome_reader.
+# This may be replaced when dependencies are built.

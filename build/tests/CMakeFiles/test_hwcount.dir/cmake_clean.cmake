@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hwcount.dir/test_hwcount.cc.o"
+  "CMakeFiles/test_hwcount.dir/test_hwcount.cc.o.d"
+  "test_hwcount"
+  "test_hwcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hwcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

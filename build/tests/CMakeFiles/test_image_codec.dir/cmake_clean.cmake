@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_image_codec.dir/test_image_codec.cc.o"
+  "CMakeFiles/test_image_codec.dir/test_image_codec.cc.o.d"
+  "test_image_codec"
+  "test_image_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_image_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

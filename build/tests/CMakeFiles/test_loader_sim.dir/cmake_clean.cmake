@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loader_sim.dir/test_loader_sim.cc.o"
+  "CMakeFiles/test_loader_sim.dir/test_loader_sim.cc.o.d"
+  "test_loader_sim"
+  "test_loader_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loader_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lotusmap.dir/test_lotusmap.cc.o"
+  "CMakeFiles/test_lotusmap.dir/test_lotusmap.cc.o.d"
+  "test_lotusmap"
+  "test_lotusmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lotusmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lotustrace.dir/test_lotustrace.cc.o"
+  "CMakeFiles/test_lotustrace.dir/test_lotustrace.cc.o.d"
+  "test_lotustrace"
+  "test_lotustrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lotustrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_lotustrace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_model.dir/test_service_model.cc.o"
+  "CMakeFiles/test_service_model.dir/test_service_model.cc.o.d"
+  "test_service_model"
+  "test_service_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

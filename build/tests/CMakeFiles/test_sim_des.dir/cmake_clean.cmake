@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_des.dir/test_sim_des.cc.o"
+  "CMakeFiles/test_sim_des.dir/test_sim_des.cc.o.d"
+  "test_sim_des"
+  "test_sim_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

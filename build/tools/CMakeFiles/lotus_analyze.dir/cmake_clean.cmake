@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_analyze.dir/lotus_analyze.cc.o"
+  "CMakeFiles/lotus_analyze.dir/lotus_analyze.cc.o.d"
+  "lotus_analyze"
+  "lotus_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

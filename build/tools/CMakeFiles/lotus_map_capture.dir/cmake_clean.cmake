@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_map_capture.dir/lotus_map_capture.cc.o"
+  "CMakeFiles/lotus_map_capture.dir/lotus_map_capture.cc.o.d"
+  "lotus_map_capture"
+  "lotus_map_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_map_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lotus_map_capture.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_viz.dir/lotus_viz.cc.o"
+  "CMakeFiles/lotus_viz.dir/lotus_viz.cc.o.d"
+  "lotus_viz"
+  "lotus_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
