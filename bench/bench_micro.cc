@@ -5,12 +5,26 @@
  * (paper: ~200 µs on their setup; ours is far cheaper since it is
  * native), kernel-scope annotation, codec and resample throughput,
  * and the DES event loop.
+ *
+ * Invoked with `--json`, skips google-benchmark and instead runs the
+ * image-path kernels (decode fast/reference, encode, resize, color
+ * convert, chroma upsample) over paper-distribution image sizes with
+ * a manual timing loop, writing ns/op and MB/s per kernel to
+ * BENCH_image.json so the perf trajectory is tracked across PRs.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
 #include "hwcount/registry.h"
 #include "image/codec/codec.h"
+#include "image/codec/color.h"
 #include "image/resample.h"
 #include "image/synth.h"
 #include "sim/des/engine.h"
@@ -56,13 +70,31 @@ BM_CodecDecode(benchmark::State &state)
     Rng rng(1);
     const auto img = image::synthesize(
         rng, static_cast<int>(state.range(0)),
-        static_cast<int>(state.range(0)));
+        static_cast<int>(state.range(1)));
     const std::string blob = image::codec::encode(img);
     for (auto _ : state)
         benchmark::DoNotOptimize(image::codec::decode(blob));
     state.SetBytesProcessed(state.iterations() * img.byteSize());
 }
-BENCHMARK(BM_CodecDecode)->Arg(64)->Arg(224);
+BENCHMARK(BM_CodecDecode)
+    ->Args({64, 64})
+    ->Args({224, 224})
+    ->Args({500, 375});
+
+void
+BM_CodecDecodeReference(benchmark::State &state)
+{
+    Rng rng(1);
+    const auto img = image::synthesize(
+        rng, static_cast<int>(state.range(0)),
+        static_cast<int>(state.range(1)));
+    const std::string blob = image::codec::encode(img);
+    const image::codec::DecodeOptions reference{.reference = true};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(image::codec::decode(blob, reference));
+    state.SetBytesProcessed(state.iterations() * img.byteSize());
+}
+BENCHMARK(BM_CodecDecodeReference)->Args({224, 224})->Args({500, 375});
 
 void
 BM_CodecEncode(benchmark::State &state)
@@ -79,12 +111,14 @@ void
 BM_Resize(benchmark::State &state)
 {
     Rng rng(3);
-    const auto img = image::synthesize(rng, 512, 512);
+    const auto img = image::synthesize(
+        rng, static_cast<int>(state.range(0)),
+        static_cast<int>(state.range(1)));
     for (auto _ : state)
         benchmark::DoNotOptimize(image::resize(img, 224, 224));
     state.SetBytesProcessed(state.iterations() * img.byteSize());
 }
-BENCHMARK(BM_Resize);
+BENCHMARK(BM_Resize)->Args({512, 512})->Args({500, 375})->Args({1024, 768});
 
 void
 BM_ToTensorPath(benchmark::State &state)
@@ -113,6 +147,198 @@ BM_DesEventLoop(benchmark::State &state)
 }
 BENCHMARK(BM_DesEventLoop);
 
+// ---------------------------------------------------------------------------
+// --json mode: manual timing loops + BENCH_image.json trajectory file.
+
+struct JsonCase
+{
+    std::string name;
+    double ns_per_op = 0.0;
+    double mb_per_s = 0.0;
+    std::uint64_t bytes_per_op = 0;
+};
+
+JsonCase
+measureCase(const std::string &name, std::uint64_t bytes_per_op,
+            const std::function<void()> &body)
+{
+    using clock = std::chrono::steady_clock;
+    // Warm caches and lazy tables.
+    body();
+    body();
+    const auto start = clock::now();
+    int iterations = 0;
+    double elapsed_ns = 0.0;
+    do {
+        body();
+        ++iterations;
+        elapsed_ns = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                clock::now() - start)
+                .count());
+    } while (elapsed_ns < 2e8 || iterations < 5);
+
+    JsonCase result;
+    result.name = name;
+    result.bytes_per_op = bytes_per_op;
+    result.ns_per_op = elapsed_ns / iterations;
+    result.mb_per_s = static_cast<double>(bytes_per_op) /
+                      (result.ns_per_op / 1e9) / 1e6;
+    return result;
+}
+
+int
+runJsonMode(const char *path)
+{
+    using image::codec::DecodeOptions;
+    using image::codec::EncodeOptions;
+
+    std::vector<JsonCase> cases;
+
+    // Paper-distribution decode workloads (500x375 is the ImageNet
+    // average size the paper's Loader numbers are dominated by).
+    struct DecodeSpec
+    {
+        const char *label;
+        int width, height, quality;
+        bool subsample;
+    };
+    const DecodeSpec decode_specs[] = {
+        {"decode_500x375_q75_sub", 500, 375, 75, true},
+        {"decode_224x224_q85_sub", 224, 224, 85, true},
+        {"decode_1024x768_q75_sub", 1024, 768, 75, true},
+        {"decode_500x375_q95_full", 500, 375, 95, false},
+    };
+    double fast_ns = 0.0;
+    double reference_ns = 0.0;
+    for (const auto &spec : decode_specs) {
+        Rng rng(41);
+        const auto img =
+            image::synthesize(rng, spec.width, spec.height,
+                              image::SynthOptions{0.5, 4});
+        const std::string blob = image::codec::encode(
+            img, EncodeOptions{spec.quality, spec.subsample});
+        const auto bytes = static_cast<std::uint64_t>(img.byteSize());
+        cases.push_back(measureCase(spec.label, bytes, [&blob] {
+            image::codec::decode(blob);
+        }));
+        const auto reference = measureCase(
+            std::string(spec.label) + "_reference", bytes, [&blob] {
+                image::codec::decode(blob,
+                                     DecodeOptions{.reference = true});
+            });
+        cases.push_back(reference);
+        if (std::strcmp(spec.label, "decode_500x375_q75_sub") == 0) {
+            fast_ns = cases[cases.size() - 2].ns_per_op;
+            reference_ns = reference.ns_per_op;
+        }
+    }
+
+    {
+        Rng rng(42);
+        const auto img = image::synthesize(rng, 500, 375,
+                                           image::SynthOptions{0.5, 4});
+        cases.push_back(measureCase(
+            "encode_500x375_q75",
+            static_cast<std::uint64_t>(img.byteSize()), [&img] {
+                image::codec::encode(img, EncodeOptions{75, true});
+            }));
+    }
+
+    const std::pair<int, int> resize_specs[] = {
+        {500, 375}, {1024, 768}, {512, 512}};
+    for (const auto &[w, h] : resize_specs) {
+        Rng rng(43);
+        const auto img = image::synthesize(rng, w, h);
+        char label[64];
+        std::snprintf(label, sizeof(label), "resize_%dx%d_to_224", w, h);
+        cases.push_back(measureCase(
+            label, static_cast<std::uint64_t>(img.byteSize()),
+            [&img] { image::resize(img, 224, 224); }));
+    }
+
+    {
+        Rng rng(44);
+        const auto img = image::synthesize(rng, 500, 375);
+        image::codec::Plane y, cb, cr;
+        image::codec::rgbToYcc(img, y, cb, cr);
+        // The fast decode tail runs on integer planes; benchmark the
+        // same representation it consumes.
+        const auto y16 = image::codec::quantizePlane(y);
+        const auto cb16 = image::codec::quantizePlane(cb);
+        const auto cr16 = image::codec::quantizePlane(cr);
+        const auto bytes = static_cast<std::uint64_t>(img.byteSize());
+        cases.push_back(measureCase("ycc_to_rgb_500x375", bytes, [&] {
+            image::codec::yccToRgb(y16, cb16, cr16);
+        }));
+        cases.push_back(
+            measureCase("ycc_to_rgb_500x375_reference", bytes, [&] {
+                image::codec::yccToRgb(y, cb, cr);
+            }));
+        cases.push_back(measureCase("rgb_to_ycc_500x375", bytes, [&] {
+            image::codec::rgbToYcc(img, y, cb, cr);
+        }));
+
+        const auto half = image::codec::downsample2x2(y);
+        const auto half16 = image::codec::quantizePlane(half);
+        const auto up_bytes = static_cast<std::uint64_t>(img.pixelCount()) * 4;
+        cases.push_back(
+            measureCase("chroma_upsample_500x375", up_bytes, [&] {
+                image::codec::upsample2x(half16, 500, 375);
+            }));
+        cases.push_back(measureCase(
+            "chroma_upsample_500x375_reference", up_bytes, [&] {
+                image::codec::upsample2x(half, 500, 375);
+            }));
+    }
+
+    const double speedup =
+        fast_ns > 0.0 ? reference_ns / fast_ns : 0.0;
+
+    std::FILE *out = std::fopen(path, "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path);
+        return 1;
+    }
+    std::fprintf(out, "{\n  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const auto &c = cases[i];
+        std::fprintf(out,
+                     "    {\"name\": \"%s\", \"ns_per_op\": %.1f, "
+                     "\"mb_per_s\": %.2f, \"bytes_per_op\": %llu}%s\n",
+                     c.name.c_str(), c.ns_per_op, c.mb_per_s,
+                     static_cast<unsigned long long>(c.bytes_per_op),
+                     i + 1 < cases.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out,
+                 "  \"decode_speedup_vs_reference_500x375_q75\": %.2f\n",
+                 speedup);
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+
+    for (const auto &c : cases)
+        std::printf("%-40s %12.1f ns/op %10.2f MB/s\n", c.name.c_str(),
+                    c.ns_per_op, c.mb_per_s);
+    std::printf("decode 500x375 q75 speedup vs reference: %.2fx\n",
+                speedup);
+    std::printf("wrote %s\n", path);
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            return runJsonMode("BENCH_image.json");
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -92,6 +92,26 @@ BitReader::getBits(int count)
 std::uint32_t
 BitReader::getUe()
 {
+    // Fast path: count the leading zeros of the whole code with one
+    // clz over the refilled window instead of a bit-at-a-time loop.
+    if (window_bits_ < 57)
+        refill();
+    if (window_bits_ > 0) {
+        const std::uint64_t aligned = window_ << (64 - window_bits_);
+        const int zeros =
+            aligned == 0 ? 64 : std::countl_zero(aligned);
+        const int code_bits = 2 * zeros + 1;
+        if (zeros <= 31 && code_bits <= window_bits_) {
+            window_bits_ -= code_bits;
+            bit_index_ += static_cast<std::size_t>(code_bits);
+            const auto code = static_cast<std::uint32_t>(
+                (window_ >> window_bits_) &
+                ((1ull << code_bits) - 1));
+            return code - 1;
+        }
+    }
+    // Slow path: stream nearly exhausted or an over-long code
+    // (corruption); the bitwise loop handles overrun bookkeeping.
     int zeros = 0;
     while (!overrun_ && getBits(1) == 0) {
         if (++zeros > 32) {

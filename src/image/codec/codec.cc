@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <type_traits>
 
 #include "common/logging.h"
 #include "hwcount/registry.h"
@@ -25,11 +26,32 @@ blocksAcross(int extent)
     return (extent + kBlockDim - 1) / kBlockDim;
 }
 
+/** True when block (bx, by) lies fully inside the plane, so loads
+ *  and stores need no per-pixel bounds handling. */
+template <typename PlaneT>
+bool
+blockInterior(const PlaneT &plane, int bx, int by)
+{
+    return (bx + 1) * kBlockDim <= plane.width &&
+           (by + 1) * kBlockDim <= plane.height;
+}
+
 /** Load an 8x8 block from a plane with edge replication, centered
  *  around zero (sample - 128). */
 void
 loadBlock(const Plane &plane, int bx, int by, Block &out)
 {
+    if (blockInterior(plane, bx, by)) {
+        // Interior fast path: straight row reads, no clamping.
+        for (int y = 0; y < kBlockDim; ++y) {
+            const float *row = plane.row(by * kBlockDim + y) +
+                               bx * kBlockDim;
+            float *dst = &out[static_cast<std::size_t>(y * kBlockDim)];
+            for (int x = 0; x < kBlockDim; ++x)
+                dst[x] = row[x] - 128.0f;
+        }
+        return;
+    }
     for (int y = 0; y < kBlockDim; ++y) {
         const int sy = std::min(by * kBlockDim + y, plane.height - 1);
         const float *row = plane.row(sy);
@@ -45,6 +67,16 @@ loadBlock(const Plane &plane, int bx, int by, Block &out)
 void
 storeBlock(Plane &plane, int bx, int by, const Block &in)
 {
+    if (blockInterior(plane, bx, by)) {
+        // Interior fast path: straight row writes, bounds known good.
+        for (int y = 0; y < kBlockDim; ++y) {
+            float *row = plane.row(by * kBlockDim + y) + bx * kBlockDim;
+            const float *src = &in[static_cast<std::size_t>(y * kBlockDim)];
+            for (int x = 0; x < kBlockDim; ++x)
+                row[x] = std::clamp(src[x] + 128.0f, 0.0f, 255.0f);
+        }
+        return;
+    }
     for (int y = 0; y < kBlockDim; ++y) {
         const int sy = by * kBlockDim + y;
         if (sy >= plane.height)
@@ -57,6 +89,49 @@ storeBlock(Plane &plane, int bx, int by, const Block &in)
             row[sx] = std::clamp(
                 in[static_cast<std::size_t>(y * kBlockDim + x)] + 128.0f,
                 0.0f, 255.0f);
+        }
+    }
+}
+
+/** Centered IDCT sample -> clamped 1/16th-step integer sample
+ *  (round to nearest); the clamp mirrors the float store's
+ *  [0, 255] range. */
+inline std::int16_t
+sampleToI16(float centered)
+{
+    const int s = static_cast<int>(
+        (centered + 128.0f) * (1 << kSampleFracBits) + 0.5f);
+    return static_cast<std::int16_t>(
+        std::clamp(s, 0, static_cast<int>(kSampleMax)));
+}
+
+/** Store an 8x8 block into the fast path's integer plane: the single
+ *  float->int conversion of the decode tail happens here, so the
+ *  chroma upsample and color conversion downstream stay integer. */
+void
+storeBlock(PlaneI16 &plane, int bx, int by, const Block &in)
+{
+    if (blockInterior(plane, bx, by)) {
+        for (int y = 0; y < kBlockDim; ++y) {
+            std::int16_t *row =
+                plane.row(by * kBlockDim + y) + bx * kBlockDim;
+            const float *src = &in[static_cast<std::size_t>(y * kBlockDim)];
+            for (int x = 0; x < kBlockDim; ++x)
+                row[x] = sampleToI16(src[x]);
+        }
+        return;
+    }
+    for (int y = 0; y < kBlockDim; ++y) {
+        const int sy = by * kBlockDim + y;
+        if (sy >= plane.height)
+            break;
+        std::int16_t *row = plane.row(sy);
+        for (int x = 0; x < kBlockDim; ++x) {
+            const int sx = bx * kBlockDim + x;
+            if (sx >= plane.width)
+                break;
+            row[sx] =
+                sampleToI16(in[static_cast<std::size_t>(y * kBlockDim + x)]);
         }
     }
 }
@@ -88,16 +163,20 @@ writeBlock(BitWriter &writer, const QuantBlock &q, std::int32_t &dc_pred,
     ++symbols;
 }
 
-/** Decode one quantized block. Returns false on stream corruption. */
+/** Decode one quantized block. Returns false on stream corruption.
+ *  @p extent summarizes the coded coefficients (count and last zigzag
+ *  index) so the inverse transform can take sparse fast paths. */
 bool
 readBlock(BitReader &reader, QuantBlock &q, std::int32_t &dc_pred,
-          std::uint64_t &symbols)
+          std::uint64_t &symbols, CoeffExtent &extent)
 {
     const auto &zz = zigzagOrder();
     q.fill(0);
     dc_pred += reader.getSe();
     q[static_cast<std::size_t>(zz[0])] = dc_pred;
     ++symbols;
+    extent.nonzero = dc_pred != 0 ? 1 : 0;
+    extent.last_zz = 0;
 
     int k = 1;
     while (k < kBlockSize) {
@@ -115,6 +194,8 @@ readBlock(BitReader &reader, QuantBlock &q, std::int32_t &dc_pred,
             return false;
         q[static_cast<std::size_t>(zz[k])] = level;
         ++symbols;
+        ++extent.nonzero;
+        extent.last_zz = static_cast<std::int16_t>(k);
         ++k;
     }
     // A full block of 63 coded ACs still carries its EOB marker.
@@ -172,14 +253,22 @@ encodePlane(const Plane &plane, const std::array<std::uint16_t, 64> &table,
     }
 }
 
+/** Decode one plane. The plane type selects the implementation: the
+ *  float Plane runs the retained dense reference (dequantize + dense
+ *  IDCT), the integer PlaneI16 runs the fast path (fused sparse
+ *  dequant + IDCT, integer block store). Both attribute work to the
+ *  same decode_mcu / dequantize_block / jpeg_idct_islow kernels. */
+template <typename PlaneT>
 bool
-decodePlane(Plane &plane, const std::array<std::uint16_t, 64> &table,
+decodePlane(PlaneT &plane, const std::array<std::uint16_t, 64> &table,
             BitReader &reader)
 {
+    constexpr bool reference = std::is_same_v<PlaneT, Plane>;
     const int bw = blocksAcross(plane.width);
     const int bh = blocksAcross(plane.height);
     std::int32_t dc_pred = 0;
     std::vector<QuantBlock> row_blocks(static_cast<std::size_t>(bw));
+    std::vector<CoeffExtent> row_extents(static_cast<std::size_t>(bw));
     for (int by = 0; by < bh; ++by) {
         {
             KernelScope entropy_scope(KernelId::DecodeMcu);
@@ -188,7 +277,8 @@ decodePlane(Plane &plane, const std::array<std::uint16_t, 64> &table,
             for (int bx = 0; bx < bw; ++bx) {
                 if (!readBlock(reader,
                                row_blocks[static_cast<std::size_t>(bx)],
-                               dc_pred, symbols))
+                               dc_pred, symbols,
+                               row_extents[static_cast<std::size_t>(bx)]))
                     return false;
             }
             entropy_scope.stats().branches += symbols * 3;
@@ -197,7 +287,7 @@ decodePlane(Plane &plane, const std::array<std::uint16_t, 64> &table,
                 (reader.bitPosition() - bits_before) / 8;
             entropy_scope.stats().items += symbols;
         }
-        {
+        if constexpr (reference) {
             KernelScope dequant_scope(KernelId::DequantizeBlock);
             KernelScope idct_scope(KernelId::IdctBlock);
             for (int bx = 0; bx < bw; ++bx) {
@@ -217,9 +307,76 @@ decodePlane(Plane &plane, const std::array<std::uint16_t, 64> &table,
             idct_scope.stats().bytes_written +=
                 static_cast<std::uint64_t>(bw) * 64 * 4;
             idct_scope.stats().items += static_cast<std::uint64_t>(bw);
+        } else {
+            // Fused sparse dequant + IDCT. Work stats record the work
+            // *actually done*: the dequantize pass multiplies only the
+            // nonzero coefficients and scans only the coded prefix of
+            // the zigzag order; the IDCT reports the sparse op count.
+            KernelScope dequant_scope(KernelId::DequantizeBlock);
+            KernelScope idct_scope(KernelId::IdctBlock);
+            std::uint64_t dequant_mults = 0;
+            std::uint64_t coeffs_scanned = 0;
+            std::uint64_t idct_ops = 0;
+            for (int bx = 0; bx < bw; ++bx) {
+                const auto &extent =
+                    row_extents[static_cast<std::size_t>(bx)];
+                Block spatial;
+                idct_ops += dequantIdctSparse(
+                    row_blocks[static_cast<std::size_t>(bx)], table, extent,
+                    spatial);
+                storeBlock(plane, bx, by, spatial);
+                if (extent.nonzero >= kIdctDenseCutoff) {
+                    // Dense fallback dequantizes the whole block.
+                    dequant_mults += 64;
+                    coeffs_scanned += 64;
+                } else {
+                    dequant_mults +=
+                        static_cast<std::uint64_t>(extent.nonzero);
+                    coeffs_scanned +=
+                        static_cast<std::uint64_t>(extent.last_zz) + 1;
+                }
+            }
+            dequant_scope.stats().arith_ops += dequant_mults;
+            dequant_scope.stats().bytes_read += coeffs_scanned * 4;
+            dequant_scope.stats().items += static_cast<std::uint64_t>(bw);
+            idct_scope.stats().arith_ops += idct_ops;
+            idct_scope.stats().bytes_written +=
+                static_cast<std::uint64_t>(bw) * 64 * 4;
+            idct_scope.stats().items += static_cast<std::uint64_t>(bw);
         }
     }
     return true;
+}
+
+/** Plane decode + upsample + color-convert tail, shared between the
+ *  fast (PlaneI16) and reference (Plane) pipelines. */
+template <typename PlaneT>
+Image
+decodeTail(const LjpgHeader &header, BitReader &reader)
+{
+    PlaneT y(header.width, header.height);
+    const int cw = header.subsampled ? (header.width + 1) / 2 : header.width;
+    const int ch =
+        header.subsampled ? (header.height + 1) / 2 : header.height;
+    PlaneT cb(cw, ch);
+    PlaneT cr(cw, ch);
+
+    const auto luma_table = quantTable(header.quality, /*chroma=*/false);
+    const auto chroma_table = quantTable(header.quality, /*chroma=*/true);
+    if (!decodePlane(y, luma_table, reader))
+        LOTUS_FATAL("corrupt LJPG luma plane");
+    reader.alignByte();
+    if (!decodePlane(cb, chroma_table, reader))
+        LOTUS_FATAL("corrupt LJPG Cb plane");
+    reader.alignByte();
+    if (!decodePlane(cr, chroma_table, reader))
+        LOTUS_FATAL("corrupt LJPG Cr plane");
+
+    if (header.subsampled) {
+        cb = upsample2x(cb, header.width, header.height);
+        cr = upsample2x(cr, header.width, header.height);
+    }
+    return yccToRgb(y, cb, cr);
 }
 
 } // namespace
@@ -283,44 +440,31 @@ peekHeader(const std::string &bytes)
 }
 
 Image
-decode(const std::string &bytes)
+decode(const std::string &bytes, const DecodeOptions &options)
 {
     const LjpgHeader header = peekHeader(bytes);
+    const auto *payload =
+        reinterpret_cast<const std::uint8_t *>(bytes.data()) + 10;
+    const std::size_t payload_size = bytes.size() - 10;
 
-    // Source-manager style bulk buffering of the compressed payload.
+    // Reference mode keeps the source-manager style bulk copy of the
+    // compressed payload; the fast path consumes the caller's buffer
+    // in place (zero-copy) and only scans it.
     std::vector<std::uint8_t> buffered;
     {
         KernelScope fill_scope(KernelId::FillBitBuffer);
-        buffered.assign(bytes.begin() + 10, bytes.end());
-        fill_scope.stats().bytes_read += buffered.size();
-        fill_scope.stats().bytes_written += buffered.size();
-        fill_scope.stats().items += buffered.size();
+        if (options.reference) {
+            buffered.assign(bytes.begin() + 10, bytes.end());
+            fill_scope.stats().bytes_written += payload_size;
+        }
+        fill_scope.stats().bytes_read += payload_size;
+        fill_scope.stats().items += payload_size;
     }
-    BitReader reader(buffered.data(), buffered.size());
-
-    Plane y(header.width, header.height);
-    const int cw = header.subsampled ? (header.width + 1) / 2 : header.width;
-    const int ch =
-        header.subsampled ? (header.height + 1) / 2 : header.height;
-    Plane cb(cw, ch);
-    Plane cr(cw, ch);
-
-    const auto luma_table = quantTable(header.quality, /*chroma=*/false);
-    const auto chroma_table = quantTable(header.quality, /*chroma=*/true);
-    if (!decodePlane(y, luma_table, reader))
-        LOTUS_FATAL("corrupt LJPG luma plane");
-    reader.alignByte();
-    if (!decodePlane(cb, chroma_table, reader))
-        LOTUS_FATAL("corrupt LJPG Cb plane");
-    reader.alignByte();
-    if (!decodePlane(cr, chroma_table, reader))
-        LOTUS_FATAL("corrupt LJPG Cr plane");
-
-    if (header.subsampled) {
-        cb = upsample2x(cb, header.width, header.height);
-        cr = upsample2x(cr, header.width, header.height);
-    }
-    return yccToRgb(y, cb, cr);
+    BitReader reader(options.reference ? buffered.data() : payload,
+                     payload_size);
+    if (options.reference)
+        return decodeTail<Plane>(header, reader);
+    return decodeTail<PlaneI16>(header, reader);
 }
 
 } // namespace lotus::image::codec

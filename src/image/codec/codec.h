@@ -44,9 +44,22 @@ struct LjpgHeader
 /** Parse just the header. Fatal on malformed magic. */
 LjpgHeader peekHeader(const std::string &bytes);
 
+struct DecodeOptions
+{
+    /**
+     * Run the retained scalar reference kernels (bulk payload copy,
+     * dense dequantize + IDCT, float color conversion and chroma
+     * upsampling) instead of the optimized fast path. The two paths
+     * agree within max-abs-diff <= 1 per channel; the reference
+     * exists for differential testing and as the baseline in perf
+     * trajectory benches. Both paths emit the same KernelIds.
+     */
+    bool reference = false;
+};
+
 /** Decode an LJPG byte string back to an RGB image. Fatal on
  *  malformed input. */
-Image decode(const std::string &bytes);
+Image decode(const std::string &bytes, const DecodeOptions &options = {});
 
 } // namespace lotus::image::codec
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/logging.h"
 #include "hwcount/registry.h"
 
 namespace lotus::image::codec {
@@ -10,10 +11,121 @@ namespace lotus::image::codec {
 using hwcount::KernelId;
 using hwcount::KernelScope;
 
+namespace {
+
+// 16.16 fixed-point color tables (build_ycc_rgb_table analogue).
+//
+// The decode-side planes hold sub-level-precision samples (IDCT
+// output in 1/16th steps), so the YCC->RGB tables are indexed at
+// *half-level* resolution (index = round(2 * level), 0..510):
+// quantizing the chroma input to half steps keeps the worst-case
+// error of every output channel below one count even after the 1.772
+// Cb->B gain, which is what lets the fast path stay within
+// max-abs-diff <= 1 of the float reference.
+constexpr int kFixBits = 16;
+constexpr int kHalfStepTableSize = 511;
+
+struct YccRgbTables
+{
+    std::array<std::int32_t, kHalfStepTableSize> cr_r;
+    std::array<std::int32_t, kHalfStepTableSize> cb_b;
+    std::array<std::int32_t, kHalfStepTableSize> cr_g;
+    std::array<std::int32_t, kHalfStepTableSize> cb_g;
+};
+
+const YccRgbTables &
+yccRgbTables()
+{
+    static const YccRgbTables tables = [] {
+        YccRgbTables t{};
+        for (int i = 0; i < kHalfStepTableSize; ++i) {
+            const double v = 0.5 * i - 128.0;
+            const double scale = static_cast<double>(1 << kFixBits);
+            t.cr_r[static_cast<std::size_t>(i)] =
+                static_cast<std::int32_t>(std::lround(1.402 * v * scale));
+            t.cb_b[static_cast<std::size_t>(i)] =
+                static_cast<std::int32_t>(std::lround(1.772 * v * scale));
+            t.cr_g[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(
+                std::lround(-0.714136 * v * scale));
+            t.cb_g[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(
+                std::lround(-0.344136 * v * scale));
+        }
+        return t;
+    }();
+    return tables;
+}
+
+/** PlaneI16 sample (1/16th-level steps, [0, kSampleMax]) -> half-step
+ *  table index (round to nearest half level). In range by
+ *  construction: the fast decode path clamps at the block store and
+ *  the integer upsample is a convex combination. */
+inline int
+halfStepIndex(std::int16_t sample)
+{
+    return (sample + 4) >> 3;
+}
+
+/** Fixed-point value (16.16) -> clamped u8, truncating like the
+ *  float reference's clamp + cast. */
+inline std::uint8_t
+clampFixedToU8(std::int32_t fixed)
+{
+    constexpr std::int32_t kMax = 255 << kFixBits;
+    return static_cast<std::uint8_t>(std::clamp(fixed, 0, kMax) >> kFixBits);
+}
+
+// RGB->YCC tables: inputs are true u8, so 256-entry tables apply
+// exactly; the per-pixel work becomes table adds plus one int->float
+// store per plane.
+struct RgbYccTables
+{
+    std::array<std::int32_t, 256> r_y, g_y, b_y;
+    std::array<std::int32_t, 256> r_cb, g_cb, b_cb;
+    std::array<std::int32_t, 256> r_cr, g_cr, b_cr;
+};
+
+const RgbYccTables &
+rgbYccTables()
+{
+    static const RgbYccTables tables = [] {
+        RgbYccTables t{};
+        const double scale = static_cast<double>(1 << kFixBits);
+        const std::int32_t offset =
+            static_cast<std::int32_t>(128.0 * scale);
+        for (int i = 0; i < 256; ++i) {
+            const auto s = static_cast<std::size_t>(i);
+            t.r_y[s] = static_cast<std::int32_t>(
+                std::lround(0.299 * i * scale));
+            t.g_y[s] = static_cast<std::int32_t>(
+                std::lround(0.587 * i * scale));
+            t.b_y[s] = static_cast<std::int32_t>(
+                std::lround(0.114 * i * scale));
+            t.r_cb[s] = static_cast<std::int32_t>(
+                std::lround(-0.168736 * i * scale));
+            t.g_cb[s] = static_cast<std::int32_t>(
+                std::lround(-0.331264 * i * scale));
+            t.b_cb[s] = static_cast<std::int32_t>(
+                std::lround(0.5 * i * scale)) + offset;
+            t.r_cr[s] = static_cast<std::int32_t>(
+                std::lround(0.5 * i * scale));
+            t.g_cr[s] = static_cast<std::int32_t>(
+                std::lround(-0.418688 * i * scale));
+            t.b_cr[s] = static_cast<std::int32_t>(
+                std::lround(-0.081312 * i * scale)) + offset;
+        }
+        return t;
+    }();
+    return tables;
+}
+
+} // namespace
+
 void
 rgbToYcc(const Image &rgb, Plane &y, Plane &cb, Plane &cr)
 {
     KernelScope scope(KernelId::RgbToYcc);
+    const auto &t = rgbYccTables();
+    constexpr float kInvScale = 1.0f / static_cast<float>(1 << kFixBits);
     const int w = rgb.width();
     const int h = rgb.height();
     y = Plane(w, h);
@@ -25,18 +137,21 @@ rgbToYcc(const Image &rgb, Plane &y, Plane &cb, Plane &cr)
         float *cbp = cb.row(row);
         float *crp = cr.row(row);
         for (int x = 0; x < w; ++x) {
-            const float r = src[x * 3 + 0];
-            const float g = src[x * 3 + 1];
-            const float b = src[x * 3 + 2];
-            yp[x] = 0.299f * r + 0.587f * g + 0.114f * b;
-            cbp[x] = -0.168736f * r - 0.331264f * g + 0.5f * b + 128.0f;
-            crp[x] = 0.5f * r - 0.418688f * g - 0.081312f * b + 128.0f;
+            const std::uint8_t r = src[x * 3 + 0];
+            const std::uint8_t g = src[x * 3 + 1];
+            const std::uint8_t b = src[x * 3 + 2];
+            yp[x] = static_cast<float>(t.r_y[r] + t.g_y[g] + t.b_y[b]) *
+                    kInvScale;
+            cbp[x] = static_cast<float>(t.r_cb[r] + t.g_cb[g] + t.b_cb[b]) *
+                     kInvScale;
+            crp[x] = static_cast<float>(t.r_cr[r] + t.g_cr[g] + t.b_cr[b]) *
+                     kInvScale;
         }
     }
     const auto pixels = static_cast<std::uint64_t>(rgb.pixelCount());
     scope.stats().bytes_read += pixels * 3;
     scope.stats().bytes_written += pixels * 12;
-    scope.stats().arith_ops += pixels * 15;
+    scope.stats().arith_ops += pixels * 9;
     scope.stats().items += pixels;
 }
 
@@ -59,22 +174,40 @@ downsample2x2(const Plane &full)
     return half;
 }
 
+PlaneI16
+quantizePlane(const Plane &plane)
+{
+    PlaneI16 out(plane.width, plane.height);
+    const std::size_t n = plane.samples.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const int s = static_cast<int>(
+            plane.samples[i] * (1 << kSampleFracBits) + 0.5f);
+        out.samples[i] = static_cast<std::int16_t>(
+            std::clamp(s, 0, static_cast<int>(kSampleMax)));
+    }
+    return out;
+}
+
 Plane
 upsample2x(const Plane &half, int width, int height)
 {
     KernelScope scope(KernelId::ChromaUpsample);
     Plane full(width, height);
+    const auto pixels =
+        static_cast<std::uint64_t>(width) * static_cast<std::uint64_t>(height);
+    // Retained scalar reference: per-pixel source index math.
     for (int y = 0; y < height; ++y) {
         // Sample the half-res plane at (x/2, y/2) bilinearly.
         const float fy = (static_cast<float>(y) - 0.5f) / 2.0f;
         const int y0 = std::clamp(static_cast<int>(std::floor(fy)), 0,
                                   half.height - 1);
         const int y1 = std::min(y0 + 1, half.height - 1);
-        const float wy = std::clamp(fy - static_cast<float>(y0), 0.0f, 1.0f);
+        const float wy =
+            std::clamp(fy - static_cast<float>(y0), 0.0f, 1.0f);
         for (int x = 0; x < width; ++x) {
             const float fx = (static_cast<float>(x) - 0.5f) / 2.0f;
-            const int x0 = std::clamp(static_cast<int>(std::floor(fx)), 0,
-                                      half.width - 1);
+            const int x0 = std::clamp(static_cast<int>(std::floor(fx)),
+                                      0, half.width - 1);
             const int x1 = std::min(x0 + 1, half.width - 1);
             const float wx =
                 std::clamp(fx - static_cast<float>(x0), 0.0f, 1.0f);
@@ -85,11 +218,71 @@ upsample2x(const Plane &half, int width, int height)
             full.row(y)[x] = top * (1.0f - wy) + bottom * wy;
         }
     }
-    const auto pixels =
-        static_cast<std::uint64_t>(width) * static_cast<std::uint64_t>(height);
     scope.stats().bytes_read += pixels * 4;
     scope.stats().bytes_written += pixels * 4;
     scope.stats().arith_ops += pixels * 10;
+    scope.stats().items += pixels;
+    return full;
+}
+
+PlaneI16
+upsample2x(const PlaneI16 &half, int width, int height)
+{
+    KernelScope scope(KernelId::ChromaUpsample);
+    const int hw = half.width;
+    const int hh = half.height;
+    LOTUS_ASSERT(width >= 2 * hw - 1 && width <= 2 * hw &&
+                     height >= 2 * hh - 1 && height <= 2 * hh,
+                 "upsample2x target %dx%d does not match half plane %dx%d",
+                 width, height, hw, hh);
+    PlaneI16 full(width, height);
+    const auto pixels =
+        static_cast<std::uint64_t>(width) * static_cast<std::uint64_t>(height);
+    // Fast path (h2v2_fancy_upsample style): after edge clamping, the
+    // 2x bilinear weights of the reference geometry (source position
+    // (x - 0.5) / 2) collapse to the fixed quarter-unit pattern
+    // {3, 1} around each source gap, so there are no per-pixel index
+    // or weight lookups at all: one vertical blend into a quarter-
+    // unit row buffer, then a sequential pass emitting two outputs
+    // per source gap. Identical sums (and rounding) to the direct
+    // per-pixel fixed-point evaluation.
+    std::vector<std::int32_t> v(static_cast<std::size_t>(hw));
+    for (int y = 0; y < height; ++y) {
+        // Vertical sources: output row 0 reads source row 0 alone;
+        // odd rows 2i+1 blend rows (i, i+1) as 3:1, even rows 2i
+        // blend (i, i-1) as 3:1.
+        int near = 0;
+        int far = 0;
+        int wn = 4;
+        if (y > 0) {
+            const int i = y >> 1;
+            near = i;
+            far = (y & 1) != 0 ? std::min(i + 1, hh - 1) : i - 1;
+            wn = 3;
+        }
+        const std::int16_t *a = half.row(near);
+        const std::int16_t *b = half.row(far);
+        const int wf = 4 - wn;
+        for (int j = 0; j < hw; ++j)
+            v[static_cast<std::size_t>(j)] = wn * a[j] + wf * b[j];
+        std::int16_t *dst = full.row(y);
+        dst[0] = static_cast<std::int16_t>(
+            (v[0] + 2) >> 2); // full horizontal weight on column 0
+        for (int j = 0; j + 1 < hw; ++j) {
+            const std::int32_t s0 = v[static_cast<std::size_t>(j)];
+            const std::int32_t s1 = v[static_cast<std::size_t>(j) + 1];
+            dst[2 * j + 1] =
+                static_cast<std::int16_t>((3 * s0 + s1 + 8) >> 4);
+            dst[2 * j + 2] =
+                static_cast<std::int16_t>((s0 + 3 * s1 + 8) >> 4);
+        }
+        if (width == 2 * hw)
+            dst[width - 1] = static_cast<std::int16_t>(
+                (v[static_cast<std::size_t>(hw) - 1] + 2) >> 2);
+    }
+    scope.stats().bytes_read += pixels * 2;
+    scope.stats().bytes_written += pixels * 2;
+    scope.stats().arith_ops += pixels * 4;
     scope.stats().items += pixels;
     return full;
 }
@@ -107,6 +300,7 @@ yccToRgb(const Plane &y, const Plane &cb, const Plane &cr)
         const float *cbp = cb.row(row);
         const float *crp = cr.row(row);
         std::uint8_t *dst = out.row(row);
+        // Retained scalar reference: per-pixel float matrix.
         for (int x = 0; x < w; ++x) {
             const float yy = yp[x];
             const float cbv = cbp[x] - 128.0f;
@@ -125,6 +319,45 @@ yccToRgb(const Plane &y, const Plane &cb, const Plane &cr)
         inner.stats().bytes_read += row_pixels * 12;
         inner.stats().bytes_written += row_pixels * 3;
         inner.stats().arith_ops += row_pixels * 12;
+        inner.stats().items += row_pixels;
+    }
+    outer.stats().items += static_cast<std::uint64_t>(h);
+    return out;
+}
+
+Image
+yccToRgb(const PlaneI16 &y, const PlaneI16 &cb, const PlaneI16 &cr)
+{
+    KernelScope outer(KernelId::DecompressOnepass);
+    const int w = y.width;
+    const int h = y.height;
+    Image out(w, h);
+    const auto &t = yccRgbTables();
+    for (int row = 0; row < h; ++row) {
+        KernelScope inner(KernelId::YccToRgb);
+        const std::int16_t *yp = y.row(row);
+        const std::int16_t *cbp = cb.row(row);
+        const std::int16_t *crp = cr.row(row);
+        std::uint8_t *dst = out.row(row);
+        for (int x = 0; x < w; ++x) {
+            // Luma feeds the 16.16 accumulator exactly: a 1/16th-step
+            // sample times 2^12 is the sample value in 16.16.
+            const std::int32_t ybase =
+                static_cast<std::int32_t>(yp[x])
+                << (kFixBits - kSampleFracBits);
+            const auto icb =
+                static_cast<std::size_t>(halfStepIndex(cbp[x]));
+            const auto icr =
+                static_cast<std::size_t>(halfStepIndex(crp[x]));
+            dst[x * 3 + 0] = clampFixedToU8(ybase + t.cr_r[icr]);
+            dst[x * 3 + 1] =
+                clampFixedToU8(ybase + t.cb_g[icb] + t.cr_g[icr]);
+            dst[x * 3 + 2] = clampFixedToU8(ybase + t.cb_b[icb]);
+        }
+        const auto row_pixels = static_cast<std::uint64_t>(w);
+        inner.stats().bytes_read += row_pixels * 6;
+        inner.stats().bytes_written += row_pixels * 3;
+        inner.stats().arith_ops += row_pixels * 9;
         inner.stats().items += row_pixels;
     }
     outer.stats().items += static_cast<std::uint64_t>(h);

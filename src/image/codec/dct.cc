@@ -1,6 +1,7 @@
 #include "image/codec/dct.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.h"
 
@@ -8,23 +9,77 @@ namespace lotus::image::codec {
 
 namespace {
 
+// cos(n * pi / 16) for n = 0..8, as exactly-representable double
+// literals, so the basis is a compile-time constant: the unrolled
+// fast-IDCT code below then sees literal coefficients the compiler
+// can schedule freely instead of loads from a runtime-initialized
+// table.
+constexpr std::array<double, 9> kCosPi16 = {
+    1.0,
+    0.98078528040323044,
+    0.92387953251128674,
+    0.83146961230254524,
+    0.70710678118654752,
+    0.55557023301960222,
+    0.38268343236508977,
+    0.19509032201612827,
+    0.0,
+};
+
 /** A[u][x] = 0.5 * C(u) * cos((2x+1) u pi / 16); orthonormal. */
+constexpr std::array<std::array<float, 8>, 8>
+makeBasis()
+{
+    std::array<std::array<float, 8>, 8> a{};
+    for (int u = 0; u < 8; ++u) {
+        const double cu = u == 0 ? kCosPi16[4] : 1.0; // C(0) = 1/sqrt(2)
+        for (int x = 0; x < 8; ++x) {
+            // Reduce (2x+1)u * pi/16 into [0, pi/2] by symmetry.
+            int n = (2 * x + 1) * u % 32;
+            double sign = 1.0;
+            if (n > 16)
+                n = 32 - n; // cos(2pi - t) = cos(t)
+            if (n > 8) {
+                n = 16 - n; // cos(pi - t) = -cos(t)
+                sign = -1.0;
+            }
+            a[static_cast<std::size_t>(u)][static_cast<std::size_t>(x)] =
+                static_cast<float>(0.5 * cu * sign *
+                                   kCosPi16[static_cast<std::size_t>(n)]);
+        }
+    }
+    return a;
+}
+
+constexpr auto kBasis = makeBasis();
+
 const std::array<std::array<float, 8>, 8> &
 basis()
 {
-    static const auto table = [] {
-        std::array<std::array<float, 8>, 8> a{};
-        for (int u = 0; u < 8; ++u) {
-            const double cu = u == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
-            for (int x = 0; x < 8; ++x) {
-                a[u][x] = static_cast<float>(
-                    0.5 * cu *
-                    std::cos((2.0 * x + 1.0) * u * M_PI / 16.0));
-            }
-        }
-        return a;
-    }();
-    return table;
+    return kBasis;
+}
+
+/** 0.5 * C(0) * cos(0): the constant DC gain of a 1-D pass. */
+constexpr float kA00 = kBasis[0][0];
+
+/**
+ * 1-D 8-point inverse transform, out[x] = sum_u A[u][x] f[u], using
+ * the cosine symmetry A[u][7-x] = (-1)^u A[u][x]: the even and odd
+ * halves are computed once for x = 0..3 and combined as e +/- o,
+ * halving the multiplies (64 -> 32) with fixed-bound, fully
+ * unrollable loops.
+ */
+inline void
+idct1d(const float *__restrict f, float *__restrict out)
+{
+    for (int x = 0; x < 4; ++x) {
+        const float e = f[0] * kBasis[0][x] + f[2] * kBasis[2][x] +
+                        f[4] * kBasis[4][x] + f[6] * kBasis[6][x];
+        const float o = f[1] * kBasis[1][x] + f[3] * kBasis[3][x] +
+                        f[5] * kBasis[5][x] + f[7] * kBasis[7][x];
+        out[x] = e + o;
+        out[7 - x] = e - o;
+    }
 }
 
 // Standard JPEG Annex K base quantization tables.
@@ -128,6 +183,148 @@ dequantize(const QuantBlock &in, const std::array<std::uint16_t, 64> &table,
             static_cast<float>(in[static_cast<std::size_t>(i)]) *
             static_cast<float>(table[static_cast<std::size_t>(i)]);
     }
+}
+
+std::uint64_t
+dequantIdctSparse(const QuantBlock &q,
+                  const std::array<std::uint16_t, 64> &table,
+                  const CoeffExtent &extent, Block &spatial)
+{
+    // DC-only (or all-zero) block: the orthonormal 2-D transform of a
+    // lone DC coefficient is a flat fill at freq[0] / 8.
+    if (extent.last_zz == 0) {
+        const float dc =
+            static_cast<float>(q[0]) * static_cast<float>(table[0]);
+        spatial.fill(dc * 0.125f);
+        return 2;
+    }
+
+    // Dense block: the sparse scan's zigzag scatter and per-column
+    // bookkeeping cost more than they save. Dequantize all 64
+    // coefficients in raster order (vectorizable) and run the
+    // even/odd-factored transform over every column.
+    if (extent.nonzero >= kIdctDenseCutoff) {
+        alignas(64) float freq[64];
+        for (int i = 0; i < 64; ++i) {
+            freq[i] = static_cast<float>(q[static_cast<std::size_t>(i)]) *
+                      static_cast<float>(table[static_cast<std::size_t>(i)]);
+        }
+        alignas(64) float t[64];
+        for (int v = 0; v < 8; ++v) {
+            const float f0 = freq[v], f1 = freq[8 + v], f2 = freq[16 + v],
+                        f3 = freq[24 + v], f4 = freq[32 + v],
+                        f5 = freq[40 + v], f6 = freq[48 + v],
+                        f7 = freq[56 + v];
+            for (int x = 0; x < 4; ++x) {
+                const float e = f0 * kBasis[0][x] + f2 * kBasis[2][x] +
+                                f4 * kBasis[4][x] + f6 * kBasis[6][x];
+                const float o = f1 * kBasis[1][x] + f3 * kBasis[3][x] +
+                                f5 * kBasis[5][x] + f7 * kBasis[7][x];
+                t[x * 8 + v] = e + o;
+                t[(7 - x) * 8 + v] = e - o;
+            }
+        }
+        for (int x = 0; x < 8; ++x)
+            idct1d(t + x * 8, &spatial[static_cast<std::size_t>(x * 8)]);
+        return 2 * 8 * 64;
+    }
+
+    const auto &zz = zigzagOrder();
+
+    // Dequantize only the coded prefix of the zigzag scan, scattering
+    // into a *transposed* layout (fcol[v * 8 + k] = freq[k][v]) so the
+    // column pass reads each frequency column contiguously. col_last
+    // tracks the deepest nonzero row of each column.
+    alignas(64) float fcol[64] = {};
+    std::uint8_t col_last[8] = {};
+    unsigned row_mask = 0;
+    unsigned col_mask = 0;
+    for (int k = 0; k <= extent.last_zz; ++k) {
+        const int idx = zz[static_cast<std::size_t>(k)];
+        const std::int32_t level = q[static_cast<std::size_t>(idx)];
+        if (level == 0)
+            continue;
+        const int r = idx >> 3;
+        const int c = idx & 7;
+        fcol[c * 8 + r] =
+            static_cast<float>(level) *
+            static_cast<float>(table[static_cast<std::size_t>(idx)]);
+        row_mask |= 1u << r;
+        col_mask |= 1u << c;
+        if (static_cast<std::uint8_t>(r) > col_last[c])
+            col_last[c] = static_cast<std::uint8_t>(r);
+    }
+    if (row_mask == 0) { // every coded level cancelled to zero
+        spatial.fill(0.0f);
+        return 1;
+    }
+
+    // Coefficients confined to frequency row 0: the column pass is a
+    // constant gain, so every spatial row is the same 1-D inverse
+    // transform of that row.
+    if (row_mask == 1u) {
+        float t[8];
+        for (int v = 0; v < 8; ++v)
+            t[v] = kA00 * fcol[v * 8];
+        float line[8];
+        idct1d(t, line);
+        for (int x = 0; x < 8; ++x)
+            std::memcpy(&spatial[static_cast<std::size_t>(x * 8)], line,
+                        sizeof(line));
+        return 8 + 64;
+    }
+
+    // Coefficients confined to frequency column 0: every spatial row
+    // is a constant (1-D inverse transform down the column).
+    if (col_mask == 1u) {
+        float col[8];
+        idct1d(fcol, col);
+        for (int x = 0; x < 8; ++x) {
+            const float value = col[x] * kA00;
+            for (int y = 0; y < 8; ++y)
+                spatial[static_cast<std::size_t>(x * 8 + y)] = value;
+        }
+        return 64 + 8;
+    }
+
+    // General path. Column pass: transform only the columns holding
+    // energy (a DC-only column is a broadcast, a column confined to
+    // rows 0..3 runs the half-depth even/odd kernel); empty columns
+    // stay zero in t. Row pass: full even/odd transform of each row.
+    alignas(64) float t[64] = {}; // t[x * 8 + v]
+    std::uint64_t ops = 0;
+    for (int v = 0; v < 8; ++v) {
+        if (!(col_mask & (1u << v)))
+            continue;
+        const float *f = fcol + v * 8;
+        if (col_last[v] == 0) {
+            const float c = f[0] * kA00;
+            for (int x = 0; x < 8; ++x)
+                t[x * 8 + v] = c;
+            ops += 1;
+        } else if (col_last[v] <= 3) {
+            for (int x = 0; x < 4; ++x) {
+                const float e = f[0] * kBasis[0][x] + f[2] * kBasis[2][x];
+                const float o = f[1] * kBasis[1][x] + f[3] * kBasis[3][x];
+                t[x * 8 + v] = e + o;
+                t[(7 - x) * 8 + v] = e - o;
+            }
+            ops += 32;
+        } else {
+            for (int x = 0; x < 4; ++x) {
+                const float e = f[0] * kBasis[0][x] + f[2] * kBasis[2][x] +
+                                f[4] * kBasis[4][x] + f[6] * kBasis[6][x];
+                const float o = f[1] * kBasis[1][x] + f[3] * kBasis[3][x] +
+                                f[5] * kBasis[5][x] + f[7] * kBasis[7][x];
+                t[x * 8 + v] = e + o;
+                t[(7 - x) * 8 + v] = e - o;
+            }
+            ops += 64;
+        }
+    }
+    for (int x = 0; x < 8; ++x)
+        idct1d(t + x * 8, &spatial[static_cast<std::size_t>(x * 8)]);
+    return ops + 8 * 64;
 }
 
 const std::array<int, 64> &

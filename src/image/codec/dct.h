@@ -39,6 +39,50 @@ void quantize(const Block &freq, const std::array<std::uint16_t, 64> &table,
 void dequantize(const QuantBlock &in,
                 const std::array<std::uint16_t, 64> &table, Block &freq);
 
+/**
+ * Sparsity summary of an entropy-decoded block, produced for free by
+ * the entropy decoder (it already walks the coded coefficients).
+ * Drives the sparse fast paths of the fused dequant + inverse DCT.
+ */
+struct CoeffExtent
+{
+    /** Number of nonzero coefficients (DC included when nonzero). */
+    std::int16_t nonzero = 0;
+    /** Zigzag index of the last nonzero coefficient (0 when the
+     *  block is DC-only or entirely zero). */
+    std::int16_t last_zz = 0;
+};
+
+/** Nonzero-coefficient count at which dequantIdctSparse abandons the
+ *  sparse scan for a straight dense dequantize + even/odd IDCT: on
+ *  dense blocks the zigzag scatter and per-column bookkeeping cost
+ *  more than they save. At or above this cutoff the dequantize pass
+ *  multiplies all 64 coefficients (callers should attribute work
+ *  stats accordingly). */
+constexpr int kIdctDenseCutoff = 16;
+
+/**
+ * Fused dequantize + sparse-aware inverse DCT (the jpeg_idct_islow
+ * trick): dequantization happens inline on the nonzero coefficients
+ * only, a DC-only block becomes a flat fill, a block whose
+ * coefficients live in the first frequency row (or column) collapses
+ * to a single 1-D pass, and the general path skips empty frequency
+ * columns and uses the even/odd cosine symmetry to halve the
+ * multiplies of each 1-D transform. Blocks with at least
+ * kIdctDenseCutoff nonzero coefficients take a dense even/odd path
+ * instead. Matches dequantize() + inverseDct() to within float
+ * rounding (the factored passes reorder sums); in practice well
+ * under 1e-3 per sample.
+ *
+ * @return the number of arithmetic operations actually performed by
+ *         the IDCT portion (the caller attributes the dequantization
+ *         multiplies - extent.nonzero of them, or all 64 on the dense
+ *         path - to dequantize_block).
+ */
+std::uint64_t dequantIdctSparse(const QuantBlock &q,
+                                const std::array<std::uint16_t, 64> &table,
+                                const CoeffExtent &extent, Block &spatial);
+
 /** Zigzag scan order: zigzagOrder()[k] = raster index of the k-th
  *  coefficient in zigzag order. */
 const std::array<int, 64> &zigzagOrder();

@@ -1,6 +1,7 @@
 #include "image/resample.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "common/logging.h"
@@ -82,6 +83,21 @@ precomputeCoeffs(int in_size, int out_size, Filter filter)
             if (!window.weights.empty())
                 window.weights[0] = 1.0f;
         }
+        // Quantize to fixed point, dumping the rounding residual on
+        // the largest tap so the fixed weights sum to exactly one.
+        window.fixed.resize(window.weights.size());
+        std::int32_t fixed_sum = 0;
+        std::size_t largest = 0;
+        for (std::size_t k = 0; k < window.weights.size(); ++k) {
+            const auto f = static_cast<std::int32_t>(std::lround(
+                static_cast<double>(window.weights[k]) * (1 << kWeightBits)));
+            window.fixed[k] = f;
+            fixed_sum += f;
+            if (window.weights[k] > window.weights[largest])
+                largest = k;
+        }
+        if (!window.fixed.empty())
+            window.fixed[largest] += (1 << kWeightBits) - fixed_sum;
         total_weights += window.weights.size();
     }
     scope.stats().arith_ops += total_weights * 6;
@@ -94,7 +110,19 @@ precomputeCoeffs(int in_size, int out_size, Filter filter)
 
 namespace {
 
-/** Horizontal pass: input HxW -> HxW'. */
+/** Round and clamp a kWeightBits fixed-point accumulator (rounding
+ *  constant already folded in) to u8. */
+inline std::uint8_t
+clampAccToU8(std::int32_t acc)
+{
+    return static_cast<std::uint8_t>(
+        std::clamp(acc >> detail::kWeightBits, 0, 255));
+}
+
+constexpr std::int32_t kAccRound = 1 << (detail::kWeightBits - 1);
+
+/** Horizontal pass: input HxW -> HxW'. Fixed-point accumulation:
+ *  u8 taps times kWeightBits integer weights, one shift per byte. */
 Image
 resampleHorizontal(const Image &input, int out_width,
                    const std::vector<detail::FilterWindow> &windows)
@@ -107,20 +135,24 @@ resampleHorizontal(const Image &input, int out_width,
         std::uint8_t *dst = out.row(y);
         for (int x = 0; x < out_width; ++x) {
             const auto &window = windows[static_cast<std::size_t>(x)];
-            float acc[3] = {0.0f, 0.0f, 0.0f};
-            for (std::size_t k = 0; k < window.weights.size(); ++k) {
-                const float w = window.weights[k];
-                const std::size_t s =
-                    (static_cast<std::size_t>(window.first) + k) * 3;
-                acc[0] += w * src[s + 0];
-                acc[1] += w * src[s + 1];
-                acc[2] += w * src[s + 2];
+            const std::int32_t *wf = window.fixed.data();
+            const std::size_t taps = window.fixed.size();
+            const std::uint8_t *sp =
+                src + static_cast<std::size_t>(window.first) * 3;
+            std::int32_t acc0 = kAccRound;
+            std::int32_t acc1 = kAccRound;
+            std::int32_t acc2 = kAccRound;
+            for (std::size_t k = 0; k < taps; ++k) {
+                const std::int32_t w = wf[k];
+                acc0 += w * sp[0];
+                acc1 += w * sp[1];
+                acc2 += w * sp[2];
+                sp += 3;
             }
-            macs += window.weights.size() * 3;
-            for (int c = 0; c < 3; ++c) {
-                dst[x * 3 + c] = static_cast<std::uint8_t>(
-                    std::clamp(acc[c] + 0.5f, 0.0f, 255.0f));
-            }
+            macs += taps * 3;
+            dst[x * 3 + 0] = clampAccToU8(acc0);
+            dst[x * 3 + 1] = clampAccToU8(acc1);
+            dst[x * 3 + 2] = clampAccToU8(acc2);
         }
     }
     scope.stats().arith_ops += macs * 2;
@@ -130,7 +162,9 @@ resampleHorizontal(const Image &input, int out_width,
     return out;
 }
 
-/** Vertical pass: input HxW -> H'xW. */
+/** Vertical pass: input HxW -> H'xW. Fixed-point accumulation over a
+ *  cache-blocked strip of columns so the accumulators and the active
+ *  parts of the source rows stay resident in L1 across taps. */
 Image
 resampleVertical(const Image &input, int out_height,
                  const std::vector<detail::FilterWindow> &windows)
@@ -139,24 +173,26 @@ resampleVertical(const Image &input, int out_height,
     Image out(input.width(), out_height);
     std::uint64_t macs = 0;
     const int row_bytes = input.width() * Image::kChannels;
-    std::vector<float> acc(static_cast<std::size_t>(row_bytes));
+    constexpr int kStripBytes = 1024; // 4 KiB of i32 accumulators
+    std::array<std::int32_t, kStripBytes> acc;
     for (int y = 0; y < out_height; ++y) {
         const auto &window = windows[static_cast<std::size_t>(y)];
-        std::fill(acc.begin(), acc.end(), 0.0f);
-        for (std::size_t k = 0; k < window.weights.size(); ++k) {
-            const float w = window.weights[k];
-            const std::uint8_t *src =
-                input.row(window.first + static_cast<int>(k));
-            for (int b = 0; b < row_bytes; ++b)
-                acc[static_cast<std::size_t>(b)] += w * src[b];
-        }
-        macs += window.weights.size() * static_cast<std::uint64_t>(row_bytes);
+        const std::size_t taps = window.fixed.size();
         std::uint8_t *dst = out.row(y);
-        for (int b = 0; b < row_bytes; ++b) {
-            dst[b] = static_cast<std::uint8_t>(
-                std::clamp(acc[static_cast<std::size_t>(b)] + 0.5f, 0.0f,
-                           255.0f));
+        for (int b0 = 0; b0 < row_bytes; b0 += kStripBytes) {
+            const int strip = std::min(kStripBytes, row_bytes - b0);
+            std::fill(acc.begin(), acc.begin() + strip, kAccRound);
+            for (std::size_t k = 0; k < taps; ++k) {
+                const std::int32_t w = window.fixed[k];
+                const std::uint8_t *src =
+                    input.row(window.first + static_cast<int>(k)) + b0;
+                for (int b = 0; b < strip; ++b)
+                    acc[static_cast<std::size_t>(b)] += w * src[b];
+            }
+            for (int b = 0; b < strip; ++b)
+                dst[b0 + b] = clampAccToU8(acc[static_cast<std::size_t>(b)]);
         }
+        macs += taps * static_cast<std::uint64_t>(row_bytes);
     }
     scope.stats().arith_ops += macs * 2;
     scope.stats().bytes_read += macs;

@@ -7,6 +7,7 @@
 #ifndef LOTUS_IMAGE_RESAMPLE_H
 #define LOTUS_IMAGE_RESAMPLE_H
 
+#include <cstdint>
 #include <vector>
 
 #include "image/image.h"
@@ -32,12 +33,20 @@ Image resize(const Image &input, int out_width, int out_height,
 
 namespace detail {
 
+/** Fractional bits of the fixed-point resample weights (Pillow's
+ *  PRECISION_BITS analogue). */
+constexpr int kWeightBits = 15;
+
 /** Per-output-pixel filter window over one source axis. */
 struct FilterWindow
 {
     int first = 0;
     /** Normalized weights over [first, first + size). */
     std::vector<float> weights;
+    /** The same weights quantized to kWeightBits fixed point; forced
+     *  to sum exactly to 1 << kWeightBits so flat fields survive
+     *  resampling unchanged. */
+    std::vector<std::int32_t> fixed;
 };
 
 /** Precompute windows for mapping @p in_size to @p out_size. */

@@ -201,6 +201,210 @@ TEST(Color, UpsampleDoublesDimensions)
     EXPECT_EQ(full.height, 4);
 }
 
+TEST(Color, IntegerUpsampleMatchesFloatReference)
+{
+    Rng rng(91);
+    Plane half(13, 9);
+    for (auto &s : half.samples)
+        s = static_cast<float>(rng.uniform(0.0, 255.0));
+    const Plane reference = upsample2x(half, 25, 17);
+    const PlaneI16 fast = upsample2x(quantizePlane(half), 25, 17);
+    ASSERT_EQ(fast.samples.size(), reference.samples.size());
+    for (std::size_t i = 0; i < reference.samples.size(); ++i) {
+        // 1/32 input quantization + 1/32 output rounding.
+        const float got = static_cast<float>(fast.samples[i]) /
+                          (1 << kSampleFracBits);
+        EXPECT_NEAR(got, reference.samples[i], 0.1f) << "sample " << i;
+    }
+}
+
+TEST(Color, IntegerYccToRgbMatchesFloatReference)
+{
+    Rng rng(92);
+    Plane y(31, 17), cb(31, 17), cr(31, 17);
+    for (auto *plane : {&y, &cb, &cr}) {
+        for (auto &s : plane->samples)
+            s = static_cast<float>(rng.uniform(0.0, 255.0));
+    }
+    const Image reference = yccToRgb(y, cb, cr);
+    const Image fast =
+        yccToRgb(quantizePlane(y), quantizePlane(cb), quantizePlane(cr));
+    ASSERT_TRUE(fast.sameSize(reference));
+    for (int row = 0; row < reference.height(); ++row) {
+        for (int i = 0; i < reference.width() * 3; ++i) {
+            EXPECT_LE(std::abs(static_cast<int>(fast.row(row)[i]) -
+                               static_cast<int>(reference.row(row)[i])),
+                      1)
+                << "row " << row << " byte " << i;
+        }
+    }
+}
+
+/** Derive the entropy-decoder's sparsity summary from a raw block. */
+CoeffExtent
+extentOf(const QuantBlock &q)
+{
+    const auto &zz = zigzagOrder();
+    CoeffExtent extent;
+    for (int k = 0; k < kBlockSize; ++k) {
+        if (q[static_cast<std::size_t>(zz[static_cast<std::size_t>(k)])] !=
+            0) {
+            ++extent.nonzero;
+            if (k > 0)
+                extent.last_zz = static_cast<std::int16_t>(k);
+        }
+    }
+    return extent;
+}
+
+void
+expectSparseMatchesDense(const QuantBlock &q, int quality)
+{
+    const auto table = quantTable(quality, false);
+    Block freq, dense, sparse;
+    dequantize(q, table, freq);
+    inverseDct(freq, dense);
+    dequantIdctSparse(q, table, extentOf(q), sparse);
+    for (int i = 0; i < kBlockSize; ++i)
+        EXPECT_NEAR(sparse[static_cast<std::size_t>(i)],
+                    dense[static_cast<std::size_t>(i)], 1e-3)
+            << "sample " << i;
+}
+
+TEST(SparseIdct, DcOnlyBlock)
+{
+    QuantBlock q{};
+    q[0] = 37;
+    expectSparseMatchesDense(q, 75);
+}
+
+TEST(SparseIdct, AllZeroBlock)
+{
+    QuantBlock q{};
+    expectSparseMatchesDense(q, 75);
+}
+
+TEST(SparseIdct, SingleAcBlock)
+{
+    QuantBlock q{};
+    q[0] = -12;
+    q[9] = 5; // one interior AC coefficient
+    expectSparseMatchesDense(q, 75);
+}
+
+TEST(SparseIdct, FirstRowOnlyBlock)
+{
+    QuantBlock q{};
+    q[0] = 20;
+    q[1] = -7;
+    q[3] = 4; // all energy in frequency row 0
+    expectSparseMatchesDense(q, 60);
+}
+
+TEST(SparseIdct, FirstColumnOnlyBlock)
+{
+    QuantBlock q{};
+    q[0] = 20;
+    q[8] = -7;
+    q[24] = 4; // all energy in frequency column 0
+    expectSparseMatchesDense(q, 60);
+}
+
+TEST(SparseIdct, ZeroDcWithAcBlock)
+{
+    QuantBlock q{};
+    q[10] = 3;
+    q[17] = -2;
+    expectSparseMatchesDense(q, 85);
+}
+
+TEST(SparseIdct, DenseBlockMatches)
+{
+    Rng rng(77);
+    QuantBlock q;
+    for (auto &v : q)
+        v = static_cast<std::int32_t>(rng.uniformInt(-30, 30));
+    q[63] = 1; // force a full-extent scan
+    expectSparseMatchesDense(q, 90);
+}
+
+TEST(SparseIdct, RandomSparseBlocks)
+{
+    Rng rng(78);
+    for (int trial = 0; trial < 200; ++trial) {
+        QuantBlock q{};
+        const int coeffs = static_cast<int>(rng.uniformInt(0, 8));
+        for (int i = 0; i < coeffs; ++i)
+            q[static_cast<std::size_t>(rng.uniformInt(0, 63))] =
+                static_cast<std::int32_t>(rng.uniformInt(-100, 100));
+        expectSparseMatchesDense(q, 75);
+    }
+}
+
+int
+maxChannelDiff(const Image &a, const Image &b)
+{
+    int max_diff = 0;
+    for (int y = 0; y < a.height(); ++y) {
+        for (int i = 0; i < a.width() * 3; ++i) {
+            max_diff = std::max(
+                max_diff, std::abs(static_cast<int>(a.row(y)[i]) -
+                                   static_cast<int>(b.row(y)[i])));
+        }
+    }
+    return max_diff;
+}
+
+/** Differential: the optimized decode must match the retained scalar
+ *  reference within one count per channel on every subsample/quality
+ *  combination. */
+class FastDecodeDifferential
+    : public ::testing::TestWithParam<std::tuple<int, bool>>
+{
+};
+
+TEST_P(FastDecodeDifferential, MatchesReferenceWithinOne)
+{
+    const auto [quality, subsample] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(quality * 2 + (subsample ? 1 : 0)));
+    const Image img = synthesize(rng, 211, 173, SynthOptions{0.5, 3});
+    const std::string blob =
+        encode(img, EncodeOptions{quality, subsample});
+    const Image fast = decode(blob);
+    const Image reference = decode(blob, DecodeOptions{.reference = true});
+    ASSERT_TRUE(fast.sameSize(reference));
+    EXPECT_LE(maxChannelDiff(fast, reference), 1)
+        << "q" << quality << " subsample=" << subsample;
+}
+
+INSTANTIATE_TEST_SUITE_P(QualitySubsample, FastDecodeDifferential,
+                         ::testing::Combine(::testing::Values(40, 90),
+                                            ::testing::Bool()));
+
+TEST(FastDecode, PaperWorkloadMatchesReference)
+{
+    // The paper-distribution decode workload the perf trajectory
+    // tracks: 500x375 (ImageNet-average size) at q75, subsampled.
+    Rng rng(2024);
+    const Image img = synthesize(rng, 500, 375, SynthOptions{0.5, 4});
+    const std::string blob = encode(img, EncodeOptions{75, true});
+    const Image fast = decode(blob);
+    const Image reference = decode(blob, DecodeOptions{.reference = true});
+    EXPECT_LE(maxChannelDiff(fast, reference), 1);
+}
+
+TEST(FastDecode, ZeroCopyDecodeIsDeterministic)
+{
+    // The zero-copy reader consumes the caller's buffer in place; two
+    // decodes of the same blob must agree bit for bit.
+    Rng rng(55);
+    const Image img = synthesize(rng, 96, 64);
+    const std::string blob = encode(img);
+    const Image first = decode(blob);
+    const Image second = decode(blob);
+    EXPECT_EQ(maxChannelDiff(first, second), 0);
+}
+
 double
 psnr(const Image &a, const Image &b)
 {
