@@ -16,11 +16,48 @@ DataLoader::DataLoader(std::shared_ptr<const pipeline::Dataset> dataset,
     : dataset_(dataset), fetcher_(std::move(dataset), std::move(collate)),
       options_(options), main_pid_(currentTid())
 {
-    LOTUS_ASSERT(options_.batch_size > 0, "batch_size must be positive");
-    LOTUS_ASSERT(options_.num_workers > 0, "num_workers must be positive");
-    LOTUS_ASSERT(options_.prefetch_factor > 0,
-                 "prefetch_factor must be positive");
+    // Option validation is a user-facing contract (fatal, not panic):
+    // bad configs must fail loudly at construction, never half-run.
+    if (options_.batch_size <= 0)
+        LOTUS_FATAL("DataLoaderOptions: batch_size must be > 0 (got %d)",
+                    options_.batch_size);
+    if (options_.num_workers < 0)
+        LOTUS_FATAL("DataLoaderOptions: num_workers must be >= 0 (got %d)",
+                    options_.num_workers);
+    if (options_.prefetch_factor < 1)
+        LOTUS_FATAL(
+            "DataLoaderOptions: prefetch_factor must be >= 1 (got %d)",
+            options_.prefetch_factor);
+    registerMetrics();
     rebuildBatches();
+}
+
+void
+DataLoader::registerMetrics()
+{
+    auto &registry = metrics::MetricsRegistry::instance();
+    metrics_.batches_total = registry.counter("lotus_loader_batches_total");
+    metrics_.ooo_batches_total =
+        registry.counter("lotus_loader_ooo_batches_total");
+    metrics_.wait_ns_total = registry.counter("lotus_loader_wait_ns_total");
+    metrics_.wait_ns = registry.histogram("lotus_loader_wait_ns");
+    metrics_.data_queue_depth =
+        registry.gauge("lotus_loader_data_queue_depth");
+    metrics_.pin_cache_size =
+        registry.gauge("lotus_loader_pin_cache_size");
+    if (options_.num_workers == 0) {
+        metrics_.fetch_ns.push_back(registry.histogram(
+            metrics::labeled("lotus_loader_fetch_ns", "worker", "main")));
+        return;
+    }
+    for (int w = 0; w < options_.num_workers; ++w) {
+        const std::string id = strFormat("%d", w);
+        metrics_.fetch_ns.push_back(registry.histogram(
+            metrics::labeled("lotus_loader_fetch_ns", "worker", id)));
+        metrics_.index_queue_depth.push_back(registry.gauge(
+            metrics::labeled("lotus_loader_index_queue_depth", "worker",
+                             id)));
+    }
 }
 
 void
@@ -63,6 +100,22 @@ DataLoader::startEpoch()
     rcvd_idx_ = 0;
     reorder_cache_.clear();
     batch_worker_.clear();
+
+    if (options_.num_workers == 0) {
+        // Synchronous mode: no queues or workers; next() fetches with
+        // the same per-epoch rng stream a lone worker would use.
+        sync_rng_ = Rng(options_.seed * 0x9E3779B97F4A7C15ull + 1);
+        if (options_.logger) {
+            trace::TraceRecord marker;
+            marker.kind = trace::RecordKind::EpochBoundary;
+            marker.pid = main_pid_;
+            marker.start = options_.logger->now();
+            marker.op_name = "epoch_start";
+            options_.logger->log(std::move(marker));
+        }
+        epoch_started_ = true;
+        return;
+    }
 
     index_queues_.clear();
     for (int w = 0; w < options_.num_workers; ++w)
@@ -122,6 +175,7 @@ DataLoader::tryPutIndex(int worker_id)
     ++send_idx_;
     index_queues_[static_cast<std::size_t>(worker_id)]->push(
         std::move(msg));
+    metrics_.index_queue_depth[static_cast<std::size_t>(worker_id)]->add(1);
 }
 
 void
@@ -137,10 +191,15 @@ DataLoader::workerLoop(int worker_id)
             static_cast<std::uint64_t>(worker_id) + 1);
 
     auto &index_queue = *index_queues_[static_cast<std::size_t>(worker_id)];
+    auto *fetch_hist =
+        metrics_.fetch_ns[static_cast<std::size_t>(worker_id)];
     for (;;) {
         auto msg = index_queue.pop();
         if (!msg.has_value())
             break; // queue closed: epoch over
+        metrics_
+            .index_queue_depth[static_cast<std::size_t>(worker_id)]
+            ->sub(1);
 
         pipeline::PipelineContext ctx;
         ctx.logger = options_.logger;
@@ -152,7 +211,11 @@ DataLoader::workerLoop(int worker_id)
                               trace::RecordKind::BatchPreprocessed);
         span.record().batch_id = msg->batch_id;
         span.record().pid = pid;
-        Batch batch = fetcher_.fetch(msg->batch_id, msg->indices, ctx);
+        Batch batch;
+        {
+            metrics::ScopedTimer fetch_timer(fetch_hist);
+            batch = fetcher_.fetch(msg->batch_id, msg->indices, ctx);
+        }
         span.finish();
 
         DataMsg out;
@@ -160,6 +223,7 @@ DataLoader::workerLoop(int worker_id)
         out.worker_id = worker_id;
         out.batch = std::move(batch);
         data_queue_->push(std::move(out));
+        metrics_.data_queue_depth->add(1);
     }
 }
 
@@ -176,10 +240,49 @@ DataLoader::pinBatch(Batch &batch) const
 }
 
 std::optional<Batch>
+DataLoader::nextSynchronous()
+{
+    if (rcvd_idx_ >= numBatches())
+        return std::nullopt;
+    const std::int64_t wanted = rcvd_idx_;
+
+    pipeline::PipelineContext ctx;
+    ctx.logger = options_.logger;
+    ctx.pid = main_pid_;
+    ctx.rng = &sync_rng_;
+
+    // [T1] happens inline on the main process; there is no [T2] wait.
+    trace::SpanTimer span(options_.logger,
+                          trace::RecordKind::BatchPreprocessed);
+    span.record().batch_id = wanted;
+    span.record().pid = main_pid_;
+    Batch result;
+    {
+        metrics::ScopedTimer fetch_timer(metrics_.fetch_ns[0]);
+        result = fetcher_.fetch(
+            wanted, batches_[static_cast<std::size_t>(wanted)], ctx);
+    }
+    span.finish();
+    pinBatch(result);
+
+    trace::SpanTimer consumed_span(options_.logger,
+                                   trace::RecordKind::BatchConsumed);
+    consumed_span.record().batch_id = wanted;
+    consumed_span.record().pid = main_pid_;
+    consumed_span.finish();
+
+    metrics_.batches_total->add(1);
+    ++rcvd_idx_;
+    return result;
+}
+
+std::optional<Batch>
 DataLoader::next()
 {
     if (!epoch_started_)
         startEpoch();
+    if (options_.num_workers == 0)
+        return nextSynchronous();
     if (rcvd_idx_ >= numBatches()) {
         shutdownWorkers();
         return std::nullopt;
@@ -199,6 +302,7 @@ DataLoader::next()
         cached != reorder_cache_.end()) {
         result = std::move(cached->second);
         reorder_cache_.erase(cached);
+        metrics_.pin_cache_size->sub(1);
         have_result = true;
         if (options_.logger) {
             trace::TraceRecord sentinel = wait_span.record();
@@ -206,10 +310,14 @@ DataLoader::next()
             options_.logger->log(std::move(sentinel));
         }
     } else {
+        const bool measured = metrics::enabled();
+        const TimeNs wait_start =
+            measured ? SteadyClock::instance().now() : 0;
         while (!have_result) {
             auto msg = data_queue_->pop();
             LOTUS_ASSERT(msg.has_value(),
                          "data queue closed with batches outstanding");
+            metrics_.data_queue_depth->sub(1);
             if (msg->batch_id == wanted) {
                 result = std::move(msg->batch);
                 have_result = true;
@@ -219,7 +327,17 @@ DataLoader::next()
                 pinBatch(msg->batch);
                 reorder_cache_.emplace(msg->batch_id,
                                        std::move(msg->batch));
+                metrics_.ooo_batches_total->add(1);
+                metrics_.pin_cache_size->add(1);
             }
+        }
+        if (measured) {
+            const TimeNs waited =
+                SteadyClock::instance().now() - wait_start;
+            const auto waited_u =
+                static_cast<std::uint64_t>(waited > 0 ? waited : 0);
+            metrics_.wait_ns->record(waited_u);
+            metrics_.wait_ns_total->add(waited_u);
         }
         wait_span.finish();
         pinBatch(result);
@@ -240,6 +358,7 @@ DataLoader::next()
     batch_worker_.erase(producer);
     consumed_span.finish();
 
+    metrics_.batches_total->add(1);
     ++rcvd_idx_;
     if (rcvd_idx_ >= numBatches()) {
         // All batches consumed; release the workers.

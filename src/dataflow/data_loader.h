@@ -31,7 +31,9 @@
 #include <vector>
 
 #include "common/mpmc_queue.h"
+#include "common/rng.h"
 #include "dataflow/fetcher.h"
+#include "metrics/metrics.h"
 #include "trace/logger.h"
 
 namespace lotus::dataflow {
@@ -39,6 +41,11 @@ namespace lotus::dataflow {
 struct DataLoaderOptions
 {
     int batch_size = 1;
+    /**
+     * Preprocessing workers. 0 runs the loader synchronously: every
+     * fetch happens in the calling thread inside next(), like
+     * PyTorch's num_workers=0 (no queues, no [T2] wait records).
+     */
     int num_workers = 1;
     /** Batches primed per worker at epoch start. */
     int prefetch_factor = 2;
@@ -105,6 +112,23 @@ class DataLoader
     void pinBatch(pipeline::Batch &batch) const;
     void shutdownWorkers();
     void rebuildBatches();
+    void registerMetrics();
+    std::optional<pipeline::Batch> nextSynchronous();
+
+    /** Always-on telemetry handles (process-wide registry; recording
+     *  is a no-op unless metrics::setEnabled(true) was called). */
+    struct Metrics
+    {
+        metrics::Counter *batches_total = nullptr;
+        metrics::Counter *ooo_batches_total = nullptr;
+        metrics::Counter *wait_ns_total = nullptr;
+        metrics::Histogram *wait_ns = nullptr;
+        metrics::Gauge *data_queue_depth = nullptr;
+        metrics::Gauge *pin_cache_size = nullptr;
+        /** Indexed by worker id (one "main" entry when num_workers=0). */
+        std::vector<metrics::Histogram *> fetch_ns;
+        std::vector<metrics::Gauge *> index_queue_depth;
+    };
 
     std::shared_ptr<const pipeline::Dataset> dataset_;
     Fetcher fetcher_;
@@ -128,6 +152,10 @@ class DataLoader
     std::int64_t rcvd_idx_ = 0;
     std::map<std::int64_t, pipeline::Batch> reorder_cache_;
     std::map<std::int64_t, int> batch_worker_;
+
+    /** Fetch rng for the synchronous (num_workers=0) path. */
+    Rng sync_rng_{0};
+    Metrics metrics_;
 };
 
 } // namespace lotus::dataflow

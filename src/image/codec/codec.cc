@@ -9,6 +9,7 @@
 #include "image/codec/bitio.h"
 #include "image/codec/color.h"
 #include "image/codec/dct.h"
+#include "metrics/metrics.h"
 
 namespace lotus::image::codec {
 
@@ -439,9 +440,43 @@ peekHeader(const std::string &bytes)
     return header;
 }
 
+namespace {
+
+/** Decode telemetry: latency histogram plus fast/reference-path hit
+ *  counters. Handles resolve once; recording is branch-gated. */
+struct DecodeMetrics
+{
+    metrics::Histogram *decode_ns;
+    metrics::Counter *fast_total;
+    metrics::Counter *reference_total;
+
+    static const DecodeMetrics &
+    instance()
+    {
+        static const DecodeMetrics m = [] {
+            auto &registry = metrics::MetricsRegistry::instance();
+            return DecodeMetrics{
+                registry.histogram("lotus_codec_decode_ns"),
+                registry.counter("lotus_codec_decode_fast_total"),
+                registry.counter("lotus_codec_decode_reference_total"),
+            };
+        }();
+        return m;
+    }
+};
+
+} // namespace
+
 Image
 decode(const std::string &bytes, const DecodeOptions &options)
 {
+    const DecodeMetrics &decode_metrics = DecodeMetrics::instance();
+    metrics::ScopedTimer decode_timer(decode_metrics.decode_ns);
+    if (options.reference)
+        decode_metrics.reference_total->add(1);
+    else
+        decode_metrics.fast_total->add(1);
+
     const LjpgHeader header = peekHeader(bytes);
     const auto *payload =
         reinterpret_cast<const std::uint8_t *>(bytes.data()) + 10;

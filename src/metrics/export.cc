@@ -1,0 +1,185 @@
+#include "metrics/export.h"
+
+#include "common/strings.h"
+#include "metrics/metrics.h"
+
+namespace lotus::metrics {
+
+namespace {
+
+/** `family{labels,le="bound"}` with correct comma handling. */
+std::string
+bucketSeries(const std::string &family, const std::string &labels,
+             const std::string &le)
+{
+    std::string out = family + "_bucket{";
+    if (!labels.empty())
+        out += labels + ",";
+    out += "le=\"" + le + "\"}";
+    return out;
+}
+
+std::string
+withLabels(const std::string &family, const std::string &suffix,
+           const std::string &labels)
+{
+    std::string out = family + suffix;
+    if (!labels.empty())
+        out += "{" + labels + "}";
+    return out;
+}
+
+void
+appendTypeLine(std::string &out, std::string &last_family,
+               const std::string &family, const char *type)
+{
+    if (family == last_family)
+        return;
+    out += "# TYPE " + family + " " + type + "\n";
+    last_family = family;
+}
+
+} // namespace
+
+std::string
+toPrometheusText(const Snapshot &snapshot)
+{
+    std::string out;
+    std::string family, labels, last_family;
+
+    for (const auto &[name, value] : snapshot.counters) {
+        splitLabeled(name, family, labels);
+        appendTypeLine(out, last_family, family, "counter");
+        out += withLabels(family, "", labels) +
+               strFormat(" %llu\n",
+                         static_cast<unsigned long long>(value));
+    }
+    last_family.clear();
+    for (const auto &[name, value] : snapshot.gauges) {
+        splitLabeled(name, family, labels);
+        appendTypeLine(out, last_family, family, "gauge");
+        out += withLabels(family, "", labels) +
+               strFormat(" %lld\n", static_cast<long long>(value));
+    }
+    last_family.clear();
+    for (const auto &[name, hist] : snapshot.histograms) {
+        splitLabeled(name, family, labels);
+        appendTypeLine(out, last_family, family, "histogram");
+        std::uint64_t cumulative = 0;
+        for (const auto &[bound, count] : hist.buckets) {
+            cumulative += count;
+            out += bucketSeries(
+                       family, labels,
+                       strFormat("%llu",
+                                 static_cast<unsigned long long>(bound))) +
+                   strFormat(" %llu\n",
+                             static_cast<unsigned long long>(cumulative));
+        }
+        out += bucketSeries(family, labels, "+Inf") +
+               strFormat(" %llu\n",
+                         static_cast<unsigned long long>(hist.count));
+        out += withLabels(family, "_sum", labels) +
+               strFormat(" %llu\n",
+                         static_cast<unsigned long long>(hist.sum));
+        out += withLabels(family, "_count", labels) +
+               strFormat(" %llu\n",
+                         static_cast<unsigned long long>(hist.count));
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+toJson(const Snapshot &snapshot, const Snapshot *delta)
+{
+    std::string out = "{\n";
+    out += strFormat("  \"schema_version\": %d,\n", kJsonSchemaVersion);
+    out += strFormat("  \"taken_at_ns\": %lld,\n",
+                     static_cast<long long>(snapshot.taken_at));
+    if (delta != nullptr)
+        out += strFormat("  \"interval_ns\": %lld,\n",
+                         static_cast<long long>(delta->taken_at));
+
+    out += "  \"counters\": {";
+    const char *sep = "\n";
+    for (const auto &[name, value] : snapshot.counters) {
+        out += sep;
+        out += strFormat("    \"%s\": %llu", jsonEscape(name).c_str(),
+                         static_cast<unsigned long long>(value));
+        sep = ",\n";
+    }
+    out += "\n  },\n";
+
+    out += "  \"gauges\": {";
+    sep = "\n";
+    for (const auto &[name, value] : snapshot.gauges) {
+        out += sep;
+        out += strFormat("    \"%s\": %lld", jsonEscape(name).c_str(),
+                         static_cast<long long>(value));
+        sep = ",\n";
+    }
+    out += "\n  },\n";
+
+    out += "  \"histograms\": {";
+    sep = "\n";
+    for (const auto &[name, hist] : snapshot.histograms) {
+        out += sep;
+        out += strFormat("    \"%s\": {\"count\": %llu, \"sum\": %llu, "
+                         "\"p50\": %llu, \"p90\": %llu, \"p99\": %llu, "
+                         "\"buckets\": [",
+                         jsonEscape(name).c_str(),
+                         static_cast<unsigned long long>(hist.count),
+                         static_cast<unsigned long long>(hist.sum),
+                         static_cast<unsigned long long>(hist.p50),
+                         static_cast<unsigned long long>(hist.p90),
+                         static_cast<unsigned long long>(hist.p99));
+        const char *bucket_sep = "";
+        for (const auto &[bound, count] : hist.buckets) {
+            out += strFormat("%s[%llu, %llu]", bucket_sep,
+                             static_cast<unsigned long long>(bound),
+                             static_cast<unsigned long long>(count));
+            bucket_sep = ", ";
+        }
+        out += "]}";
+        sep = ",\n";
+    }
+    out += "\n  }";
+
+    if (delta != nullptr) {
+        out += ",\n  \"rates\": {";
+        sep = "\n";
+        for (const auto &[name, value] : delta->counters) {
+            out += sep;
+            out += strFormat("    \"%s\": %.3f", jsonEscape(name).c_str(),
+                             ratePerSec(value, delta->taken_at));
+            sep = ",\n";
+        }
+        for (const auto &[name, hist] : delta->histograms) {
+            out += sep;
+            out += strFormat("    \"%s\": %.3f", jsonEscape(name).c_str(),
+                             ratePerSec(hist.count, delta->taken_at));
+            sep = ",\n";
+        }
+        out += "\n  }";
+    }
+    out += "\n}\n";
+    return out;
+}
+
+} // namespace lotus::metrics

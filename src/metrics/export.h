@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Snapshot exporters: Prometheus text exposition format and JSON.
+ *
+ * Both formats are stable and machine-parseable — the JSON document
+ * is what the MetricsReporter writes to its endpoint file and what
+ * `lotus_top` renders; it carries a schema_version field so readers
+ * can reject documents they do not understand.
+ */
+
+#ifndef LOTUS_METRICS_EXPORT_H
+#define LOTUS_METRICS_EXPORT_H
+
+#include <string>
+
+#include "metrics/snapshot.h"
+
+namespace lotus::metrics {
+
+/** JSON document schema version written by toJson(). */
+constexpr int kJsonSchemaVersion = 1;
+
+/**
+ * Prometheus text exposition format: one # TYPE line per family,
+ * histogram buckets as cumulative `_bucket{le="..."}` series plus
+ * `_sum` and `_count`.
+ */
+std::string toPrometheusText(const Snapshot &snapshot);
+
+/**
+ * JSON document with counters, gauges and histograms (count, sum,
+ * p50/p90/p99, non-empty buckets). When @p delta is given (a
+ * diff() result whose taken_at is the interval length), the document
+ * also carries interval_ns and a "rates" object with per-second
+ * counter and histogram-count rates over that interval.
+ */
+std::string toJson(const Snapshot &snapshot,
+                   const Snapshot *delta = nullptr);
+
+} // namespace lotus::metrics
+
+#endif // LOTUS_METRICS_EXPORT_H

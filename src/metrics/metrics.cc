@@ -1,0 +1,189 @@
+#include "metrics/metrics.h"
+
+#include "common/logging.h"
+#include "metrics/snapshot.h"
+
+namespace lotus::metrics {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::string
+labeled(const std::string &name, const std::string &key,
+        const std::string &value)
+{
+    LOTUS_ASSERT(name.find('{') == std::string::npos,
+                 "metric '%s' already carries labels", name.c_str());
+    return name + "{" + key + "=\"" + value + "\"}";
+}
+
+void
+splitLabeled(const std::string &name, std::string &family,
+             std::string &labels)
+{
+    const auto brace = name.find('{');
+    if (brace == std::string::npos) {
+        family = name;
+        labels.clear();
+        return;
+    }
+    LOTUS_ASSERT(name.back() == '}', "malformed metric name '%s'",
+                 name.c_str());
+    family = name.substr(0, brace);
+    labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+std::uint64_t
+Histogram::count() const noexcept
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard.count.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::uint64_t
+Histogram::sum() const noexcept
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard.sum.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::vector<std::uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<std::uint64_t> merged(kBuckets, 0);
+    for (const auto &shard : shards_) {
+        for (unsigned i = 0; i < kBuckets; ++i)
+            merged[i] +=
+                shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    return merged;
+}
+
+std::uint64_t
+Histogram::quantile(double q) const
+{
+    const auto buckets = bucketCounts();
+    std::uint64_t total = 0;
+    for (const auto c : buckets)
+        total += c;
+    if (total == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Nearest-rank quantile, 1-based: rank = ceil(q * count).
+    auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+    if (static_cast<double>(rank) < q * static_cast<double>(total))
+        ++rank;
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t cumulative = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        cumulative += buckets[i];
+        if (cumulative >= rank)
+            return bucketUpperBound(i);
+    }
+    return bucketUpperBound(kBuckets - 1);
+}
+
+void
+Histogram::reset() noexcept
+{
+    for (auto &shard : shards_) {
+        for (auto &bucket : shard.buckets)
+            bucket.store(0, std::memory_order_relaxed);
+        shard.count.store(0, std::memory_order_relaxed);
+        shard.sum.store(0, std::memory_order_relaxed);
+    }
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter *
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return slot.get();
+}
+
+Gauge *
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return slot.get();
+}
+
+Histogram *
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return slot.get();
+}
+
+Snapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard lock(mutex_);
+    Snapshot snap;
+    snap.taken_at = SteadyClock::instance().now();
+    for (const auto &[name, counter] : counters_)
+        snap.counters[name] = counter->value();
+    for (const auto &[name, gauge] : gauges_)
+        snap.gauges[name] = gauge->value();
+    for (const auto &[name, histogram] : histograms_) {
+        Snapshot::Hist hist;
+        hist.count = histogram->count();
+        hist.sum = histogram->sum();
+        const auto buckets = histogram->bucketCounts();
+        for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
+            if (buckets[i] != 0)
+                hist.buckets.emplace_back(
+                    Histogram::bucketUpperBound(i), buckets[i]);
+        }
+        hist.p50 = histogram->quantile(0.50);
+        hist.p90 = histogram->quantile(0.90);
+        hist.p99 = histogram->quantile(0.99);
+        snap.histograms[name] = std::move(hist);
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard lock(mutex_);
+    for (auto &[name, counter] : counters_)
+        counter->reset();
+    for (auto &[name, gauge] : gauges_)
+        gauge->reset();
+    for (auto &[name, histogram] : histograms_)
+        histogram->reset();
+}
+
+} // namespace lotus::metrics

@@ -1,0 +1,80 @@
+#include "metrics/reporter.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/files.h"
+#include "common/logging.h"
+#include "metrics/export.h"
+
+namespace lotus::metrics {
+
+MetricsReporter::MetricsReporter(MetricsReporterOptions options)
+    : options_(std::move(options)),
+      registry_(options_.registry != nullptr ? options_.registry
+                                             : &MetricsRegistry::instance())
+{
+    LOTUS_ASSERT(options_.interval > 0, "reporter interval must be > 0");
+    previous_ = registry_->snapshot();
+    thread_ = std::thread([this] { run(); });
+}
+
+MetricsReporter::~MetricsReporter()
+{
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    stop_cv_.notify_all();
+    thread_.join();
+}
+
+std::uint64_t
+MetricsReporter::tickCount() const
+{
+    std::lock_guard lock(mutex_);
+    return ticks_;
+}
+
+void
+MetricsReporter::run()
+{
+    for (;;) {
+        {
+            std::unique_lock lock(mutex_);
+            stop_cv_.wait_for(lock,
+                              std::chrono::nanoseconds(options_.interval),
+                              [&] { return stopping_; });
+            if (stopping_)
+                break;
+        }
+        tick();
+    }
+    // Final tick so short-lived runs still publish their totals.
+    tick();
+}
+
+void
+MetricsReporter::tick()
+{
+    const Snapshot current = registry_->snapshot();
+    const Snapshot delta = diff(current, previous_);
+    if (!options_.json_path.empty()) {
+        // Write-then-rename so endpoint readers never observe a
+        // partially written document.
+        const std::string tmp = options_.json_path + ".tmp";
+        writeFile(tmp, toJson(current, &delta));
+        if (std::rename(tmp.c_str(), options_.json_path.c_str()) != 0)
+            LOTUS_WARN("metrics reporter: cannot replace %s",
+                       options_.json_path.c_str());
+    }
+    if (options_.on_tick)
+        options_.on_tick(current, delta);
+    previous_ = current;
+    {
+        std::lock_guard lock(mutex_);
+        ++ticks_;
+    }
+}
+
+} // namespace lotus::metrics

@@ -1,0 +1,89 @@
+#include "metrics/snapshot.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lotus::metrics {
+
+namespace {
+
+std::uint64_t
+quantileFromBuckets(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>> &buckets,
+    std::uint64_t total, double q)
+{
+    if (total == 0)
+        return 0;
+    // Nearest-rank quantile, matching Histogram::quantile.
+    auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+    if (static_cast<double>(rank) < q * static_cast<double>(total))
+        ++rank;
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t cumulative = 0;
+    for (const auto &[bound, count] : buckets) {
+        cumulative += count;
+        if (cumulative >= rank)
+            return bound;
+    }
+    return buckets.empty() ? 0 : buckets.back().first;
+}
+
+Snapshot::Hist
+diffHist(const Snapshot::Hist &newer, const Snapshot::Hist &older)
+{
+    Snapshot::Hist out;
+    out.count = newer.count - std::min(older.count, newer.count);
+    out.sum = newer.sum - std::min(older.sum, newer.sum);
+    std::map<std::uint64_t, std::uint64_t> merged;
+    for (const auto &[bound, count] : newer.buckets)
+        merged[bound] = count;
+    for (const auto &[bound, count] : older.buckets) {
+        auto it = merged.find(bound);
+        if (it == merged.end())
+            continue;
+        it->second -= std::min(count, it->second);
+    }
+    for (const auto &[bound, count] : merged) {
+        if (count != 0)
+            out.buckets.emplace_back(bound, count);
+    }
+    out.p50 = quantileFromBuckets(out.buckets, out.count, 0.50);
+    out.p90 = quantileFromBuckets(out.buckets, out.count, 0.90);
+    out.p99 = quantileFromBuckets(out.buckets, out.count, 0.99);
+    return out;
+}
+
+} // namespace
+
+Snapshot
+diff(const Snapshot &newer, const Snapshot &older)
+{
+    Snapshot out;
+    out.taken_at = newer.taken_at - older.taken_at;
+    for (const auto &[name, value] : newer.counters) {
+        const auto it = older.counters.find(name);
+        const std::uint64_t base =
+            it == older.counters.end() ? 0 : it->second;
+        out.counters[name] = value - std::min(base, value);
+    }
+    out.gauges = newer.gauges;
+    for (const auto &[name, hist] : newer.histograms) {
+        const auto it = older.histograms.find(name);
+        out.histograms[name] = it == older.histograms.end()
+                                   ? hist
+                                   : diffHist(hist, it->second);
+    }
+    return out;
+}
+
+double
+ratePerSec(std::uint64_t delta, TimeNs interval)
+{
+    if (interval <= 0)
+        return 0.0;
+    return static_cast<double>(delta) / toSec(interval);
+}
+
+} // namespace lotus::metrics

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Point-in-time copies of a MetricsRegistry and their difference.
+ *
+ * Snapshots are plain data: exporters and the reporter consume them,
+ * and diffing two snapshots yields per-interval deltas from which
+ * rates are computed (counters subtract; gauges keep the newer level;
+ * histogram counts/sums/buckets subtract).
+ */
+
+#ifndef LOTUS_METRICS_SNAPSHOT_H
+#define LOTUS_METRICS_SNAPSHOT_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace lotus::metrics {
+
+struct Snapshot
+{
+    struct Hist
+    {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        /** (inclusive upper bound, count) for each non-empty bucket,
+         *  ascending by bound. */
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+        std::uint64_t p50 = 0;
+        std::uint64_t p90 = 0;
+        std::uint64_t p99 = 0;
+    };
+
+    TimeNs taken_at = 0;
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::int64_t> gauges;
+    std::map<std::string, Hist> histograms;
+};
+
+/**
+ * @p newer minus @p older. Metrics absent from @p older are taken
+ * whole; quantiles in diffed histograms are recomputed from the
+ * diffed buckets. taken_at of the result is the interval length.
+ */
+Snapshot diff(const Snapshot &newer, const Snapshot &older);
+
+/** Events per second given a delta snapshot's interval. */
+double ratePerSec(std::uint64_t delta, TimeNs interval);
+
+} // namespace lotus::metrics
+
+#endif // LOTUS_METRICS_SNAPSHOT_H

@@ -15,6 +15,8 @@ Compose::add(TransformPtr transform)
     Entry entry;
     entry.op_tag =
         hwcount::KernelRegistry::instance().registerOp(transform->name());
+    entry.op_ns = metrics::MetricsRegistry::instance().histogram(
+        metrics::labeled("lotus_pipeline_op_ns", "op", transform->name()));
     entry.transform = std::move(transform);
     entries_.push_back(std::move(entry));
 }
@@ -39,6 +41,7 @@ Compose::operator()(Sample &sample, PipelineContext &ctx) const
         span.record().pid = ctx.pid;
         span.record().sample_index = ctx.sample_index;
         {
+            metrics::ScopedTimer op_timer(entry.op_ns);
             hwcount::OpTagScope op_scope(entry.op_tag);
             entry.transform->apply(sample, ctx.rngRef());
         }

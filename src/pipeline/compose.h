@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "hwcount/registry.h"
+#include "metrics/metrics.h"
 #include "pipeline/transform.h"
 
 namespace lotus::pipeline {
@@ -51,6 +52,8 @@ class Compose
     {
         TransformPtr transform;
         hwcount::OpTag op_tag;
+        /** `lotus_pipeline_op_ns{op="..."}` [T3] latency histogram. */
+        metrics::Histogram *op_ns = nullptr;
     };
 
     std::vector<Entry> entries_;

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/files.h"
+#include "common/logging.h"
 
 namespace lotus::trace {
 
@@ -36,8 +37,21 @@ TraceLogger::threadBuffer()
 }
 
 void
+TraceLogger::setObserver(Observer observer)
+{
+    if (logging_started_.load(std::memory_order_acquire))
+        LOTUS_FATAL("TraceLogger::setObserver called after logging "
+                    "started (%llu records in); set the observer before "
+                    "any log() call, or reset() the logger first",
+                    static_cast<unsigned long long>(recordCount()));
+    observer_ = std::move(observer);
+}
+
+void
 TraceLogger::log(TraceRecord record)
 {
+    if (!logging_started_.load(std::memory_order_relaxed))
+        logging_started_.store(true, std::memory_order_release);
     if (observer_)
         observer_(record);
     if (!store_records_)
@@ -110,6 +124,7 @@ TraceLogger::reset()
         std::lock_guard lock(buffer->mutex);
         buffer->records.clear();
     }
+    logging_started_.store(false, std::memory_order_release);
 }
 
 } // namespace lotus::trace

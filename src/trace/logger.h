@@ -12,6 +12,7 @@
 #ifndef LOTUS_TRACE_LOGGER_H
 #define LOTUS_TRACE_LOGGER_H
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -42,11 +43,12 @@ class TraceLogger
      * before buffering. This is the hook point baseline profilers
      * attach to (their per-event tracing cost is charged to the
      * thread that produced the event, like sys.settrace would be).
-     * Set before any logging happens; not thread-safe to change
-     * mid-run.
+     * Must be set before any logging happens: changing the observer
+     * mid-run would race with logging threads, so doing so is fatal
+     * (reset() re-arms a logger for a fresh observer).
      */
     using Observer = std::function<void(const TraceRecord &)>;
-    void setObserver(Observer observer) { observer_ = std::move(observer); }
+    void setObserver(Observer observer);
 
     /**
      * When false, records are handed to the observer but not kept
@@ -84,6 +86,9 @@ class TraceLogger
      *  stale buffers. */
     const std::uint64_t instance_id_;
     Observer observer_;
+    /** Set by the first log(); read-mostly so the hot-path check does
+     *  not ping-pong a cache line between logging threads. */
+    std::atomic<bool> logging_started_{false};
     bool store_records_ = true;
     mutable std::mutex buffers_mutex_;
     std::vector<std::shared_ptr<ThreadBuffer>> buffers_;

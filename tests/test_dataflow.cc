@@ -14,6 +14,7 @@
 #include "dataflow/data_loader.h"
 #include "dataflow/iterable_loader.h"
 #include "dataflow/sampler.h"
+#include "metrics/metrics.h"
 #include "pipeline/iterable_dataset.h"
 #include "trace/logger.h"
 
@@ -132,6 +133,121 @@ baseOptions(int batch_size, int workers, trace::TraceLogger *logger)
     options.logger = logger;
     options.pin_memory = true;
     return options;
+}
+
+TEST(DataLoaderOptionsValidation, RejectsNonPositiveBatchSize)
+{
+    auto dataset = std::make_shared<ToyDataset>(4);
+    auto collate = std::make_shared<pipeline::StackCollate>();
+    auto options = baseOptions(0, 1, nullptr);
+    EXPECT_EXIT(DataLoader(dataset, collate, options),
+                ::testing::ExitedWithCode(1), "batch_size must be > 0");
+}
+
+TEST(DataLoaderOptionsValidation, RejectsNegativeNumWorkers)
+{
+    auto dataset = std::make_shared<ToyDataset>(4);
+    auto collate = std::make_shared<pipeline::StackCollate>();
+    auto options = baseOptions(2, -1, nullptr);
+    EXPECT_EXIT(DataLoader(dataset, collate, options),
+                ::testing::ExitedWithCode(1), "num_workers must be >= 0");
+}
+
+TEST(DataLoaderOptionsValidation, RejectsPrefetchFactorBelowOne)
+{
+    auto dataset = std::make_shared<ToyDataset>(4);
+    auto collate = std::make_shared<pipeline::StackCollate>();
+    auto options = baseOptions(2, 1, nullptr);
+    options.prefetch_factor = 0;
+    EXPECT_EXIT(DataLoader(dataset, collate, options),
+                ::testing::ExitedWithCode(1),
+                "prefetch_factor must be >= 1");
+}
+
+TEST(DataLoader, SynchronousModeDeliversAllBatchesInOrder)
+{
+    trace::TraceLogger logger;
+    auto dataset = std::make_shared<ToyDataset>(12);
+    auto collate = std::make_shared<pipeline::StackCollate>();
+    DataLoader loader(dataset, collate, baseOptions(3, 0, &logger));
+    EXPECT_TRUE(loader.workerPids().empty());
+    for (std::int64_t i = 0; i < 4; ++i) {
+        auto batch = loader.next();
+        ASSERT_TRUE(batch.has_value());
+        EXPECT_EQ(batch->batch_id, i);
+        EXPECT_EQ(batch->labels[0], i * 3);
+    }
+    EXPECT_FALSE(loader.next().has_value());
+    // Inline fetches log [T1] on the main pid; no [T2] waits exist.
+    int preprocessed = 0, waits = 0;
+    for (const auto &record : logger.records()) {
+        if (record.kind == trace::RecordKind::BatchPreprocessed) {
+            ++preprocessed;
+            EXPECT_EQ(record.pid, loader.mainPid());
+        }
+        if (record.kind == trace::RecordKind::BatchWait)
+            ++waits;
+    }
+    EXPECT_EQ(preprocessed, 4);
+    EXPECT_EQ(waits, 0);
+}
+
+TEST(DataLoader, SynchronousModeMultiEpochRestart)
+{
+    auto dataset = std::make_shared<ToyDataset>(6);
+    auto collate = std::make_shared<pipeline::StackCollate>();
+    auto options = baseOptions(2, 0, nullptr);
+    options.shuffle = true;
+    DataLoader loader(dataset, collate, options);
+    for (int epoch = 0; epoch < 2; ++epoch) {
+        loader.startEpoch();
+        std::multiset<std::int64_t> labels;
+        while (auto batch = loader.next()) {
+            for (const auto label : batch->labels)
+                labels.insert(label);
+        }
+        EXPECT_EQ(labels.size(), 6u);
+    }
+}
+
+TEST(DataLoader, MultiEpochMetricsAccumulateAndTraceRecordsGrow)
+{
+    // Documented contract: trace records and metric counters
+    // accumulate across epochs (one logger, one process-wide
+    // registry); queue-depth gauges return to zero once each epoch
+    // drains.
+    metrics::ScopedEnable enable;
+    auto &registry = metrics::MetricsRegistry::instance();
+    registry.reset();
+
+    trace::TraceLogger logger;
+    auto dataset = std::make_shared<ToyDataset>(8);
+    auto collate = std::make_shared<pipeline::StackCollate>();
+    DataLoader loader(dataset, collate, baseOptions(2, 2, &logger));
+
+    loader.startEpoch();
+    while (loader.next().has_value()) {
+    }
+    const auto batches_after_first =
+        registry.counter("lotus_loader_batches_total")->value();
+    const auto records_after_first = logger.recordCount();
+    EXPECT_EQ(batches_after_first, 4u);
+
+    loader.startEpoch();
+    while (loader.next().has_value()) {
+    }
+    EXPECT_EQ(registry.counter("lotus_loader_batches_total")->value(),
+              2 * batches_after_first);
+    EXPECT_EQ(logger.recordCount(), 2 * records_after_first);
+    EXPECT_EQ(registry.gauge("lotus_loader_data_queue_depth")->value(), 0);
+    EXPECT_EQ(
+        registry
+            .gauge(metrics::labeled("lotus_loader_index_queue_depth",
+                                    "worker", "0"))
+            ->value(),
+        0);
+    EXPECT_EQ(registry.gauge("lotus_loader_pin_cache_size")->value(), 0);
+    registry.reset();
 }
 
 TEST(DataLoader, DeliversAllBatchesInOrderSingleWorker)

@@ -1,0 +1,488 @@
+/**
+ * @file
+ * Tests for the always-on telemetry layer: lock-free counter/gauge/
+ * histogram correctness under contention (run these under TSan via
+ * tools/run_tsan.sh), snapshot diffing, exporter round-trips, the
+ * periodic reporter, and the end-to-end loader/pipeline/codec
+ * instrumentation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/files.h"
+#include "dataflow/data_loader.h"
+#include "image/codec/codec.h"
+#include "image/synth.h"
+#include "metrics/export.h"
+#include "metrics/metrics.h"
+#include "metrics/reporter.h"
+#include "pipeline/collate.h"
+#include "pipeline/compose.h"
+#include "pipeline/transforms/vision.h"
+#include "trace/chrome_reader.h"
+
+namespace lotus::metrics {
+namespace {
+
+/** Fresh global state per test: enabled on, all values zeroed. */
+class MetricsTest : public ::testing::Test
+{
+  protected:
+    MetricsTest() : enable_(true)
+    {
+        MetricsRegistry::instance().reset();
+    }
+    ~MetricsTest() override { MetricsRegistry::instance().reset(); }
+
+  private:
+    ScopedEnable enable_;
+};
+
+TEST_F(MetricsTest, CounterExactUnderContention)
+{
+    MetricsRegistry registry;
+    Counter *counter = registry.counter("lotus_test_events_total");
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kAddsPerThread = 100'000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (std::uint64_t i = 0; i < kAddsPerThread; ++i)
+                counter->add(1);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(counter->value(), kThreads * kAddsPerThread);
+}
+
+TEST_F(MetricsTest, HistogramExactCountAndSumUnderContention)
+{
+    MetricsRegistry registry;
+    Histogram *hist = registry.histogram("lotus_test_latency_ns");
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kRecordsPerThread = 50'000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (std::uint64_t i = 0; i < kRecordsPerThread; ++i)
+                hist->record(static_cast<std::uint64_t>(t) * 1000 + i % 97);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(hist->count(), kThreads * kRecordsPerThread);
+    std::uint64_t expected_sum = 0;
+    for (int t = 0; t < kThreads; ++t) {
+        for (std::uint64_t i = 0; i < kRecordsPerThread; ++i)
+            expected_sum += static_cast<std::uint64_t>(t) * 1000 + i % 97;
+    }
+    EXPECT_EQ(hist->sum(), expected_sum);
+    std::uint64_t bucket_total = 0;
+    for (const auto count : hist->bucketCounts())
+        bucket_total += count;
+    EXPECT_EQ(bucket_total, hist->count());
+}
+
+TEST_F(MetricsTest, BucketIndexMonotoneAndBoundsConsistent)
+{
+    unsigned last_index = 0;
+    for (std::uint64_t v = 0; v < 100'000; v = v < 512 ? v + 1 : v * 9 / 8) {
+        const unsigned index = Histogram::bucketIndex(v);
+        EXPECT_GE(index, last_index) << "value " << v;
+        EXPECT_LE(Histogram::bucketLowerBound(index), v) << "value " << v;
+        EXPECT_GE(Histogram::bucketUpperBound(index), v) << "value " << v;
+        last_index = index;
+    }
+    // Relative bucket width stays <= 12.5% above the exact range
+    // (checked over the reachable, non-overflowing index range; the
+    // largest uint64 maps to index 251).
+    for (unsigned i = 8; i < 250; ++i) {
+        const double lo =
+            static_cast<double>(Histogram::bucketLowerBound(i));
+        const double hi =
+            static_cast<double>(Histogram::bucketUpperBound(i));
+        EXPECT_LE((hi - lo) / lo, 0.25) << "bucket " << i;
+        EXPECT_EQ(Histogram::bucketUpperBound(i) + 1,
+                  Histogram::bucketLowerBound(i + 1));
+    }
+}
+
+TEST_F(MetricsTest, HistogramQuantilesBracketTrueValues)
+{
+    Histogram hist;
+    for (std::uint64_t v = 1; v <= 10'000; ++v)
+        hist.record(v);
+    // True p50 = 5000; the estimate is the bucket upper bound, so it
+    // can overshoot by at most the 12.5% bucket width.
+    EXPECT_GE(hist.quantile(0.5), 5000u);
+    EXPECT_LE(hist.quantile(0.5), 5000u * 9 / 8 + 1);
+    EXPECT_GE(hist.quantile(0.99), 9900u);
+    EXPECT_LE(hist.quantile(0.99), 9900u * 9 / 8 + 1);
+    EXPECT_EQ(hist.quantile(0.0), Histogram::bucketUpperBound(
+                                      Histogram::bucketIndex(1)));
+    EXPECT_GE(hist.quantile(1.0), 10'000u);
+}
+
+TEST_F(MetricsTest, DisabledMetricsRecordNothing)
+{
+    MetricsRegistry registry;
+    Counter *counter = registry.counter("c");
+    Gauge *gauge = registry.gauge("g");
+    Histogram *hist = registry.histogram("h");
+    {
+        ScopedEnable disable(false);
+        counter->add(5);
+        gauge->set(7);
+        hist->record(9);
+    }
+    EXPECT_EQ(counter->value(), 0u);
+    EXPECT_EQ(gauge->value(), 0);
+    EXPECT_EQ(hist->count(), 0u);
+}
+
+TEST_F(MetricsTest, RegistryGetOrCreateReturnsStablePointers)
+{
+    MetricsRegistry registry;
+    Counter *a = registry.counter("lotus_x_total");
+    Counter *b = registry.counter("lotus_x_total");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(registry.counter("lotus_y_total"), a);
+}
+
+TEST_F(MetricsTest, SnapshotDiffComputesDeltasAndRates)
+{
+    MetricsRegistry registry;
+    Counter *counter = registry.counter("lotus_test_total");
+    Gauge *gauge = registry.gauge("lotus_test_depth");
+    Histogram *hist = registry.histogram("lotus_test_ns");
+    counter->add(10);
+    gauge->set(3);
+    hist->record(100);
+    const Snapshot first = registry.snapshot();
+    counter->add(32);
+    gauge->set(5);
+    hist->record(100);
+    hist->record(200'000);
+    const Snapshot second = registry.snapshot();
+
+    const Snapshot delta = diff(second, first);
+    EXPECT_EQ(delta.counters.at("lotus_test_total"), 32u);
+    EXPECT_EQ(delta.gauges.at("lotus_test_depth"), 5); // newer level
+    EXPECT_EQ(delta.histograms.at("lotus_test_ns").count, 2u);
+    EXPECT_EQ(delta.histograms.at("lotus_test_ns").sum, 200'100u);
+    EXPECT_GT(delta.taken_at, 0);
+    EXPECT_GT(ratePerSec(delta.counters.at("lotus_test_total"),
+                         delta.taken_at),
+              0.0);
+    // The diffed histogram re-derives quantiles from diffed buckets:
+    // both remaining records straddle 100 and 200000.
+    EXPECT_LE(delta.histograms.at("lotus_test_ns").p50, 200'000u);
+    EXPECT_GE(delta.histograms.at("lotus_test_ns").p99, 200'000u);
+}
+
+TEST_F(MetricsTest, LabeledNamesSplitBackIntoParts)
+{
+    const std::string name = labeled("lotus_loader_fetch_ns", "worker", "3");
+    EXPECT_EQ(name, "lotus_loader_fetch_ns{worker=\"3\"}");
+    std::string family, labels;
+    splitLabeled(name, family, labels);
+    EXPECT_EQ(family, "lotus_loader_fetch_ns");
+    EXPECT_EQ(labels, "worker=\"3\"");
+    splitLabeled("bare_name", family, labels);
+    EXPECT_EQ(family, "bare_name");
+    EXPECT_TRUE(labels.empty());
+}
+
+/** Minimal Prometheus text parser for the round-trip test. */
+struct PromSample
+{
+    std::string series;
+    double value = 0.0;
+};
+
+std::vector<PromSample>
+parsePrometheus(const std::string &text)
+{
+    std::vector<PromSample> samples;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const auto space = line.rfind(' ');
+        EXPECT_NE(space, std::string::npos) << line;
+        samples.push_back(
+            {line.substr(0, space), std::stod(line.substr(space + 1))});
+    }
+    return samples;
+}
+
+double
+promValue(const std::vector<PromSample> &samples, const std::string &series)
+{
+    for (const auto &sample : samples) {
+        if (sample.series == series)
+            return sample.value;
+    }
+    ADD_FAILURE() << "missing series " << series;
+    return -1.0;
+}
+
+TEST_F(MetricsTest, PrometheusExportRoundTrips)
+{
+    MetricsRegistry registry;
+    registry.counter("lotus_app_events_total")->add(42);
+    registry.counter(labeled("lotus_app_sharded_total", "shard", "0"))
+        ->add(7);
+    registry.gauge("lotus_app_depth")->set(-3);
+    Histogram *hist = registry.histogram(
+        labeled("lotus_app_latency_ns", "op", "Resize"));
+    hist->record(10);
+    hist->record(10);
+    hist->record(5'000);
+
+    const std::string text = toPrometheusText(registry.snapshot());
+    const auto samples = parsePrometheus(text);
+
+    EXPECT_EQ(promValue(samples, "lotus_app_events_total"), 42.0);
+    EXPECT_EQ(promValue(samples, "lotus_app_sharded_total{shard=\"0\"}"),
+              7.0);
+    EXPECT_EQ(promValue(samples, "lotus_app_depth"), -3.0);
+    EXPECT_EQ(promValue(samples,
+                        "lotus_app_latency_ns_count{op=\"Resize\"}"),
+              3.0);
+    EXPECT_EQ(promValue(samples, "lotus_app_latency_ns_sum{op=\"Resize\"}"),
+              5'020.0);
+    // Bucket series are cumulative and end at +Inf == count.
+    const std::string inf_series =
+        "lotus_app_latency_ns_bucket{op=\"Resize\",le=\"+Inf\"}";
+    EXPECT_EQ(promValue(samples, inf_series), 3.0);
+    double last = 0.0;
+    for (const auto &sample : samples) {
+        if (sample.series.find("lotus_app_latency_ns_bucket") !=
+            std::string::npos) {
+            EXPECT_GE(sample.value, last) << "non-cumulative bucket";
+            last = sample.value;
+        }
+    }
+    // One TYPE line per family, none repeated.
+    EXPECT_NE(text.find("# TYPE lotus_app_latency_ns histogram"),
+              std::string::npos);
+    EXPECT_EQ(text.find("# TYPE lotus_app_latency_ns histogram"),
+              text.rfind("# TYPE lotus_app_latency_ns histogram"));
+}
+
+TEST_F(MetricsTest, JsonExportRoundTripsThroughParser)
+{
+    MetricsRegistry registry;
+    registry.counter("lotus_app_events_total")->add(11);
+    registry.gauge("lotus_app_depth")->set(4);
+    Histogram *hist = registry.histogram("lotus_app_latency_ns");
+    for (int i = 0; i < 100; ++i)
+        hist->record(1000);
+
+    const Snapshot first = registry.snapshot();
+    registry.counter("lotus_app_events_total")->add(9);
+    const Snapshot second = registry.snapshot();
+    const Snapshot delta = diff(second, first);
+
+    const std::string json = toJson(second, &delta);
+    const auto document = trace::detail::parseJson(json);
+
+    const auto *schema = document.find("schema_version");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(static_cast<int>(schema->number), kJsonSchemaVersion);
+    const auto *counters = document.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_EQ(counters->find("lotus_app_events_total")->number, 20.0);
+    const auto *gauges = document.find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    EXPECT_EQ(gauges->find("lotus_app_depth")->number, 4.0);
+    const auto *histograms = document.find("histograms");
+    ASSERT_NE(histograms, nullptr);
+    const auto *latency = histograms->find("lotus_app_latency_ns");
+    ASSERT_NE(latency, nullptr);
+    EXPECT_EQ(latency->find("count")->number, 100.0);
+    EXPECT_EQ(latency->find("sum")->number, 100'000.0);
+    EXPECT_GE(latency->find("p50")->number, 1000.0);
+    ASSERT_FALSE(latency->find("buckets")->array.empty());
+    const auto *rates = document.find("rates");
+    ASSERT_NE(rates, nullptr);
+    EXPECT_GT(rates->find("lotus_app_events_total")->number, 0.0);
+    const auto *interval = document.find("interval_ns");
+    ASSERT_NE(interval, nullptr);
+    EXPECT_GT(interval->number, 0.0);
+}
+
+TEST_F(MetricsTest, ReporterPublishesEndpointFileWithRates)
+{
+    TempDir dir("lotus_metrics_test");
+    const std::string endpoint = dir.file("metrics.json");
+    MetricsRegistry registry;
+    Counter *counter = registry.counter("lotus_app_ticks_total");
+
+    {
+        MetricsReporterOptions options;
+        options.interval = 5 * kMillisecond;
+        options.json_path = endpoint;
+        options.registry = &registry;
+        MetricsReporter reporter(options);
+        for (int i = 0; i < 20; ++i) {
+            counter->add(10);
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+    } // destructor emits the final tick
+
+    ASSERT_TRUE(fileExists(endpoint));
+    const auto document = trace::detail::parseJson(readFile(endpoint));
+    EXPECT_EQ(
+        document.find("counters")->find("lotus_app_ticks_total")->number,
+        200.0);
+    EXPECT_NE(document.find("rates"), nullptr);
+}
+
+TEST_F(MetricsTest, ReporterCallbackSeesDeltas)
+{
+    MetricsRegistry registry;
+    Counter *counter = registry.counter("lotus_app_cb_total");
+    std::atomic<std::uint64_t> last_total{0};
+    {
+        MetricsReporterOptions options;
+        options.interval = 5 * kMillisecond;
+        options.registry = &registry;
+        options.on_tick = [&](const Snapshot &full, const Snapshot &delta) {
+            last_total = full.counters.at("lotus_app_cb_total");
+            EXPECT_LE(delta.counters.at("lotus_app_cb_total"),
+                      full.counters.at("lotus_app_cb_total"));
+        };
+        MetricsReporter reporter(options);
+        counter->add(77);
+    }
+    EXPECT_EQ(last_total.load(), 77u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end instrumentation.
+
+class SpinDataset : public pipeline::Dataset
+{
+  public:
+    explicit SpinDataset(std::int64_t size) : size_(size) {}
+    std::int64_t size() const override { return size_; }
+
+    pipeline::Sample
+    get(std::int64_t index, pipeline::PipelineContext &ctx) const override
+    {
+        (void)ctx;
+        pipeline::Sample sample;
+        sample.data = tensor::Tensor(tensor::DType::F32, {1});
+        sample.data.data<float>()[0] = static_cast<float>(index);
+        sample.label = index;
+        return sample;
+    }
+
+  private:
+    std::int64_t size_;
+};
+
+TEST_F(MetricsTest, DataLoaderEmitsLoaderMetrics)
+{
+    auto &registry = MetricsRegistry::instance();
+    auto dataset = std::make_shared<SpinDataset>(32);
+    auto collate = std::make_shared<pipeline::StackCollate>();
+    dataflow::DataLoaderOptions options;
+    options.batch_size = 4;
+    options.num_workers = 2;
+    dataflow::DataLoader loader(dataset, collate, options);
+    while (loader.next().has_value()) {
+    }
+    EXPECT_EQ(registry.counter("lotus_loader_batches_total")->value(), 8u);
+    const auto fetch_count =
+        registry
+            .histogram(labeled("lotus_loader_fetch_ns", "worker", "0"))
+            ->count() +
+        registry
+            .histogram(labeled("lotus_loader_fetch_ns", "worker", "1"))
+            ->count();
+    EXPECT_EQ(fetch_count, 8u);
+    EXPECT_GT(registry.histogram("lotus_loader_wait_ns")->count(), 0u);
+    // Queues fully drained: depth gauges return to zero.
+    EXPECT_EQ(registry.gauge("lotus_loader_data_queue_depth")->value(), 0);
+    EXPECT_EQ(
+        registry
+            .gauge(labeled("lotus_loader_index_queue_depth", "worker", "0"))
+            ->value(),
+        0);
+    EXPECT_EQ(registry.gauge("lotus_loader_pin_cache_size")->value(), 0);
+}
+
+TEST_F(MetricsTest, ComposeEmitsPerOpHistograms)
+{
+    auto &registry = MetricsRegistry::instance();
+    pipeline::Compose compose;
+    compose.add(std::make_unique<pipeline::ToTensor>());
+    Rng rng(1);
+    pipeline::PipelineContext ctx;
+    ctx.rng = &rng;
+    for (int i = 0; i < 2; ++i) {
+        pipeline::Sample sample;
+        sample.image = image::synthesize(rng, 16, 16);
+        compose(sample, ctx);
+    }
+    EXPECT_EQ(
+        registry
+            .histogram(labeled("lotus_pipeline_op_ns", "op", "ToTensor"))
+            ->count(),
+        2u);
+}
+
+TEST_F(MetricsTest, CodecEmitsDecodeMetrics)
+{
+    auto &registry = MetricsRegistry::instance();
+    Rng rng(7);
+    const auto img = image::synthesize(rng, 32, 32);
+    const std::string blob = image::codec::encode(img);
+    const std::uint64_t fast_before =
+        registry.counter("lotus_codec_decode_fast_total")->value();
+    const std::uint64_t hist_before =
+        registry.histogram("lotus_codec_decode_ns")->count();
+    image::codec::decode(blob);
+    image::codec::decode(blob, image::codec::DecodeOptions{.reference = true});
+    EXPECT_EQ(registry.counter("lotus_codec_decode_fast_total")->value(),
+              fast_before + 1);
+    EXPECT_EQ(
+        registry.counter("lotus_codec_decode_reference_total")->value(),
+        1u);
+    EXPECT_EQ(registry.histogram("lotus_codec_decode_ns")->count(),
+              hist_before + 2);
+}
+
+TEST_F(MetricsTest, SynchronousLoaderRecordsMainFetches)
+{
+    auto &registry = MetricsRegistry::instance();
+    auto dataset = std::make_shared<SpinDataset>(8);
+    auto collate = std::make_shared<pipeline::StackCollate>();
+    dataflow::DataLoaderOptions options;
+    options.batch_size = 2;
+    options.num_workers = 0;
+    dataflow::DataLoader loader(dataset, collate, options);
+    int batches = 0;
+    while (loader.next().has_value())
+        ++batches;
+    EXPECT_EQ(batches, 4);
+    EXPECT_EQ(
+        registry
+            .histogram(labeled("lotus_loader_fetch_ns", "worker", "main"))
+            ->count(),
+        4u);
+    EXPECT_EQ(registry.counter("lotus_loader_batches_total")->value(), 4u);
+}
+
+} // namespace
+} // namespace lotus::metrics

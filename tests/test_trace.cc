@@ -137,6 +137,26 @@ TEST(Logger, ObserverSeesRecords)
     EXPECT_EQ(logger.recordCount(), 2u);
 }
 
+TEST(Logger, SetObserverAfterLoggingStartedIsFatal)
+{
+    TraceLogger logger;
+    logger.log(TraceRecord{});
+    EXPECT_EXIT(logger.setObserver([](const TraceRecord &) {}),
+                ::testing::ExitedWithCode(1),
+                "setObserver called after logging started");
+}
+
+TEST(Logger, ResetReArmsObserverInstallation)
+{
+    TraceLogger logger;
+    logger.log(TraceRecord{});
+    logger.reset();
+    int observed = 0;
+    logger.setObserver([&](const TraceRecord &) { ++observed; });
+    logger.log(TraceRecord{});
+    EXPECT_EQ(observed, 1);
+}
+
 TEST(Logger, DiscardModeKeepsNothingButObserves)
 {
     TraceLogger logger;

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * lotus_top — live view of a running (or finished) Lotus pipeline.
+ *
+ * Reads the JSON endpoint file a metrics::MetricsReporter publishes
+ * (atomically replaced every tick) and renders a refreshing
+ * per-worker / per-op table: batch throughput, main-process stall
+ * ratio, queue depths, fetch/op latency quantiles and decode-path hit
+ * rates. A stalled pipeline becomes diagnosable without replaying a
+ * Chrome trace.
+ *
+ * Usage:
+ *   lotus_top <metrics.json>                 # refresh until Ctrl-C
+ *   lotus_top --once <metrics.json>          # render one frame
+ *   lotus_top --interval-ms 500 <file.json>  # custom refresh period
+ *   lotus_top --demo                         # built-in synthetic run
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/files.h"
+#include "common/strings.h"
+#include "dataflow/data_loader.h"
+#include "metrics/export.h"
+#include "metrics/metrics.h"
+#include "metrics/reporter.h"
+#include "pipeline/collate.h"
+#include "pipeline/dataset.h"
+#include "trace/chrome_reader.h"
+
+namespace {
+
+using namespace lotus;
+using trace::detail::JsonValue;
+
+/** Human-readable nanoseconds. */
+std::string
+formatNs(double ns)
+{
+    if (ns < 1e3)
+        return strFormat("%.0fns", ns);
+    if (ns < 1e6)
+        return strFormat("%.1fus", ns / 1e3);
+    if (ns < 1e9)
+        return strFormat("%.1fms", ns / 1e6);
+    return strFormat("%.2fs", ns / 1e9);
+}
+
+double
+numberField(const JsonValue &object, const char *key, double fallback = 0.0)
+{
+    const JsonValue *value = object.find(key);
+    if (value == nullptr || value->kind != JsonValue::Kind::Number)
+        return fallback;
+    return value->number;
+}
+
+double
+rateFor(const JsonValue &document, const std::string &name)
+{
+    const JsonValue *rates = document.find("rates");
+    if (rates == nullptr)
+        return 0.0;
+    return numberField(*rates, name.c_str());
+}
+
+void
+render(const JsonValue &document, const std::string &source)
+{
+    const int schema = static_cast<int>(
+        numberField(document, "schema_version", -1));
+    if (schema != metrics::kJsonSchemaVersion) {
+        std::printf("lotus_top: unsupported schema_version %d in %s "
+                    "(expected %d)\n",
+                    schema, source.c_str(), metrics::kJsonSchemaVersion);
+        return;
+    }
+    const double interval_ns = numberField(document, "interval_ns");
+
+    std::printf("lotus_top — %s  (interval %s)\n", source.c_str(),
+                formatNs(interval_ns).c_str());
+
+    // Headline: throughput and main-process stall ratio.
+    const JsonValue *counters = document.find("counters");
+    const double batch_rate =
+        rateFor(document, "lotus_loader_batches_total");
+    const double wait_rate =
+        rateFor(document, "lotus_loader_wait_ns_total");
+    // Wait-ns per wall-second; short final ticks can overshoot 100%.
+    const double stall_pct =
+        std::min(100.0, wait_rate / 1e9 * 100.0);
+    std::printf("  batches/s %.1f   main-process stall %.1f%%   "
+                "decode fast/ref %.0f/%.0f\n",
+                batch_rate, stall_pct,
+                counters != nullptr
+                    ? numberField(*counters,
+                                  "lotus_codec_decode_fast_total")
+                    : 0.0,
+                counters != nullptr
+                    ? numberField(*counters,
+                                  "lotus_codec_decode_reference_total")
+                    : 0.0);
+
+    const JsonValue *gauges = document.find("gauges");
+    if (gauges != nullptr && !gauges->object.empty()) {
+        std::printf("\n  %-44s %10s\n", "gauge", "value");
+        for (const auto &[name, value] : gauges->object)
+            std::printf("  %-44s %10.0f\n", name.c_str(), value.number);
+    }
+
+    if (counters != nullptr && !counters->object.empty()) {
+        std::printf("\n  %-44s %12s %10s\n", "counter", "total", "rate/s");
+        for (const auto &[name, value] : counters->object)
+            std::printf("  %-44s %12.0f %10.1f\n", name.c_str(),
+                        value.number, rateFor(document, name));
+    }
+
+    const JsonValue *histograms = document.find("histograms");
+    if (histograms != nullptr && !histograms->object.empty()) {
+        std::printf("\n  %-44s %8s %8s %9s %9s %9s %9s\n", "histogram",
+                    "count", "rate/s", "mean", "p50", "p90", "p99");
+        for (const auto &[name, hist] : histograms->object) {
+            const double count = numberField(hist, "count");
+            const double mean =
+                count > 0 ? numberField(hist, "sum") / count : 0.0;
+            std::printf(
+                "  %-44s %8.0f %8.1f %9s %9s %9s %9s\n", name.c_str(),
+                count, rateFor(document, name), formatNs(mean).c_str(),
+                formatNs(numberField(hist, "p50")).c_str(),
+                formatNs(numberField(hist, "p90")).c_str(),
+                formatNs(numberField(hist, "p99")).c_str());
+        }
+    }
+    std::fflush(stdout);
+}
+
+int
+watch(const std::string &path, bool once, int interval_ms)
+{
+    for (;;) {
+        if (!fileExists(path)) {
+            std::fprintf(stderr, "lotus_top: %s does not exist (yet?)\n",
+                         path.c_str());
+            if (once)
+                return 1;
+        } else {
+            if (!once)
+                std::printf("\033[2J\033[H"); // clear + home
+            render(trace::detail::parseJson(readFile(path)), path);
+        }
+        if (once)
+            return 0;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval_ms));
+    }
+}
+
+/** Tiny spin-cost dataset so --demo exercises the whole stack. */
+class DemoDataset : public pipeline::Dataset
+{
+  public:
+    std::int64_t size() const override { return 256; }
+
+    pipeline::Sample
+    get(std::int64_t index, pipeline::PipelineContext &ctx) const override
+    {
+        (void)ctx;
+        const auto &clock = SteadyClock::instance();
+        const TimeNs deadline =
+            clock.now() + 100 * kMicrosecond +
+            (index % 7) * 50 * kMicrosecond;
+        while (clock.now() < deadline) {
+        }
+        pipeline::Sample sample;
+        sample.data = tensor::Tensor(tensor::DType::F32, {8});
+        sample.label = index;
+        return sample;
+    }
+};
+
+int
+demo()
+{
+    metrics::ScopedEnable enable;
+    const TempDir dir("lotus_top_demo");
+    const std::string endpoint = dir.file("metrics.json");
+
+    metrics::MetricsReporterOptions reporter_options;
+    reporter_options.interval = 50 * kMillisecond;
+    reporter_options.json_path = endpoint;
+
+    {
+        metrics::MetricsReporter reporter(reporter_options);
+        dataflow::DataLoaderOptions options;
+        options.batch_size = 8;
+        options.num_workers = 4;
+        dataflow::DataLoader loader(
+            std::make_shared<DemoDataset>(),
+            std::make_shared<pipeline::StackCollate>(), options);
+        while (loader.next().has_value()) {
+        }
+    } // reporter destructor publishes the final tick
+
+    return watch(endpoint, /*once=*/true, /*interval_ms=*/0);
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: lotus_top [--once] [--interval-ms N] "
+                 "<metrics.json>\n"
+                 "       lotus_top --demo\n"
+                 "\n"
+                 "Renders the JSON endpoint file written by "
+                 "lotus::metrics::MetricsReporter.\n");
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool once = false;
+    int interval_ms = 1000;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--demo") == 0)
+            return demo();
+        if (std::strcmp(argv[i], "--once") == 0) {
+            once = true;
+        } else if (std::strcmp(argv[i], "--interval-ms") == 0 &&
+                   i + 1 < argc) {
+            interval_ms = std::atoi(argv[++i]);
+            if (interval_ms <= 0)
+                return usage();
+        } else if (argv[i][0] == '-') {
+            return usage();
+        } else {
+            path = argv[i];
+        }
+    }
+    if (path.empty())
+        return usage();
+    return watch(path, once, interval_ms);
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+#
+# ThreadSanitizer CI job: build with LOTUS_SANITIZE=thread and run the
+# concurrency-sensitive test binaries — the lock-free metrics layer,
+# the DataLoader protocol, and the trace logger — under TSan.
+#
+#   tools/run_tsan.sh              # build into build-tsan/ and run
+#   BUILD_DIR=out tools/run_tsan.sh
+#   tools/run_tsan.sh -R 'test_metrics'   # extra args go to ctest
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-tsan}"
+
+# TSan-instrumented targets only; the full suite is the tier-1 job.
+TSAN_TESTS='test_metrics|test_dataflow|test_trace|test_pipeline'
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+    -DLOTUS_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j "$(nproc)" \
+    --target test_metrics test_dataflow test_trace test_pipeline
+
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+          -R "${TSAN_TESTS}" "$@"
