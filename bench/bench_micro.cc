@@ -28,10 +28,12 @@
 #include "image/codec/color.h"
 #include "image/resample.h"
 #include "image/synth.h"
+#include "memory/buffer_pool.h"
 #include "metrics/metrics.h"
 #include "pipeline/collate.h"
 #include "pipeline/dataset.h"
 #include "sim/des/engine.h"
+#include "simd/dispatch.h"
 #include "tensor/ops.h"
 #include "trace/logger.h"
 
@@ -307,6 +309,38 @@ measureLoaderEpochNs(const std::string &blob)
     return best_ns;
 }
 
+/**
+ * Buffer-pool behaviour over synchronous loader epochs with batch
+ * recycling: after the warm-up epoch the decode -> collate sample
+ * path should run entirely out of the pool (zero misses).
+ */
+memory::BufferPool::Stats
+measurePoolSteadyState(const std::string &blob)
+{
+    auto dataset = std::make_shared<DecodeDataset>(blob, 16);
+    auto collate = std::make_shared<lotus::pipeline::StackCollate>();
+    dataflow::DataLoaderOptions options;
+    options.batch_size = 4;
+    options.num_workers = 0;
+    dataflow::DataLoader loader(dataset, collate, options);
+    auto &pool = memory::BufferPool::instance();
+
+    const auto epoch = [&loader] {
+        loader.startEpoch();
+        while (auto batch = loader.next())
+            loader.recycle(std::move(*batch));
+    };
+    epoch(); // warm-up: populates the freelists
+    const auto warmed = pool.stats();
+    epoch(); // steady state
+    const auto after = pool.stats();
+    memory::BufferPool::Stats delta;
+    delta.hits = after.hits - warmed.hits;
+    delta.misses = after.misses - warmed.misses;
+    delta.cached_bytes = after.cached_bytes;
+    return delta;
+}
+
 int
 runJsonMode(const char *path)
 {
@@ -354,6 +388,37 @@ runJsonMode(const char *path)
         }
     }
 
+    // The same decode forced through every SIMD dispatch tier the
+    // host supports: the per-tier trajectory behind
+    // simd_speedup_vs_scalar.
+    const simd::Tier default_tier = simd::activeTier();
+    double scalar_decode_ns = 0.0;
+    double active_decode_ns = 0.0;
+    {
+        Rng rng(41);
+        const auto img = image::synthesize(rng, 500, 375,
+                                           image::SynthOptions{0.5, 4});
+        const std::string blob =
+            image::codec::encode(img, EncodeOptions{75, true});
+        const auto bytes = static_cast<std::uint64_t>(img.byteSize());
+        for (const simd::Tier tier :
+             {simd::Tier::Scalar, simd::Tier::Sse4, simd::Tier::Avx2}) {
+            if (!simd::tierSupported(tier))
+                continue;
+            simd::ScopedTier scoped(tier);
+            char label[64];
+            std::snprintf(label, sizeof(label), "decode_500x375_q75_sub_%s",
+                          simd::tierName(tier));
+            const auto result = measureCase(
+                label, bytes, [&blob] { image::codec::decode(blob); });
+            cases.push_back(result);
+            if (tier == simd::Tier::Scalar)
+                scalar_decode_ns = result.ns_per_op;
+            if (tier == default_tier)
+                active_decode_ns = result.ns_per_op;
+        }
+    }
+
     {
         Rng rng(42);
         const auto img = image::synthesize(rng, 500, 375,
@@ -367,14 +432,59 @@ runJsonMode(const char *path)
 
     const std::pair<int, int> resize_specs[] = {
         {500, 375}, {1024, 768}, {512, 512}};
+    double scalar_resize_ns = 0.0;
+    double active_resize_ns = 0.0;
     for (const auto &[w, h] : resize_specs) {
         Rng rng(43);
         const auto img = image::synthesize(rng, w, h);
         char label[64];
         std::snprintf(label, sizeof(label), "resize_%dx%d_to_224", w, h);
-        cases.push_back(measureCase(
+        const auto result = measureCase(
             label, static_cast<std::uint64_t>(img.byteSize()),
-            [&img] { image::resize(img, 224, 224); }));
+            [&img] { image::resize(img, 224, 224); });
+        cases.push_back(result);
+        if (w == 500) {
+            active_resize_ns = result.ns_per_op;
+            simd::ScopedTier scoped(simd::Tier::Scalar);
+            const auto scalar_case =
+                measureCase("resize_500x375_to_224_scalar",
+                            static_cast<std::uint64_t>(img.byteSize()),
+                            [&img] { image::resize(img, 224, 224); });
+            cases.push_back(scalar_case);
+            scalar_resize_ns = scalar_case.ns_per_op;
+        }
+    }
+
+    // Tensor-side hot kernels (ToTensor / Normalize on a 3x224x224
+    // CHW sample), plus their scalar-tier reference.
+    double scalar_normalize_ns = 0.0;
+    double active_normalize_ns = 0.0;
+    {
+        Rng rng(45);
+        const auto img = image::synthesize(rng, 224, 224);
+        const auto chw = tensor::hwcToChw(img.toTensorHwc());
+        const auto bytes = static_cast<std::uint64_t>(chw.byteSize());
+        cases.push_back(measureCase("cast_u8_to_f32_224", bytes, [&chw] {
+            tensor::castU8ToF32(chw);
+        }));
+        auto f32 = tensor::castU8ToF32(chw);
+        const std::vector<float> mean{0.485f, 0.456f, 0.406f};
+        const std::vector<float> stddev{0.229f, 0.224f, 0.225f};
+        const auto f32_bytes = static_cast<std::uint64_t>(f32.byteSize());
+        const auto normalize = measureCase("normalize_224", f32_bytes, [&] {
+            tensor::normalizeChannels(f32, mean, stddev);
+        });
+        cases.push_back(normalize);
+        active_normalize_ns = normalize.ns_per_op;
+        {
+            simd::ScopedTier scoped(simd::Tier::Scalar);
+            const auto scalar_case =
+                measureCase("normalize_224_scalar", f32_bytes, [&] {
+                    tensor::normalizeChannels(f32, mean, stddev);
+                });
+            cases.push_back(scalar_case);
+            scalar_normalize_ns = scalar_case.ns_per_op;
+        }
     }
 
     {
@@ -448,6 +558,18 @@ runJsonMode(const char *path)
         loader_overhead_pct = (loader_on_ns / loader_off_ns - 1.0) * 100.0;
     }
 
+    // Buffer-pool steady state: one warm loader epoch, then a second
+    // epoch whose sample path must be allocation-free.
+    memory::BufferPool::Stats pool_steady;
+    {
+        Rng rng(41);
+        const auto img = image::synthesize(rng, 500, 375,
+                                           image::SynthOptions{0.5, 4});
+        const std::string blob =
+            image::codec::encode(img, EncodeOptions{75, true});
+        pool_steady = measurePoolSteadyState(blob);
+    }
+
     std::FILE *out = std::fopen(path, "w");
     if (out == nullptr) {
         std::fprintf(stderr, "cannot open %s for writing\n", path);
@@ -455,7 +577,9 @@ runJsonMode(const char *path)
     }
     // schema_version makes BENCH_image.json diffs comparable across
     // PRs; bump it whenever a field changes meaning.
-    std::fprintf(out, "{\n  \"schema_version\": 2,\n");
+    std::fprintf(out, "{\n  \"schema_version\": 3,\n");
+    std::fprintf(out, "  \"simd_active_tier\": \"%s\",\n",
+                 simd::tierName(default_tier));
     std::fprintf(out, "  \"benchmarks\": [\n");
     for (std::size_t i = 0; i < cases.size(); ++i) {
         const auto &c = cases[i];
@@ -470,6 +594,23 @@ runJsonMode(const char *path)
     std::fprintf(out,
                  "  \"decode_speedup_vs_reference_500x375_q75\": %.2f,\n",
                  speedup);
+    std::fprintf(out,
+                 "  \"simd_speedup_vs_scalar\": "
+                 "{\"decode_500x375_q75_sub\": %.2f, "
+                 "\"resize_500x375_to_224\": %.2f, "
+                 "\"normalize_224\": %.2f},\n",
+                 active_decode_ns > 0.0 ? scalar_decode_ns / active_decode_ns
+                                        : 0.0,
+                 active_resize_ns > 0.0 ? scalar_resize_ns / active_resize_ns
+                                        : 0.0,
+                 active_normalize_ns > 0.0
+                     ? scalar_normalize_ns / active_normalize_ns
+                     : 0.0);
+    std::fprintf(out,
+                 "  \"pool_warm_epoch\": {\"hits\": %llu, "
+                 "\"misses\": %llu},\n",
+                 static_cast<unsigned long long>(pool_steady.hits),
+                 static_cast<unsigned long long>(pool_steady.misses));
     std::fprintf(out, "  \"metrics_overhead_pct\": "
                       "{\"decode_500x375\": %.2f, "
                       "\"loader_epoch_decode\": %.2f}\n",
@@ -482,6 +623,19 @@ runJsonMode(const char *path)
                     c.ns_per_op, c.mb_per_s);
     std::printf("decode 500x375 q75 speedup vs reference: %.2fx\n",
                 speedup);
+    std::printf("simd tier %s vs scalar: decode %.2fx, resize %.2fx, "
+                "normalize %.2fx\n",
+                simd::tierName(default_tier),
+                active_decode_ns > 0.0 ? scalar_decode_ns / active_decode_ns
+                                       : 0.0,
+                active_resize_ns > 0.0 ? scalar_resize_ns / active_resize_ns
+                                       : 0.0,
+                active_normalize_ns > 0.0
+                    ? scalar_normalize_ns / active_normalize_ns
+                    : 0.0);
+    std::printf("pool warm epoch: %llu hits, %llu misses\n",
+                static_cast<unsigned long long>(pool_steady.hits),
+                static_cast<unsigned long long>(pool_steady.misses));
     std::printf("metrics-enabled overhead: decode %.2f%%, "
                 "loader epoch %.2f%%\n",
                 decode_overhead_pct, loader_overhead_pct);

@@ -37,7 +37,9 @@ struct MappingQuality
 /**
  * Score @p mapper against the ground truth in @p snapshot (collected
  * with KernelRegistry ground-truth mode enabled). Kernels whose true
- * self time is under @p min_self_time are ignored.
+ * self time is under @p min_self_time are exempt from recall (too
+ * short for a sampling driver to owe us) but still count as correct
+ * for precision — spurious means the op never ran the kernel at all.
  */
 std::vector<MappingQuality>
 evaluateMapping(const LotusMapper &mapper,

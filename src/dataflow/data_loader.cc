@@ -260,7 +260,9 @@ DataLoader::nextSynchronous()
     {
         metrics::ScopedTimer fetch_timer(metrics_.fetch_ns[0]);
         result = fetcher_.fetch(
-            wanted, batches_[static_cast<std::size_t>(wanted)], ctx);
+            wanted, batches_[static_cast<std::size_t>(wanted)], ctx,
+            std::move(spare_));
+        spare_ = tensor::Tensor();
     }
     span.finish();
     pinBatch(result);
@@ -274,6 +276,15 @@ DataLoader::nextSynchronous()
     metrics_.batches_total->add(1);
     ++rcvd_idx_;
     return result;
+}
+
+void
+DataLoader::recycle(Batch &&batch)
+{
+    // Keep at most one spare; dropping extras still returns their
+    // pages to the buffer pool.
+    spare_ = std::move(batch.data);
+    batch.labels.clear();
 }
 
 std::optional<Batch>

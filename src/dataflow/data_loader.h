@@ -85,6 +85,16 @@ class DataLoader
      */
     std::optional<pipeline::Batch> next();
 
+    /**
+     * Return a consumed batch's storage for reuse. In synchronous
+     * mode (num_workers == 0) the next fetch collates directly into
+     * the recycled tensor when shapes match, making steady-state
+     * epochs allocation-free on the batch path. With workers the
+     * tensor is simply released here and its pages recycle through
+     * the worker-local buffer pools instead.
+     */
+    void recycle(pipeline::Batch &&batch);
+
     const DataLoaderOptions &options() const { return options_; }
 
     /** Main-process id used in trace records. */
@@ -155,6 +165,8 @@ class DataLoader
 
     /** Fetch rng for the synchronous (num_workers=0) path. */
     Rng sync_rng_{0};
+    /** Recycled batch tensor donated to the next synchronous fetch. */
+    tensor::Tensor spare_;
     Metrics metrics_;
 };
 

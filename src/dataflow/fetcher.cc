@@ -14,7 +14,7 @@ Fetcher::Fetcher(std::shared_ptr<const pipeline::Dataset> dataset,
 pipeline::Batch
 Fetcher::fetch(std::int64_t batch_id,
                const std::vector<std::int64_t> &indices,
-               pipeline::PipelineContext &ctx) const
+               pipeline::PipelineContext &ctx, tensor::Tensor reuse) const
 {
     LOTUS_ASSERT(!indices.empty(), "empty batch requested");
     ctx.batch_id = batch_id;
@@ -34,7 +34,8 @@ Fetcher::fetch(std::int64_t batch_id,
     pipeline::Batch batch;
     {
         hwcount::OpTagScope op_scope(collate_tag_);
-        batch = collate_->collate(std::move(samples));
+        batch = collate_->collateInto(std::move(samples),
+                                      std::move(reuse));
     }
     span.finish();
     batch.batch_id = batch_id;

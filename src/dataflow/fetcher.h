@@ -26,11 +26,14 @@ class Fetcher
      * Produce the batch for @p indices. ctx supplies the tracer, the
      * worker identity and RNG; per-op [T3] records come from the
      * dataset's Compose, and the collation is logged as a [T3] op
-     * named "Collate".
+     * named "Collate". @p reuse optionally donates a recycled batch
+     * tensor's storage to the collation (see Collate::collateInto);
+     * pass a default-constructed tensor to allocate fresh.
      */
     pipeline::Batch fetch(std::int64_t batch_id,
                           const std::vector<std::int64_t> &indices,
-                          pipeline::PipelineContext &ctx) const;
+                          pipeline::PipelineContext &ctx,
+                          tensor::Tensor reuse = {}) const;
 
     const pipeline::Dataset &dataset() const { return *dataset_; }
 

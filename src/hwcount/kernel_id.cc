@@ -1,6 +1,8 @@
 #include "hwcount/kernel_id.h"
 
 #include <array>
+#include <mutex>
+#include <string_view>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -16,11 +18,12 @@ constexpr const char *kTensor = "liblotustensor.so";
 constexpr const char *kIo = "liblotusio.so";
 constexpr const char *kRuntime = "liblotusrt.so";
 
-const std::array<KernelInfo, kNumKernels> &
-table()
+/** The pristine per-kernel metadata (default symbol names). */
+std::array<KernelInfo, kNumKernels>
+makeTable()
 {
-    static const std::array<KernelInfo, kNumKernels> infos = [] {
-        std::array<KernelInfo, kNumKernels> t{};
+    std::array<KernelInfo, kNumKernels> t{};
+    {
         auto set = [&t](KernelId id, KernelClass cls, const char *name,
                         const char *lib) {
             t[static_cast<std::size_t>(id)] = KernelInfo{id, cls, name, lib};
@@ -111,9 +114,24 @@ table()
             "queue_serialize", kRuntime);
         set(KernelId::QueueDeserialize, KernelClass::MemoryMove,
             "queue_deserialize", kRuntime);
-        return t;
-    }();
+    }
+    return t;
+}
+
+/** The live metadata; setKernelSymbol rewrites name slots in place so
+ *  attribution reports the dispatch-resolved specialization. */
+std::array<KernelInfo, kNumKernels> &
+table()
+{
+    static std::array<KernelInfo, kNumKernels> infos = makeTable();
     return infos;
+}
+
+std::mutex &
+symbolMutex()
+{
+    static std::mutex m;
+    return m;
 }
 
 } // namespace
@@ -126,17 +144,47 @@ kernelInfo(KernelId id)
     return table()[idx];
 }
 
+void
+setKernelSymbol(KernelId id, const char *name)
+{
+    const auto idx = static_cast<std::size_t>(id);
+    LOTUS_ASSERT(idx > 0 && idx < kNumKernels, "bad kernel id %zu", idx);
+    LOTUS_ASSERT(name != nullptr, "null kernel symbol");
+    std::lock_guard lock(symbolMutex());
+    table()[idx].name = name;
+}
+
 KernelId
 kernelByName(const std::string &name)
 {
+    // Built from the pristine table: lookups by base name keep
+    // resolving no matter which tier symbols are registered.
     static const std::unordered_map<std::string, KernelId> index = [] {
         std::unordered_map<std::string, KernelId> m;
+        const auto pristine = makeTable();
         for (std::size_t i = 1; i < kNumKernels; ++i)
-            m.emplace(table()[i].name, table()[i].id);
+            m.emplace(pristine[i].name, pristine[i].id);
         return m;
     }();
     const auto it = index.find(name);
-    return it == index.end() ? KernelId::Invalid : it->second;
+    if (it != index.end())
+        return it->second;
+    // Tier-suffixed symbols ("ycc_rgb_convert_avx2") map back to
+    // their base kernel, so profiles recorded under any dispatch
+    // tier stay attributable.
+    for (const std::string_view suffix :
+         {std::string_view{"_avx2"}, std::string_view{"_sse4"},
+          std::string_view{"_scalar"}}) {
+        if (name.size() > suffix.size() &&
+            std::string_view{name}.substr(name.size() - suffix.size()) ==
+                suffix) {
+            const auto base =
+                index.find(name.substr(0, name.size() - suffix.size()));
+            if (base != index.end())
+                return base->second;
+        }
+    }
+    return KernelId::Invalid;
 }
 
 std::string

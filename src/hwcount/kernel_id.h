@@ -124,8 +124,16 @@ struct KernelInfo
 /** Metadata for @p id (panics on Invalid/NumKernels). */
 const KernelInfo &kernelInfo(KernelId id);
 
-/** Lookup by symbol name; returns Invalid when unknown. */
+/** Lookup by symbol name; returns Invalid when unknown. Symbols with
+ *  a dispatch-tier suffix ("_scalar" / "_sse4" / "_avx2") resolve to
+ *  their base kernel. */
 KernelId kernelByName(const std::string &name);
+
+/** Override the symbol name reported for @p id; used by the SIMD
+ *  dispatch layer to register the tier-resolved specialization (e.g.
+ *  "ycc_rgb_convert_avx2") the way a real profiler would see it.
+ *  @p name must have static storage duration (string literal). */
+void setKernelSymbol(KernelId id, const char *name);
 
 /** Human-readable "name (library)" string. */
 std::string kernelLabel(KernelId id);

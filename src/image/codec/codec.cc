@@ -10,6 +10,7 @@
 #include "image/codec/color.h"
 #include "image/codec/dct.h"
 #include "metrics/metrics.h"
+#include "simd/dispatch.h"
 
 namespace lotus::image::codec {
 
@@ -113,13 +114,11 @@ void
 storeBlock(PlaneI16 &plane, int bx, int by, const Block &in)
 {
     if (blockInterior(plane, bx, by)) {
-        for (int y = 0; y < kBlockDim; ++y) {
-            std::int16_t *row =
-                plane.row(by * kBlockDim + y) + bx * kBlockDim;
-            const float *src = &in[static_cast<std::size_t>(y * kBlockDim)];
-            for (int x = 0; x < kBlockDim; ++x)
-                row[x] = sampleToI16(src[x]);
-        }
+        // Interior blocks go through the dispatched store/clamp
+        // kernel (same rounding/clamp as sampleToI16 in every tier).
+        simd::kernels().idct_store_block(
+            in.data(), plane.row(by * kBlockDim) + bx * kBlockDim,
+            plane.width);
         return;
     }
     for (int y = 0; y < kBlockDim; ++y) {
@@ -355,12 +354,14 @@ template <typename PlaneT>
 Image
 decodeTail(const LjpgHeader &header, BitReader &reader)
 {
-    PlaneT y(header.width, header.height);
+    // Every sample is written by the block store below, so the
+    // planes can skip the zero fill (one less memset per sample).
+    PlaneT y = PlaneT::uninitialized(header.width, header.height);
     const int cw = header.subsampled ? (header.width + 1) / 2 : header.width;
     const int ch =
         header.subsampled ? (header.height + 1) / 2 : header.height;
-    PlaneT cb(cw, ch);
-    PlaneT cr(cw, ch);
+    PlaneT cb = PlaneT::uninitialized(cw, ch);
+    PlaneT cr = PlaneT::uninitialized(cw, ch);
 
     const auto luma_table = quantTable(header.quality, /*chroma=*/false);
     const auto chroma_table = quantTable(header.quality, /*chroma=*/true);

@@ -5,74 +5,26 @@
 
 #include "common/logging.h"
 #include "hwcount/registry.h"
+#include "memory/buffer_pool.h"
+#include "simd/dispatch.h"
 
 namespace lotus::image::codec {
+
+static_assert(kSampleFracBits == simd::kYccFracBits,
+              "simd tier constants out of sync with the codec");
+static_assert(kSampleMax == simd::kYccSampleMax,
+              "simd tier constants out of sync with the codec");
 
 using hwcount::KernelId;
 using hwcount::KernelScope;
 
 namespace {
 
-// 16.16 fixed-point color tables (build_ycc_rgb_table analogue).
-//
-// The decode-side planes hold sub-level-precision samples (IDCT
-// output in 1/16th steps), so the YCC->RGB tables are indexed at
-// *half-level* resolution (index = round(2 * level), 0..510):
-// quantizing the chroma input to half steps keeps the worst-case
-// error of every output channel below one count even after the 1.772
-// Cb->B gain, which is what lets the fast path stay within
-// max-abs-diff <= 1 of the float reference.
+// The decode-side 16.16 YCC->RGB half-step tables now live in the
+// SIMD dispatch layer (simd::detail::yccTables) so every tier indexes
+// (or gathers) the same values; the conversion itself is reached
+// through simd::kernels().ycc_rgb_row.
 constexpr int kFixBits = 16;
-constexpr int kHalfStepTableSize = 511;
-
-struct YccRgbTables
-{
-    std::array<std::int32_t, kHalfStepTableSize> cr_r;
-    std::array<std::int32_t, kHalfStepTableSize> cb_b;
-    std::array<std::int32_t, kHalfStepTableSize> cr_g;
-    std::array<std::int32_t, kHalfStepTableSize> cb_g;
-};
-
-const YccRgbTables &
-yccRgbTables()
-{
-    static const YccRgbTables tables = [] {
-        YccRgbTables t{};
-        for (int i = 0; i < kHalfStepTableSize; ++i) {
-            const double v = 0.5 * i - 128.0;
-            const double scale = static_cast<double>(1 << kFixBits);
-            t.cr_r[static_cast<std::size_t>(i)] =
-                static_cast<std::int32_t>(std::lround(1.402 * v * scale));
-            t.cb_b[static_cast<std::size_t>(i)] =
-                static_cast<std::int32_t>(std::lround(1.772 * v * scale));
-            t.cr_g[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(
-                std::lround(-0.714136 * v * scale));
-            t.cb_g[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(
-                std::lround(-0.344136 * v * scale));
-        }
-        return t;
-    }();
-    return tables;
-}
-
-/** PlaneI16 sample (1/16th-level steps, [0, kSampleMax]) -> half-step
- *  table index (round to nearest half level). In range by
- *  construction: the fast decode path clamps at the block store and
- *  the integer upsample is a convex combination. */
-inline int
-halfStepIndex(std::int16_t sample)
-{
-    return (sample + 4) >> 3;
-}
-
-/** Fixed-point value (16.16) -> clamped u8, truncating like the
- *  float reference's clamp + cast. */
-inline std::uint8_t
-clampFixedToU8(std::int32_t fixed)
-{
-    constexpr std::int32_t kMax = 255 << kFixBits;
-    return static_cast<std::uint8_t>(std::clamp(fixed, 0, kMax) >> kFixBits);
-}
 
 // RGB->YCC tables: inputs are true u8, so 256-entry tables apply
 // exactly; the per-pixel work becomes table adds plus one int->float
@@ -235,7 +187,7 @@ upsample2x(const PlaneI16 &half, int width, int height)
                      height >= 2 * hh - 1 && height <= 2 * hh,
                  "upsample2x target %dx%d does not match half plane %dx%d",
                  width, height, hw, hh);
-    PlaneI16 full(width, height);
+    PlaneI16 full = PlaneI16::uninitialized(width, height);
     const auto pixels =
         static_cast<std::uint64_t>(width) * static_cast<std::uint64_t>(height);
     // Fast path (h2v2_fancy_upsample style): after edge clamping, the
@@ -245,8 +197,11 @@ upsample2x(const PlaneI16 &half, int width, int height)
     // or weight lookups at all: one vertical blend into a quarter-
     // unit row buffer, then a sequential pass emitting two outputs
     // per source gap. Identical sums (and rounding) to the direct
-    // per-pixel fixed-point evaluation.
-    std::vector<std::int32_t> v(static_cast<std::size_t>(hw));
+    // per-pixel fixed-point evaluation; the row kernel is dispatched
+    // per SIMD tier (scratch is pooled, sized for vector overhang).
+    const auto &kernel = simd::kernels();
+    memory::PooledArray<std::int16_t> scratch(
+        static_cast<std::size_t>(hw) + 16, /*zero=*/false);
     for (int y = 0; y < height; ++y) {
         // Vertical sources: output row 0 reads source row 0 alone;
         // odd rows 2i+1 blend rows (i, i+1) as 3:1, even rows 2i
@@ -260,25 +215,8 @@ upsample2x(const PlaneI16 &half, int width, int height)
             far = (y & 1) != 0 ? std::min(i + 1, hh - 1) : i - 1;
             wn = 3;
         }
-        const std::int16_t *a = half.row(near);
-        const std::int16_t *b = half.row(far);
-        const int wf = 4 - wn;
-        for (int j = 0; j < hw; ++j)
-            v[static_cast<std::size_t>(j)] = wn * a[j] + wf * b[j];
-        std::int16_t *dst = full.row(y);
-        dst[0] = static_cast<std::int16_t>(
-            (v[0] + 2) >> 2); // full horizontal weight on column 0
-        for (int j = 0; j + 1 < hw; ++j) {
-            const std::int32_t s0 = v[static_cast<std::size_t>(j)];
-            const std::int32_t s1 = v[static_cast<std::size_t>(j) + 1];
-            dst[2 * j + 1] =
-                static_cast<std::int16_t>((3 * s0 + s1 + 8) >> 4);
-            dst[2 * j + 2] =
-                static_cast<std::int16_t>((s0 + 3 * s1 + 8) >> 4);
-        }
-        if (width == 2 * hw)
-            dst[width - 1] = static_cast<std::int16_t>(
-                (v[static_cast<std::size_t>(hw) - 1] + 2) >> 2);
+        kernel.upsample_h2v2_row(half.row(near), half.row(far), wn, hw,
+                                 width, scratch.data(), full.row(y));
     }
     scope.stats().bytes_read += pixels * 2;
     scope.stats().bytes_written += pixels * 2;
@@ -331,29 +269,15 @@ yccToRgb(const PlaneI16 &y, const PlaneI16 &cb, const PlaneI16 &cr)
     KernelScope outer(KernelId::DecompressOnepass);
     const int w = y.width;
     const int h = y.height;
-    Image out(w, h);
-    const auto &t = yccRgbTables();
+    Image out = Image::uninitialized(w, h);
+    const auto &kernel = simd::kernels();
     for (int row = 0; row < h; ++row) {
         KernelScope inner(KernelId::YccToRgb);
-        const std::int16_t *yp = y.row(row);
-        const std::int16_t *cbp = cb.row(row);
-        const std::int16_t *crp = cr.row(row);
-        std::uint8_t *dst = out.row(row);
-        for (int x = 0; x < w; ++x) {
-            // Luma feeds the 16.16 accumulator exactly: a 1/16th-step
-            // sample times 2^12 is the sample value in 16.16.
-            const std::int32_t ybase =
-                static_cast<std::int32_t>(yp[x])
-                << (kFixBits - kSampleFracBits);
-            const auto icb =
-                static_cast<std::size_t>(halfStepIndex(cbp[x]));
-            const auto icr =
-                static_cast<std::size_t>(halfStepIndex(crp[x]));
-            dst[x * 3 + 0] = clampFixedToU8(ybase + t.cr_r[icr]);
-            dst[x * 3 + 1] =
-                clampFixedToU8(ybase + t.cb_g[icb] + t.cr_g[icr]);
-            dst[x * 3 + 2] = clampFixedToU8(ybase + t.cb_b[icb]);
-        }
+        // Luma feeds the 16.16 accumulator exactly (a 1/16th-step
+        // sample times 2^12 is the value in 16.16); chroma indexes
+        // the shared half-step tables. Dispatched per SIMD tier.
+        kernel.ycc_rgb_row(y.row(row), cb.row(row), cr.row(row),
+                           out.row(row), w);
         const auto row_pixels = static_cast<std::uint64_t>(w);
         inner.stats().bytes_read += row_pixels * 6;
         inner.stats().bytes_written += row_pixels * 3;

@@ -7,25 +7,40 @@
 #define LOTUS_IMAGE_CODEC_COLOR_H
 
 #include <cstdint>
-#include <vector>
 
 #include "image/image.h"
+#include "memory/buffer_pool.h"
 
 namespace lotus::image::codec {
 
-/** A single-channel float plane. */
+/** A single-channel float plane (pooled storage; reads up to
+ *  memory::kSlackBytes past the last sample are in bounds). */
 struct Plane
 {
     int width = 0;
     int height = 0;
-    std::vector<float> samples;
+    memory::PooledArray<float> samples;
 
     Plane() = default;
     Plane(int w, int h)
         : width(w), height(h),
           samples(static_cast<std::size_t>(w) * static_cast<std::size_t>(h),
-                  0.0f)
+                  /*zero=*/true)
     {
+    }
+
+    /** Plane with indeterminate contents (every sample written by
+     *  the decode path). */
+    static Plane
+    uninitialized(int w, int h)
+    {
+        Plane p;
+        p.width = w;
+        p.height = h;
+        p.samples = memory::PooledArray<float>(
+            static_cast<std::size_t>(w) * static_cast<std::size_t>(h),
+            /*zero=*/false);
+        return p;
     }
 
     float *row(int y) { return samples.data() + static_cast<std::size_t>(y) * width; }
@@ -54,14 +69,28 @@ struct PlaneI16
 {
     int width = 0;
     int height = 0;
-    std::vector<std::int16_t> samples;
+    memory::PooledArray<std::int16_t> samples;
 
     PlaneI16() = default;
     PlaneI16(int w, int h)
         : width(w), height(h),
           samples(static_cast<std::size_t>(w) * static_cast<std::size_t>(h),
-                  0)
+                  /*zero=*/true)
     {
+    }
+
+    /** Plane with indeterminate contents (every sample written by
+     *  the decode path). */
+    static PlaneI16
+    uninitialized(int w, int h)
+    {
+        PlaneI16 p;
+        p.width = w;
+        p.height = h;
+        p.samples = memory::PooledArray<std::int16_t>(
+            static_cast<std::size_t>(w) * static_cast<std::size_t>(h),
+            /*zero=*/false);
+        return p;
     }
 
     std::int16_t *

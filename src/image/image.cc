@@ -8,15 +8,31 @@ Image::Image(int width, int height)
     : width_(width), height_(height),
       data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height) *
                 kChannels,
-            0)
+            /*zero=*/true)
 {
     LOTUS_ASSERT(width >= 0 && height >= 0, "negative image size");
+}
+
+Image::Image(int width, int height, Uninit)
+    : width_(width), height_(height),
+      data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height) *
+                kChannels,
+            /*zero=*/false)
+{
+    LOTUS_ASSERT(width >= 0 && height >= 0, "negative image size");
+}
+
+Image
+Image::uninitialized(int width, int height)
+{
+    return Image(width, height, Uninit{});
 }
 
 tensor::Tensor
 Image::toTensorHwc() const
 {
-    tensor::Tensor out(tensor::DType::U8, {height_, width_, kChannels});
+    tensor::Tensor out = tensor::Tensor::uninitialized(
+        tensor::DType::U8, {height_, width_, kChannels});
     std::copy(data_.begin(), data_.end(), out.raw());
     return out;
 }
@@ -28,7 +44,8 @@ Image::fromTensorHwc(const tensor::Tensor &hwc)
                      hwc.dtype() == tensor::DType::U8,
                  "expected u8 [H, W, 3] tensor, got %s",
                  hwc.description().c_str());
-    Image out(static_cast<int>(hwc.dim(1)), static_cast<int>(hwc.dim(0)));
+    Image out = Image::uninitialized(static_cast<int>(hwc.dim(1)),
+                                     static_cast<int>(hwc.dim(0)));
     std::copy_n(hwc.raw(), hwc.byteSize(), out.raw());
     return out;
 }

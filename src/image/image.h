@@ -11,9 +11,9 @@
 #define LOTUS_IMAGE_IMAGE_H
 
 #include <cstdint>
-#include <vector>
 
 #include "common/logging.h"
+#include "memory/buffer_pool.h"
 #include "tensor/tensor.h"
 
 namespace lotus::image {
@@ -28,6 +28,10 @@ class Image
 
     /** Black image of the given size. */
     Image(int width, int height);
+
+    /** Image with indeterminate contents, for producers that write
+     *  every pixel (decode, resample): skips the zero fill. */
+    static Image uninitialized(int width, int height);
 
     int width() const { return width_; }
     int height() const { return height_; }
@@ -81,9 +85,16 @@ class Image
     }
 
   private:
+    struct Uninit
+    {
+    };
+    Image(int width, int height, Uninit);
+
     int width_ = 0;
     int height_ = 0;
-    std::vector<std::uint8_t> data_;
+    /** Pooled storage: reads up to memory::kSlackBytes past
+     *  byteSize() are in bounds (SIMD tail loads). */
+    memory::PooledArray<std::uint8_t> data_;
 };
 
 } // namespace lotus::image

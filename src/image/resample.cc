@@ -6,8 +6,12 @@
 
 #include "common/logging.h"
 #include "hwcount/registry.h"
+#include "simd/dispatch.h"
 
 namespace lotus::image {
+
+static_assert(detail::kWeightBits == simd::kResampleWeightBits,
+              "simd tier constants out of sync with the resampler");
 
 using hwcount::KernelId;
 using hwcount::KernelScope;
@@ -110,51 +114,55 @@ precomputeCoeffs(int in_size, int out_size, Filter filter)
 
 namespace {
 
-/** Round and clamp a kWeightBits fixed-point accumulator (rounding
- *  constant already folded in) to u8. */
-inline std::uint8_t
-clampAccToU8(std::int32_t acc)
+/** FilterWindow list flattened into the SoA layout the dispatched
+ *  horizontal kernel consumes (per output pixel: first source pixel,
+ *  weight offset, tap count; all weights in one array). */
+struct FlatWindows
 {
-    return static_cast<std::uint8_t>(
-        std::clamp(acc >> detail::kWeightBits, 0, 255));
+    std::vector<std::int32_t> first;
+    std::vector<std::int32_t> offset;
+    std::vector<std::int32_t> count;
+    std::vector<std::int32_t> weights;
+    std::uint64_t total_taps = 0;
+};
+
+FlatWindows
+flattenWindows(const std::vector<detail::FilterWindow> &windows)
+{
+    FlatWindows flat;
+    flat.first.reserve(windows.size());
+    flat.offset.reserve(windows.size());
+    flat.count.reserve(windows.size());
+    for (const auto &window : windows) {
+        flat.first.push_back(window.first);
+        flat.offset.push_back(
+            static_cast<std::int32_t>(flat.weights.size()));
+        flat.count.push_back(static_cast<std::int32_t>(window.fixed.size()));
+        flat.weights.insert(flat.weights.end(), window.fixed.begin(),
+                            window.fixed.end());
+    }
+    flat.total_taps = flat.weights.size();
+    return flat;
 }
 
-constexpr std::int32_t kAccRound = 1 << (detail::kWeightBits - 1);
-
 /** Horizontal pass: input HxW -> HxW'. Fixed-point accumulation:
- *  u8 taps times kWeightBits integer weights, one shift per byte. */
+ *  u8 taps times kWeightBits integer weights; the per-row loop is
+ *  dispatched per SIMD tier. */
 Image
 resampleHorizontal(const Image &input, int out_width,
                    const std::vector<detail::FilterWindow> &windows)
 {
     KernelScope scope(KernelId::ResampleHorizontal);
-    Image out(out_width, input.height());
-    std::uint64_t macs = 0;
+    Image out = Image::uninitialized(out_width, input.height());
+    const FlatWindows flat = flattenWindows(windows);
+    const auto &kernel = simd::kernels();
     for (int y = 0; y < input.height(); ++y) {
-        const std::uint8_t *src = input.row(y);
-        std::uint8_t *dst = out.row(y);
-        for (int x = 0; x < out_width; ++x) {
-            const auto &window = windows[static_cast<std::size_t>(x)];
-            const std::int32_t *wf = window.fixed.data();
-            const std::size_t taps = window.fixed.size();
-            const std::uint8_t *sp =
-                src + static_cast<std::size_t>(window.first) * 3;
-            std::int32_t acc0 = kAccRound;
-            std::int32_t acc1 = kAccRound;
-            std::int32_t acc2 = kAccRound;
-            for (std::size_t k = 0; k < taps; ++k) {
-                const std::int32_t w = wf[k];
-                acc0 += w * sp[0];
-                acc1 += w * sp[1];
-                acc2 += w * sp[2];
-                sp += 3;
-            }
-            macs += taps * 3;
-            dst[x * 3 + 0] = clampAccToU8(acc0);
-            dst[x * 3 + 1] = clampAccToU8(acc1);
-            dst[x * 3 + 2] = clampAccToU8(acc2);
-        }
+        kernel.resample_h_rgb_row(input.row(y), out.row(y), out_width,
+                                  flat.first.data(), flat.offset.data(),
+                                  flat.count.data(), flat.weights.data());
     }
+    const std::uint64_t macs =
+        flat.total_taps * 3 * static_cast<std::uint64_t>(input.height());
     scope.stats().arith_ops += macs * 2;
     scope.stats().bytes_read += macs;
     scope.stats().bytes_written += out.byteSize();
@@ -162,37 +170,23 @@ resampleHorizontal(const Image &input, int out_width,
     return out;
 }
 
-/** Vertical pass: input HxW -> H'xW. Fixed-point accumulation over a
- *  cache-blocked strip of columns so the accumulators and the active
- *  parts of the source rows stay resident in L1 across taps. */
+/** Vertical pass: input HxW -> H'xW. One weight per source row; the
+ *  per-output-row loop is dispatched per SIMD tier. */
 Image
 resampleVertical(const Image &input, int out_height,
                  const std::vector<detail::FilterWindow> &windows)
 {
     KernelScope scope(KernelId::ResampleVertical);
-    Image out(input.width(), out_height);
+    Image out = Image::uninitialized(input.width(), out_height);
     std::uint64_t macs = 0;
     const int row_bytes = input.width() * Image::kChannels;
-    constexpr int kStripBytes = 1024; // 4 KiB of i32 accumulators
-    std::array<std::int32_t, kStripBytes> acc;
+    const auto &kernel = simd::kernels();
     for (int y = 0; y < out_height; ++y) {
         const auto &window = windows[static_cast<std::size_t>(y)];
-        const std::size_t taps = window.fixed.size();
-        std::uint8_t *dst = out.row(y);
-        for (int b0 = 0; b0 < row_bytes; b0 += kStripBytes) {
-            const int strip = std::min(kStripBytes, row_bytes - b0);
-            std::fill(acc.begin(), acc.begin() + strip, kAccRound);
-            for (std::size_t k = 0; k < taps; ++k) {
-                const std::int32_t w = window.fixed[k];
-                const std::uint8_t *src =
-                    input.row(window.first + static_cast<int>(k)) + b0;
-                for (int b = 0; b < strip; ++b)
-                    acc[static_cast<std::size_t>(b)] += w * src[b];
-            }
-            for (int b = 0; b < strip; ++b)
-                dst[b0 + b] = clampAccToU8(acc[static_cast<std::size_t>(b)]);
-        }
-        macs += taps * static_cast<std::uint64_t>(row_bytes);
+        kernel.resample_v_row(input.row(window.first), row_bytes,
+                              static_cast<int>(window.fixed.size()),
+                              window.fixed.data(), out.row(y), row_bytes);
+        macs += window.fixed.size() * static_cast<std::uint64_t>(row_bytes);
     }
     scope.stats().arith_ops += macs * 2;
     scope.stats().bytes_read += macs;

@@ -1,0 +1,295 @@
+#include "memory/buffer_pool.h"
+
+#include <algorithm>
+#include <bit>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "metrics/metrics.h"
+
+namespace lotus::memory {
+
+namespace {
+
+/** 2^8 .. 2^26 pooled classes. */
+constexpr int kNumClasses = 19;
+/** Per-class buffers a thread keeps before spilling to central. */
+constexpr std::size_t kLocalCap = 8;
+/** Per-class buffers the central freelist keeps before freeing. */
+constexpr std::size_t kCentralCap = 64;
+
+/** Size class for a request, or -1 for oversize (heap-direct). */
+inline int
+classIndex(std::size_t bytes)
+{
+    const std::size_t need = bytes + kSlackBytes;
+    if (need > kMaxClassBytes)
+        return -1;
+    const std::size_t rounded = std::max(need, kMinClassBytes);
+    return static_cast<int>(std::bit_width(rounded - 1)) - 8;
+}
+
+inline std::size_t
+classBytes(int cls)
+{
+    return std::size_t{1} << (cls + 8);
+}
+
+void *
+rawAlloc(std::size_t bytes)
+{
+    return ::operator new(bytes, std::align_val_t{kPoolAlignment});
+}
+
+void
+rawFree(void *ptr) noexcept
+{
+    ::operator delete(ptr, std::align_val_t{kPoolAlignment});
+}
+
+/** Gated metric handles, resolved once (hot paths keep pointers). */
+struct PoolMetrics
+{
+    metrics::Counter *hits;
+    metrics::Counter *misses;
+    metrics::Gauge *bytes;
+
+    static const PoolMetrics &
+    instance()
+    {
+        static const PoolMetrics m = [] {
+            auto &registry = metrics::MetricsRegistry::instance();
+            return PoolMetrics{
+                registry.counter("lotus_pool_hits_total"),
+                registry.counter("lotus_pool_misses_total"),
+                registry.gauge("lotus_pool_bytes"),
+            };
+        }();
+        return m;
+    }
+};
+
+struct ThreadCache
+{
+    std::vector<void *> lists[kNumClasses];
+};
+
+// The cache pointer itself is trivially destructible, so it stays
+// readable during thread teardown: once the owner's destructor has
+// flushed the cache to central, late releases from other
+// thread-local destructors fall through to the central freelist.
+thread_local ThreadCache *t_cache = nullptr;
+thread_local bool t_cache_dead = false;
+
+} // namespace
+
+struct BufferPool::Impl
+{
+    std::mutex mutex;
+    std::vector<void *> central[kNumClasses];
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::int64_t> cached_bytes{0};
+
+    void
+    addCached(std::int64_t delta)
+    {
+        const std::int64_t now =
+            cached_bytes.fetch_add(delta, std::memory_order_relaxed) +
+            delta;
+        PoolMetrics::instance().bytes->set(now);
+    }
+
+    /** Park a buffer on the central freelist (or free it past cap). */
+    void
+    centralPut(int cls, void *ptr)
+    {
+        {
+            std::lock_guard lock(mutex);
+            auto &list = central[cls];
+            if (list.size() < kCentralCap) {
+                list.push_back(ptr);
+                ptr = nullptr;
+            }
+        }
+        if (ptr == nullptr) {
+            addCached(static_cast<std::int64_t>(classBytes(cls)));
+        } else {
+            rawFree(ptr);
+        }
+    }
+
+    void *
+    centralGet(int cls)
+    {
+        void *ptr = nullptr;
+        {
+            std::lock_guard lock(mutex);
+            auto &list = central[cls];
+            if (!list.empty()) {
+                ptr = list.back();
+                list.pop_back();
+            }
+        }
+        if (ptr != nullptr)
+            addCached(-static_cast<std::int64_t>(classBytes(cls)));
+        return ptr;
+    }
+};
+
+namespace {
+
+/** Owns the calling thread's cache; flushes to central on exit so a
+ *  re-spawned worker (next epoch) warms up from these buffers. */
+struct ThreadCacheOwner
+{
+    ThreadCache cache;
+    BufferPool::Impl *impl;
+
+    explicit ThreadCacheOwner(BufferPool::Impl *pool_impl)
+        : impl(pool_impl)
+    {
+        t_cache = &cache;
+    }
+
+    ~ThreadCacheOwner()
+    {
+        for (int cls = 0; cls < kNumClasses; ++cls) {
+            for (void *ptr : cache.lists[cls]) {
+                // Buffers move freelist-to-freelist: cached bytes are
+                // only adjusted when centralPut frees past the cap.
+                impl->addCached(
+                    -static_cast<std::int64_t>(classBytes(cls)));
+                impl->centralPut(cls, ptr);
+            }
+            cache.lists[cls].clear();
+        }
+        t_cache = nullptr;
+        t_cache_dead = true;
+    }
+};
+
+ThreadCache *
+threadCache(BufferPool::Impl *impl)
+{
+    if (t_cache == nullptr && !t_cache_dead) {
+        thread_local ThreadCacheOwner owner(impl);
+    }
+    return t_cache;
+}
+
+} // namespace
+
+BufferPool::BufferPool() : impl_(new Impl) {}
+
+BufferPool &
+BufferPool::instance()
+{
+    // Leaked: buffers may be released from any destructor, including
+    // during static teardown, so the pool must outlive everything.
+    static BufferPool *pool = new BufferPool;
+    return *pool;
+}
+
+std::size_t
+BufferPool::capacityFor(std::size_t bytes)
+{
+    const int cls = classIndex(bytes);
+    if (cls >= 0)
+        return classBytes(cls);
+    const std::size_t need = bytes + kSlackBytes;
+    return (need + kPoolAlignment - 1) / kPoolAlignment * kPoolAlignment;
+}
+
+void *
+BufferPool::acquire(std::size_t bytes)
+{
+    const PoolMetrics &m = PoolMetrics::instance();
+    const int cls = classIndex(bytes);
+    if (cls < 0) {
+        impl_->misses.fetch_add(1, std::memory_order_relaxed);
+        m.misses->add(1);
+        return rawAlloc(capacityFor(bytes));
+    }
+    ThreadCache *cache = threadCache(impl_);
+    if (cache != nullptr && !cache->lists[cls].empty()) {
+        void *ptr = cache->lists[cls].back();
+        cache->lists[cls].pop_back();
+        impl_->addCached(-static_cast<std::int64_t>(classBytes(cls)));
+        impl_->hits.fetch_add(1, std::memory_order_relaxed);
+        m.hits->add(1);
+        return ptr;
+    }
+    if (void *ptr = impl_->centralGet(cls); ptr != nullptr) {
+        impl_->hits.fetch_add(1, std::memory_order_relaxed);
+        m.hits->add(1);
+        return ptr;
+    }
+    impl_->misses.fetch_add(1, std::memory_order_relaxed);
+    m.misses->add(1);
+    return rawAlloc(classBytes(cls));
+}
+
+void
+BufferPool::release(void *ptr, std::size_t bytes) noexcept
+{
+    if (ptr == nullptr)
+        return;
+    const int cls = classIndex(bytes);
+    if (cls < 0) {
+        rawFree(ptr);
+        return;
+    }
+    ThreadCache *cache = threadCache(impl_);
+    if (cache != nullptr && cache->lists[cls].size() < kLocalCap) {
+        cache->lists[cls].push_back(ptr);
+        impl_->addCached(static_cast<std::int64_t>(classBytes(cls)));
+        return;
+    }
+    impl_->centralPut(cls, ptr);
+}
+
+BufferPool::Stats
+BufferPool::stats() const
+{
+    Stats s;
+    s.hits = impl_->hits.load(std::memory_order_relaxed);
+    s.misses = impl_->misses.load(std::memory_order_relaxed);
+    const std::int64_t cached =
+        impl_->cached_bytes.load(std::memory_order_relaxed);
+    s.cached_bytes = cached > 0 ? static_cast<std::uint64_t>(cached) : 0;
+    return s;
+}
+
+void
+BufferPool::trim()
+{
+    ThreadCache *cache = threadCache(impl_);
+    if (cache != nullptr) {
+        for (int cls = 0; cls < kNumClasses; ++cls) {
+            for (void *ptr : cache->lists[cls]) {
+                rawFree(ptr);
+                impl_->addCached(
+                    -static_cast<std::int64_t>(classBytes(cls)));
+            }
+            cache->lists[cls].clear();
+        }
+    }
+    std::vector<void *> victims;
+    {
+        std::lock_guard lock(impl_->mutex);
+        for (int cls = 0; cls < kNumClasses; ++cls) {
+            for (void *ptr : impl_->central[cls]) {
+                victims.push_back(ptr);
+                impl_->addCached(
+                    -static_cast<std::int64_t>(classBytes(cls)));
+            }
+            impl_->central[cls].clear();
+        }
+    }
+    for (void *ptr : victims)
+        rawFree(ptr);
+}
+
+} // namespace lotus::memory

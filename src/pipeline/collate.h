@@ -23,6 +23,16 @@ class Collate
 
     /** Consume samples, producing a batch (batch_id left unset). */
     virtual Batch collate(std::vector<Sample> samples) const = 0;
+
+    /**
+     * Like collate(), but may build the batch inside @p reuse's
+     * storage when its dtype and shape match the batch being formed
+     * (a recycled batch tensor from a previous iteration). The
+     * default implementation ignores @p reuse and forwards to
+     * collate(), so existing subclasses keep working unchanged.
+     */
+    virtual Batch collateInto(std::vector<Sample> samples,
+                              tensor::Tensor reuse) const;
 };
 
 /** Stack equally shaped sample tensors along a new batch axis. */
@@ -30,6 +40,8 @@ class StackCollate : public Collate
 {
   public:
     Batch collate(std::vector<Sample> samples) const override;
+    Batch collateInto(std::vector<Sample> samples,
+                      tensor::Tensor reuse) const override;
 };
 
 /**
@@ -43,6 +55,8 @@ class PadCollate : public Collate
     explicit PadCollate(std::int64_t size_divisor = 0);
 
     Batch collate(std::vector<Sample> samples) const override;
+    Batch collateInto(std::vector<Sample> samples,
+                      tensor::Tensor reuse) const override;
 
   private:
     std::int64_t size_divisor_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "hwcount/registry.h"
+#include "simd/dispatch.h"
 
 namespace lotus::tensor {
 
@@ -14,12 +15,11 @@ Tensor
 castU8ToF32(const Tensor &input, float scale)
 {
     KernelScope scope(KernelId::CastU8ToF32);
-    Tensor out(DType::F32, input.shape());
+    Tensor out = Tensor::uninitialized(DType::F32, input.shape());
     const std::uint8_t *src = input.data<std::uint8_t>();
     float *dst = out.data<float>();
     const std::int64_t n = input.numel();
-    for (std::int64_t i = 0; i < n; ++i)
-        dst[i] = static_cast<float>(src[i]) * scale;
+    simd::kernels().cast_u8_f32(src, dst, n, scale);
     scope.stats().bytes_read += static_cast<std::uint64_t>(n);
     scope.stats().bytes_written += static_cast<std::uint64_t>(n) * 4;
     scope.stats().arith_ops += static_cast<std::uint64_t>(n);
@@ -92,12 +92,12 @@ normalizeChannels(Tensor &cfirst, const std::vector<float> &mean,
     KernelScope scope(KernelId::NormalizeChannels);
     float *data = cfirst.data<float>();
     const std::int64_t per_channel = cfirst.numel() / cfirst.dim(0);
+    const auto &kernel = simd::kernels();
     for (std::size_t c = 0; c < channels; ++c) {
         const float m = mean[c];
         const float inv = 1.0f / stddev[c];
         float *chan = data + static_cast<std::size_t>(per_channel) * c;
-        for (std::int64_t i = 0; i < per_channel; ++i)
-            chan[i] = (chan[i] - m) * inv;
+        kernel.normalize_f32(chan, per_channel, m, inv);
     }
     const std::uint64_t n = static_cast<std::uint64_t>(cfirst.numel());
     scope.stats().bytes_read += n * 4;
@@ -311,8 +311,18 @@ padTo(const Tensor &input, const std::vector<std::int64_t> &target_shape)
 
 namespace {
 
-Tensor
-stackImpl(const std::vector<const Tensor *> &items)
+/** Batch shape for stacking @p count items of @p first's shape. */
+std::vector<std::int64_t>
+stackedShape(const Tensor &first, std::size_t count)
+{
+    std::vector<std::int64_t> shape;
+    shape.push_back(static_cast<std::int64_t>(count));
+    shape.insert(shape.end(), first.shape().begin(), first.shape().end());
+    return shape;
+}
+
+void
+stackIntoImpl(const std::vector<const Tensor *> &items, Tensor &out)
 {
     LOTUS_ASSERT(!items.empty(), "cannot stack zero tensors");
     const Tensor &first = *items.front();
@@ -320,18 +330,29 @@ stackImpl(const std::vector<const Tensor *> &items)
         LOTUS_ASSERT(item->sameShape(first) && item->dtype() == first.dtype(),
                      "stack requires equal shapes and dtypes");
     }
+    LOTUS_ASSERT(out.dtype() == first.dtype() &&
+                     out.shape() == stackedShape(first, items.size()),
+                 "stack destination %s does not match",
+                 out.description().c_str());
     KernelScope scope(KernelId::CollateCopy);
-    std::vector<std::int64_t> shape;
-    shape.push_back(static_cast<std::int64_t>(items.size()));
-    shape.insert(shape.end(), first.shape().begin(), first.shape().end());
-    Tensor out(first.dtype(), shape);
     const std::size_t item_bytes = first.byteSize();
     std::uint8_t *dst = out.raw();
+    const auto &kernel = simd::kernels();
     for (std::size_t i = 0; i < items.size(); ++i)
-        std::copy_n(items[i]->raw(), item_bytes, dst + i * item_bytes);
+        kernel.copy_bytes(items[i]->raw(), dst + i * item_bytes,
+                          item_bytes);
     scope.stats().bytes_read += item_bytes * items.size();
     scope.stats().bytes_written += item_bytes * items.size();
     scope.stats().items += items.size();
+}
+
+Tensor
+stackImpl(const std::vector<const Tensor *> &items)
+{
+    LOTUS_ASSERT(!items.empty(), "cannot stack zero tensors");
+    Tensor out = Tensor::uninitialized(
+        items.front()->dtype(), stackedShape(*items.front(), items.size()));
+    stackIntoImpl(items, out);
     return out;
 }
 
@@ -351,6 +372,12 @@ Tensor
 stack(const std::vector<const Tensor *> &items)
 {
     return stackImpl(items);
+}
+
+void
+stackInto(const std::vector<const Tensor *> &items, Tensor &out)
+{
+    stackIntoImpl(items, out);
 }
 
 } // namespace lotus::tensor

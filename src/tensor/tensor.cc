@@ -44,8 +44,22 @@ shapeNumel(const std::vector<std::int64_t> &shape)
 
 Tensor::Tensor(DType dtype, std::vector<std::int64_t> shape)
     : dtype_(dtype), shape_(std::move(shape)), numel_(shapeNumel(shape_)),
-      data_(static_cast<std::size_t>(numel_) * dtypeSize(dtype), 0)
+      data_(static_cast<std::size_t>(numel_) * dtypeSize(dtype),
+            /*zero=*/true)
 {
+}
+
+Tensor::Tensor(DType dtype, std::vector<std::int64_t> shape, Uninit)
+    : dtype_(dtype), shape_(std::move(shape)), numel_(shapeNumel(shape_)),
+      data_(static_cast<std::size_t>(numel_) * dtypeSize(dtype),
+            /*zero=*/false)
+{
+}
+
+Tensor
+Tensor::uninitialized(DType dtype, std::vector<std::int64_t> shape)
+{
+    return Tensor(dtype, std::move(shape), Uninit{});
 }
 
 std::int64_t

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "memory/buffer_pool.h"
 
 namespace lotus::tensor {
 
@@ -40,6 +41,12 @@ class Tensor
 
     /** Zero-initialized tensor of the given shape. */
     Tensor(DType dtype, std::vector<std::int64_t> shape);
+
+    /** Tensor with indeterminate contents, for producers that are
+     *  about to overwrite every element (decode/cast/collate): skips
+     *  the zero fill of the regular constructor. */
+    static Tensor uninitialized(DType dtype,
+                                std::vector<std::int64_t> shape);
 
     DType dtype() const { return dtype_; }
     const std::vector<std::int64_t> &shape() const { return shape_; }
@@ -108,10 +115,17 @@ class Tensor
         }
     }
 
+    struct Uninit
+    {
+    };
+    Tensor(DType dtype, std::vector<std::int64_t> shape, Uninit);
+
     DType dtype_ = DType::U8;
     std::vector<std::int64_t> shape_;
     std::int64_t numel_ = 0;
-    std::vector<std::uint8_t> data_;
+    /** Pooled storage: reads up to memory::kSlackBytes past
+     *  byteSize() are in bounds (SIMD tail loads). */
+    memory::PooledArray<std::uint8_t> data_;
 };
 
 } // namespace lotus::tensor

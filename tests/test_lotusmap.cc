@@ -70,8 +70,13 @@ TEST_F(LotusMapTest, IsolationCapturesDecodeKernels)
 TEST_F(LotusMapTest, IsolationCapturesResampleKernels)
 {
     Rng rng(2);
-    const image::Image img = image::synthesize(rng, 128, 128);
-    IsolationRunner runner(fastConfig());
+    const image::Image img = image::synthesize(rng, 384, 384);
+    // The SIMD-dispatched resample passes finish in a few µs each, so
+    // sample densely enough to observe both passes at the fastest
+    // tier (the point here is attribution, not duration).
+    IsolationConfig config = fastConfig();
+    config.sampling.interval = 5 * kMicrosecond;
+    IsolationRunner runner(config);
     const auto profile = runner.profileOp(
         "RandomResizedCrop", [&] { image::resize(img, 64, 64); });
     EXPECT_GT(profile.samples.count(KernelId::ResampleHorizontal), 0u);
@@ -289,8 +294,15 @@ TEST_F(LotusMapTest, EndToEndMappingQualityOnRealKernels)
     // reconstruction covers the dominant kernels of each (evaluated
     // against ground truth).
     Rng rng(3);
-    const image::Image img = image::synthesize(rng, 256, 256);
+    const image::Image img = image::synthesize(rng, 384, 384);
     const std::string blob = image::codec::encode(img);
+    // Repeat the resize so its resample kernels stay well above the
+    // evaluation's significance threshold even at the fastest SIMD
+    // dispatch tier.
+    const auto resize_work = [&] {
+        for (int i = 0; i < 3; ++i)
+            image::resize(img, 128, 128);
+    };
 
     auto &registry = KernelRegistry::instance();
     const auto loader_tag = registry.registerOp("Loader");
@@ -304,7 +316,7 @@ TEST_F(LotusMapTest, EndToEndMappingQualityOnRealKernels)
     }));
     mapper.addProfile(runner.profileOp("Resize", [&] {
         hwcount::OpTagScope op(resize_tag);
-        image::resize(img, 128, 128);
+        resize_work();
     }));
 
     // Ground-truth pass over the same work.
@@ -316,7 +328,7 @@ TEST_F(LotusMapTest, EndToEndMappingQualityOnRealKernels)
     }
     {
         hwcount::OpTagScope op(resize_tag);
-        image::resize(img, 128, 128);
+        resize_work();
     }
     const auto snapshot = registry.snapshot();
     // Only score kernels that carry meaningful time: sampling cannot

@@ -108,7 +108,26 @@ render(const JsonValue &document, const std::string &source)
                                   "lotus_codec_decode_reference_total")
                     : 0.0);
 
+    // Buffer-pool headline: how well the sample path recycles
+    // allocations (steady-state epochs should be all hits).
     const JsonValue *gauges = document.find("gauges");
+    const double pool_hits =
+        counters != nullptr
+            ? numberField(*counters, "lotus_pool_hits_total")
+            : 0.0;
+    const double pool_misses =
+        counters != nullptr
+            ? numberField(*counters, "lotus_pool_misses_total")
+            : 0.0;
+    const double pool_bytes =
+        gauges != nullptr ? numberField(*gauges, "lotus_pool_bytes") : 0.0;
+    const double pool_requests = pool_hits + pool_misses;
+    std::printf("  pool hit %.1f%%  (%.0f hits / %.0f misses)   "
+                "pool cached %.1f MiB\n",
+                pool_requests > 0 ? pool_hits / pool_requests * 100.0
+                                  : 0.0,
+                pool_hits, pool_misses, pool_bytes / (1024.0 * 1024.0));
+
     if (gauges != nullptr && !gauges->object.empty()) {
         std::printf("\n  %-44s %10s\n", "gauge", "value");
         for (const auto &[name, value] : gauges->object)
