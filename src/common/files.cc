@@ -25,15 +25,32 @@ writeFile(const std::string &path, const std::string &bytes)
         LOTUS_FATAL("short write to %s", path.c_str());
 }
 
+Result<std::string>
+tryReadFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::error_code ec;
+        const bool missing = !fs::exists(path, ec) || ec;
+        return LOTUS_ERROR(missing ? ErrorCode::kNotFound
+                                   : ErrorCode::kIoError,
+                           "cannot open %s for reading", path.c_str());
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    if (in.bad())
+        return LOTUS_ERROR(ErrorCode::kIoError, "read failed on %s",
+                           path.c_str());
+    return bytes;
+}
+
 std::string
 readFile(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        LOTUS_FATAL("cannot open %s for reading", path.c_str());
-    std::string bytes((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
-    return bytes;
+    Result<std::string> bytes = tryReadFile(path);
+    if (!bytes.ok())
+        LOTUS_FATAL("%s", bytes.error().describe().c_str());
+    return bytes.take();
 }
 
 std::uint64_t

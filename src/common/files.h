@@ -10,12 +10,22 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
+
 namespace lotus {
 
 /** Write @p bytes to @p path, replacing any existing file. */
 void writeFile(const std::string &path, const std::string &bytes);
 
-/** Read the whole file at @p path. Fatal on failure. */
+/**
+ * Read the whole file at @p path. Missing files come back as
+ * kNotFound and open/read failures as kIoError — dataset files are
+ * untrusted input, so an unreadable one must not abort the process.
+ */
+Result<std::string> tryReadFile(const std::string &path);
+
+/** Fatal wrapper over tryReadFile for trusted paths (configs,
+ *  harness-generated fixtures). */
 std::string readFile(const std::string &path);
 
 /** Size of the file at @p path in bytes, or 0 if absent. */

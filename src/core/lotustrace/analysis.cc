@@ -44,6 +44,7 @@ TraceAnalysis::TraceAnalysis(std::vector<TraceRecord> records)
             break;
           case RecordKind::TransformOp:
           case RecordKind::EpochBoundary:
+          case RecordKind::ErrorEvent:
             break;
         }
     }

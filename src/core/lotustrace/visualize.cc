@@ -92,6 +92,12 @@ augmentTrace(ChromeTraceBuilder &builder,
             builder.addInstant("epoch", record.start, record.pid,
                                record.pid);
             break;
+          case RecordKind::ErrorEvent:
+            // op_name is "error:<stage>"; the instant marks the
+            // corrupted sample in the worker's lane.
+            builder.addInstant(record.op_name, record.start, record.pid,
+                               record.pid);
+            break;
         }
     }
 

@@ -10,6 +10,27 @@ namespace lotus::dataflow {
 
 using pipeline::Batch;
 
+namespace {
+
+/**
+ * Per-fetch RNG seed for one (base seed, epoch, worker) triple. The
+ * epoch must be mixed in — otherwise random-transform augmentation
+ * streams repeat identically every epoch even though the shuffle
+ * reseeds — and the mix matches rebuildBatches() (golden-ratio
+ * stride), so epoch 0 reproduces the historical pre-epoch-mix seeds.
+ * Synchronous mode passes worker 0 (it follows the stream a lone
+ * worker would).
+ */
+std::uint64_t
+fetchSeed(std::uint64_t seed, std::int64_t epoch, int worker)
+{
+    constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ull;
+    return (seed + kGolden * static_cast<std::uint64_t>(epoch)) * kGolden +
+           static_cast<std::uint64_t>(worker) + 1;
+}
+
+} // namespace
+
 DataLoader::DataLoader(std::shared_ptr<const pipeline::Dataset> dataset,
                        std::shared_ptr<const pipeline::Collate> collate,
                        DataLoaderOptions options)
@@ -104,7 +125,7 @@ DataLoader::startEpoch()
     if (options_.num_workers == 0) {
         // Synchronous mode: no queues or workers; next() fetches with
         // the same per-epoch rng stream a lone worker would use.
-        sync_rng_ = Rng(options_.seed * 0x9E3779B97F4A7C15ull + 1);
+        sync_rng_ = Rng(fetchSeed(options_.seed, epoch_, 0));
         if (options_.logger) {
             trace::TraceRecord marker;
             marker.kind = trace::RecordKind::EpochBoundary;
@@ -132,18 +153,15 @@ DataLoader::startEpoch()
 
     // Wait for every worker to announce its pid so trace records and
     // workerPids() are complete from the first batch on.
-    for (;;) {
-        bool all_ready = true;
-        {
-            std::lock_guard lock(worker_pids_mutex_);
+    {
+        std::unique_lock lock(worker_pids_mutex_);
+        worker_ready_cv_.wait(lock, [this] {
             for (const auto pid : worker_pids_) {
                 if (pid == 0)
-                    all_ready = false;
+                    return false;
             }
-        }
-        if (all_ready)
-            break;
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
+            return true;
+        });
     }
 
     // Prime every worker's index queue with prefetch_factor batches,
@@ -187,8 +205,12 @@ DataLoader::workerLoop(int worker_id)
         std::lock_guard lock(worker_pids_mutex_);
         worker_pids_[static_cast<std::size_t>(worker_id)] = pid;
     }
-    Rng rng(options_.seed * 0x9E3779B97F4A7C15ull +
-            static_cast<std::uint64_t>(worker_id) + 1);
+    worker_ready_cv_.notify_one();
+    // epoch_ is stable while workers run: startEpoch joins every
+    // worker before incrementing it.
+    Rng rng(fetchSeed(options_.seed, epoch_, worker_id));
+    const ErrorHandling errors{options_.error_policy, options_.max_retries,
+                               options_.max_refill_attempts};
 
     auto &index_queue = *index_queues_[static_cast<std::size_t>(worker_id)];
     auto *fetch_hist =
@@ -211,17 +233,23 @@ DataLoader::workerLoop(int worker_id)
                               trace::RecordKind::BatchPreprocessed);
         span.record().batch_id = msg->batch_id;
         span.record().pid = pid;
-        Batch batch;
-        {
-            metrics::ScopedTimer fetch_timer(fetch_hist);
-            batch = fetcher_.fetch(msg->batch_id, msg->indices, ctx);
-        }
-        span.finish();
-
         DataMsg out;
         out.batch_id = msg->batch_id;
         out.worker_id = worker_id;
-        out.batch = std::move(batch);
+        {
+            metrics::ScopedTimer fetch_timer(fetch_hist);
+            Result<Batch> batch =
+                fetcher_.tryFetch(msg->batch_id, msg->indices, ctx, errors);
+            // A failed batch still flows through the data queue (not a
+            // silent worker death): the consumer re-raises it in batch
+            // order as a LoaderError.
+            if (batch.ok())
+                out.batch = batch.take();
+            else
+                out.error = batch.takeError();
+        }
+        span.finish();
+
         data_queue_->push(std::move(out));
         metrics_.data_queue_depth->add(1);
     }
@@ -259,10 +287,20 @@ DataLoader::nextSynchronous()
     Batch result;
     {
         metrics::ScopedTimer fetch_timer(metrics_.fetch_ns[0]);
-        result = fetcher_.fetch(
-            wanted, batches_[static_cast<std::size_t>(wanted)], ctx,
+        const ErrorHandling errors{options_.error_policy,
+                                   options_.max_retries,
+                                   options_.max_refill_attempts};
+        Result<Batch> fetched = fetcher_.tryFetch(
+            wanted, batches_[static_cast<std::size_t>(wanted)], ctx, errors,
             std::move(spare_));
         spare_ = tensor::Tensor();
+        if (!fetched.ok()) {
+            // Synchronous re-raise: worker id -1 marks the main
+            // process. The epoch is over; startEpoch() restarts.
+            epoch_started_ = false;
+            throw LoaderError(fetched.takeError(), wanted, -1);
+        }
+        result = fetched.take();
     }
     span.finish();
     pinBatch(result);
@@ -311,9 +349,12 @@ DataLoader::next()
 
     if (auto cached = reorder_cache_.find(wanted);
         cached != reorder_cache_.end()) {
-        result = std::move(cached->second);
+        DataMsg msg = std::move(cached->second);
         reorder_cache_.erase(cached);
         metrics_.pin_cache_size->sub(1);
+        if (msg.error.has_value())
+            raiseWorkerError(std::move(msg));
+        result = std::move(msg.batch);
         have_result = true;
         if (options_.logger) {
             trace::TraceRecord sentinel = wait_span.record();
@@ -330,14 +371,16 @@ DataLoader::next()
                          "data queue closed with batches outstanding");
             metrics_.data_queue_depth->sub(1);
             if (msg->batch_id == wanted) {
+                if (msg->error.has_value())
+                    raiseWorkerError(std::move(*msg));
                 result = std::move(msg->batch);
                 have_result = true;
             } else {
                 // Early arrival: pin to CPU memory and cache it
-                // (paper §III-B).
+                // (paper §III-B). Failed batches are cached too so the
+                // error surfaces in batch order, not arrival order.
                 pinBatch(msg->batch);
-                reorder_cache_.emplace(msg->batch_id,
-                                       std::move(msg->batch));
+                reorder_cache_.emplace(msg->batch_id, std::move(*msg));
                 metrics_.ooo_batches_total->add(1);
                 metrics_.pin_cache_size->add(1);
             }
@@ -376,6 +419,18 @@ DataLoader::next()
         shutdownWorkers();
     }
     return result;
+}
+
+void
+DataLoader::raiseWorkerError(DataMsg msg)
+{
+    LOTUS_ASSERT(msg.error.has_value());
+    // The epoch cannot continue past a failed batch: release the
+    // workers (queued batches are dropped with the queues at the next
+    // startEpoch) and re-raise with the batch and worker identity.
+    shutdownWorkers();
+    epoch_started_ = false;
+    throw LoaderError(std::move(*msg.error), msg.batch_id, msg.worker_id);
 }
 
 std::vector<std::uint32_t>

@@ -24,6 +24,7 @@
 #ifndef LOTUS_DATAFLOW_DATA_LOADER_H
 #define LOTUS_DATAFLOW_DATA_LOADER_H
 
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <optional>
@@ -32,6 +33,7 @@
 
 #include "common/mpmc_queue.h"
 #include "common/rng.h"
+#include "dataflow/error_policy.h"
 #include "dataflow/fetcher.h"
 #include "metrics/metrics.h"
 #include "trace/logger.h"
@@ -56,6 +58,18 @@ struct DataLoaderOptions
     bool drop_last = true;
     /** Optional LotusTrace sink (null = uninstrumented run). */
     trace::TraceLogger *logger = nullptr;
+    /**
+     * What a recoverable sample error (corrupt blob, failed read)
+     * does: kFail makes next() throw a LoaderError with the batch and
+     * worker id, kSkip refills the batch slot from a spare index and
+     * counts the drop, kRetry re-reads transient store errors before
+     * failing. See dataflow/error_policy.h.
+     */
+    ErrorPolicy error_policy = ErrorPolicy::kFail;
+    /** kRetry: attempts after the first failure before giving up. */
+    int max_retries = 2;
+    /** kSkip: replacement candidates tried per bad batch slot. */
+    int max_refill_attempts = 8;
 };
 
 class DataLoader
@@ -82,6 +96,12 @@ class DataLoader
     /**
      * Next in-order batch, or nullopt at epoch end (workers are then
      * joined). Blocks on the shared data queue as needed.
+     *
+     * Under ErrorPolicy::kFail (and exhausted kRetry/kSkip), a worker
+     * that hit a bad sample surfaces here as a thrown LoaderError
+     * carrying the failing batch id, worker id, and underlying Error;
+     * the workers are shut down first, and the loader needs an
+     * explicit startEpoch() to run again.
      */
     std::optional<pipeline::Batch> next();
 
@@ -109,6 +129,9 @@ class DataLoader
         std::int64_t batch_id = -1;
         int worker_id = -1;
         pipeline::Batch batch;
+        /** Set when the worker's fetch failed unrecoverably; batch is
+         *  then empty and next() re-raises as a LoaderError. */
+        std::optional<Error> error;
     };
 
     struct IndexMsg
@@ -120,6 +143,8 @@ class DataLoader
     void workerLoop(int worker_id);
     void tryPutIndex(int worker_id);
     void pinBatch(pipeline::Batch &batch) const;
+    /** Shut the epoch down and re-raise a worker's sample error. */
+    [[noreturn]] void raiseWorkerError(DataMsg msg);
     void shutdownWorkers();
     void rebuildBatches();
     void registerMetrics();
@@ -157,10 +182,14 @@ class DataLoader
     std::vector<std::thread> workers_;
     std::vector<std::uint32_t> worker_pids_;
     mutable std::mutex worker_pids_mutex_;
+    /** Signaled by each worker once it has announced its pid. */
+    std::condition_variable worker_ready_cv_;
 
     std::int64_t send_idx_ = 0;
     std::int64_t rcvd_idx_ = 0;
-    std::map<std::int64_t, pipeline::Batch> reorder_cache_;
+    /** Early out-of-order arrivals (batches pinned; errors held until
+     *  their turn so failures surface in batch order). */
+    std::map<std::int64_t, DataMsg> reorder_cache_;
     std::map<std::int64_t, int> batch_worker_;
 
     /** Fetch rng for the synchronous (num_workers=0) path. */

@@ -1,0 +1,28 @@
+#include "dataflow/error_policy.h"
+
+#include "common/strings.h"
+
+namespace lotus::dataflow {
+
+const char *
+errorPolicyName(ErrorPolicy policy)
+{
+    switch (policy) {
+      case ErrorPolicy::kFail: return "fail";
+      case ErrorPolicy::kSkip: return "skip";
+      case ErrorPolicy::kRetry: return "retry";
+    }
+    LOTUS_PANIC("bad error policy %d", static_cast<int>(policy));
+}
+
+std::string
+LoaderError::describe(const Error &error, std::int64_t batch_id,
+                      int worker_id)
+{
+    return strFormat("batch %lld (worker %d) failed: %s [stage %s]",
+                     static_cast<long long>(batch_id), worker_id,
+                     error.describe().c_str(),
+                     error.stage.empty() ? "?" : error.stage.c_str());
+}
+
+} // namespace lotus::dataflow

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Loader-level handling of recoverable sample errors.
+ *
+ * The untrusted-input surface (codec, store) reports bad data as
+ * lotus::Error values; ErrorPolicy is how the loader turns those into
+ * campaign-level behavior, mirroring what production input pipelines
+ * do (tf.data error-tolerant iterators, PyTorch worker re-raise).
+ */
+
+#ifndef LOTUS_DATAFLOW_ERROR_POLICY_H
+#define LOTUS_DATAFLOW_ERROR_POLICY_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/result.h"
+
+namespace lotus::dataflow {
+
+enum class ErrorPolicy : std::uint8_t
+{
+    /**
+     * Surface the error to the consumer: next() throws a LoaderError
+     * carrying the failing batch id, worker id, and the underlying
+     * Error (the PyTorch-style worker re-raise). Default, because
+     * silently dropping data is never the right surprise.
+     */
+    kFail,
+    /**
+     * Drop the bad sample and refill the batch slot from a spare
+     * index so batch cadence and batch size stay intact; count the
+     * drop in lotus_loader_sample_errors_total.
+     */
+    kSkip,
+    /**
+     * Retry the same sample a bounded number of times if the error is
+     * transient (kIoError); non-transient errors and exhausted
+     * retries fall back to kFail semantics.
+     */
+    kRetry,
+};
+
+/** Stable lower-case name, e.g. "skip" (metric label value). */
+const char *errorPolicyName(ErrorPolicy policy);
+
+/** Policy plus its tuning knobs, threaded from the loader options
+ *  down to the Fetcher. */
+struct ErrorHandling
+{
+    ErrorPolicy policy = ErrorPolicy::kFail;
+    /** kRetry: attempts after the first failure before giving up. */
+    int max_retries = 2;
+    /** kSkip: replacement candidates tried per bad slot before the
+     *  batch is declared unfillable (guards a fully corrupt store). */
+    int max_refill_attempts = 8;
+};
+
+/**
+ * Thrown by DataLoader::next() / IterableDataLoader::next() under
+ * ErrorPolicy::kFail (and on exhausted kRetry) — the only exception
+ * in the codebase, used deliberately so a failed batch unwinds
+ * through the consumer loop the way a PyTorch DataLoader re-raise
+ * does, carrying exactly what an operator needs to find the bad
+ * record.
+ */
+class LoaderError : public std::runtime_error
+{
+  public:
+    LoaderError(Error error, std::int64_t batch_id, int worker_id)
+        : std::runtime_error(describe(error, batch_id, worker_id)),
+          error_(std::move(error)), batch_id_(batch_id),
+          worker_id_(worker_id)
+    {
+    }
+
+    const Error &error() const { return error_; }
+    /** Batch the failing sample belonged to. */
+    std::int64_t batchId() const { return batch_id_; }
+    /** Worker that hit the failure (-1 for synchronous mode). */
+    int workerId() const { return worker_id_; }
+
+  private:
+    static std::string describe(const Error &error, std::int64_t batch_id,
+                                int worker_id);
+
+    Error error_;
+    std::int64_t batch_id_;
+    int worker_id_;
+};
+
+} // namespace lotus::dataflow
+
+#endif // LOTUS_DATAFLOW_ERROR_POLICY_H

@@ -1,5 +1,8 @@
 #include "dataflow/fetcher.h"
 
+#include "common/clock.h"
+#include "metrics/metrics.h"
+
 namespace lotus::dataflow {
 
 Fetcher::Fetcher(std::shared_ptr<const pipeline::Dataset> dataset,
@@ -16,14 +19,94 @@ Fetcher::fetch(std::int64_t batch_id,
                const std::vector<std::int64_t> &indices,
                pipeline::PipelineContext &ctx, tensor::Tensor reuse) const
 {
+    Result<pipeline::Batch> batch =
+        tryFetch(batch_id, indices, ctx, ErrorHandling{ErrorPolicy::kFail},
+                 std::move(reuse));
+    if (!batch.ok())
+        LOTUS_FATAL("batch %lld: %s", static_cast<long long>(batch_id),
+                    batch.error().describe().c_str());
+    return batch.take();
+}
+
+void
+noteSampleError(const Error &error, std::int64_t sample_index,
+                pipeline::PipelineContext &ctx, ErrorPolicy policy)
+{
+    const std::string stage = error.stage.empty() ? "other" : error.stage;
+    metrics::MetricsRegistry::instance()
+        .counter(metrics::labeled(kSampleErrorsMetric, "policy",
+                                  errorPolicyName(policy), "stage", stage))
+        ->add(1);
+    if (ctx.logger != nullptr) {
+        trace::TraceRecord record;
+        record.kind = trace::RecordKind::ErrorEvent;
+        record.batch_id = ctx.batch_id;
+        record.pid = ctx.pid;
+        record.start = SteadyClock::instance().now();
+        record.duration = 0;
+        record.op_name = "error:" + stage;
+        record.sample_index = sample_index;
+        ctx.logger->log(std::move(record));
+    }
+}
+
+Result<pipeline::Sample>
+Fetcher::fetchSample(std::int64_t index, pipeline::PipelineContext &ctx,
+                     const ErrorHandling &errors) const
+{
+    const std::int64_t size = dataset_->size();
+    std::int64_t current = index;
+    int retries_left = errors.max_retries;
+    int refills_left = errors.max_refill_attempts;
+    for (;;) {
+        ctx.sample_index = current;
+        Result<pipeline::Sample> sample = dataset_->tryGet(current, ctx);
+        if (sample.ok())
+            return sample;
+        noteSampleError(sample.error(), current, ctx, errors.policy);
+        switch (errors.policy) {
+          case ErrorPolicy::kFail:
+            return sample.takeError();
+          case ErrorPolicy::kRetry:
+            // Bounded same-index retries clear transient store
+            // hiccups; anything else is real corruption and fails.
+            if (errorIsTransient(sample.error().code) &&
+                retries_left-- > 0)
+                continue;
+            return sample.takeError();
+          case ErrorPolicy::kSkip:
+            // Deterministic refill: walk forward from the bad index
+            // (mod dataset size). May duplicate a sample within the
+            // epoch; keeps batch shape and cadence intact.
+            if (refills_left-- > 0) {
+                current = (current + 1) % size;
+                continue;
+            }
+            return sample.takeError();
+        }
+        LOTUS_PANIC("bad error policy %d",
+                    static_cast<int>(errors.policy));
+    }
+}
+
+Result<pipeline::Batch>
+Fetcher::tryFetch(std::int64_t batch_id,
+                  const std::vector<std::int64_t> &indices,
+                  pipeline::PipelineContext &ctx,
+                  const ErrorHandling &errors, tensor::Tensor reuse) const
+{
     LOTUS_ASSERT(!indices.empty(), "empty batch requested");
     ctx.batch_id = batch_id;
 
     std::vector<pipeline::Sample> samples;
     samples.reserve(indices.size());
     for (const auto index : indices) {
-        ctx.sample_index = index;
-        samples.push_back(dataset_->get(index, ctx));
+        Result<pipeline::Sample> sample = fetchSample(index, ctx, errors);
+        if (!sample.ok()) {
+            ctx.sample_index = -1;
+            return sample.takeError();
+        }
+        samples.push_back(sample.take());
     }
     ctx.sample_index = -1;
 

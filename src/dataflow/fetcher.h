@@ -10,11 +10,26 @@
 
 #include <memory>
 
+#include "dataflow/error_policy.h"
 #include "hwcount/registry.h"
 #include "pipeline/collate.h"
 #include "pipeline/dataset.h"
 
 namespace lotus::dataflow {
+
+/** Counter family for recoverable sample errors; exported with
+ *  {policy="...",stage="..."} labels. */
+inline constexpr const char *kSampleErrorsMetric =
+    "lotus_loader_sample_errors_total";
+
+/**
+ * Record one observed recoverable sample error: bump
+ * lotus_loader_sample_errors_total{policy,stage} and, when ctx has a
+ * tracer, log an ErrorEvent instant ("error:<stage>") in the calling
+ * lane. Shared by the map-style Fetcher and the iterable loader.
+ */
+void noteSampleError(const Error &error, std::int64_t sample_index,
+                     pipeline::PipelineContext &ctx, ErrorPolicy policy);
 
 class Fetcher
 {
@@ -29,15 +44,41 @@ class Fetcher
      * named "Collate". @p reuse optionally donates a recycled batch
      * tensor's storage to the collation (see Collate::collateInto);
      * pass a default-constructed tensor to allocate fresh.
+     *
+     * Fatal on bad sample data — the wrapper for trusted fixtures;
+     * loader paths go through tryFetch.
      */
     pipeline::Batch fetch(std::int64_t batch_id,
                           const std::vector<std::int64_t> &indices,
                           pipeline::PipelineContext &ctx,
                           tensor::Tensor reuse = {}) const;
 
+    /**
+     * Like fetch(), but recoverable sample errors are resolved by
+     * @p errors: kSkip refills the bad slot from spare indices
+     * ((index + attempt) % dataset size — deterministic, may
+     * duplicate a sample within the epoch, keeps the batch full),
+     * kRetry re-reads the same index while the error is transient,
+     * and kFail (or an unrecoverable error under the other policies)
+     * returns the error, stamped with the failing sample's stage.
+     * Every observed sample error increments
+     * lotus_loader_sample_errors_total{policy,stage} and logs an
+     * ErrorEvent trace record in the worker's lane.
+     */
+    Result<pipeline::Batch> tryFetch(std::int64_t batch_id,
+                                     const std::vector<std::int64_t> &indices,
+                                     pipeline::PipelineContext &ctx,
+                                     const ErrorHandling &errors,
+                                     tensor::Tensor reuse = {}) const;
+
     const pipeline::Dataset &dataset() const { return *dataset_; }
 
   private:
+    /** Resolve one batch slot under the error policy. */
+    Result<pipeline::Sample> fetchSample(std::int64_t index,
+                                         pipeline::PipelineContext &ctx,
+                                         const ErrorHandling &errors) const;
+
     std::shared_ptr<const pipeline::Dataset> dataset_;
     std::shared_ptr<const pipeline::Collate> collate_;
     hwcount::OpTag collate_tag_;

@@ -2,6 +2,7 @@
 
 #include "common/strings.h"
 #include "common/thread_util.h"
+#include "dataflow/fetcher.h"
 
 namespace lotus::dataflow {
 
@@ -30,6 +31,7 @@ void
 IterableDataLoader::startEpoch()
 {
     shutdownWorkers();
+    ++epoch_;
     workers_done_ = 0;
     next_batch_id_.store(0);
     data_queue_ = std::make_unique<MpmcQueue<DataMsg>>();
@@ -43,7 +45,12 @@ IterableDataLoader::workerLoop(int worker_id)
 {
     setCurrentThreadName(strFormat("stream-%d", worker_id));
     const std::uint32_t pid = currentTid();
-    Rng rng(options_.seed * 0x9E3779B97F4A7C15ull +
+    // Mix the restart counter into the seed the same way the
+    // map-style loader mixes its epoch, so augmentation streams
+    // differ across epochs (epoch 0 keeps the historical seeds).
+    constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ull;
+    Rng rng((options_.seed + kGolden * static_cast<std::uint64_t>(epoch_)) *
+                kGolden +
             static_cast<std::uint64_t>(worker_id) + 1);
 
     auto stream = dataset_->shard(worker_id, options_.num_workers);
@@ -63,12 +70,35 @@ IterableDataLoader::workerLoop(int worker_id)
         std::vector<Sample> samples;
         samples.reserve(static_cast<std::size_t>(options_.batch_size));
         while (static_cast<int>(samples.size()) < options_.batch_size) {
-            auto sample = stream->next(ctx);
-            if (!sample.has_value()) {
+            auto sample = stream->tryNext(ctx);
+            if (!sample.ok()) {
+                noteSampleError(sample.error(), /*sample_index=*/-1, ctx,
+                                options_.error_policy);
+                if (options_.error_policy == ErrorPolicy::kFail) {
+                    // Ship the failure to the consumer and stop this
+                    // shard; next() re-raises it as a LoaderError.
+                    DataMsg failed;
+                    failed.worker_id = worker_id;
+                    failed.batch = Batch{};
+                    failed.batch.batch_id = next_batch_id_.fetch_add(1);
+                    failed.error = sample.takeError();
+                    span.finish();
+                    data_queue_->push(std::move(failed));
+                    DataMsg done;
+                    done.done = true;
+                    data_queue_->push(std::move(done));
+                    return;
+                }
+                // kSkip (and kRetry, which degrades to skip on
+                // streams: the bad sample is already consumed): drop
+                // it and keep filling the batch.
+                continue;
+            }
+            if (!sample.value().has_value()) {
                 exhausted = true;
                 break;
             }
-            samples.push_back(std::move(*sample));
+            samples.push_back(std::move(*sample.value()));
         }
         if (samples.empty() ||
             (exhausted &&
@@ -95,6 +125,7 @@ IterableDataLoader::workerLoop(int worker_id)
         span.finish();
 
         DataMsg msg;
+        msg.worker_id = worker_id;
         msg.batch = std::move(batch);
         if (!data_queue_->push(std::move(msg)))
             return; // queue closed (loader destroyed mid-epoch)
@@ -121,6 +152,16 @@ IterableDataLoader::next()
         if (msg->done) {
             ++workers_done_;
             continue;
+        }
+        if (msg->error.has_value()) {
+            // kFail re-raise. The other shards are torn down with the
+            // epoch; an explicit startEpoch() restarts streaming.
+            const std::int64_t batch_id = msg->batch.batch_id;
+            const int worker_id = msg->worker_id;
+            Error error = std::move(*msg->error);
+            shutdownWorkers();
+            epoch_started_ = false;
+            throw LoaderError(std::move(error), batch_id, worker_id);
         }
         wait_span.record().batch_id = msg->batch.batch_id;
         wait_span.finish();

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/mpmc_queue.h"
+#include "dataflow/error_policy.h"
 #include "hwcount/registry.h"
 #include "pipeline/collate.h"
 #include "pipeline/iterable_dataset.h"
@@ -35,6 +36,13 @@ struct IterableLoaderOptions
     bool drop_last = false;
     std::uint64_t seed = 0;
     trace::TraceLogger *logger = nullptr;
+    /**
+     * Recoverable sample errors: kFail makes next() throw a
+     * LoaderError, kSkip drops the bad sample and streams on. kRetry
+     * degrades to kSkip here — a stream consumes the sample either
+     * way, so the same record cannot be re-fetched.
+     */
+    ErrorPolicy error_policy = ErrorPolicy::kFail;
 };
 
 class IterableDataLoader
@@ -52,7 +60,10 @@ class IterableDataLoader
     /** Begin (or restart) streaming. Implicit on first next(). */
     void startEpoch();
 
-    /** Next batch in arrival order; nullopt once every shard ends. */
+    /** Next batch in arrival order; nullopt once every shard ends.
+     *  Under ErrorPolicy::kFail a bad sample surfaces here as a
+     *  thrown LoaderError; the epoch is over and an explicit
+     *  startEpoch() restarts it. */
     std::optional<pipeline::Batch> next();
 
     std::uint32_t mainPid() const { return main_pid_; }
@@ -61,7 +72,10 @@ class IterableDataLoader
     struct DataMsg
     {
         bool done = false; ///< worker-exhausted marker
+        int worker_id = -1;
         pipeline::Batch batch;
+        /** Set when the worker's stream failed under kFail. */
+        std::optional<Error> error;
     };
 
     void workerLoop(int worker_id);
@@ -74,6 +88,9 @@ class IterableDataLoader
     hwcount::OpTag collate_tag_;
 
     bool epoch_started_ = false;
+    /** Stream-restart counter mixed into worker RNG seeds so
+     *  augmentation draws differ across epochs. */
+    std::int64_t epoch_ = -1;
     int workers_done_ = 0;
     std::unique_ptr<MpmcQueue<DataMsg>> data_queue_;
     std::vector<std::thread> workers_;

@@ -73,7 +73,13 @@ BitReader::refill()
 std::uint32_t
 BitReader::getBits(int count)
 {
-    LOTUS_ASSERT(count >= 0 && count <= 32, "bad bit count %d", count);
+    // The reader sits on the untrusted-input surface: a malformed
+    // stream must surface as a decode error (overrun), never a panic.
+    if (count < 0 || count > 32) {
+        overrun_ = true;
+        bit_index_ = size_bits_;
+        return 0;
+    }
     if (count == 0)
         return 0;
     if (bit_index_ + static_cast<std::size_t>(count) > size_bits_) {

@@ -49,8 +49,9 @@ class BitReader
   public:
     BitReader(const std::uint8_t *data, std::size_t size);
 
-    /** Read @p count bits (MSB first). Reads past the end return 0s
-     *  and set overrun(). */
+    /** Read @p count bits (MSB first). Reads past the end — or with a
+     *  count outside [0, 32], which only a malformed stream can drive
+     *  — return 0s and set overrun(). */
     std::uint32_t getBits(int count);
 
     /** Exp-Golomb decode an unsigned value. */

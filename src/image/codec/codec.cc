@@ -101,10 +101,13 @@ storeBlock(Plane &plane, int bx, int by, const Block &in)
 inline std::int16_t
 sampleToI16(float centered)
 {
-    const int s = static_cast<int>(
-        (centered + 128.0f) * (1 << kSampleFracBits) + 0.5f);
-    return static_cast<std::int16_t>(
-        std::clamp(s, 0, static_cast<int>(kSampleMax)));
+    // Clamp in the float domain: corrupt streams can yield IDCT
+    // samples far outside int range, and an out-of-range float->int
+    // cast is UB.
+    const float s = std::clamp(
+        (centered + 128.0f) * (1 << kSampleFracBits) + 0.5f, 0.0f,
+        static_cast<float>(kSampleMax));
+    return static_cast<std::int16_t>(s);
 }
 
 /** Store an 8x8 block into the fast path's integer plane: the single
@@ -170,9 +173,21 @@ bool
 readBlock(BitReader &reader, QuantBlock &q, std::int32_t &dc_pred,
           std::uint64_t &symbols, CoeffExtent &extent)
 {
+    // Coefficient magnitude bound: valid quantized levels never leave
+    // the low thousands (samples are 8-bit, the DCT is orthonormal),
+    // but a corrupt stream can code near-INT32_MAX levels whose
+    // accumulation and downstream dequant math would overflow. Reject
+    // anything far outside the legitimate range as corruption.
+    constexpr std::int64_t kMaxCoeffMagnitude = std::int64_t(1) << 20;
+
     const auto &zz = zigzagOrder();
     q.fill(0);
-    dc_pred += reader.getSe();
+    const std::int64_t dc =
+        static_cast<std::int64_t>(dc_pred) + reader.getSe();
+    if (reader.overrun() || dc < -kMaxCoeffMagnitude ||
+        dc > kMaxCoeffMagnitude)
+        return false;
+    dc_pred = static_cast<std::int32_t>(dc);
     q[static_cast<std::size_t>(zz[0])] = dc_pred;
     ++symbols;
     extent.nonzero = dc_pred != 0 ? 1 : 0;
@@ -186,11 +201,16 @@ readBlock(BitReader &reader, QuantBlock &q, std::int32_t &dc_pred,
         ++symbols;
         if (run == kEobRun)
             return true;
+        // A corrupt stream can code an arbitrary 32-bit run; reject it
+        // before the int cast below can wrap negative and index zz[].
+        if (run > static_cast<std::uint32_t>(kBlockSize))
+            return false;
         k += static_cast<int>(run);
         if (k >= kBlockSize)
             return false;
         const std::int32_t level = reader.getSe();
-        if (reader.overrun() || level == 0)
+        if (reader.overrun() || level == 0 ||
+            level < -kMaxCoeffMagnitude || level > kMaxCoeffMagnitude)
             return false;
         q[static_cast<std::size_t>(zz[k])] = level;
         ++symbols;
@@ -351,7 +371,7 @@ decodePlane(PlaneT &plane, const std::array<std::uint16_t, 64> &table,
 /** Plane decode + upsample + color-convert tail, shared between the
  *  fast (PlaneI16) and reference (Plane) pipelines. */
 template <typename PlaneT>
-Image
+Result<Image>
 decodeTail(const LjpgHeader &header, BitReader &reader)
 {
     // Every sample is written by the block store below, so the
@@ -366,13 +386,19 @@ decodeTail(const LjpgHeader &header, BitReader &reader)
     const auto luma_table = quantTable(header.quality, /*chroma=*/false);
     const auto chroma_table = quantTable(header.quality, /*chroma=*/true);
     if (!decodePlane(y, luma_table, reader))
-        LOTUS_FATAL("corrupt LJPG luma plane");
+        return LOTUS_ERROR(ErrorCode::kCorruptData,
+                           "corrupt LJPG luma plane (bit %zu)",
+                           reader.bitPosition());
     reader.alignByte();
     if (!decodePlane(cb, chroma_table, reader))
-        LOTUS_FATAL("corrupt LJPG Cb plane");
+        return LOTUS_ERROR(ErrorCode::kCorruptData,
+                           "corrupt LJPG Cb plane (bit %zu)",
+                           reader.bitPosition());
     reader.alignByte();
     if (!decodePlane(cr, chroma_table, reader))
-        LOTUS_FATAL("corrupt LJPG Cr plane");
+        return LOTUS_ERROR(ErrorCode::kCorruptData,
+                           "corrupt LJPG Cr plane (bit %zu)",
+                           reader.bitPosition());
 
     if (header.subsampled) {
         cb = upsample2x(cb, header.width, header.height);
@@ -423,11 +449,16 @@ encode(const Image &input, const EncodeOptions &options)
     return out;
 }
 
-LjpgHeader
-peekHeader(const std::string &bytes)
+Result<LjpgHeader>
+tryPeekHeader(const std::string &bytes)
 {
-    if (bytes.size() < 10 || std::memcmp(bytes.data(), kMagic, 4) != 0)
-        LOTUS_FATAL("not an LJPG stream (%zu bytes)", bytes.size());
+    if (bytes.size() < 10)
+        return LOTUS_ERROR(ErrorCode::kTruncated,
+                           "not an LJPG stream (%zu bytes, header needs 10)",
+                           bytes.size());
+    if (std::memcmp(bytes.data(), kMagic, 4) != 0)
+        return LOTUS_ERROR(ErrorCode::kCorruptData,
+                           "not an LJPG stream (bad magic)");
     LjpgHeader header;
     const auto *u = reinterpret_cast<const std::uint8_t *>(bytes.data());
     header.width = u[4] | (u[5] << 8);
@@ -436,9 +467,19 @@ peekHeader(const std::string &bytes)
     header.subsampled = u[9] != 0;
     if (header.width <= 0 || header.height <= 0 || header.quality < 1 ||
         header.quality > 100)
-        LOTUS_FATAL("corrupt LJPG header (%dx%d q%d)", header.width,
-                    header.height, header.quality);
+        return LOTUS_ERROR(ErrorCode::kCorruptData,
+                           "corrupt LJPG header (%dx%d q%d)", header.width,
+                           header.height, header.quality);
     return header;
+}
+
+LjpgHeader
+peekHeader(const std::string &bytes)
+{
+    Result<LjpgHeader> header = tryPeekHeader(bytes);
+    if (!header.ok())
+        LOTUS_FATAL("%s", header.error().describe().c_str());
+    return header.take();
 }
 
 namespace {
@@ -468,8 +509,8 @@ struct DecodeMetrics
 
 } // namespace
 
-Image
-decode(const std::string &bytes, const DecodeOptions &options)
+Result<Image>
+tryDecode(const std::string &bytes, const DecodeOptions &options)
 {
     const DecodeMetrics &decode_metrics = DecodeMetrics::instance();
     metrics::ScopedTimer decode_timer(decode_metrics.decode_ns);
@@ -478,7 +519,17 @@ decode(const std::string &bytes, const DecodeOptions &options)
     else
         decode_metrics.fast_total->add(1);
 
-    const LjpgHeader header = peekHeader(bytes);
+    Result<LjpgHeader> parsed = tryPeekHeader(bytes);
+    if (!parsed.ok())
+        return parsed.takeError();
+    const LjpgHeader header = parsed.take();
+    if (static_cast<std::int64_t>(header.width) * header.height >
+        options.max_pixels)
+        return LOTUS_ERROR(ErrorCode::kCorruptData,
+                           "LJPG header claims %dx%d, above the %lld-pixel "
+                           "decode cap",
+                           header.width, header.height,
+                           static_cast<long long>(options.max_pixels));
     const auto *payload =
         reinterpret_cast<const std::uint8_t *>(bytes.data()) + 10;
     const std::size_t payload_size = bytes.size() - 10;
@@ -501,6 +552,15 @@ decode(const std::string &bytes, const DecodeOptions &options)
     if (options.reference)
         return decodeTail<Plane>(header, reader);
     return decodeTail<PlaneI16>(header, reader);
+}
+
+Image
+decode(const std::string &bytes, const DecodeOptions &options)
+{
+    Result<Image> image = tryDecode(bytes, options);
+    if (!image.ok())
+        LOTUS_FATAL("%s", image.error().describe().c_str());
+    return image.take();
 }
 
 } // namespace lotus::image::codec

@@ -17,6 +17,7 @@
 
 #include <string>
 
+#include "common/result.h"
 #include "image/image.h"
 
 namespace lotus::image::codec {
@@ -41,7 +42,15 @@ struct LjpgHeader
     bool subsampled = false;
 };
 
-/** Parse just the header. Fatal on malformed magic. */
+/**
+ * Parse just the header. Returns an error on malformed magic,
+ * truncation, or out-of-range fields — LJPG bytes are untrusted
+ * input, so corruption must never abort the process.
+ */
+Result<LjpgHeader> tryPeekHeader(const std::string &bytes);
+
+/** Fatal wrapper over tryPeekHeader for trusted (self-encoded)
+ *  fixtures where corruption would be a harness bug. */
 LjpgHeader peekHeader(const std::string &bytes);
 
 struct DecodeOptions
@@ -55,10 +64,28 @@ struct DecodeOptions
      * trajectory benches. Both paths emit the same KernelIds.
      */
     bool reference = false;
+    /**
+     * Upper bound on header.width * header.height before any plane
+     * is allocated. A flipped header byte can claim a 65535x65535
+     * image from a 2 KB blob; the cap turns that into a decode error
+     * instead of a multi-GiB allocation. The default (64 Mpixel,
+     * 8192x8192) is far above every workload in this repo.
+     */
+    std::int64_t max_pixels = std::int64_t(1) << 26;
 };
 
-/** Decode an LJPG byte string back to an RGB image. Fatal on
- *  malformed input. */
+/**
+ * Decode an LJPG byte string back to an RGB image. All malformed
+ * input — bad magic, corrupt header, truncated or bit-flipped
+ * entropy payload — comes back as an Error, never a crash; the fault
+ * injection suite sweeps every single-byte truncation and seeded
+ * random flips over this entry point.
+ */
+Result<Image> tryDecode(const std::string &bytes,
+                        const DecodeOptions &options = {});
+
+/** Fatal wrapper over tryDecode for trusted fixtures (benches,
+ *  differential tests) where corruption would be a harness bug. */
 Image decode(const std::string &bytes, const DecodeOptions &options = {});
 
 } // namespace lotus::image::codec

@@ -24,6 +24,17 @@ labeled(const std::string &name, const std::string &key,
     return name + "{" + key + "=\"" + value + "\"}";
 }
 
+std::string
+labeled(const std::string &name, const std::string &key1,
+        const std::string &value1, const std::string &key2,
+        const std::string &value2)
+{
+    LOTUS_ASSERT(name.find('{') == std::string::npos,
+                 "metric '%s' already carries labels", name.c_str());
+    return name + "{" + key1 + "=\"" + value1 + "\"," + key2 + "=\"" +
+           value2 + "\"}";
+}
+
 void
 splitLabeled(const std::string &name, std::string &family,
              std::string &labels)

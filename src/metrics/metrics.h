@@ -90,6 +90,11 @@ class ScopedEnable
 std::string labeled(const std::string &name, const std::string &key,
                     const std::string &value);
 
+/** Two-label variant: `name{k1="v1",k2="v2"}`. */
+std::string labeled(const std::string &name, const std::string &key1,
+                    const std::string &value1, const std::string &key2,
+                    const std::string &value2);
+
 /** Split `family{labels}` into its parts (labels empty when bare). */
 void splitLabeled(const std::string &name, std::string &family,
                   std::string &labels);

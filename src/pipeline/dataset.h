@@ -6,6 +6,7 @@
 #ifndef LOTUS_PIPELINE_DATASET_H
 #define LOTUS_PIPELINE_DATASET_H
 
+#include "common/result.h"
 #include "pipeline/sample.h"
 
 namespace lotus::pipeline {
@@ -21,9 +22,24 @@ class Dataset
     /**
      * Produce sample @p index, fully preprocessed. Must be safe to
      * call concurrently from multiple workers; per-worker randomness
-     * comes from @p ctx.
+     * comes from @p ctx. Fatal on bad input data; datasets over
+     * untrusted sources must override tryGet.
      */
     virtual Sample get(std::int64_t index, PipelineContext &ctx) const = 0;
+
+    /**
+     * Like get(), but bad input data (unreadable blob, corrupt
+     * encoding) comes back as an Error whose `stage` names the
+     * pipeline position that failed ("store", "decode", ...). The
+     * loader's ErrorPolicy decides what happens next. The default
+     * forwards to get() for datasets whose samples cannot fail
+     * recoverably (synthetic/generated data).
+     */
+    virtual Result<Sample>
+    tryGet(std::int64_t index, PipelineContext &ctx) const
+    {
+        return get(index, ctx);
+    }
 };
 
 } // namespace lotus::pipeline

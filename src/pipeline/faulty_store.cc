@@ -1,0 +1,144 @@
+#include "pipeline/faulty_store.h"
+
+#include "common/rng.h"
+
+namespace lotus::pipeline {
+
+FaultyStore::FaultyStore(std::shared_ptr<const BlobStore> inner,
+                         const FaultyStoreOptions &options)
+    : inner_(std::move(inner)), options_(options)
+{
+    LOTUS_ASSERT(inner_ != nullptr);
+    LOTUS_ASSERT(options_.truncate_fraction >= 0.0 &&
+                 options_.bitflip_fraction >= 0.0 &&
+                 options_.io_error_fraction >= 0.0 &&
+                 options_.truncate_fraction + options_.bitflip_fraction +
+                         options_.io_error_fraction <=
+                     1.0,
+                 "fault fractions must be non-negative and sum to <= 1");
+
+    const auto count = static_cast<std::size_t>(inner_->size());
+    faults_.assign(count, Fault::kNone);
+    fault_seeds_.assign(count, 0);
+    transient_left_ = std::make_unique<std::atomic<int>[]>(count);
+
+    // One draw per index against the cumulative fractions: the fault
+    // map is a pure function of (seed, fractions, store size).
+    Rng rng(options_.seed * 0x9E3779B97F4A7C15ull + 0xFA017ull);
+    for (std::size_t i = 0; i < count; ++i) {
+        const double draw = rng.nextDouble();
+        if (draw < options_.truncate_fraction)
+            faults_[i] = Fault::kTruncate;
+        else if (draw < options_.truncate_fraction +
+                            options_.bitflip_fraction)
+            faults_[i] = Fault::kBitFlip;
+        else if (draw < options_.truncate_fraction +
+                            options_.bitflip_fraction +
+                            options_.io_error_fraction)
+            faults_[i] = Fault::kIoError;
+        fault_seeds_[i] = rng.nextU64();
+        transient_left_[i].store(options_.transient_failures,
+                                 std::memory_order_relaxed);
+    }
+}
+
+void
+FaultyStore::inject(std::int64_t index, Fault fault)
+{
+    LOTUS_ASSERT(index >= 0 && index < size());
+    faults_[static_cast<std::size_t>(index)] = fault;
+}
+
+FaultyStore::Fault
+FaultyStore::faultFor(std::int64_t index) const
+{
+    LOTUS_ASSERT(index >= 0 && index < size());
+    return faults_[static_cast<std::size_t>(index)];
+}
+
+std::int64_t
+FaultyStore::faultCount() const
+{
+    std::int64_t count = 0;
+    for (const auto fault : faults_) {
+        if (fault != Fault::kNone)
+            ++count;
+    }
+    return count;
+}
+
+std::int64_t
+FaultyStore::size() const
+{
+    return inner_->size();
+}
+
+std::string
+FaultyStore::read(std::int64_t index) const
+{
+    Result<std::string> blob = tryRead(index);
+    if (!blob.ok())
+        LOTUS_FATAL("%s", blob.error().describe().c_str());
+    return blob.take();
+}
+
+Result<std::string>
+FaultyStore::tryRead(std::int64_t index) const
+{
+    LOTUS_ASSERT(index >= 0 && index < size(), "blob index %lld out of range",
+                 static_cast<long long>(index));
+    const auto i = static_cast<std::size_t>(index);
+    const Fault fault = faults_[i];
+
+    if (fault == Fault::kIoError) {
+        if (options_.transient_failures > 0) {
+            // fetch_sub so concurrent readers each consume one
+            // failure; once exhausted the blob reads cleanly.
+            const int left = transient_left_[i].fetch_add(
+                -1, std::memory_order_relaxed);
+            if (left <= 0) {
+                transient_left_[i].store(0, std::memory_order_relaxed);
+                return inner_->tryRead(index);
+            }
+        }
+        faults_served_.fetch_add(1, std::memory_order_relaxed);
+        return LOTUS_ERROR(ErrorCode::kIoError,
+                           "injected io error on blob %lld",
+                           static_cast<long long>(index));
+    }
+
+    Result<std::string> blob = inner_->tryRead(index);
+    if (!blob.ok() || fault == Fault::kNone)
+        return blob;
+
+    std::string bytes = blob.take();
+    Rng rng(fault_seeds_[i]);
+    if (fault == Fault::kTruncate) {
+        // Anywhere from empty to one-byte-short.
+        bytes.resize(static_cast<std::size_t>(
+            rng.nextBelow(bytes.empty() ? 1 : bytes.size())));
+    } else { // kBitFlip
+        if (!bytes.empty()) {
+            // Prefer payload bytes (past the 10-byte LJPG header) so
+            // the flip exercises entropy-decode error paths, not just
+            // header validation.
+            const std::size_t lo = bytes.size() > 10 ? 10 : 0;
+            const std::size_t pos =
+                lo + static_cast<std::size_t>(
+                         rng.nextBelow(bytes.size() - lo));
+            bytes[pos] = static_cast<char>(
+                static_cast<unsigned char>(bytes[pos]) ^
+                (1u << rng.nextBelow(8)));
+        }
+    }
+    faults_served_.fetch_add(1, std::memory_order_relaxed);
+    return bytes;
+}
+
+std::uint64_t
+FaultyStore::blobSize(std::int64_t index) const
+{
+    return inner_->blobSize(index);
+}
+
+} // namespace lotus::pipeline

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fault-injecting BlobStore decorator for the error-path test
+ * harness.
+ *
+ * Wraps any BlobStore and corrupts a deterministic, seeded subset of
+ * its blobs on the way out: truncations, single-bit flips, and
+ * (optionally transient) I/O errors — the failure modes a long
+ * characterization campaign meets on real storage. Fault assignment
+ * is drawn once per index at construction, so a given (seed,
+ * fractions) configuration injects exactly the same faults on every
+ * epoch and every run, and tests can assert exact error counts.
+ */
+
+#ifndef LOTUS_PIPELINE_FAULTY_STORE_H
+#define LOTUS_PIPELINE_FAULTY_STORE_H
+
+#include <atomic>
+#include <memory>
+
+#include "pipeline/store.h"
+
+namespace lotus::pipeline {
+
+struct FaultyStoreOptions
+{
+    std::uint64_t seed = 0;
+    /** Fraction of blobs served with a seeded truncation. */
+    double truncate_fraction = 0.0;
+    /** Fraction of blobs served with one flipped payload bit. */
+    double bitflip_fraction = 0.0;
+    /** Fraction of blobs whose reads fail with kIoError. */
+    double io_error_fraction = 0.0;
+    /**
+     * When > 0, an io-error blob fails this many reads and then
+     * succeeds — the transient-fault shape ErrorPolicy::kRetry
+     * exists for. 0 makes io errors permanent.
+     */
+    int transient_failures = 0;
+};
+
+class FaultyStore : public BlobStore
+{
+  public:
+    enum class Fault : std::uint8_t
+    {
+        kNone,
+        kTruncate,
+        kBitFlip,
+        kIoError,
+    };
+
+    FaultyStore(std::shared_ptr<const BlobStore> inner,
+                const FaultyStoreOptions &options);
+
+    /** Force a specific fault on one index (overrides the draw). */
+    void inject(std::int64_t index, Fault fault);
+
+    /** The fault assigned to @p index. */
+    Fault faultFor(std::int64_t index) const;
+
+    /** Indices with a non-kNone fault assigned. */
+    std::int64_t faultCount() const;
+
+    /** Reads that actually served a fault (truncated/flipped payload
+     *  or returned error) so far. */
+    std::uint64_t faultsServed() const
+    {
+        return faults_served_.load(std::memory_order_relaxed);
+    }
+
+    std::int64_t size() const override;
+    std::string read(std::int64_t index) const override;
+    Result<std::string> tryRead(std::int64_t index) const override;
+    std::uint64_t blobSize(std::int64_t index) const override;
+
+  private:
+    std::shared_ptr<const BlobStore> inner_;
+    FaultyStoreOptions options_;
+    std::vector<Fault> faults_;
+    /** Per-index seeds for the truncation point / flipped bit. */
+    std::vector<std::uint64_t> fault_seeds_;
+    /** Remaining failures per index for transient io errors. */
+    std::unique_ptr<std::atomic<int>[]> transient_left_;
+    mutable std::atomic<std::uint64_t> faults_served_{0};
+};
+
+} // namespace lotus::pipeline
+
+#endif // LOTUS_PIPELINE_FAULTY_STORE_H

@@ -25,6 +25,16 @@ ImageFolderDataset::size() const
 Sample
 ImageFolderDataset::get(std::int64_t index, PipelineContext &ctx) const
 {
+    Result<Sample> sample = tryGet(index, ctx);
+    if (!sample.ok())
+        LOTUS_FATAL("sample %lld: %s", static_cast<long long>(index),
+                    sample.error().describe().c_str());
+    return sample.take();
+}
+
+Result<Sample>
+ImageFolderDataset::tryGet(std::int64_t index, PipelineContext &ctx) const
+{
     Sample sample;
     sample.label = index % num_classes_;
     {
@@ -35,8 +45,22 @@ ImageFolderDataset::get(std::int64_t index, PipelineContext &ctx) const
         span.record().sample_index = ctx.sample_index;
         {
             hwcount::OpTagScope op_scope(loader_tag_);
-            const std::string blob = store_->read(index);
-            sample.image = image::codec::decode(blob);
+            Result<std::string> blob = store_->tryRead(index);
+            if (!blob.ok()) {
+                Error error = blob.takeError();
+                error.stage = "store";
+                span.finish();
+                return error;
+            }
+            Result<image::Image> image =
+                image::codec::tryDecode(blob.value());
+            if (!image.ok()) {
+                Error error = image.takeError();
+                error.stage = "decode";
+                span.finish();
+                return error;
+            }
+            sample.image = image.take();
         }
         span.finish();
     }

@@ -36,6 +36,8 @@ class ImageFolderDataset : public Dataset
 
     std::int64_t size() const override;
     Sample get(std::int64_t index, PipelineContext &ctx) const override;
+    Result<Sample> tryGet(std::int64_t index,
+                          PipelineContext &ctx) const override;
 
     const Compose &transforms() const { return *transforms_; }
 

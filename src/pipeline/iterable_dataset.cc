@@ -24,6 +24,19 @@ class StridedStream : public SampleStream
         return sample;
     }
 
+    Result<std::optional<Sample>>
+    tryNext(PipelineContext &ctx) override
+    {
+        if (cursor_ >= dataset_->size())
+            return std::optional<Sample>(std::nullopt);
+        Result<Sample> sample = dataset_->tryGet(cursor_, ctx);
+        // The slot is consumed even on error: streams advance.
+        cursor_ += stride_;
+        if (!sample.ok())
+            return sample.takeError();
+        return std::optional<Sample>(sample.take());
+    }
+
   private:
     std::shared_ptr<const Dataset> dataset_;
     std::int64_t cursor_;

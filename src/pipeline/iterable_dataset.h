@@ -23,8 +23,22 @@ class SampleStream
   public:
     virtual ~SampleStream() = default;
 
-    /** Next sample, or nullopt when the shard is exhausted. */
+    /** Next sample, or nullopt when the shard is exhausted. Fatal on
+     *  bad sample data; streams over untrusted sources override
+     *  tryNext. */
     virtual std::optional<Sample> next(PipelineContext &ctx) = 0;
+
+    /**
+     * Like next(), but bad sample data comes back as an Error. The
+     * bad sample is consumed either way — a stream cannot re-fetch,
+     * so the caller's retry option degrades to skip semantics. The
+     * default forwards to next() for streams that cannot fail
+     * recoverably.
+     */
+    virtual Result<std::optional<Sample>> tryNext(PipelineContext &ctx)
+    {
+        return next(ctx);
+    }
 };
 
 class IterableDataset

@@ -84,14 +84,26 @@ DiskStore::size() const
 std::string
 DiskStore::read(std::int64_t index) const
 {
+    Result<std::string> bytes = tryRead(index);
+    if (!bytes.ok())
+        LOTUS_FATAL("%s", bytes.error().describe().c_str());
+    return bytes.take();
+}
+
+Result<std::string>
+DiskStore::tryRead(std::int64_t index) const
+{
     LOTUS_ASSERT(index >= 0 && index < size(), "blob index %lld out of range",
                  static_cast<long long>(index));
     KernelScope scope(KernelId::FileRead);
-    std::string bytes = readFile(paths_[static_cast<std::size_t>(index)]);
-    scope.stats().bytes_read += bytes.size();
-    scope.stats().bytes_written += bytes.size();
+    Result<std::string> bytes =
+        tryReadFile(paths_[static_cast<std::size_t>(index)]);
+    if (!bytes.ok())
+        return bytes.takeError();
+    scope.stats().bytes_read += bytes.value().size();
+    scope.stats().bytes_written += bytes.value().size();
     scope.stats().items += 1;
-    return bytes;
+    return bytes.take();
 }
 
 std::uint64_t

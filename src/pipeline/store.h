@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/result.h"
 
 namespace lotus::pipeline {
 
@@ -28,8 +29,21 @@ class BlobStore
     /** Number of stored blobs. */
     virtual std::int64_t size() const = 0;
 
-    /** Fetch blob @p index (0-based). */
+    /** Fetch blob @p index (0-based). Fatal on I/O failure; stores
+     *  whose reads can fail recoverably must override tryRead. */
     virtual std::string read(std::int64_t index) const = 0;
+
+    /**
+     * Fetch blob @p index, reporting I/O failures as errors instead
+     * of aborting. Index-out-of-range stays an assert in every store:
+     * indices come from the sampler, so a bad one is a Lotus bug, not
+     * bad data. The default forwards to read() for stores that cannot
+     * fail recoverably (e.g. InMemoryStore).
+     */
+    virtual Result<std::string> tryRead(std::int64_t index) const
+    {
+        return read(index);
+    }
 
     /** Size in bytes of blob @p index without reading it. */
     virtual std::uint64_t blobSize(std::int64_t index) const = 0;
@@ -71,6 +85,7 @@ class DiskStore : public BlobStore
 
     std::int64_t size() const override;
     std::string read(std::int64_t index) const override;
+    Result<std::string> tryRead(std::int64_t index) const override;
     std::uint64_t blobSize(std::int64_t index) const override;
 
     const std::vector<std::string> &paths() const { return paths_; }

@@ -87,11 +87,13 @@ idctStoreBlockScalar(const float *block, std::int16_t *dst, int stride)
         const float *src = block + y * 8;
         std::int16_t *row = dst + y * stride;
         for (int x = 0; x < 8; ++x) {
-            const int s = static_cast<int>((src[x] + 128.0f) *
-                                               (1 << kYccFracBits) +
-                                           0.5f);
-            row[x] = static_cast<std::int16_t>(
-                std::clamp(s, 0, kYccSampleMax));
+            // Clamp in the float domain: corrupt streams can yield
+            // samples outside int range, and that float->int cast is
+            // UB.
+            const float s = std::clamp(
+                (src[x] + 128.0f) * (1 << kYccFracBits) + 0.5f, 0.0f,
+                static_cast<float>(kYccSampleMax));
+            row[x] = static_cast<std::int16_t>(s);
         }
     }
 }

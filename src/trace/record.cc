@@ -17,6 +17,7 @@ recordKindName(RecordKind kind)
       case RecordKind::TransformOp: return "STransformOp";
       case RecordKind::GpuCompute: return "SGpuCompute";
       case RecordKind::EpochBoundary: return "SEpoch";
+      case RecordKind::ErrorEvent: return "SError";
     }
     LOTUS_PANIC("bad record kind %d", static_cast<int>(kind));
 }
@@ -33,6 +34,7 @@ kindFromName(const std::string &name)
         {"STransformOp", RecordKind::TransformOp},
         {"SGpuCompute", RecordKind::GpuCompute},
         {"SEpoch", RecordKind::EpochBoundary},
+        {"SError", RecordKind::ErrorEvent},
     };
     for (const auto &[text, kind] : kinds) {
         if (name == text)

@@ -31,6 +31,7 @@ enum class RecordKind : std::uint8_t
     TransformOp,       ///< [T3] one preprocessing op on one sample
     GpuCompute,        ///< accelerator service of one batch
     EpochBoundary,     ///< epoch start/end marker
+    ErrorEvent,        ///< recoverable sample error (op "error:<stage>")
 };
 
 const char *recordKindName(RecordKind kind);

@@ -14,8 +14,14 @@
 #include "dataflow/data_loader.h"
 #include "dataflow/iterable_loader.h"
 #include "dataflow/sampler.h"
+#include "image/codec/codec.h"
+#include "image/synth.h"
 #include "metrics/metrics.h"
+#include "pipeline/compose.h"
+#include "pipeline/image_folder.h"
 #include "pipeline/iterable_dataset.h"
+#include "pipeline/store.h"
+#include "pipeline/transforms/vision.h"
 #include "trace/logger.h"
 
 namespace lotus::dataflow {
@@ -413,6 +419,78 @@ TEST(DataLoader, MultiEpochRestart)
             ++batches;
         EXPECT_EQ(batches, 3);
     }
+}
+
+/** ImageFolder over in-memory blobs with a random augmentation, for
+ *  probing the per-epoch fetch-RNG reseed. */
+std::shared_ptr<pipeline::ImageFolderDataset>
+makeAugmentedDataset()
+{
+    auto store = std::make_shared<pipeline::InMemoryStore>();
+    Rng synth_rng(123);
+    for (int i = 0; i < 4; ++i) {
+        store->add(image::codec::encode(
+            image::synthesize(synth_rng, 32, 32)));
+    }
+    std::vector<pipeline::TransformPtr> transforms;
+    pipeline::RandomResizedCrop::Params crop;
+    crop.size = 16;
+    transforms.push_back(
+        std::make_unique<pipeline::RandomResizedCrop>(crop));
+    transforms.push_back(std::make_unique<pipeline::ToTensor>());
+    return std::make_shared<pipeline::ImageFolderDataset>(
+        store, std::make_shared<pipeline::Compose>(std::move(transforms)),
+        4);
+}
+
+/** Run one full epoch and return every batch tensor's contents. */
+std::vector<float>
+epochTensorData(DataLoader &loader)
+{
+    loader.startEpoch();
+    std::vector<float> out;
+    while (auto batch = loader.next()) {
+        const float *data = batch->data.data<float>();
+        out.insert(out.end(), data, data + batch->data.numel());
+    }
+    return out;
+}
+
+TEST(DataLoader, AugmentationDrawsDifferAcrossEpochs)
+{
+    // Regression: worker fetch RNGs used to ignore the epoch, so
+    // RandomResizedCrop drew identical crops every epoch even though
+    // the shuffle reseeded. Epochs must differ, while a fixed (seed,
+    // epoch, worker) triple stays exactly reproducible.
+    auto dataset = makeAugmentedDataset();
+    auto collate = std::make_shared<pipeline::StackCollate>();
+    auto options = baseOptions(4, 1, nullptr);
+    options.seed = 11;
+    DataLoader loader(dataset, collate, options);
+    const auto epoch0 = epochTensorData(loader);
+    const auto epoch1 = epochTensorData(loader);
+    ASSERT_EQ(epoch0.size(), epoch1.size());
+    EXPECT_NE(epoch0, epoch1);
+
+    DataLoader replay(dataset, collate, options);
+    EXPECT_EQ(epochTensorData(replay), epoch0);
+    EXPECT_EQ(epochTensorData(replay), epoch1);
+}
+
+TEST(DataLoader, SynchronousAugmentationDrawsDifferAcrossEpochs)
+{
+    auto dataset = makeAugmentedDataset();
+    auto collate = std::make_shared<pipeline::StackCollate>();
+    auto options = baseOptions(4, 0, nullptr);
+    options.seed = 11;
+    DataLoader loader(dataset, collate, options);
+    const auto epoch0 = epochTensorData(loader);
+    const auto epoch1 = epochTensorData(loader);
+    EXPECT_NE(epoch0, epoch1);
+
+    DataLoader replay(dataset, collate, options);
+    EXPECT_EQ(epochTensorData(replay), epoch0);
+    EXPECT_EQ(epochTensorData(replay), epoch1);
 }
 
 TEST(DataLoader, PrefetchKeepsWorkersAheadOfConsumer)

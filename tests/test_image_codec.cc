@@ -89,6 +89,20 @@ TEST(BitIo, OverrunDetected)
     EXPECT_TRUE(reader.overrun());
 }
 
+TEST(BitIo, OutOfRangeCountSetsOverrun)
+{
+    // Corrupt Exp-Golomb prefixes can ask for absurd bit counts; the
+    // reader must flag overrun instead of asserting (bitstream
+    // contents are untrusted input).
+    const std::uint8_t bytes[4] = {1, 2, 3, 4};
+    BitReader wide(bytes, sizeof(bytes));
+    EXPECT_EQ(wide.getBits(40), 0u);
+    EXPECT_TRUE(wide.overrun());
+    BitReader negative(bytes, sizeof(bytes));
+    EXPECT_EQ(negative.getBits(-1), 0u);
+    EXPECT_TRUE(negative.overrun());
+}
+
 TEST(BitIo, AlignByte)
 {
     BitWriter writer;
@@ -481,6 +495,10 @@ TEST(Codec, OddDimensionsRoundTrip)
 
 TEST(Codec, RejectsGarbage)
 {
+    Result<Image> decoded = tryDecode("garbage data here");
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().code, ErrorCode::kCorruptData);
+    // The fatal wrapper for trusted fixtures still aborts.
     EXPECT_DEATH(decode("garbage data here"), "");
 }
 
@@ -489,10 +507,14 @@ TEST(Codec, RejectsTruncatedPayloadCleanly)
     Rng rng(31);
     Image img = synthesize(rng, 48, 48);
     const std::string encoded = encode(img);
-    // Chop the entropy payload: the decoder must exit with a clear
+    // Chop the entropy payload: the decoder must return a clear
     // error, never crash or emit a half-decoded image.
-    const std::string truncated = encoded.substr(0, encoded.size() / 3);
-    EXPECT_DEATH(decode(truncated), "corrupt LJPG");
+    Result<Image> decoded =
+        tryDecode(encoded.substr(0, encoded.size() / 3));
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().code, ErrorCode::kCorruptData);
+    EXPECT_NE(decoded.error().message.find("corrupt LJPG"),
+              std::string::npos);
 }
 
 TEST(Codec, RejectsBitFlippedHeader)
@@ -501,7 +523,10 @@ TEST(Codec, RejectsBitFlippedHeader)
     Image img = synthesize(rng, 32, 32);
     std::string encoded = encode(img);
     encoded[8] = static_cast<char>(200); // quality byte out of range
-    EXPECT_DEATH(decode(encoded), "corrupt LJPG header");
+    Result<Image> decoded = tryDecode(encoded);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_NE(decoded.error().message.find("corrupt LJPG header"),
+              std::string::npos);
 }
 
 TEST(Codec, TinyImageRoundTrip)

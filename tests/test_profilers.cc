@@ -84,7 +84,11 @@ TEST_F(ProfilerTest, LotusKeepsRecordsAndReportsPerOpSeconds)
     EXPECT_GT(lotus->logStorageBytes(), 0u);
     const auto seconds = lotus->perOpEpochSeconds();
     ASSERT_EQ(seconds.count("OpA"), 1u);
-    EXPECT_NEAR(seconds.at("OpA"), 0.004, 0.002);
+    // The lower bound is tight (the op spins for its full duration);
+    // the upper bound is loose because preemption under parallel test
+    // load inflates wall-clock spans well past the nominal 4 ms.
+    EXPECT_GE(seconds.at("OpA"), 0.0035);
+    EXPECT_LT(seconds.at("OpA"), 0.1);
 }
 
 TEST_F(ProfilerTest, SamplingProfilerSeesLongOpsMissesShortOnes)

@@ -128,6 +128,22 @@ render(const JsonValue &document, const std::string &source)
                                   : 0.0,
                 pool_hits, pool_misses, pool_bytes / (1024.0 * 1024.0));
 
+    // Sample-error headline: sum the per-{policy,stage} series of
+    // lotus_loader_sample_errors_total. Nonzero means the campaign is
+    // skipping/retrying bad records — worth noticing even when the
+    // pipeline keeps running.
+    double error_total = 0.0, error_rate = 0.0;
+    if (counters != nullptr) {
+        for (const auto &[name, value] : counters->object) {
+            if (name.rfind(dataflow::kSampleErrorsMetric, 0) == 0) {
+                error_total += value.number;
+                error_rate += rateFor(document, name);
+            }
+        }
+    }
+    std::printf("  sample errors %.0f  (%.1f/s)\n", error_total,
+                error_rate);
+
     if (gauges != nullptr && !gauges->object.empty()) {
         std::printf("\n  %-44s %10s\n", "gauge", "value");
         for (const auto &[name, value] : gauges->object)
