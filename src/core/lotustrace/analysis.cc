@@ -45,6 +45,8 @@ TraceAnalysis::TraceAnalysis(std::vector<TraceRecord> records)
           case RecordKind::TransformOp:
           case RecordKind::EpochBoundary:
           case RecordKind::ErrorEvent:
+          case RecordKind::TaskSpan:
+          case RecordKind::StealEvent:
             break;
         }
     }

@@ -24,6 +24,8 @@ augmentTrace(ChromeTraceBuilder &builder,
     for (const auto &record : records) {
         switch (record.kind) {
           case RecordKind::BatchPreprocessed:
+          case RecordKind::TaskSpan:
+          case RecordKind::StealEvent:
             worker_pids.insert(record.pid);
             break;
           case RecordKind::BatchWait:
@@ -95,6 +97,24 @@ augmentTrace(ChromeTraceBuilder &builder,
           case RecordKind::ErrorEvent:
             // op_name is "error:<stage>"; the instant marks the
             // corrupted sample in the worker's lane.
+            builder.addInstant(record.op_name, record.start, record.pid,
+                               record.pid);
+            break;
+          case RecordKind::TaskSpan:
+            // One per-sample fetch under work-stealing; tasks of the
+            // same batch can appear in several workers' lanes.
+            builder.addComplete(
+                strFormat("STask_%lld",
+                          static_cast<long long>(record.sample_index)),
+                "task", record.start, record.duration, record.pid,
+                record.pid);
+            builder.addArgToLast(
+                "batch", strFormat("%lld", static_cast<long long>(
+                                               record.batch_id)));
+            break;
+          case RecordKind::StealEvent:
+            // op_name is "steal<-wN" (the victim); the instant sits in
+            // the thief's lane at the moment of the steal.
             builder.addInstant(record.op_name, record.start, record.pid,
                                record.pid);
             break;

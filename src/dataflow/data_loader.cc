@@ -1,6 +1,7 @@
 #include "dataflow/data_loader.h"
 
 #include <chrono>
+#include <limits>
 
 #include "common/strings.h"
 #include "common/thread_util.h"
@@ -13,21 +14,26 @@ using pipeline::Batch;
 namespace {
 
 /**
- * Per-fetch RNG seed for one (base seed, epoch, worker) triple. The
- * epoch must be mixed in — otherwise random-transform augmentation
- * streams repeat identically every epoch even though the shuffle
- * reseeds — and the mix matches rebuildBatches() (golden-ratio
- * stride), so epoch 0 reproduces the historical pre-epoch-mix seeds.
- * Synchronous mode passes worker 0 (it follows the stream a lone
- * worker would).
+ * Per-epoch RNG seed base for one (base seed, epoch) pair. The epoch
+ * must be mixed in — otherwise random-transform augmentation streams
+ * repeat identically every epoch even though the shuffle reseeds —
+ * and the mix matches rebuildBatches() (golden-ratio stride).
+ * Augmentation draws are then per-sample: every fetch reseeds with
+ * sampleRngSeed(epochSeedBase(...), dataset index), so batch contents
+ * do not depend on worker count, schedule, or execution order (the
+ * determinism contract Schedule::kWorkStealing relies on; see
+ * FetchSeeding in dataflow/fetcher.h).
  */
 std::uint64_t
-fetchSeed(std::uint64_t seed, std::int64_t epoch, int worker)
+epochSeedBase(std::uint64_t seed, std::int64_t epoch)
 {
     constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ull;
-    return (seed + kGolden * static_cast<std::uint64_t>(epoch)) * kGolden +
-           static_cast<std::uint64_t>(worker) + 1;
+    return (seed + kGolden * static_cast<std::uint64_t>(epoch)) * kGolden;
 }
+
+/** Idle-worker wake backstop under work-stealing; wake events from
+ *  StealGroup::notifyWork make the common case prompt. */
+constexpr TimeNs kStealIdleWait = 200 * kMicrosecond;
 
 } // namespace
 
@@ -49,6 +55,23 @@ DataLoader::DataLoader(std::shared_ptr<const pipeline::Dataset> dataset,
         LOTUS_FATAL(
             "DataLoaderOptions: prefetch_factor must be >= 1 (got %d)",
             options_.prefetch_factor);
+    if (options_.max_retries < 0)
+        LOTUS_FATAL("DataLoaderOptions: max_retries must be >= 0 (got %d)",
+                    options_.max_retries);
+    if (options_.max_refill_attempts < 0)
+        LOTUS_FATAL(
+            "DataLoaderOptions: max_refill_attempts must be >= 0 (got %d)",
+            options_.max_refill_attempts);
+    // The priming budget prefetch_factor * num_workers must stay an
+    // int: overflow used to wrap silently and prime nothing (or spin
+    // the epoch-start loop for minutes). Huge-but-valid factors are
+    // fine — startEpoch caps the priming rounds at numBatches().
+    if (static_cast<std::int64_t>(options_.prefetch_factor) *
+            std::max(options_.num_workers, 1) >
+        std::numeric_limits<int>::max())
+        LOTUS_FATAL("DataLoaderOptions: prefetch_factor x num_workers "
+                    "overflows (%d x %d)",
+                    options_.prefetch_factor, options_.num_workers);
     registerMetrics();
     rebuildBatches();
 }
@@ -66,6 +89,12 @@ DataLoader::registerMetrics()
         registry.gauge("lotus_loader_data_queue_depth");
     metrics_.pin_cache_size =
         registry.gauge("lotus_loader_pin_cache_size");
+    // Work-stealing telemetry. tasks/batch-span register in every
+    // mode (they just stay untouched under round-robin) so dashboards
+    // can diff schedules without conditional queries.
+    metrics_.tasks_total = registry.counter(kTasksMetric);
+    metrics_.batch_span_ns =
+        registry.histogram("lotus_loader_batch_span_ns");
     if (options_.num_workers == 0) {
         metrics_.fetch_ns.push_back(registry.histogram(
             metrics::labeled("lotus_loader_fetch_ns", "worker", "main")));
@@ -78,6 +107,8 @@ DataLoader::registerMetrics()
         metrics_.index_queue_depth.push_back(registry.gauge(
             metrics::labeled("lotus_loader_index_queue_depth", "worker",
                              id)));
+        metrics_.steals.push_back(registry.counter(
+            metrics::labeled(kStealsMetric, "worker", id)));
     }
 }
 
@@ -121,11 +152,13 @@ DataLoader::startEpoch()
     rcvd_idx_ = 0;
     reorder_cache_.clear();
     batch_worker_.clear();
+    epoch_seed_base_ = epochSeedBase(options_.seed, epoch_);
 
     if (options_.num_workers == 0) {
-        // Synchronous mode: no queues or workers; next() fetches with
-        // the same per-epoch rng stream a lone worker would use.
-        sync_rng_ = Rng(fetchSeed(options_.seed, epoch_, 0));
+        // Synchronous mode: no queues or workers; fetches reseed per
+        // sample from epoch_seed_base_, so this object only provides
+        // the storage the context points at.
+        sync_rng_ = Rng(epoch_seed_base_);
         if (options_.logger) {
             trace::TraceRecord marker;
             marker.kind = trace::RecordKind::EpochBoundary;
@@ -138,10 +171,19 @@ DataLoader::startEpoch()
         return;
     }
 
+    // Work-stealing collapses the per-worker index queues into one
+    // shared queue: any worker may decompose any batch, so a slow
+    // worker can never strand index messages behind its own backlog.
     index_queues_.clear();
-    for (int w = 0; w < options_.num_workers; ++w)
+    const int queue_count = workStealing() ? 1 : options_.num_workers;
+    for (int q = 0; q < queue_count; ++q)
         index_queues_.push_back(std::make_unique<MpmcQueue<IndexMsg>>());
     data_queue_ = std::make_unique<MpmcQueue<DataMsg>>();
+    if (workStealing()) {
+        group_ = std::make_unique<StealGroup>(options_.num_workers);
+        std::lock_guard lock(builds_mutex_);
+        builds_.clear();
+    }
 
     {
         std::lock_guard lock(worker_pids_mutex_);
@@ -149,7 +191,12 @@ DataLoader::startEpoch()
                             0);
     }
     for (int w = 0; w < options_.num_workers; ++w)
-        workers_.emplace_back([this, w] { workerLoop(w); });
+        workers_.emplace_back([this, w] {
+            if (workStealing())
+                stealingLoop(w);
+            else
+                workerLoop(w);
+        });
 
     // Wait for every worker to announce its pid so trace records and
     // workerPids() are complete from the first batch on.
@@ -165,8 +212,13 @@ DataLoader::startEpoch()
     }
 
     // Prime every worker's index queue with prefetch_factor batches,
-    // round-robin across workers (paper §II-B).
-    for (int round = 0; round < options_.prefetch_factor; ++round) {
+    // round-robin across workers (paper §II-B). Rounds are capped at
+    // numBatches(): beyond that every tryPutIndex is a no-op, and an
+    // uncapped loop with a huge (valid) prefetch_factor would spin
+    // here for prefetch_factor x num_workers iterations.
+    const std::int64_t rounds = std::min<std::int64_t>(
+        options_.prefetch_factor, numBatches());
+    for (std::int64_t round = 0; round < rounds; ++round) {
         for (int w = 0; w < options_.num_workers; ++w)
             tryPutIndex(w);
     }
@@ -191,9 +243,14 @@ DataLoader::tryPutIndex(int worker_id)
     msg.indices = batches_[static_cast<std::size_t>(send_idx_)];
     batch_worker_[send_idx_] = worker_id;
     ++send_idx_;
-    index_queues_[static_cast<std::size_t>(worker_id)]->push(
-        std::move(msg));
-    metrics_.index_queue_depth[static_cast<std::size_t>(worker_id)]->add(1);
+    // Under work-stealing, worker_id stays the nominal home worker
+    // for refill credit, but the message goes on the shared queue.
+    const auto queue =
+        workStealing() ? 0u : static_cast<std::size_t>(worker_id);
+    index_queues_[queue]->push(std::move(msg));
+    metrics_.index_queue_depth[queue]->add(1);
+    if (workStealing())
+        group_->notifyWork();
 }
 
 void
@@ -206,9 +263,11 @@ DataLoader::workerLoop(int worker_id)
         worker_pids_[static_cast<std::size_t>(worker_id)] = pid;
     }
     worker_ready_cv_.notify_one();
-    // epoch_ is stable while workers run: startEpoch joins every
-    // worker before incrementing it.
-    Rng rng(fetchSeed(options_.seed, epoch_, worker_id));
+    // epoch_seed_base_ is stable while workers run: startEpoch joins
+    // every worker before recomputing it. The rng object is just the
+    // storage ctx points at — every sample attempt reseeds it.
+    Rng rng(epoch_seed_base_);
+    const FetchSeeding seeding{/*per_sample=*/true, epoch_seed_base_};
     const ErrorHandling errors{options_.error_policy, options_.max_retries,
                                options_.max_refill_attempts};
 
@@ -238,8 +297,8 @@ DataLoader::workerLoop(int worker_id)
         out.worker_id = worker_id;
         {
             metrics::ScopedTimer fetch_timer(fetch_hist);
-            Result<Batch> batch =
-                fetcher_.tryFetch(msg->batch_id, msg->indices, ctx, errors);
+            Result<Batch> batch = fetcher_.tryFetch(
+                msg->batch_id, msg->indices, ctx, errors, {}, seeding);
             // A failed batch still flows through the data queue (not a
             // silent worker death): the consumer re-raises it in batch
             // order as a LoaderError.
@@ -253,6 +312,228 @@ DataLoader::workerLoop(int worker_id)
         data_queue_->push(std::move(out));
         metrics_.data_queue_depth->add(1);
     }
+}
+
+void
+DataLoader::stealingLoop(int worker_id)
+{
+    setCurrentThreadName(strFormat("loader-%d", worker_id));
+    const std::uint32_t pid = currentTid();
+    {
+        std::lock_guard lock(worker_pids_mutex_);
+        worker_pids_[static_cast<std::size_t>(worker_id)] = pid;
+    }
+    worker_ready_cv_.notify_one();
+
+    // The rng object is only the storage ctx points at: runTask
+    // reseeds it per task from (epoch_seed_base_, dataset index), so
+    // draws are identical no matter which worker runs the task.
+    Rng rng(epoch_seed_base_);
+    pipeline::PipelineContext ctx;
+    ctx.logger = options_.logger;
+    ctx.pid = pid;
+    ctx.rng = &rng;
+
+    auto &deque = group_->deque(worker_id);
+    auto &index_queue = *index_queues_[0];
+    for (;;) {
+        // Snapshot the wake counter *before* scanning so a notify
+        // that lands mid-scan cuts the wait short instead of being
+        // lost.
+        const std::uint64_t idle_token = group_->workEpoch();
+
+        // 1) Own deque, LIFO: newest task is cache-warm.
+        if (SampleTask *task = deque.pop()) {
+            runTask(worker_id, task, ctx, rng);
+            continue;
+        }
+        // 2) Steal FIFO from the busiest peer: the oldest task of the
+        // most backed-up worker is the straggler batch's work.
+        int victim = -1;
+        if (SampleTask *task = group_->stealBusiest(worker_id, &victim)) {
+            metrics_.steals[static_cast<std::size_t>(worker_id)]->add(1);
+            if (options_.logger != nullptr) {
+                trace::TraceRecord record;
+                record.kind = trace::RecordKind::StealEvent;
+                record.batch_id = task->build->batch_id;
+                record.pid = pid;
+                record.start = options_.logger->now();
+                record.op_name = strFormat("steal<-w%d", victim);
+                record.sample_index = task->index;
+                options_.logger->log(std::move(record));
+            }
+            runTask(worker_id, task, ctx, rng);
+            continue;
+        }
+        // 3) Nothing to steal: decompose a new batch from the shared
+        // index queue.
+        if (auto msg = index_queue.tryPop()) {
+            metrics_.index_queue_depth[0]->sub(1);
+            decomposeBatch(worker_id, std::move(*msg));
+            continue;
+        }
+        // 4) Idle. The queue only closes after every batch is
+        // consumed (or the epoch aborted), so closed + nothing above
+        // means this worker is done.
+        if (index_queue.closed())
+            break;
+        group_->waitForWork(idle_token, kStealIdleWait);
+    }
+}
+
+void
+DataLoader::decomposeBatch(int worker_id, IndexMsg msg)
+{
+    auto owned = std::make_unique<BatchBuild>();
+    BatchBuild *build = owned.get();
+    build->batch_id = msg.batch_id;
+    build->home_worker = worker_id;
+    if (options_.logger != nullptr)
+        build->trace_start = options_.logger->now();
+    if (metrics::enabled())
+        build->start = SteadyClock::instance().now();
+    build->indices = std::move(msg.indices);
+    const auto n = build->indices.size();
+    LOTUS_ASSERT(n > 0, "empty batch requested");
+    build->samples.resize(n);
+    build->errors.resize(n);
+    build->tasks.resize(n);
+    build->remaining.store(static_cast<int>(n),
+                           std::memory_order_relaxed);
+    {
+        // Retain the build until the epoch's workers join: a stolen
+        // task pointer must never outlive its build, even when the
+        // epoch aborts mid-batch.
+        std::lock_guard lock(builds_mutex_);
+        builds_.push_back(std::move(owned));
+    }
+    auto &deque = group_->deque(worker_id);
+    for (std::size_t slot = 0; slot < n; ++slot) {
+        SampleTask &task = build->tasks[slot];
+        task.build = build;
+        task.slot = static_cast<int>(slot);
+        task.index = build->indices[slot];
+        task.retries_left = options_.max_retries;
+        task.refills_left = options_.max_refill_attempts;
+        deque.push(&task);
+    }
+    metrics_.tasks_total->add(n);
+    group_->notifyWork();
+}
+
+void
+DataLoader::runTask(int worker_id, SampleTask *task,
+                    pipeline::PipelineContext &ctx, Rng &rng)
+{
+    BatchBuild &build = *task->build;
+    ctx.batch_id = build.batch_id;
+    ctx.sample_index = task->index;
+    // The per-sample seeding contract (FetchSeeding): reseed on the
+    // current candidate index so retries replay and refills draw what
+    // the replacement index would draw in its own slot.
+    rng = Rng(sampleRngSeed(epoch_seed_base_, task->index));
+
+    trace::SpanTimer span(options_.logger, trace::RecordKind::TaskSpan);
+    span.record().op_name = "task";
+    span.record().batch_id = build.batch_id;
+    span.record().pid = ctx.pid;
+    span.record().sample_index = task->index;
+    Result<pipeline::Sample> sample = [&] {
+        metrics::ScopedTimer fetch_timer(
+            metrics_.fetch_ns[static_cast<std::size_t>(worker_id)]);
+        return fetcher_.dataset().tryGet(task->index, ctx);
+    }();
+    span.finish();
+    ctx.sample_index = -1;
+
+    if (sample.ok()) {
+        build.samples[static_cast<std::size_t>(task->slot)] = sample.take();
+    } else {
+        noteSampleError(sample.error(), task->index, ctx,
+                        options_.error_policy);
+        // Unresolved outcomes re-enqueue the same task object (this
+        // worker owns it) instead of looping inline, so peers can
+        // steal the follow-up attempt too. The candidate walk matches
+        // Fetcher::fetchSample exactly — determinism depends on it.
+        switch (options_.error_policy) {
+          case ErrorPolicy::kFail:
+            break;
+          case ErrorPolicy::kRetry:
+            if (errorIsTransient(sample.error().code) &&
+                task->retries_left-- > 0) {
+                group_->deque(worker_id).push(task);
+                group_->notifyWork();
+                return;
+            }
+            break;
+          case ErrorPolicy::kSkip:
+            if (task->refills_left-- > 0) {
+                task->index = (task->index + 1) % dataset_->size();
+                group_->deque(worker_id).push(task);
+                group_->notifyWork();
+                return;
+            }
+            break;
+        }
+        build.errors[static_cast<std::size_t>(task->slot)] =
+            sample.takeError();
+    }
+
+    // acq_rel: the release side joins this slot's writes to the
+    // counter's release sequence; the acquire side makes every slot
+    // visible to whichever worker observes the count hit zero.
+    if (build.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        completeBatch(worker_id, build, ctx);
+}
+
+void
+DataLoader::completeBatch(int worker_id, BatchBuild &build,
+                          pipeline::PipelineContext &ctx)
+{
+    DataMsg out;
+    out.batch_id = build.batch_id;
+    out.worker_id = worker_id;
+
+    // Deterministic failure selection: the lowest failed slot is the
+    // first failure round-robin's sequential fetch would have hit, so
+    // both schedules surface the same error for the same seed. (Error
+    // *counts* can differ under kFail: stealing attempts every slot,
+    // round-robin stops at the first failure.)
+    std::size_t first_error = build.errors.size();
+    for (std::size_t slot = 0; slot < build.errors.size(); ++slot) {
+        if (build.errors[slot].has_value()) {
+            first_error = slot;
+            break;
+        }
+    }
+    if (first_error < build.errors.size()) {
+        out.error = std::move(*build.errors[first_error]);
+    } else {
+        ctx.batch_id = build.batch_id;
+        out.batch = fetcher_.collateBatch(build.batch_id,
+                                          std::move(build.samples), ctx);
+    }
+
+    // [T1] for the whole build: decompose -> last slot + collate, in
+    // the finisher's lane. The span can overlap other batches' task
+    // spans in the same lane — that is the point of the schedule.
+    if (options_.logger != nullptr) {
+        trace::TraceRecord record;
+        record.kind = trace::RecordKind::BatchPreprocessed;
+        record.batch_id = build.batch_id;
+        record.pid = ctx.pid;
+        record.start = build.trace_start;
+        record.duration = options_.logger->now() - build.trace_start;
+        options_.logger->log(std::move(record));
+    }
+    if (build.start != 0 && metrics::enabled()) {
+        const TimeNs span = SteadyClock::instance().now() - build.start;
+        metrics_.batch_span_ns->record(
+            static_cast<std::uint64_t>(span > 0 ? span : 0));
+    }
+
+    data_queue_->push(std::move(out));
+    metrics_.data_queue_depth->add(1);
 }
 
 void
@@ -292,7 +573,8 @@ DataLoader::nextSynchronous()
                                    options_.max_refill_attempts};
         Result<Batch> fetched = fetcher_.tryFetch(
             wanted, batches_[static_cast<std::size_t>(wanted)], ctx, errors,
-            std::move(spare_));
+            std::move(spare_),
+            FetchSeeding{/*per_sample=*/true, epoch_seed_base_});
         spare_ = tensor::Tensor();
         if (!fetched.ok()) {
             // Synchronous re-raise: worker id -1 marks the main
@@ -445,11 +727,22 @@ DataLoader::shutdownWorkers()
 {
     for (auto &queue : index_queues_)
         queue->close();
+    if (group_ != nullptr)
+        group_->notifyShutdown();
     for (auto &worker : workers_) {
         if (worker.joinable())
             worker.join();
     }
     workers_.clear();
+    // Builds (and with them every SampleTask the deques ever held)
+    // are only released once no worker can touch them.
+    if (group_ != nullptr) {
+        {
+            std::lock_guard lock(builds_mutex_);
+            builds_.clear();
+        }
+        group_.reset();
+    }
 }
 
 } // namespace lotus::dataflow

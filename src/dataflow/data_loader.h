@@ -35,10 +35,37 @@
 #include "common/rng.h"
 #include "dataflow/error_policy.h"
 #include "dataflow/fetcher.h"
+#include "dataflow/work_queue.h"
 #include "metrics/metrics.h"
 #include "trace/logger.h"
 
 namespace lotus::dataflow {
+
+/**
+ * How batches are divided among workers.
+ *
+ * kRoundRobin is the paper-faithful §II-B protocol (static
+ * whole-batch assignment, one index queue per worker) and the default
+ * — characterization runs must keep it to reproduce the paper's [T2]
+ * behavior. kWorkStealing decomposes every batch into per-sample
+ * tasks on per-worker Chase–Lev deques: a worker drains its own deque
+ * LIFO and steals FIFO from the busiest peer, so an idle fleet
+ * collaborates on a straggler's batch instead of waiting behind it
+ * (index queues collapse into one shared queue; see DESIGN.md §10).
+ * Batch contents are bit-identical across both modes and
+ * num_workers=0 for the same seed.
+ */
+enum class Schedule : std::uint8_t
+{
+    kRoundRobin,
+    kWorkStealing,
+};
+
+/** Counter family for tasks stolen under Schedule::kWorkStealing,
+ *  exported per thief as {worker=N}. */
+inline constexpr const char *kStealsMetric = "lotus_loader_steals_total";
+/** Per-sample tasks executed under Schedule::kWorkStealing. */
+inline constexpr const char *kTasksMetric = "lotus_loader_tasks_total";
 
 struct DataLoaderOptions
 {
@@ -70,6 +97,8 @@ struct DataLoaderOptions
     int max_retries = 2;
     /** kSkip: replacement candidates tried per bad batch slot. */
     int max_refill_attempts = 8;
+    /** Batch-to-worker scheduling mode (see Schedule). */
+    Schedule schedule = Schedule::kRoundRobin;
 };
 
 class DataLoader
@@ -141,6 +170,22 @@ class DataLoader
     };
 
     void workerLoop(int worker_id);
+    /** Worker body under Schedule::kWorkStealing: pop own deque,
+     *  steal from the busiest peer, else decompose a new batch. */
+    void stealingLoop(int worker_id);
+    /** Split an IndexMsg into per-sample tasks on @p worker's deque. */
+    void decomposeBatch(int worker_id, IndexMsg msg);
+    /** Resolve one task's slot; the countdown's last writer collates. */
+    void runTask(int worker_id, SampleTask *task,
+                 pipeline::PipelineContext &ctx, Rng &rng);
+    /** Last-finishing worker: pick the batch outcome, collate, ship. */
+    void completeBatch(int worker_id, BatchBuild &build,
+                       pipeline::PipelineContext &ctx);
+    bool workStealing() const
+    {
+        return options_.schedule == Schedule::kWorkStealing &&
+               options_.num_workers > 0;
+    }
     void tryPutIndex(int worker_id);
     void pinBatch(pipeline::Batch &batch) const;
     /** Shut the epoch down and re-raise a worker's sample error. */
@@ -163,6 +208,11 @@ class DataLoader
         /** Indexed by worker id (one "main" entry when num_workers=0). */
         std::vector<metrics::Histogram *> fetch_ns;
         std::vector<metrics::Gauge *> index_queue_depth;
+        /** Work-stealing telemetry: per-sample tasks executed, tasks
+         *  stolen per thief, and first-task-to-collate batch span. */
+        metrics::Counter *tasks_total = nullptr;
+        std::vector<metrics::Counter *> steals;
+        metrics::Histogram *batch_span_ns = nullptr;
     };
 
     std::shared_ptr<const pipeline::Dataset> dataset_;
@@ -191,6 +241,17 @@ class DataLoader
      *  their turn so failures surface in batch order). */
     std::map<std::int64_t, DataMsg> reorder_cache_;
     std::map<std::int64_t, int> batch_worker_;
+
+    // Work-stealing state (null / empty under kRoundRobin).
+    /** The epoch's deques + idle coordination; rebuilt per epoch. */
+    std::unique_ptr<StealGroup> group_;
+    /** In-flight batch assemblies. Retained until the epoch's workers
+     *  join so stolen task pointers can never dangle; the heavy
+     *  payload leaves at collate, so retention is cheap. */
+    std::vector<std::unique_ptr<BatchBuild>> builds_;
+    std::mutex builds_mutex_;
+    /** epochSeedBase(seed, epoch); drives per-sample RNG reseeding. */
+    std::uint64_t epoch_seed_base_ = 0;
 
     /** Fetch rng for the synchronous (num_workers=0) path. */
     Rng sync_rng_{0};

@@ -50,9 +50,24 @@ noteSampleError(const Error &error, std::int64_t sample_index,
     }
 }
 
+std::uint64_t
+sampleRngSeed(std::uint64_t epoch_base, std::int64_t sample_index)
+{
+    // splitmix64 finalizer over (epoch base, index): adjacent indices
+    // land in unrelated streams, and the Rng's own splitmix64 seeding
+    // expands the result into full generator state.
+    std::uint64_t z = epoch_base +
+                      0x9E3779B97F4A7C15ull *
+                          (static_cast<std::uint64_t>(sample_index) + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
 Result<pipeline::Sample>
 Fetcher::fetchSample(std::int64_t index, pipeline::PipelineContext &ctx,
-                     const ErrorHandling &errors) const
+                     const ErrorHandling &errors,
+                     const FetchSeeding &seeding) const
 {
     const std::int64_t size = dataset_->size();
     std::int64_t current = index;
@@ -60,6 +75,12 @@ Fetcher::fetchSample(std::int64_t index, pipeline::PipelineContext &ctx,
     int refills_left = errors.max_refill_attempts;
     for (;;) {
         ctx.sample_index = current;
+        // Reseed per attempt, keyed on the *current* candidate: a
+        // kSkip refill draws what the replacement index would have
+        // drawn in its own slot, and a kRetry re-read replays the
+        // same stream (see FetchSeeding).
+        if (seeding.per_sample && ctx.rng != nullptr)
+            *ctx.rng = Rng(sampleRngSeed(seeding.epoch_base, current));
         Result<pipeline::Sample> sample = dataset_->tryGet(current, ctx);
         if (sample.ok())
             return sample;
@@ -93,7 +114,8 @@ Result<pipeline::Batch>
 Fetcher::tryFetch(std::int64_t batch_id,
                   const std::vector<std::int64_t> &indices,
                   pipeline::PipelineContext &ctx,
-                  const ErrorHandling &errors, tensor::Tensor reuse) const
+                  const ErrorHandling &errors, tensor::Tensor reuse,
+                  const FetchSeeding &seeding) const
 {
     LOTUS_ASSERT(!indices.empty(), "empty batch requested");
     ctx.batch_id = batch_id;
@@ -101,7 +123,8 @@ Fetcher::tryFetch(std::int64_t batch_id,
     std::vector<pipeline::Sample> samples;
     samples.reserve(indices.size());
     for (const auto index : indices) {
-        Result<pipeline::Sample> sample = fetchSample(index, ctx, errors);
+        Result<pipeline::Sample> sample =
+            fetchSample(index, ctx, errors, seeding);
         if (!sample.ok()) {
             ctx.sample_index = -1;
             return sample.takeError();
@@ -109,7 +132,16 @@ Fetcher::tryFetch(std::int64_t batch_id,
         samples.push_back(sample.take());
     }
     ctx.sample_index = -1;
+    return collateBatch(batch_id, std::move(samples), ctx,
+                        std::move(reuse));
+}
 
+pipeline::Batch
+Fetcher::collateBatch(std::int64_t batch_id,
+                      std::vector<pipeline::Sample> samples,
+                      pipeline::PipelineContext &ctx,
+                      tensor::Tensor reuse) const
+{
     trace::SpanTimer span(ctx.logger, trace::RecordKind::TransformOp);
     span.record().op_name = pipeline::Collate::kOpName;
     span.record().batch_id = batch_id;

@@ -31,6 +31,31 @@ inline constexpr const char *kSampleErrorsMetric =
 void noteSampleError(const Error &error, std::int64_t sample_index,
                      pipeline::PipelineContext &ctx, ErrorPolicy policy);
 
+/**
+ * Augmentation RNG seeding contract (DESIGN.md §10). When
+ * `per_sample` is set, the fetch path reseeds ctx.rng with
+ * sampleRngSeed(epoch_base, index) immediately before *every* sample
+ * attempt — including kSkip refill candidates and kRetry re-reads —
+ * so a sample's random draws depend only on (base seed, epoch,
+ * dataset index), never on which worker executes it or in what order.
+ * This is what makes Schedule::kWorkStealing bit-identical to
+ * round-robin and to num_workers=0 for the same seed. Off (the
+ * default) preserves a free-running per-caller stream for standalone
+ * Fetcher users.
+ */
+struct FetchSeeding
+{
+    bool per_sample = false;
+    /** Per-epoch base, e.g. DataLoader's (seed, epoch) mix. */
+    std::uint64_t epoch_base = 0;
+};
+
+/** The per-attempt seed: a splitmix64-style mix of the epoch base and
+ *  the dataset index (not the batch slot), so refilled candidates
+ *  draw exactly what they would have drawn in their own slot. */
+std::uint64_t sampleRngSeed(std::uint64_t epoch_base,
+                            std::int64_t sample_index);
+
 class Fetcher
 {
   public:
@@ -69,7 +94,19 @@ class Fetcher
                                      const std::vector<std::int64_t> &indices,
                                      pipeline::PipelineContext &ctx,
                                      const ErrorHandling &errors,
-                                     tensor::Tensor reuse = {}) const;
+                                     tensor::Tensor reuse = {},
+                                     const FetchSeeding &seeding = {}) const;
+
+    /**
+     * Collate already-fetched samples into the batch for @p batch_id,
+     * with the same [T3] "Collate" trace span and hwcount tag as the
+     * fetch paths. The work-stealing scheduler resolves slots across
+     * workers and hands the assembled sample vector here.
+     */
+    pipeline::Batch collateBatch(std::int64_t batch_id,
+                                 std::vector<pipeline::Sample> samples,
+                                 pipeline::PipelineContext &ctx,
+                                 tensor::Tensor reuse = {}) const;
 
     const pipeline::Dataset &dataset() const { return *dataset_; }
 
@@ -77,7 +114,8 @@ class Fetcher
     /** Resolve one batch slot under the error policy. */
     Result<pipeline::Sample> fetchSample(std::int64_t index,
                                          pipeline::PipelineContext &ctx,
-                                         const ErrorHandling &errors) const;
+                                         const ErrorHandling &errors,
+                                         const FetchSeeding &seeding) const;
 
     std::shared_ptr<const pipeline::Dataset> dataset_;
     std::shared_ptr<const pipeline::Collate> collate_;

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Per-worker work-stealing deques for Schedule::kWorkStealing.
+ *
+ * Each DataLoader worker owns a TaskDeque of per-sample fetch tasks:
+ * the owner pushes and pops at the bottom (LIFO, cache-warm), idle
+ * peers steal from the top (FIFO, oldest batch first) — the Chase–Lev
+ * shape. A shared BatchBuild per in-flight batch collects the slot
+ * results; an atomic countdown elects the last-finishing worker to
+ * collate and ship the batch (see DESIGN.md §10 for the memory-order
+ * argument).
+ *
+ * The deque is lock-free for push/pop/steal. It deliberately uses the
+ * fence-free seq_cst formulation of Chase–Lev rather than standalone
+ * atomic_thread_fence: ThreadSanitizer does not model fences, and the
+ * deques must stay TSan-clean (tools/run_tsan.sh). The seq_cst
+ * top/bottom operations cost a few cycles more per pop/steal, which
+ * is noise next to a sample fetch (tens of microseconds and up).
+ */
+
+#ifndef LOTUS_DATAFLOW_WORK_QUEUE_H
+#define LOTUS_DATAFLOW_WORK_QUEUE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "pipeline/sample.h"
+
+namespace lotus::dataflow {
+
+struct BatchBuild;
+
+/**
+ * One per-sample fetch task. Tasks live in their BatchBuild's `tasks`
+ * array (stable addresses); the deques traffic in pointers. Exactly
+ * one worker owns a task at any time — the one that popped or stole
+ * it — so the non-atomic fields may be mutated and the task re-pushed
+ * (retry / skip-refill) without further synchronization: the deque's
+ * push/steal ordering publishes the writes to the next owner.
+ */
+struct SampleTask
+{
+    BatchBuild *build = nullptr;
+    /** Collate slot this task resolves. */
+    int slot = 0;
+    /** Dataset index currently being attempted (advances on refill). */
+    std::int64_t index = 0;
+    int retries_left = 0;
+    int refills_left = 0;
+};
+
+/**
+ * Shared assembly state for one decomposed batch. Slot vectors are
+ * single-writer (each slot belongs to exactly one task); `remaining`
+ * counts unresolved slots, and the fetch_sub that takes it to zero
+ * elects the collating worker. Builds are retained by the loader
+ * until the epoch's workers have joined, so a stolen task can never
+ * outlive its build.
+ */
+struct BatchBuild
+{
+    std::int64_t batch_id = -1;
+    /** Worker that dequeued the IndexMsg (trace/refill bookkeeping). */
+    int home_worker = 0;
+    /** Decompose time on the metrics clock; 0 when metrics are off. */
+    TimeNs start = 0;
+    /** Decompose time on the tracer's clock; 0 when untraced. */
+    TimeNs trace_start = 0;
+    std::vector<std::int64_t> indices;
+    std::vector<pipeline::Sample> samples;
+    std::vector<std::optional<Error>> errors;
+    std::vector<SampleTask> tasks;
+    std::atomic<int> remaining{0};
+};
+
+/**
+ * Chase–Lev-style deque of SampleTask pointers.
+ *
+ * Owner-only: push(), pop(). Any thread: steal(), sizeEstimate().
+ * The ring grows on demand (owner-only); retired rings are kept until
+ * destruction so a concurrent steal can always dereference the ring
+ * it loaded.
+ */
+class TaskDeque
+{
+  public:
+    explicit TaskDeque(std::int64_t capacity = 64);
+    ~TaskDeque() = default;
+
+    TaskDeque(const TaskDeque &) = delete;
+    TaskDeque &operator=(const TaskDeque &) = delete;
+
+    /** Owner only: push one task at the bottom. */
+    void push(SampleTask *task);
+
+    /** Owner only: pop the most recently pushed task, or null. */
+    SampleTask *pop();
+
+    /** Any thread: steal the oldest task, or null (empty or lost a
+     *  race — callers just move on to another victim). */
+    SampleTask *steal();
+
+    /** Approximate depth (racy; used only for victim selection). */
+    std::int64_t sizeEstimate() const;
+
+  private:
+    struct Ring
+    {
+        explicit Ring(std::int64_t cap)
+            : capacity(cap),
+              slots(std::make_unique<std::atomic<SampleTask *>[]>(
+                  static_cast<std::size_t>(cap)))
+        {
+        }
+
+        SampleTask *
+        get(std::int64_t i) const
+        {
+            return slots[static_cast<std::size_t>(i & (capacity - 1))]
+                .load(std::memory_order_relaxed);
+        }
+
+        void
+        put(std::int64_t i, SampleTask *task)
+        {
+            slots[static_cast<std::size_t>(i & (capacity - 1))].store(
+                task, std::memory_order_relaxed);
+        }
+
+        const std::int64_t capacity;
+        std::unique_ptr<std::atomic<SampleTask *>[]> slots;
+    };
+
+    /** Owner only: double the ring, copying live entries. */
+    Ring *grow(Ring *old, std::int64_t top, std::int64_t bottom);
+
+    alignas(64) std::atomic<std::int64_t> top_{0};
+    alignas(64) std::atomic<std::int64_t> bottom_{0};
+    std::atomic<Ring *> ring_{nullptr};
+    /** Every ring ever allocated; freed only at destruction so a
+     *  thief holding a stale ring pointer stays safe. */
+    std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/**
+ * The deques of one epoch's workers plus the idle/wake coordination.
+ *
+ * Waking is event-counted: a worker snapshots workEpoch() *before*
+ * scanning for work and passes the token to waitForWork(), so a
+ * notify that lands between the scan and the wait is never lost. The
+ * timeout is only a backstop against pathological scheduling.
+ */
+class StealGroup
+{
+  public:
+    explicit StealGroup(int num_workers);
+
+    TaskDeque &deque(int worker) { return *deques_[static_cast<std::size_t>(worker)]; }
+    int size() const { return static_cast<int>(deques_.size()); }
+
+    /**
+     * Steal one task from the deepest peer deque (FIFO: the oldest
+     * task of the most backed-up worker, i.e. the straggler batch).
+     * @param victim_out set to the victim worker id on success.
+     */
+    SampleTask *stealBusiest(int thief, int *victim_out);
+
+    /** Current wake-event count; snapshot before scanning for work. */
+    std::uint64_t workEpoch() const;
+
+    /** New work exists (task pushed / index queued): wake idlers. */
+    void notifyWork();
+
+    /** Epoch tear-down: wake everyone for their shutdown check. */
+    void notifyShutdown();
+
+    /**
+     * Block until notifyWork() advances past @p seen_epoch,
+     * notifyShutdown() ran, or @p timeout elapses.
+     */
+    void waitForWork(std::uint64_t seen_epoch, TimeNs timeout);
+
+  private:
+    std::vector<std::unique_ptr<TaskDeque>> deques_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::uint64_t work_epoch_ = 0;
+    bool shutdown_ = false;
+};
+
+} // namespace lotus::dataflow
+
+#endif // LOTUS_DATAFLOW_WORK_QUEUE_H

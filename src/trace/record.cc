@@ -18,6 +18,8 @@ recordKindName(RecordKind kind)
       case RecordKind::GpuCompute: return "SGpuCompute";
       case RecordKind::EpochBoundary: return "SEpoch";
       case RecordKind::ErrorEvent: return "SError";
+      case RecordKind::TaskSpan: return "STask";
+      case RecordKind::StealEvent: return "SSteal";
     }
     LOTUS_PANIC("bad record kind %d", static_cast<int>(kind));
 }
@@ -35,6 +37,8 @@ kindFromName(const std::string &name)
         {"SGpuCompute", RecordKind::GpuCompute},
         {"SEpoch", RecordKind::EpochBoundary},
         {"SError", RecordKind::ErrorEvent},
+        {"STask", RecordKind::TaskSpan},
+        {"SSteal", RecordKind::StealEvent},
     };
     for (const auto &[text, kind] : kinds) {
         if (name == text)

@@ -32,6 +32,8 @@ enum class RecordKind : std::uint8_t
     GpuCompute,        ///< accelerator service of one batch
     EpochBoundary,     ///< epoch start/end marker
     ErrorEvent,        ///< recoverable sample error (op "error:<stage>")
+    TaskSpan,          ///< one per-sample fetch task (work-stealing)
+    StealEvent,        ///< task stolen from a peer (op "steal<-wN")
 };
 
 const char *recordKindName(RecordKind kind);

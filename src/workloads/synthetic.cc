@@ -1,9 +1,12 @@
 #include "workloads/synthetic.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "image/codec/codec.h"
 #include "image/synth.h"
 #include "tensor/serialize.h"
@@ -141,6 +144,60 @@ buildCocoStore(const CocoConfig &config)
         store->add(image::codec::encode(img, encode));
     }
     return store;
+}
+
+HeavyTailCostDataset::HeavyTailCostDataset(
+    std::int64_t size, const HeavyTailCostConfig &config)
+    : size_(size), config_(config)
+{
+    LOTUS_ASSERT(size_ > 0);
+    LOTUS_ASSERT(config_.busy_fraction >= 0.0 &&
+                 config_.busy_fraction <= 1.0);
+    Rng rng(config_.seed);
+    costs_.reserve(static_cast<std::size_t>(size_));
+    const double median = static_cast<double>(config_.median_cost);
+    for (std::int64_t i = 0; i < size_; ++i) {
+        double cost = median * std::exp(config_.sigma * rng.normal());
+        if (rng.chance(config_.straggler_fraction))
+            cost = median * config_.straggler_multiplier;
+        costs_.push_back(static_cast<TimeNs>(cost));
+    }
+}
+
+TimeNs
+HeavyTailCostDataset::totalCost() const
+{
+    TimeNs total = 0;
+    for (const TimeNs cost : costs_)
+        total += cost;
+    return total;
+}
+
+pipeline::Sample
+HeavyTailCostDataset::get(std::int64_t index,
+                          pipeline::PipelineContext &ctx) const
+{
+    const TimeNs cost = costs_[static_cast<std::size_t>(index)];
+    const auto busy = static_cast<TimeNs>(
+        static_cast<double>(cost) * config_.busy_fraction);
+    const auto &clock = SteadyClock::instance();
+    const TimeNs spin_deadline = clock.now() + busy;
+    while (clock.now() < spin_deadline) {
+    }
+    if (cost > busy)
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(cost - busy));
+
+    pipeline::Sample sample;
+    sample.data = tensor::Tensor(tensor::DType::F32, {8});
+    float *values = sample.data.data<float>();
+    Rng &rng = ctx.rngRef();
+    for (int i = 0; i < 8; ++i) {
+        values[i] = static_cast<float>(index) +
+                    static_cast<float>(rng.nextDouble());
+    }
+    sample.label = index;
+    return sample;
 }
 
 } // namespace lotus::workloads

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <functional>
+#include <limits>
 #include <set>
 
 #include "dataflow/data_loader.h"
@@ -168,6 +169,52 @@ TEST(DataLoaderOptionsValidation, RejectsPrefetchFactorBelowOne)
     EXPECT_EXIT(DataLoader(dataset, collate, options),
                 ::testing::ExitedWithCode(1),
                 "prefetch_factor must be >= 1");
+}
+
+TEST(DataLoaderOptionsValidation, RejectsNegativeMaxRetries)
+{
+    auto dataset = std::make_shared<ToyDataset>(4);
+    auto collate = std::make_shared<pipeline::StackCollate>();
+    auto options = baseOptions(2, 1, nullptr);
+    options.max_retries = -1;
+    EXPECT_EXIT(DataLoader(dataset, collate, options),
+                ::testing::ExitedWithCode(1), "max_retries must be >= 0");
+}
+
+TEST(DataLoaderOptionsValidation, RejectsNegativeMaxRefillAttempts)
+{
+    auto dataset = std::make_shared<ToyDataset>(4);
+    auto collate = std::make_shared<pipeline::StackCollate>();
+    auto options = baseOptions(2, 1, nullptr);
+    options.max_refill_attempts = -3;
+    EXPECT_EXIT(DataLoader(dataset, collate, options),
+                ::testing::ExitedWithCode(1),
+                "max_refill_attempts must be >= 0");
+}
+
+TEST(DataLoaderOptionsValidation, RejectsPrefetchTimesWorkersOverflow)
+{
+    auto dataset = std::make_shared<ToyDataset>(4);
+    auto collate = std::make_shared<pipeline::StackCollate>();
+    auto options = baseOptions(2, 4, nullptr);
+    options.prefetch_factor = std::numeric_limits<int>::max();
+    EXPECT_EXIT(DataLoader(dataset, collate, options),
+                ::testing::ExitedWithCode(1), "overflows");
+}
+
+TEST(DataLoaderOptionsValidation, HugePrefetchFactorIsCappedByEpoch)
+{
+    // A huge-but-valid prefetch_factor must not try to prime billions
+    // of rounds: priming is capped at the epoch's batch count.
+    auto dataset = std::make_shared<ToyDataset>(8);
+    auto collate = std::make_shared<pipeline::StackCollate>();
+    auto options = baseOptions(2, 1, nullptr);
+    options.prefetch_factor = std::numeric_limits<int>::max();
+    DataLoader loader(dataset, collate, options);
+    std::int64_t batches = 0;
+    while (loader.next().has_value())
+        ++batches;
+    EXPECT_EQ(batches, 4);
 }
 
 TEST(DataLoader, SynchronousModeDeliversAllBatchesInOrder)

@@ -144,6 +144,28 @@ render(const JsonValue &document, const std::string &source)
     std::printf("  sample errors %.0f  (%.1f/s)\n", error_total,
                 error_rate);
 
+    // Work-stealing headline: per-sample tasks executed and the share
+    // a peer stole (sum of the per-thief lotus_loader_steals_total
+    // series). All zeros under the round-robin schedule.
+    double steals_total = 0.0, steal_rate = 0.0;
+    if (counters != nullptr) {
+        for (const auto &[name, value] : counters->object) {
+            if (name.rfind(dataflow::kStealsMetric, 0) == 0) {
+                steals_total += value.number;
+                steal_rate += rateFor(document, name);
+            }
+        }
+    }
+    const double tasks_total =
+        counters != nullptr
+            ? numberField(*counters, dataflow::kTasksMetric)
+            : 0.0;
+    std::printf("  steals %.0f / %.0f tasks  (%.1f%% stolen, %.1f/s)\n",
+                steals_total, tasks_total,
+                tasks_total > 0 ? steals_total / tasks_total * 100.0
+                                : 0.0,
+                steal_rate);
+
     if (gauges != nullptr && !gauges->object.empty()) {
         std::printf("\n  %-44s %10s\n", "gauge", "value");
         for (const auto &[name, value] : gauges->object)
