@@ -16,7 +16,15 @@
  * Reports, per (schedule, workers in 1/2/4/8): epoch wall time, [T2]
  * wait p50/p99 (lotus_loader_wait_ns), and steal_efficiency
  * (steals / tasks). `--json` additionally writes BENCH_loader.json
- * (schema_version 1) so the perf trajectory is tracked across PRs.
+ * (schema_version 2) so the perf trajectory is tracked across PRs.
+ *
+ * The second half benches the decoded-sample cache on an
+ * ImageNet-like IC pipeline (modelled remote-store latency + real
+ * LJPG decode + RandomResizedCrop suffix): cold vs warm epochs at an
+ * oversized, a tight and a thrashing memory budget, plus the disk
+ * materialization mode. Gates: warm epochs at the oversized budget
+ * >= 5x over uncached, the thrashing budget within 5% of uncached,
+ * and cold-vs-warm bit-identity.
  */
 
 #include <algorithm>
@@ -27,10 +35,14 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/files.h"
 #include "common/strings.h"
 #include "dataflow/data_loader.h"
 #include "metrics/metrics.h"
 #include "pipeline/collate.h"
+#include "pipeline/compose.h"
+#include "pipeline/image_folder.h"
+#include "pipeline/transforms/vision.h"
 #include "workloads/synthetic.h"
 
 namespace {
@@ -148,6 +160,153 @@ epochContent(const std::shared_ptr<workloads::HeavyTailCostDataset> &dataset,
     return bytes;
 }
 
+// --- Decoded-sample cache: cold vs warm epochs ------------------------
+
+constexpr std::int64_t kCacheSamples = 96;
+constexpr int kCacheBatch = 8;
+constexpr int kCacheWorkers = 4;
+
+workloads::ImageNetConfig
+cacheScenario()
+{
+    workloads::ImageNetConfig config;
+    config.num_images = kCacheSamples;
+    config.median_width = 320.0;
+    config.seed = 7;
+    // Remote-dataset stand-in: a fixed per-request cost (object-store
+    // GET latency) plus per-byte streaming latency on every blob
+    // read. This is the epoch-repeated Loader work the cache elides.
+    config.io_base = kMillisecond;
+    config.io_ns_per_byte = 1.0;
+    return config;
+}
+
+std::shared_ptr<pipeline::ImageFolderDataset>
+cacheDataset()
+{
+    // The paper's IC chain: the stochastic crop leads, so the cached
+    // prefix is exactly the Loader stage (store read + decode).
+    pipeline::RandomResizedCrop::Params crop;
+    crop.size = 96;
+    std::vector<pipeline::TransformPtr> transforms;
+    transforms.push_back(
+        std::make_unique<pipeline::RandomResizedCrop>(crop));
+    transforms.push_back(
+        std::make_unique<pipeline::RandomHorizontalFlip>(0.5));
+    transforms.push_back(std::make_unique<pipeline::ToTensor>());
+    return std::make_shared<pipeline::ImageFolderDataset>(
+        workloads::buildImageNetStore(cacheScenario()),
+        std::make_shared<pipeline::Compose>(std::move(transforms)),
+        /*num_classes=*/1000);
+}
+
+DataLoaderOptions
+cacheOptions(dataflow::CachePolicy policy, std::int64_t budget,
+             const std::string &materialize_dir = {})
+{
+    DataLoaderOptions options;
+    options.batch_size = kCacheBatch;
+    options.num_workers = kCacheWorkers;
+    options.shuffle = true;
+    options.seed = kSeed;
+    options.cache_policy = policy;
+    options.cache_budget_bytes = budget;
+    options.materialize_dir = materialize_dir;
+    return options;
+}
+
+struct CacheResult
+{
+    std::string name;
+    std::int64_t budget_bytes = 0;
+    double cold_ms = 0.0;
+    double warm_ms = 0.0;
+    /** Warm epoch vs the uncached per-epoch baseline. */
+    double warm_speedup = 0.0;
+    double warm_hit_rate = 0.0;
+    std::uint64_t evictions = 0;
+    std::uint64_t rejects = 0;
+    std::uint64_t disk_spills = 0;
+    std::uint64_t disk_hits = 0;
+};
+
+/** Per-epoch wall ms for @p epochs epochs of one loader. */
+std::vector<double>
+epochTimes(DataLoader &loader, int epochs)
+{
+    std::vector<double> times;
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        loader.startEpoch();
+        const TimeNs start = SteadyClock::instance().now();
+        while (loader.next().has_value()) {
+        }
+        times.push_back(
+            static_cast<double>(SteadyClock::instance().now() - start) /
+            1e6);
+    }
+    return times;
+}
+
+CacheResult
+runCacheConfig(const std::shared_ptr<pipeline::ImageFolderDataset> &dataset,
+               const char *name, const DataLoaderOptions &options,
+               double uncached_ms)
+{
+    DataLoader loader(dataset, std::make_shared<pipeline::StackCollate>(),
+                      options);
+    const auto times = epochTimes(loader, 3);
+
+    CacheResult result;
+    result.name = name;
+    result.budget_bytes = options.cache_budget_bytes;
+    result.cold_ms = times[0];
+    result.warm_ms = std::min(times[1], times[2]);
+    result.warm_speedup =
+        result.warm_ms > 0 ? uncached_ms / result.warm_ms : 0.0;
+    if (loader.cache() != nullptr) {
+        const auto stats = loader.cache()->stats();
+        // Every lookup resolves as exactly one of memory hit, disk
+        // hit or miss; epoch 0's kCacheSamples lookups are all misses.
+        const std::uint64_t served = stats.hits + stats.disk_hits;
+        const std::uint64_t warm_lookups =
+            served + stats.misses - kCacheSamples;
+        result.warm_hit_rate =
+            warm_lookups > 0 ? static_cast<double>(served) /
+                                   static_cast<double>(warm_lookups)
+                             : 0.0;
+        result.evictions = stats.evictions;
+        result.rejects = stats.rejects;
+        result.disk_spills = stats.disk_spills;
+        result.disk_hits = stats.disk_hits;
+    }
+    return result;
+}
+
+/** Batch payloads + labels for @p epochs epochs of one loader. */
+std::vector<std::vector<std::uint8_t>>
+cacheEpochContent(const std::shared_ptr<pipeline::ImageFolderDataset> &dataset,
+                  const DataLoaderOptions &options, int epochs)
+{
+    DataLoader loader(dataset, std::make_shared<pipeline::StackCollate>(),
+                      options);
+    std::vector<std::vector<std::uint8_t>> out;
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        loader.startEpoch();
+        std::vector<std::uint8_t> bytes;
+        while (auto batch = loader.next()) {
+            const std::uint8_t *raw = batch->data.raw();
+            bytes.insert(bytes.end(), raw, raw + batch->data.byteSize());
+            for (const std::int64_t label : batch->labels) {
+                const auto *p =
+                    reinterpret_cast<const std::uint8_t *>(&label);
+                bytes.insert(bytes.end(), p, p + sizeof(label));
+            }
+        }
+        out.push_back(std::move(bytes));
+    }
+    return out;
+}
+
 const ConfigResult *
 find(const std::vector<ConfigResult> &results, const char *schedule,
      int workers)
@@ -160,9 +319,19 @@ find(const std::vector<ConfigResult> &results, const char *schedule,
     return nullptr;
 }
 
+struct CacheReport
+{
+    std::vector<CacheResult> results;
+    double uncached_ms = 0.0;
+    bool bit_identical = false;
+    bool oversized_gate = false; ///< warm >= 5x uncached
+    bool thrashing_gate = false; ///< warm within 5% of uncached
+};
+
 int
 writeJson(const char *path, const std::vector<ConfigResult> &results,
-          bool deterministic, double wall_speedup, double p99_speedup)
+          bool deterministic, double wall_speedup, double p99_speedup,
+          const CacheReport &cache)
 {
     std::FILE *out = std::fopen(path, "w");
     if (out == nullptr) {
@@ -170,7 +339,7 @@ writeJson(const char *path, const std::vector<ConfigResult> &results,
         return 1;
     }
     const auto config = scenario();
-    std::fprintf(out, "{\n  \"schema_version\": 1,\n");
+    std::fprintf(out, "{\n  \"schema_version\": 2,\n");
     std::fprintf(out, "  \"bench\": \"bench_loader\",\n");
     std::fprintf(out,
                  "  \"scenario\": {\n"
@@ -214,8 +383,56 @@ writeJson(const char *path, const std::vector<ConfigResult> &results,
                  "    \"t2_wait_p99\": %.2f\n"
                  "  },\n",
                  wall_speedup, p99_speedup);
-    std::fprintf(out, "  \"bit_identical_across_schedules\": %s\n",
+    std::fprintf(out, "  \"bit_identical_across_schedules\": %s,\n",
                  deterministic ? "true" : "false");
+
+    const auto imagenet = cacheScenario();
+    std::fprintf(out,
+                 "  \"cache\": {\n"
+                 "    \"scenario\": {\n"
+                 "      \"num_samples\": %lld,\n"
+                 "      \"batch_size\": %d,\n"
+                 "      \"num_workers\": %d,\n"
+                 "      \"median_width_px\": %.0f,\n"
+                 "      \"io_base_us\": %.0f,\n"
+                 "      \"io_ns_per_byte\": %.1f,\n"
+                 "      \"pipeline\": \"LJPG decode -> "
+                 "RandomResizedCrop(96) -> flip -> ToTensor; cached "
+                 "prefix = Loader (read+decode)\"\n"
+                 "    },\n"
+                 "    \"uncached_epoch_ms\": %.2f,\n"
+                 "    \"configs\": [\n",
+                 static_cast<long long>(kCacheSamples), kCacheBatch,
+                 kCacheWorkers, imagenet.median_width,
+                 static_cast<double>(imagenet.io_base) / 1e3,
+                 imagenet.io_ns_per_byte, cache.uncached_ms);
+    for (std::size_t i = 0; i < cache.results.size(); ++i) {
+        const auto &r = cache.results[i];
+        std::fprintf(
+            out,
+            "      {\"budget\": \"%s\", \"budget_bytes\": %lld, "
+            "\"cold_epoch_ms\": %.2f, \"warm_epoch_ms\": %.2f, "
+            "\"warm_speedup_vs_uncached\": %.2f, "
+            "\"warm_hit_rate\": %.3f, \"evictions\": %llu, "
+            "\"rejects\": %llu, \"disk_spills\": %llu, "
+            "\"disk_hits\": %llu}%s\n",
+            r.name.c_str(), static_cast<long long>(r.budget_bytes),
+            r.cold_ms, r.warm_ms, r.warm_speedup, r.warm_hit_rate,
+            static_cast<unsigned long long>(r.evictions),
+            static_cast<unsigned long long>(r.rejects),
+            static_cast<unsigned long long>(r.disk_spills),
+            static_cast<unsigned long long>(r.disk_hits),
+            i + 1 < cache.results.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "    ],\n"
+                 "    \"bit_identical_cold_vs_warm\": %s,\n"
+                 "    \"oversized_warm_speedup_gate_5x\": %s,\n"
+                 "    \"thrashing_overhead_gate_5pct\": %s\n"
+                 "  }\n",
+                 cache.bit_identical ? "true" : "false",
+                 cache.oversized_gate ? "true" : "false",
+                 cache.thrashing_gate ? "true" : "false");
     std::fprintf(out, "}\n");
     std::fclose(out);
     std::printf("wrote %s\n", path);
@@ -285,8 +502,100 @@ main(int argc, char **argv)
                 "[T2] p99 %.2fx\n",
                 wall_speedup, p99_speedup);
 
+    // --- Decoded-sample cache: cold vs warm -------------------------
+    auto image_dataset = cacheDataset();
+    CacheReport cache;
+
+    // Uncached baseline: every epoch repeats the full Loader work, so
+    // per-epoch cost is flat; take the min of 3 as the trimmed value.
+    {
+        DataLoader loader(image_dataset,
+                          std::make_shared<pipeline::StackCollate>(),
+                          cacheOptions(dataflow::CachePolicy::kNone, 0));
+        const auto times = epochTimes(loader, 3);
+        cache.uncached_ms =
+            *std::min_element(times.begin(), times.end());
+    }
+    std::printf("\nimagenet-like IC scenario: %lld samples, uncached "
+                "epoch %.2f ms\n",
+                static_cast<long long>(kCacheSamples), cache.uncached_ms);
+
+    // Working set = every decoded sample resident (measured with an
+    // effectively unlimited budget); the tight and thrashing budgets
+    // are fractions of it.
+    std::int64_t working_set = 0;
+    {
+        DataLoader loader(
+            image_dataset, std::make_shared<pipeline::StackCollate>(),
+            cacheOptions(dataflow::CachePolicy::kMemory,
+                         std::int64_t{4} << 30));
+        epochTimes(loader, 1);
+        working_set = loader.cache()->stats().bytes;
+    }
+    std::printf("decoded working set: %.1f MiB\n",
+                static_cast<double>(working_set) / (1024.0 * 1024.0));
+
+    const TempDir spill_dir("bench_loader_spills");
+    struct BudgetCase
+    {
+        const char *name;
+        dataflow::CachePolicy policy;
+        std::int64_t budget;
+        std::string dir;
+    };
+    // 4x: headroom over shard-hash imbalance, so the oversized case
+    // really holds every sample resident (zero warm misses).
+    const BudgetCase cases[] = {
+        {"oversized", dataflow::CachePolicy::kMemory, 4 * working_set, {}},
+        {"tight", dataflow::CachePolicy::kMemory, working_set / 2, {}},
+        {"thrashing", dataflow::CachePolicy::kMemory, working_set / 16,
+         {}},
+        {"materialized", dataflow::CachePolicy::kMaterialize,
+         working_set / 16, spill_dir.file("spills")},
+    };
+    std::printf("%-14s %12s %10s %10s %9s %8s %10s %10s\n", "budget",
+                "budget_mb", "cold_ms", "warm_ms", "speedup", "hit%",
+                "evictions", "disk_hits");
+    for (const BudgetCase &c : cases) {
+        const CacheResult r = runCacheConfig(
+            image_dataset, c.name,
+            cacheOptions(c.policy, c.budget, c.dir), cache.uncached_ms);
+        std::printf("%-14s %12.1f %10.2f %10.2f %8.2fx %7.1f%% %10llu "
+                    "%10llu\n",
+                    r.name.c_str(),
+                    static_cast<double>(r.budget_bytes) /
+                        (1024.0 * 1024.0),
+                    r.cold_ms, r.warm_ms, r.warm_speedup,
+                    r.warm_hit_rate * 100.0,
+                    static_cast<unsigned long long>(r.evictions),
+                    static_cast<unsigned long long>(r.disk_hits));
+        cache.results.push_back(r);
+    }
+
+    // Gates: warm epochs must repay the cache (oversized >= 5x) and a
+    // useless budget must not tax the pipeline (thrashing <= +5%).
+    cache.oversized_gate = cache.results[0].warm_speedup >= 5.0;
+    cache.thrashing_gate =
+        cache.results[2].warm_ms <= cache.uncached_ms * 1.05;
+
+    // Cold-vs-warm bit-identity: cached epochs must replay the exact
+    // uncached stream (prefix replay + suffix reseeding contract).
+    cache.bit_identical =
+        cacheEpochContent(image_dataset,
+                          cacheOptions(dataflow::CachePolicy::kNone, 0),
+                          2) ==
+        cacheEpochContent(image_dataset,
+                          cacheOptions(dataflow::CachePolicy::kMemory,
+                                       4 * working_set),
+                          2);
+    std::printf("cache gates: oversized>=5x %s, thrashing<=+5%% %s, "
+                "cold-vs-warm bit-identical %s\n",
+                cache.oversized_gate ? "PASS" : "FAIL",
+                cache.thrashing_gate ? "PASS" : "FAIL",
+                cache.bit_identical ? "yes" : "NO — DETERMINISM BROKEN");
+
     if (json)
         return writeJson("BENCH_loader.json", results, deterministic,
-                         wall_speedup, p99_speedup);
+                         wall_speedup, p99_speedup, cache);
     return 0;
 }

@@ -1,0 +1,354 @@
+#include "cache/materialize.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <fstream>
+#include <filesystem>
+#include <mutex>
+#include <set>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <thread>
+#include <unistd.h>
+
+#include "common/files.h"
+#include "common/strings.h"
+
+namespace lotus::cache {
+
+namespace {
+
+/** "LSPL" + format version; bump on any layout change. */
+constexpr std::uint64_t kMagic = 0x4C53504C00000001ull;
+
+/** Spill files describe shapes from disk: clamp them before trusting
+ *  them so a corrupt header cannot demand an absurd allocation. */
+constexpr int kMaxImageEdge = 1 << 20;
+constexpr std::size_t kMaxTensorRank = 8;
+constexpr std::uint64_t kMaxPayloadBytes = 1ull << 34; // 16 GiB
+
+std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t size)
+{
+    std::uint64_t hash = 0xCBF29CE484222325ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= data[i];
+        hash *= 0x100000001B3ull;
+    }
+    return hash;
+}
+
+template <typename T>
+void
+appendPod(std::string &out, T value)
+{
+    out.append(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+/** Bounds-checked forward reader over untrusted spill bytes. */
+struct Cursor
+{
+    const std::uint8_t *data;
+    std::size_t size;
+    std::size_t pos = 0;
+
+    std::size_t remaining() const { return size - pos; }
+
+    template <typename T>
+    bool
+    read(T &out)
+    {
+        if (remaining() < sizeof(T))
+            return false;
+        std::memcpy(&out, data + pos, sizeof(T));
+        pos += sizeof(T);
+        return true;
+    }
+
+    bool
+    readBytes(void *out, std::size_t count)
+    {
+        if (remaining() < count)
+            return false;
+        std::memcpy(out, data + pos, count);
+        pos += count;
+        return true;
+    }
+};
+
+std::mutex g_dirs_mutex;
+
+/** Live materialization directories (canonical paths); leaked so
+ *  static-destruction order never races a loader teardown. */
+std::set<std::string> &
+claimedDirs()
+{
+    static auto *dirs = new std::set<std::string>;
+    return *dirs;
+}
+
+std::string
+canonicalDir(const std::string &dir)
+{
+    std::error_code ec;
+    const std::filesystem::path canonical =
+        std::filesystem::canonical(dir, ec);
+    return ec ? dir : canonical.string();
+}
+
+} // namespace
+
+std::string
+serializeSample(const pipeline::Sample &sample, std::uint64_t fingerprint)
+{
+    std::string out;
+    const std::size_t payload =
+        (sample.hasImage() ? sample.image->byteSize() : 0) +
+        sample.data.byteSize();
+    out.reserve(payload + 128);
+    appendPod(out, kMagic);
+    appendPod(out, fingerprint);
+    appendPod(out, static_cast<std::int64_t>(sample.label));
+    appendPod(out, static_cast<std::uint8_t>(sample.hasImage() ? 1 : 0));
+    if (sample.hasImage()) {
+        appendPod(out, static_cast<std::int32_t>(sample.image->width()));
+        appendPod(out, static_cast<std::int32_t>(sample.image->height()));
+        out.append(reinterpret_cast<const char *>(sample.image->raw()),
+                   sample.image->byteSize());
+    }
+    const bool has_tensor = !sample.data.empty();
+    appendPod(out, static_cast<std::uint8_t>(has_tensor ? 1 : 0));
+    if (has_tensor) {
+        appendPod(out, static_cast<std::uint8_t>(sample.data.dtype()));
+        appendPod(out,
+                  static_cast<std::uint8_t>(sample.data.rank()));
+        for (const std::int64_t dim : sample.data.shape())
+            appendPod(out, dim);
+        out.append(reinterpret_cast<const char *>(sample.data.raw()),
+                   sample.data.byteSize());
+    }
+    appendPod(out, fnv1a(reinterpret_cast<const std::uint8_t *>(
+                             out.data()),
+                         out.size()));
+    return out;
+}
+
+Result<pipeline::Sample>
+deserializeSample(const std::uint8_t *data, std::size_t size,
+                  std::uint64_t expected_fingerprint)
+{
+    if (size < sizeof(std::uint64_t) * 3)
+        return LOTUS_ERROR(ErrorCode::kCorruptData,
+                           "spill file truncated (%zu bytes)", size);
+    std::uint64_t stored_checksum;
+    std::memcpy(&stored_checksum, data + size - sizeof(std::uint64_t),
+                sizeof(std::uint64_t));
+    if (fnv1a(data, size - sizeof(std::uint64_t)) != stored_checksum)
+        return LOTUS_ERROR(ErrorCode::kCorruptData,
+                           "spill file checksum mismatch");
+
+    Cursor cursor{data, size - sizeof(std::uint64_t)};
+    std::uint64_t magic = 0;
+    std::uint64_t fingerprint = 0;
+    if (!cursor.read(magic) || magic != kMagic)
+        return LOTUS_ERROR(ErrorCode::kCorruptData,
+                           "spill file bad magic/version");
+    if (!cursor.read(fingerprint))
+        return LOTUS_ERROR(ErrorCode::kCorruptData,
+                           "spill file truncated header");
+    if (fingerprint != expected_fingerprint)
+        return LOTUS_ERROR(
+            ErrorCode::kCorruptData,
+            "spill fingerprint %016llx does not match pipeline %016llx",
+            static_cast<unsigned long long>(fingerprint),
+            static_cast<unsigned long long>(expected_fingerprint));
+
+    pipeline::Sample sample;
+    std::int64_t label = 0;
+    std::uint8_t has_image = 0;
+    if (!cursor.read(label) || !cursor.read(has_image) || has_image > 1)
+        return LOTUS_ERROR(ErrorCode::kCorruptData,
+                           "spill file truncated header");
+    sample.label = label;
+
+    if (has_image != 0) {
+        std::int32_t width = 0;
+        std::int32_t height = 0;
+        if (!cursor.read(width) || !cursor.read(height) || width <= 0 ||
+            height <= 0 || width > kMaxImageEdge || height > kMaxImageEdge)
+            return LOTUS_ERROR(ErrorCode::kCorruptData,
+                               "spill image has bad dimensions");
+        const std::uint64_t bytes = static_cast<std::uint64_t>(width) *
+                                    static_cast<std::uint64_t>(height) *
+                                    image::Image::kChannels;
+        if (bytes > kMaxPayloadBytes || bytes > cursor.remaining())
+            return LOTUS_ERROR(ErrorCode::kCorruptData,
+                               "spill image payload truncated");
+        image::Image image = image::Image::uninitialized(width, height);
+        cursor.readBytes(image.raw(), static_cast<std::size_t>(bytes));
+        sample.image = std::move(image);
+    }
+
+    std::uint8_t has_tensor = 0;
+    if (!cursor.read(has_tensor) || has_tensor > 1)
+        return LOTUS_ERROR(ErrorCode::kCorruptData,
+                           "spill file truncated tensor header");
+    if (has_tensor != 0) {
+        std::uint8_t dtype_byte = 0;
+        std::uint8_t rank = 0;
+        if (!cursor.read(dtype_byte) || !cursor.read(rank) ||
+            dtype_byte > static_cast<std::uint8_t>(tensor::DType::F32) ||
+            rank > kMaxTensorRank)
+            return LOTUS_ERROR(ErrorCode::kCorruptData,
+                               "spill tensor has bad dtype/rank");
+        const auto dtype = static_cast<tensor::DType>(dtype_byte);
+        std::vector<std::int64_t> shape(rank);
+        std::uint64_t numel = 1;
+        for (std::uint8_t i = 0; i < rank; ++i) {
+            if (!cursor.read(shape[i]) || shape[i] < 0)
+                return LOTUS_ERROR(ErrorCode::kCorruptData,
+                                   "spill tensor has bad shape");
+            numel *= static_cast<std::uint64_t>(shape[i]);
+            if (numel > kMaxPayloadBytes)
+                return LOTUS_ERROR(ErrorCode::kCorruptData,
+                                   "spill tensor has bad shape");
+        }
+        const std::uint64_t bytes = numel * tensor::dtypeSize(dtype);
+        if (bytes > kMaxPayloadBytes || bytes > cursor.remaining())
+            return LOTUS_ERROR(ErrorCode::kCorruptData,
+                               "spill tensor payload truncated");
+        tensor::Tensor data =
+            tensor::Tensor::uninitialized(dtype, std::move(shape));
+        cursor.readBytes(data.raw(), static_cast<std::size_t>(bytes));
+        sample.data = std::move(data);
+    }
+
+    if (cursor.remaining() != 0)
+        return LOTUS_ERROR(ErrorCode::kCorruptData,
+                           "spill file has %zu trailing bytes",
+                           cursor.remaining());
+    return sample;
+}
+
+MaterializeStore::MaterializeStore(std::string dir,
+                                   std::uint64_t fingerprint)
+    : dir_(std::move(dir)), fingerprint_(fingerprint)
+{
+    LOTUS_ASSERT(!dir_.empty(), "empty materialize dir");
+    makeDirs(dir_);
+    dir_ = canonicalDir(dir_);
+    std::lock_guard<std::mutex> lock(g_dirs_mutex);
+    if (!claimedDirs().insert(dir_).second)
+        LOTUS_FATAL("materialize_dir '%s' is already in use by another "
+                    "live DataLoader",
+                    dir_.c_str());
+}
+
+MaterializeStore::~MaterializeStore()
+{
+    std::lock_guard<std::mutex> lock(g_dirs_mutex);
+    claimedDirs().erase(dir_);
+}
+
+std::string
+MaterializeStore::pathFor(std::int64_t index) const
+{
+    return strFormat("%s/sample_%lld.lspl", dir_.c_str(),
+                     static_cast<long long>(index));
+}
+
+bool
+MaterializeStore::contains(std::int64_t index) const
+{
+    return fileExists(pathFor(index));
+}
+
+Result<pipeline::Sample>
+MaterializeStore::tryLoad(std::int64_t index) const
+{
+    const std::string path = pathFor(index);
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        if (errno == ENOENT) {
+            Error error = LOTUS_ERROR(ErrorCode::kNotFound,
+                                      "sample %lld not materialized",
+                                      static_cast<long long>(index));
+            error.stage = "cache";
+            return error;
+        }
+        Error error =
+            LOTUS_ERROR(ErrorCode::kIoError, "open '%s': %s",
+                        path.c_str(), std::strerror(errno));
+        error.stage = "cache";
+        return error;
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+        ::close(fd);
+        ::unlink(path.c_str());
+        Error error = LOTUS_ERROR(ErrorCode::kCorruptData,
+                                  "spill file '%s' empty or unstatable",
+                                  path.c_str());
+        error.stage = "cache";
+        return error;
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    void *map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED) {
+        Error error =
+            LOTUS_ERROR(ErrorCode::kIoError, "mmap '%s': %s",
+                        path.c_str(), std::strerror(errno));
+        error.stage = "cache";
+        return error;
+    }
+    Result<pipeline::Sample> sample = deserializeSample(
+        static_cast<const std::uint8_t *>(map), size, fingerprint_);
+    ::munmap(map, size);
+    if (!sample.ok()) {
+        // Corrupt spills self-heal: drop the file so the sample
+        // re-decodes from source and re-materializes.
+        ::unlink(path.c_str());
+        Error error = sample.takeError();
+        error.stage = "cache";
+        return error;
+    }
+    return sample;
+}
+
+bool
+MaterializeStore::spill(std::int64_t index,
+                        const pipeline::Sample &sample) const
+{
+    const std::string path = pathFor(index);
+    // Per-thread tmp names keep concurrent spills of the same sample
+    // from clobbering each other's partial writes; rename(2) makes
+    // whichever finishes last win atomically (contents are identical
+    // anyway — the prefix is deterministic).
+    const std::string tmp = strFormat(
+        "%s.tmp.%zu", path.c_str(),
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    const std::string bytes = serializeSample(sample, fingerprint_);
+    {
+        // Not writeFile(): that is fatal on failure, and a full disk
+        // must degrade to plain re-decoding, not abort the run.
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out) {
+            out.close();
+            ::unlink(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace lotus::cache

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Disk materialization of decoded samples (tf.data-snapshot analogue).
+ *
+ * Epoch 0 spills each prefix-stage sample (decoded image / tensor,
+ * after the deterministic transform prefix) to one file per sample
+ * under a user-chosen directory; later epochs mmap-read the files
+ * back instead of re-touching the source store and re-decoding.
+ *
+ * Durability and safety rules:
+ *  - Spills are atomic: serialize to `<name>.tmp.<tid>`, then
+ *    rename(2) over the final path (the MetricsReporter pattern), so
+ *    a reader never sees a half-written file.
+ *  - Files carry a magic/version header, the producing pipeline's
+ *    prefix fingerprint, and a trailing FNV-1a checksum. Loads
+ *    validate all three with a bounds-checked parser; any mismatch
+ *    comes back as a *recoverable* kCorruptData Error (never fatal),
+ *    and the offending file is unlinked so the sample re-decodes and
+ *    re-spills.
+ *  - A directory is claimed process-wide for exclusive use at
+ *    construction; two live loaders materializing into the same
+ *    directory is a configuration error (fatal at claim time).
+ */
+
+#ifndef LOTUS_CACHE_MATERIALIZE_H
+#define LOTUS_CACHE_MATERIALIZE_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "pipeline/sample.h"
+
+namespace lotus::cache {
+
+/** Serialize a prefix-stage sample to the spill-file byte format
+ *  (header + payload + checksum). Exposed for tests. */
+std::string serializeSample(const pipeline::Sample &sample,
+                            std::uint64_t fingerprint);
+
+/**
+ * Parse spill-file bytes. Bounds-checked against truncation and
+ * corruption; verifies magic, version, @p expected_fingerprint and
+ * the trailing checksum. Untrusted-input surface: always returns a
+ * recoverable Error on bad bytes, never panics.
+ */
+Result<pipeline::Sample> deserializeSample(
+    const std::uint8_t *data, std::size_t size,
+    std::uint64_t expected_fingerprint);
+
+class MaterializeStore
+{
+  public:
+    /**
+     * Claim @p dir (created if absent) for exclusive materialization
+     * and bind it to pipeline fingerprint @p fingerprint. Fatal if
+     * another live store already owns the directory.
+     */
+    MaterializeStore(std::string dir, std::uint64_t fingerprint);
+    ~MaterializeStore();
+
+    MaterializeStore(const MaterializeStore &) = delete;
+    MaterializeStore &operator=(const MaterializeStore &) = delete;
+
+    /**
+     * mmap-read sample @p index back. kNotFound = not spilled yet
+     * (plain miss); kCorruptData = file failed validation and has
+     * been unlinked (stage "cache"); kIoError = map/read failure.
+     */
+    Result<pipeline::Sample> tryLoad(std::int64_t index) const;
+
+    /**
+     * Atomically persist sample @p index (tmp + rename). Best-effort:
+     * returns false on I/O failure — materialization is an
+     * optimization, so spill failures degrade, never abort.
+     */
+    bool spill(std::int64_t index, const pipeline::Sample &sample) const;
+
+    /** True if sample @p index has a spill file on disk. */
+    bool contains(std::int64_t index) const;
+
+    const std::string &dir() const { return dir_; }
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+    /** Spill-file path for sample @p index. */
+    std::string pathFor(std::int64_t index) const;
+
+  private:
+    std::string dir_;
+    std::uint64_t fingerprint_;
+};
+
+} // namespace lotus::cache
+
+#endif // LOTUS_CACHE_MATERIALIZE_H

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Memory-budgeted decoded-sample cache.
+ *
+ * The paper's profiles show every epoch repeating the same Loader
+ * work (blob read + decode) and deterministic transform prefix on
+ * every sample. SampleCache keeps those prefix-stage samples resident
+ * so warm epochs skip straight to the random transform suffix:
+ *
+ *  - keyed on (dataset id, sample index, prefix fingerprint), so a
+ *    reconfigured pipeline or a second dataset never serves stale
+ *    entries;
+ *  - sharded: the key hash picks a shard, each shard is an
+ *    independently locked CLOCK (second-chance) ring with its own
+ *    slice of the byte budget, so multi-worker loaders do not
+ *    serialize on one lock;
+ *  - storage is pooled (memory::BufferPool via Image/Tensor copies),
+ *    so a warm hit's deep clone costs a freelist pop + memcpy, not a
+ *    heap allocation;
+ *  - optional write-through disk materialization (MaterializeStore):
+ *    inserts spill to disk, memory misses fall back to an mmap read
+ *    before re-decoding, and corrupt spills degrade recoverably.
+ *
+ * Telemetry: `lotus_cache_{hits,misses,inserts,evictions,rejects,
+ * disk_hits,spills,corrupt}_total` counters and the `lotus_cache_bytes`
+ * gauge; always-on raw Stats for tests/benches; per-action CacheEvent
+ * trace instants ("cache:hit", "cache:miss", ...) in the worker lane.
+ */
+
+#ifndef LOTUS_CACHE_SAMPLE_CACHE_H
+#define LOTUS_CACHE_SAMPLE_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/materialize.h"
+#include "metrics/metrics.h"
+#include "pipeline/sample.h"
+
+namespace lotus::cache {
+
+struct CacheKey
+{
+    std::uint64_t dataset_id = 0;
+    std::uint64_t prefix_fingerprint = 0;
+    std::int64_t sample_index = -1;
+
+    bool
+    operator==(const CacheKey &other) const
+    {
+        return dataset_id == other.dataset_id &&
+               prefix_fingerprint == other.prefix_fingerprint &&
+               sample_index == other.sample_index;
+    }
+
+    /** splitmix64-style mix over all three fields. */
+    std::uint64_t hash() const;
+};
+
+struct CacheKeyHash
+{
+    std::size_t
+    operator()(const CacheKey &key) const
+    {
+        return static_cast<std::size_t>(key.hash());
+    }
+};
+
+struct CacheConfig
+{
+    /** Total in-memory budget, split evenly across shards. */
+    std::int64_t budget_bytes = 0;
+    int shards = 8;
+    /** Non-empty enables write-through disk materialization. */
+    std::string materialize_dir;
+    /** Prefix fingerprint of the producing pipeline (binds spill
+     *  files to their configuration). */
+    std::uint64_t fingerprint = 0;
+};
+
+class SampleCache
+{
+  public:
+    /** Point-in-time counters (always on, relaxed). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t inserts = 0;
+        std::uint64_t evictions = 0;
+        /** Entries larger than a whole shard budget, never admitted. */
+        std::uint64_t rejects = 0;
+        std::uint64_t disk_hits = 0;
+        std::uint64_t disk_spills = 0;
+        std::uint64_t disk_corrupt = 0;
+        /** Bytes currently resident in memory shards. */
+        std::int64_t bytes = 0;
+    };
+
+    explicit SampleCache(const CacheConfig &config);
+
+    SampleCache(const SampleCache &) = delete;
+    SampleCache &operator=(const SampleCache &) = delete;
+
+    /**
+     * Fetch a deep, pool-backed clone of the cached sample for
+     * @p key, or nullopt on a miss. Falls back to the materialize
+     * store (promoting a disk hit into memory) before giving up.
+     * Emits CacheEvent trace instants through @p ctx.
+     */
+    std::optional<pipeline::Sample> lookup(const CacheKey &key,
+                                           pipeline::PipelineContext &ctx);
+
+    /**
+     * Admit a prefix-stage sample, evicting CLOCK victims in its
+     * shard until it fits; write-through spills to disk when
+     * materialization is on. A sample larger than one shard's budget
+     * is rejected (counted) rather than flushing the whole shard.
+     */
+    void insert(const CacheKey &key, const pipeline::Sample &sample,
+                pipeline::PipelineContext &ctx);
+
+    Stats stats() const;
+
+    std::int64_t budgetBytes() const { return budget_bytes_; }
+    int shardCount() const { return static_cast<int>(shards_.size()); }
+    bool materializing() const { return disk_ != nullptr; }
+
+    /** Payload bytes a cached copy of @p sample occupies. */
+    static std::size_t sampleBytes(const pipeline::Sample &sample);
+
+  private:
+    struct Slot
+    {
+        CacheKey key;
+        pipeline::Sample sample;
+        std::size_t bytes = 0;
+        bool referenced = false;
+        bool occupied = false;
+    };
+
+    struct Shard
+    {
+        std::mutex mutex;
+        std::vector<Slot> slots;
+        std::unordered_map<CacheKey, std::size_t, CacheKeyHash> index;
+        std::vector<std::size_t> free_slots;
+        std::size_t hand = 0;
+        std::int64_t bytes = 0;
+    };
+
+    Shard &shardFor(const CacheKey &key);
+    /** Insert into the in-memory shard only (no disk write). */
+    void insertMemory(const CacheKey &key, const pipeline::Sample &sample,
+                      pipeline::PipelineContext &ctx);
+    void evictOne(Shard &shard, pipeline::PipelineContext &ctx);
+    void logEvent(pipeline::PipelineContext &ctx, const char *what,
+                  std::int64_t sample_index) const;
+
+    std::int64_t budget_bytes_;
+    std::int64_t shard_budget_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::unique_ptr<MaterializeStore> disk_;
+
+    struct AtomicStats
+    {
+        std::atomic<std::uint64_t> hits{0};
+        std::atomic<std::uint64_t> misses{0};
+        std::atomic<std::uint64_t> inserts{0};
+        std::atomic<std::uint64_t> evictions{0};
+        std::atomic<std::uint64_t> rejects{0};
+        std::atomic<std::uint64_t> disk_hits{0};
+        std::atomic<std::uint64_t> disk_spills{0};
+        std::atomic<std::uint64_t> disk_corrupt{0};
+        std::atomic<std::int64_t> bytes{0};
+    };
+    mutable AtomicStats raw_;
+
+    metrics::Counter *hits_metric_;
+    metrics::Counter *misses_metric_;
+    metrics::Counter *inserts_metric_;
+    metrics::Counter *evictions_metric_;
+    metrics::Counter *rejects_metric_;
+    metrics::Counter *disk_hits_metric_;
+    metrics::Counter *disk_spills_metric_;
+    metrics::Counter *disk_corrupt_metric_;
+    metrics::Gauge *bytes_metric_;
+};
+
+} // namespace lotus::cache
+
+#endif // LOTUS_CACHE_SAMPLE_CACHE_H

@@ -47,6 +47,7 @@ TraceAnalysis::TraceAnalysis(std::vector<TraceRecord> records)
           case RecordKind::ErrorEvent:
           case RecordKind::TaskSpan:
           case RecordKind::StealEvent:
+          case RecordKind::CacheEvent:
             break;
         }
     }

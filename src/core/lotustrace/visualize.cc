@@ -26,6 +26,7 @@ augmentTrace(ChromeTraceBuilder &builder,
           case RecordKind::BatchPreprocessed:
           case RecordKind::TaskSpan:
           case RecordKind::StealEvent:
+          case RecordKind::CacheEvent:
             worker_pids.insert(record.pid);
             break;
           case RecordKind::BatchWait:
@@ -115,6 +116,12 @@ augmentTrace(ChromeTraceBuilder &builder,
           case RecordKind::StealEvent:
             // op_name is "steal<-wN" (the victim); the instant sits in
             // the thief's lane at the moment of the steal.
+            builder.addInstant(record.op_name, record.start, record.pid,
+                               record.pid);
+            break;
+          case RecordKind::CacheEvent:
+            // op_name is "cache:<what>" (hit/miss/spill/...); the
+            // instant marks the cache action in the worker's lane.
             builder.addInstant(record.op_name, record.start, record.pid,
                                record.pid);
             break;

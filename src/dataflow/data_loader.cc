@@ -72,6 +72,40 @@ DataLoader::DataLoader(std::shared_ptr<const pipeline::Dataset> dataset,
         LOTUS_FATAL("DataLoaderOptions: prefetch_factor x num_workers "
                     "overflows (%d x %d)",
                     options_.prefetch_factor, options_.num_workers);
+    if (options_.cache_policy != CachePolicy::kNone) {
+        if (options_.cache_budget_bytes <= 0)
+            LOTUS_FATAL("DataLoaderOptions: cache_budget_bytes must be "
+                        "> 0 when caching (got %lld)",
+                        static_cast<long long>(
+                            options_.cache_budget_bytes));
+        if (options_.cache_shards <= 0)
+            LOTUS_FATAL(
+                "DataLoaderOptions: cache_shards must be > 0 (got %d)",
+                options_.cache_shards);
+    }
+    if (options_.cache_policy == CachePolicy::kMaterialize &&
+        options_.materialize_dir.empty())
+        LOTUS_FATAL("DataLoaderOptions: CachePolicy::kMaterialize needs "
+                    "a materialize_dir");
+    if (options_.cache_policy != CachePolicy::kMaterialize &&
+        !options_.materialize_dir.empty())
+        LOTUS_FATAL("DataLoaderOptions: materialize_dir is set but "
+                    "cache_policy is not kMaterialize");
+    if (options_.cache_policy != CachePolicy::kNone) {
+        cache::CacheConfig config;
+        config.budget_bytes = options_.cache_budget_bytes;
+        config.shards = options_.cache_shards;
+        if (options_.cache_policy == CachePolicy::kMaterialize) {
+            const auto split = dataset_->cacheableSplit();
+            config.materialize_dir = options_.materialize_dir;
+            config.fingerprint =
+                split.has_value() ? split->prefix_fingerprint : 0;
+        }
+        // Directory collisions between live loaders are fatal inside
+        // MaterializeStore's claim, i.e. right here at construction.
+        cache_ = std::make_shared<cache::SampleCache>(config);
+        fetcher_.setCache(cache_);
+    }
     registerMetrics();
     rebuildBatches();
 }
@@ -441,7 +475,7 @@ DataLoader::runTask(int worker_id, SampleTask *task,
     Result<pipeline::Sample> sample = [&] {
         metrics::ScopedTimer fetch_timer(
             metrics_.fetch_ns[static_cast<std::size_t>(worker_id)]);
-        return fetcher_.dataset().tryGet(task->index, ctx);
+        return fetcher_.getSample(task->index, ctx);
     }();
     span.finish();
     ctx.sample_index = -1;

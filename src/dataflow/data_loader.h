@@ -67,6 +67,29 @@ inline constexpr const char *kStealsMetric = "lotus_loader_steals_total";
 /** Per-sample tasks executed under Schedule::kWorkStealing. */
 inline constexpr const char *kTasksMetric = "lotus_loader_tasks_total";
 
+/**
+ * Decoded-sample caching mode (see cache/sample_cache.h). The cache
+ * holds prefix-stage samples — decoded and carried through the
+ * deterministic transform prefix — so warm epochs skip the Loader
+ * (store read + decode) and re-run only the random suffix. Batches
+ * stay bit-identical to uncached runs under every Schedule and
+ * num_workers=0, because the per-(seed, epoch, sample) reseeding
+ * contract means the skipped prefix never consumed rng draws. Only
+ * engages for datasets that implement cacheableSplit(); others run
+ * uncached (warned once).
+ */
+enum class CachePolicy : std::uint8_t
+{
+    kNone,
+    /** In-memory only, bounded by cache_budget_bytes. */
+    kMemory,
+    /** kMemory plus write-through disk materialization: epoch 0
+     *  spills prefix-stage samples under materialize_dir, later
+     *  epochs (and evicted entries) mmap them back instead of
+     *  re-decoding. Corrupt spill files degrade to re-decode. */
+    kMaterialize,
+};
+
 struct DataLoaderOptions
 {
     int batch_size = 1;
@@ -99,6 +122,15 @@ struct DataLoaderOptions
     int max_refill_attempts = 8;
     /** Batch-to-worker scheduling mode (see Schedule). */
     Schedule schedule = Schedule::kRoundRobin;
+    /** Decoded-sample caching mode (see CachePolicy). */
+    CachePolicy cache_policy = CachePolicy::kNone;
+    /** In-memory cache budget; must be > 0 when caching is on. */
+    std::int64_t cache_budget_bytes = 0;
+    /** Cache lock shards; must be > 0 when caching is on. */
+    int cache_shards = 8;
+    /** Spill directory for kMaterialize (created if absent; claimed
+     *  exclusively — two live loaders sharing one dir is fatal). */
+    std::string materialize_dir;
 };
 
 class DataLoader
@@ -145,6 +177,10 @@ class DataLoader
     void recycle(pipeline::Batch &&batch);
 
     const DataLoaderOptions &options() const { return options_; }
+
+    /** The decoded-sample cache, or null when cache_policy is kNone
+     *  (or the dataset is not cacheable). For tests and benches. */
+    const cache::SampleCache *cache() const { return cache_.get(); }
 
     /** Main-process id used in trace records. */
     std::uint32_t mainPid() const { return main_pid_; }
@@ -219,6 +255,8 @@ class DataLoader
     Fetcher fetcher_;
     DataLoaderOptions options_;
     std::uint32_t main_pid_;
+    /** Decoded-sample cache shared with fetcher_ (null = off). */
+    std::shared_ptr<cache::SampleCache> cache_;
 
     std::vector<std::vector<std::int64_t>> batches_;
 

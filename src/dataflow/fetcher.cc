@@ -64,6 +64,39 @@ sampleRngSeed(std::uint64_t epoch_base, std::int64_t sample_index)
     return z ^ (z >> 31);
 }
 
+void
+Fetcher::setCache(std::shared_ptr<cache::SampleCache> cache)
+{
+    cache_ = std::move(cache);
+    split_ = cache_ != nullptr ? dataset_->cacheableSplit() : std::nullopt;
+    if (cache_ != nullptr && !split_.has_value())
+        LOTUS_WARN("sample cache attached to a dataset without "
+                   "cacheableSplit(); every fetch will miss");
+}
+
+Result<pipeline::Sample>
+Fetcher::getSample(std::int64_t index, pipeline::PipelineContext &ctx) const
+{
+    if (cache_ == nullptr || !split_.has_value())
+        return dataset_->tryGet(index, ctx);
+    const cache::CacheKey key{split_->dataset_id,
+                              split_->prefix_fingerprint, index};
+    if (std::optional<pipeline::Sample> hit = cache_->lookup(key, ctx)) {
+        // Warm path: the deterministic prefix is already done; only
+        // the random suffix runs, replaying the same rng stream a
+        // full fetch would (the prefix draws nothing).
+        dataset_->applySuffix(*hit, ctx);
+        return std::move(*hit);
+    }
+    Result<pipeline::Sample> prefix = dataset_->tryGetPrefix(index, ctx);
+    if (!prefix.ok())
+        return prefix.takeError();
+    pipeline::Sample sample = prefix.take();
+    cache_->insert(key, sample, ctx);
+    dataset_->applySuffix(sample, ctx);
+    return sample;
+}
+
 Result<pipeline::Sample>
 Fetcher::fetchSample(std::int64_t index, pipeline::PipelineContext &ctx,
                      const ErrorHandling &errors,
@@ -81,7 +114,7 @@ Fetcher::fetchSample(std::int64_t index, pipeline::PipelineContext &ctx,
         // same stream (see FetchSeeding).
         if (seeding.per_sample && ctx.rng != nullptr)
             *ctx.rng = Rng(sampleRngSeed(seeding.epoch_base, current));
-        Result<pipeline::Sample> sample = dataset_->tryGet(current, ctx);
+        Result<pipeline::Sample> sample = getSample(current, ctx);
         if (sample.ok())
             return sample;
         noteSampleError(sample.error(), current, ctx, errors.policy);

@@ -9,7 +9,9 @@
 #define LOTUS_DATAFLOW_FETCHER_H
 
 #include <memory>
+#include <optional>
 
+#include "cache/sample_cache.h"
 #include "dataflow/error_policy.h"
 #include "hwcount/registry.h"
 #include "pipeline/collate.h"
@@ -110,6 +112,29 @@ class Fetcher
 
     const pipeline::Dataset &dataset() const { return *dataset_; }
 
+    /**
+     * Attach a decoded-sample cache. Only engages when the dataset
+     * opts in via cacheableSplit(); a non-cacheable dataset keeps the
+     * plain tryGet path (warned once at attach time). Every fetch path
+     * — round-robin workers, work-stealing tasks, and the synchronous
+     * loader — funnels single-sample reads through getSample(), so
+     * attaching here covers all three.
+     */
+    void setCache(std::shared_ptr<cache::SampleCache> cache);
+
+    /**
+     * Cache-aware single-sample read. On a warm hit the deterministic
+     * prefix (store read + decode + deterministic transforms) is
+     * skipped entirely and only the random suffix runs — the caller
+     * must have reseeded ctx.rng exactly as for a full tryGet, and the
+     * result is bit-identical because the prefix draws nothing. On a
+     * miss, the prefix-stage sample is admitted to the cache before
+     * the suffix runs. Without a cache (or for a non-cacheable
+     * dataset) this is exactly dataset().tryGet().
+     */
+    Result<pipeline::Sample> getSample(std::int64_t index,
+                                       pipeline::PipelineContext &ctx) const;
+
   private:
     /** Resolve one batch slot under the error policy. */
     Result<pipeline::Sample> fetchSample(std::int64_t index,
@@ -120,6 +145,9 @@ class Fetcher
     std::shared_ptr<const pipeline::Dataset> dataset_;
     std::shared_ptr<const pipeline::Collate> collate_;
     hwcount::OpTag collate_tag_;
+    std::shared_ptr<cache::SampleCache> cache_;
+    /** Cached dataset cacheableSplit(); nullopt disables the cache. */
+    std::optional<pipeline::CacheableSplit> split_;
 };
 
 } // namespace lotus::dataflow

@@ -8,6 +8,13 @@
  * arrival order, so out-of-order caching never happens — but [T1]
  * fetch spans and [T2] wait spans are instrumented identically to the
  * map-style loader, via the same common fetch points.
+ *
+ * The decoded-sample cache (CachePolicy / lotus::cache) does not
+ * apply here: cache keys need a stable per-sample dataset index, and
+ * a stream yields elements by position in the stream, not identity —
+ * reshuffled or re-sharded epochs would pair cached payloads with the
+ * wrong elements. Stream-style reuse is snapshotting the *source*,
+ * which is out of scope for this loader.
  */
 
 #ifndef LOTUS_DATAFLOW_ITERABLE_LOADER_H

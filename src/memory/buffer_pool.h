@@ -64,6 +64,17 @@ class BufferPool
         std::uint64_t misses = 0;
         /** Bytes currently parked in central + thread freelists. */
         std::uint64_t cached_bytes = 0;
+
+        /** Counter delta since @p earlier (cached_bytes is a level,
+         *  so the newer value is kept as-is). Lets tests and benches
+         *  write `pool.stats() - before` to check a region of
+         *  interest — e.g. that warm cache hits allocate nothing. */
+        Stats
+        operator-(const Stats &earlier) const
+        {
+            return Stats{hits - earlier.hits, misses - earlier.misses,
+                         cached_bytes};
+        }
     };
 
     /** The process-wide pool (leaked singleton: safe to release into

@@ -18,7 +18,24 @@ Compose::add(TransformPtr transform)
     entry.op_ns = metrics::MetricsRegistry::instance().histogram(
         metrics::labeled("lotus_pipeline_op_ns", "op", transform->name()));
     entry.transform = std::move(transform);
+    // The cacheable prefix grows only while every transform so far is
+    // deterministic; the first stochastic op ends it permanently.
+    if (prefix_len_ == entries_.size() &&
+        entry.transform->deterministic())
+        ++prefix_len_;
     entries_.push_back(std::move(entry));
+}
+
+std::uint64_t
+Compose::prefixFingerprint() const
+{
+    ConfigHash hash;
+    hash.mix(static_cast<std::uint64_t>(prefix_len_));
+    for (std::size_t i = 0; i < prefix_len_; ++i) {
+        hash.mix(entries_[i].transform->name());
+        hash.mix(entries_[i].transform->configHash());
+    }
+    return hash.value();
 }
 
 std::vector<std::string>
@@ -34,7 +51,27 @@ Compose::names() const
 void
 Compose::operator()(Sample &sample, PipelineContext &ctx) const
 {
-    for (const auto &entry : entries_) {
+    applyRange(sample, ctx, 0, entries_.size());
+}
+
+void
+Compose::applyPrefix(Sample &sample, PipelineContext &ctx) const
+{
+    applyRange(sample, ctx, 0, prefix_len_);
+}
+
+void
+Compose::applySuffix(Sample &sample, PipelineContext &ctx) const
+{
+    applyRange(sample, ctx, prefix_len_, entries_.size());
+}
+
+void
+Compose::applyRange(Sample &sample, PipelineContext &ctx,
+                    std::size_t begin, std::size_t end) const
+{
+    for (std::size_t i = begin; i < end; ++i) {
+        const auto &entry = entries_[i];
         trace::SpanTimer span(ctx.logger, trace::RecordKind::TransformOp);
         span.record().op_name = entry.transform->name();
         span.record().batch_id = ctx.batch_id;

@@ -42,12 +42,41 @@ class Compose
     std::vector<std::string> names() const;
 
     /**
+     * Number of leading transforms that are deterministic(): the
+     * cacheable pipeline prefix. The prefix ends at the first
+     * stochastic op — a deterministic transform *after* a random one
+     * is not cacheable, because its input already depends on random
+     * draws.
+     */
+    std::size_t deterministicPrefixLength() const { return prefix_len_; }
+
+    /**
+     * Order-sensitive fingerprint of the deterministic prefix: a hash
+     * chain over each prefix transform's (name, configHash). Part of
+     * the lotus::cache key, so appending/removing/reconfiguring a
+     * prefix op invalidates cached and materialized samples. Stable
+     * across processes for the same transform configs.
+     */
+    std::uint64_t prefixFingerprint() const;
+
+    /**
      * Apply every transform in order to @p sample.
      * [T3] per-op records go to ctx.logger when present.
      */
     void operator()(Sample &sample, PipelineContext &ctx) const;
 
+    /** Apply only the deterministic prefix (ops [0, prefixLen)). */
+    void applyPrefix(Sample &sample, PipelineContext &ctx) const;
+
+    /** Apply only the random suffix (ops [prefixLen, size)). Never
+     *  touches rng state for the prefix — deterministic ops draw
+     *  nothing — so prefix-from-cache + suffix replays the exact
+     *  stream a full application would. */
+    void applySuffix(Sample &sample, PipelineContext &ctx) const;
+
   private:
+    void applyRange(Sample &sample, PipelineContext &ctx,
+                    std::size_t begin, std::size_t end) const;
     struct Entry
     {
         TransformPtr transform;
@@ -57,6 +86,8 @@ class Compose
     };
 
     std::vector<Entry> entries_;
+    /** Leading deterministic run; maintained by add(). */
+    std::size_t prefix_len_ = 0;
 };
 
 } // namespace lotus::pipeline

@@ -1,0 +1,14 @@
+#include "pipeline/dataset.h"
+
+#include <atomic>
+
+namespace lotus::pipeline {
+
+std::uint64_t
+allocateDatasetId()
+{
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace lotus::pipeline

@@ -6,10 +6,42 @@
 #ifndef LOTUS_PIPELINE_DATASET_H
 #define LOTUS_PIPELINE_DATASET_H
 
+#include <cstdint>
+#include <optional>
+
+#include "common/logging.h"
 #include "common/result.h"
 #include "pipeline/sample.h"
 
 namespace lotus::pipeline {
+
+/**
+ * Allocate a process-unique dataset id. Each cacheable dataset claims
+ * one at construction so two dataset instances never collide in a
+ * shared lotus::cache. Ids are per-process only; cross-run reuse of
+ * materialized samples pairs the id with the prefix fingerprint.
+ */
+std::uint64_t allocateDatasetId();
+
+/**
+ * How a dataset participates in decoded-sample caching. A dataset
+ * that returns this from cacheableSplit() promises:
+ *
+ *  - tryGetPrefix() produces the sample after source read + decode +
+ *    the deterministic transform prefix only, drawing nothing from
+ *    ctx rng;
+ *  - applySuffix() applied to that intermediate is bit-identical to a
+ *    full tryGet() under the same rng state;
+ *  - prefix_fingerprint changes whenever the prefix computation
+ *    changes (transform reconfiguration, reordering, ...).
+ */
+struct CacheableSplit
+{
+    /** From allocateDatasetId(); distinguishes dataset instances. */
+    std::uint64_t dataset_id = 0;
+    /** Hash of decode + deterministic-prefix configuration. */
+    std::uint64_t prefix_fingerprint = 0;
+};
 
 class Dataset
 {
@@ -39,6 +71,41 @@ class Dataset
     tryGet(std::int64_t index, PipelineContext &ctx) const
     {
         return get(index, ctx);
+    }
+
+    /**
+     * Opt-in to decoded-sample caching. Datasets that can split their
+     * work into a deterministic prefix and a random suffix return a
+     * CacheableSplit and override tryGetPrefix()/applySuffix();
+     * everything else (synthetic data, stream-style sources) keeps
+     * the nullopt default and is never cached.
+     */
+    virtual std::optional<CacheableSplit> cacheableSplit() const
+    {
+        return std::nullopt;
+    }
+
+    /**
+     * Produce sample @p index up to the end of the deterministic
+     * prefix (source read + decode + deterministic transforms). Must
+     * not draw from ctx rng. Only called when cacheableSplit() is
+     * engaged.
+     */
+    virtual Result<Sample>
+    tryGetPrefix(std::int64_t index, PipelineContext &ctx) const
+    {
+        (void)index;
+        (void)ctx;
+        LOTUS_PANIC("tryGetPrefix on a dataset without cacheableSplit()");
+    }
+
+    /** Apply the random transform suffix to a prefix-stage sample. */
+    virtual void
+    applySuffix(Sample &sample, PipelineContext &ctx) const
+    {
+        (void)sample;
+        (void)ctx;
+        LOTUS_PANIC("applySuffix on a dataset without cacheableSplit()");
     }
 };
 

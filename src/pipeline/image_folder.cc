@@ -10,7 +10,8 @@ ImageFolderDataset::ImageFolderDataset(
     : store_(std::move(store)), transforms_(std::move(transforms)),
       num_classes_(num_classes),
       loader_tag_(hwcount::KernelRegistry::instance().registerOp(
-          kLoaderOpName))
+          kLoaderOpName)),
+      dataset_id_(allocateDatasetId())
 {
     LOTUS_ASSERT(store_ != nullptr && transforms_ != nullptr);
     LOTUS_ASSERT(num_classes_ > 0);
@@ -34,6 +35,32 @@ ImageFolderDataset::get(std::int64_t index, PipelineContext &ctx) const
 
 Result<Sample>
 ImageFolderDataset::tryGet(std::int64_t index, PipelineContext &ctx) const
+{
+    Result<Sample> prefix = tryGetPrefix(index, ctx);
+    if (!prefix.ok())
+        return prefix.takeError();
+    Sample sample = prefix.take();
+    transforms_->applySuffix(sample, ctx);
+    return sample;
+}
+
+std::optional<CacheableSplit>
+ImageFolderDataset::cacheableSplit() const
+{
+    CacheableSplit split;
+    split.dataset_id = dataset_id_;
+    split.prefix_fingerprint =
+        ConfigHash()
+            .mix(std::string("ImageFolderDataset"))
+            .mix(static_cast<std::uint64_t>(num_classes_))
+            .mix(transforms_->prefixFingerprint())
+            .value();
+    return split;
+}
+
+Result<Sample>
+ImageFolderDataset::tryGetPrefix(std::int64_t index,
+                                 PipelineContext &ctx) const
 {
     Sample sample;
     sample.label = index % num_classes_;
@@ -64,8 +91,14 @@ ImageFolderDataset::tryGet(std::int64_t index, PipelineContext &ctx) const
         }
         span.finish();
     }
-    (*transforms_)(sample, ctx);
+    transforms_->applyPrefix(sample, ctx);
     return sample;
+}
+
+void
+ImageFolderDataset::applySuffix(Sample &sample, PipelineContext &ctx) const
+{
+    transforms_->applySuffix(sample, ctx);
 }
 
 } // namespace lotus::pipeline

@@ -39,6 +39,18 @@ class ImageFolderDataset : public Dataset
     Result<Sample> tryGet(std::int64_t index,
                           PipelineContext &ctx) const override;
 
+    /**
+     * Cache split: the prefix is Loader (store read + decode) plus
+     * the Compose chain's deterministic prefix; the suffix is the
+     * remaining (stochastic-first) transforms. The fingerprint covers
+     * the labeling scheme and the prefix transform configs.
+     */
+    std::optional<CacheableSplit> cacheableSplit() const override;
+    Result<Sample> tryGetPrefix(std::int64_t index,
+                                PipelineContext &ctx) const override;
+    void applySuffix(Sample &sample,
+                     PipelineContext &ctx) const override;
+
     const Compose &transforms() const { return *transforms_; }
 
   private:
@@ -46,6 +58,7 @@ class ImageFolderDataset : public Dataset
     std::shared_ptr<const Compose> transforms_;
     std::int64_t num_classes_;
     hwcount::OpTag loader_tag_;
+    std::uint64_t dataset_id_;
 };
 
 } // namespace lotus::pipeline

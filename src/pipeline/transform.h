@@ -7,6 +7,8 @@
 #ifndef LOTUS_PIPELINE_TRANSFORM_H
 #define LOTUS_PIPELINE_TRANSFORM_H
 
+#include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -14,6 +16,50 @@
 #include "pipeline/sample.h"
 
 namespace lotus::pipeline {
+
+/**
+ * FNV-1a accumulator for Transform::configHash() implementations:
+ * mix every construction-time parameter that changes the output, so
+ * two transforms hash equal exactly when they compute the same
+ * function. Doubles are mixed by bit pattern (the configs are exact
+ * constants, never derived floats).
+ */
+class ConfigHash
+{
+  public:
+    ConfigHash &
+    mix(std::uint64_t value)
+    {
+        for (int i = 0; i < 8; ++i) {
+            state_ ^= (value >> (8 * i)) & 0xFF;
+            state_ *= 0x100000001B3ull;
+        }
+        return *this;
+    }
+
+    ConfigHash &
+    mix(double value)
+    {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &value, sizeof(bits));
+        return mix(bits);
+    }
+
+    ConfigHash &
+    mix(const std::string &value)
+    {
+        for (const char c : value) {
+            state_ ^= static_cast<std::uint8_t>(c);
+            state_ *= 0x100000001B3ull;
+        }
+        return mix(static_cast<std::uint64_t>(value.size()));
+    }
+
+    std::uint64_t value() const { return state_; }
+
+  private:
+    std::uint64_t state_ = 0xCBF29CE484222325ull; // FNV offset basis
+};
 
 class Transform
 {
@@ -25,6 +71,26 @@ class Transform
 
     /** Apply in place. Randomized transforms draw from @p rng. */
     virtual void apply(Sample &sample, Rng &rng) const = 0;
+
+    /**
+     * True when apply() never draws from rng and its output is a pure
+     * function of the input sample and construction-time config. The
+     * leading run of deterministic transforms is the cacheable
+     * pipeline prefix (lotus::cache): its output can be snapshotted
+     * and replayed on later epochs without changing any downstream
+     * random draw. Defaults to false — an unmarked transform is never
+     * cached, only ever recomputed, so forgetting the override costs
+     * performance, never correctness.
+     */
+    virtual bool deterministic() const { return false; }
+
+    /**
+     * Hash of the construction-time configuration, mixed into the
+     * cache key's prefix fingerprint so a config change (e.g. a new
+     * resize target) invalidates stale cached/materialized samples.
+     * Only consulted for deterministic() transforms.
+     */
+    virtual std::uint64_t configHash() const { return 0; }
 };
 
 using TransformPtr = std::unique_ptr<Transform>;

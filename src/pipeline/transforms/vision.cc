@@ -123,6 +123,16 @@ Resize::apply(Sample &sample, Rng &rng) const
     sample.image = image::resize(input, out_w, out_h);
 }
 
+std::uint64_t
+Resize::configHash() const
+{
+    return ConfigHash()
+        .mix(static_cast<std::uint64_t>(size_))
+        .mix(static_cast<std::uint64_t>(max_size_))
+        .mix(static_cast<std::uint64_t>(exact_))
+        .value();
+}
+
 ToTensor::ToTensor() : NamedTransform("ToTensor") {}
 
 void
@@ -143,6 +153,17 @@ Normalize::Normalize(std::vector<float> mean, std::vector<float> stddev)
     LOTUS_ASSERT(mean_.size() == stddev_.size() && !mean_.empty());
     for (const float s : stddev_)
         LOTUS_ASSERT(s > 0.0f, "stddev must be positive");
+}
+
+std::uint64_t
+Normalize::configHash() const
+{
+    ConfigHash hash;
+    for (const float m : mean_)
+        hash.mix(static_cast<double>(m));
+    for (const float s : stddev_)
+        hash.mix(static_cast<double>(s));
+    return hash.value();
 }
 
 void

@@ -62,6 +62,8 @@ class Resize : public NamedTransform
     explicit Resize(int size, int max_size = 0, bool exact = false);
 
     void apply(Sample &sample, Rng &rng) const override;
+    bool deterministic() const override { return true; }
+    std::uint64_t configHash() const override;
 
   private:
     int size_;
@@ -76,6 +78,7 @@ class ToTensor : public NamedTransform
     ToTensor();
 
     void apply(Sample &sample, Rng &rng) const override;
+    bool deterministic() const override { return true; }
 };
 
 /** Per-channel normalization of a CHW f32 tensor. */
@@ -85,6 +88,8 @@ class Normalize : public NamedTransform
     Normalize(std::vector<float> mean, std::vector<float> stddev);
 
     void apply(Sample &sample, Rng &rng) const override;
+    bool deterministic() const override { return true; }
+    std::uint64_t configHash() const override;
 
   private:
     std::vector<float> mean_;

@@ -60,6 +60,13 @@ class Cast : public NamedTransform
     explicit Cast(tensor::DType target);
 
     void apply(Sample &sample, Rng &rng) const override;
+    bool deterministic() const override { return true; }
+    std::uint64_t configHash() const override
+    {
+        return ConfigHash()
+            .mix(static_cast<std::uint64_t>(target_))
+            .value();
+    }
 
   private:
     tensor::DType target_;

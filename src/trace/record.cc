@@ -20,6 +20,7 @@ recordKindName(RecordKind kind)
       case RecordKind::ErrorEvent: return "SError";
       case RecordKind::TaskSpan: return "STask";
       case RecordKind::StealEvent: return "SSteal";
+      case RecordKind::CacheEvent: return "SCache";
     }
     LOTUS_PANIC("bad record kind %d", static_cast<int>(kind));
 }
@@ -39,6 +40,7 @@ kindFromName(const std::string &name)
         {"SError", RecordKind::ErrorEvent},
         {"STask", RecordKind::TaskSpan},
         {"SSteal", RecordKind::StealEvent},
+        {"SCache", RecordKind::CacheEvent},
     };
     for (const auto &[text, kind] : kinds) {
         if (name == text)

@@ -34,6 +34,7 @@ enum class RecordKind : std::uint8_t
     ErrorEvent,        ///< recoverable sample error (op "error:<stage>")
     TaskSpan,          ///< one per-sample fetch task (work-stealing)
     StealEvent,        ///< task stolen from a peer (op "steal<-wN")
+    CacheEvent,        ///< decoded-sample cache action (op "cache:<what>")
 };
 
 const char *recordKindName(RecordKind kind);

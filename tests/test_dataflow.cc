@@ -12,6 +12,7 @@
 #include <limits>
 #include <set>
 
+#include "common/files.h"
 #include "dataflow/data_loader.h"
 #include "dataflow/iterable_loader.h"
 #include "dataflow/sampler.h"
@@ -215,6 +216,72 @@ TEST(DataLoaderOptionsValidation, HugePrefetchFactorIsCappedByEpoch)
     while (loader.next().has_value())
         ++batches;
     EXPECT_EQ(batches, 4);
+}
+
+TEST(DataLoaderOptionsValidation, RejectsNonPositiveCacheBudget)
+{
+    auto dataset = std::make_shared<ToyDataset>(4);
+    auto collate = std::make_shared<pipeline::StackCollate>();
+    auto options = baseOptions(2, 1, nullptr);
+    options.cache_policy = CachePolicy::kMemory;
+    EXPECT_EXIT(DataLoader(dataset, collate, options),
+                ::testing::ExitedWithCode(1),
+                "cache_budget_bytes must be > 0");
+}
+
+TEST(DataLoaderOptionsValidation, RejectsNonPositiveCacheShards)
+{
+    auto dataset = std::make_shared<ToyDataset>(4);
+    auto collate = std::make_shared<pipeline::StackCollate>();
+    auto options = baseOptions(2, 1, nullptr);
+    options.cache_policy = CachePolicy::kMemory;
+    options.cache_budget_bytes = 1 << 20;
+    options.cache_shards = 0;
+    EXPECT_EXIT(DataLoader(dataset, collate, options),
+                ::testing::ExitedWithCode(1), "cache_shards must be > 0");
+}
+
+TEST(DataLoaderOptionsValidation, RejectsMaterializeWithoutADirectory)
+{
+    auto dataset = std::make_shared<ToyDataset>(4);
+    auto collate = std::make_shared<pipeline::StackCollate>();
+    auto options = baseOptions(2, 1, nullptr);
+    options.cache_policy = CachePolicy::kMaterialize;
+    options.cache_budget_bytes = 1 << 20;
+    EXPECT_EXIT(DataLoader(dataset, collate, options),
+                ::testing::ExitedWithCode(1), "needs a materialize_dir");
+}
+
+TEST(DataLoaderOptionsValidation, RejectsDirectoryWithoutMaterialize)
+{
+    auto dataset = std::make_shared<ToyDataset>(4);
+    auto collate = std::make_shared<pipeline::StackCollate>();
+    auto options = baseOptions(2, 1, nullptr);
+    options.cache_policy = CachePolicy::kMemory;
+    options.cache_budget_bytes = 1 << 20;
+    options.materialize_dir = "/tmp/lotus_unused_spills";
+    EXPECT_EXIT(DataLoader(dataset, collate, options),
+                ::testing::ExitedWithCode(1),
+                "cache_policy is not kMaterialize");
+}
+
+TEST(DataLoaderOptionsValidation, RejectsMaterializeDirCollision)
+{
+    // Two live loaders spilling into one directory would silently
+    // corrupt each other's files; the second claim must be fatal.
+    auto dataset = std::make_shared<ToyDataset>(4);
+    auto collate = std::make_shared<pipeline::StackCollate>();
+    TempDir dir("lotus_dataflow_spills");
+    auto options = baseOptions(2, 1, nullptr);
+    options.cache_policy = CachePolicy::kMaterialize;
+    options.cache_budget_bytes = 1 << 20;
+    options.materialize_dir = dir.file("spills");
+    EXPECT_EXIT(
+        {
+            DataLoader first(dataset, collate, options);
+            DataLoader second(dataset, collate, options);
+        },
+        ::testing::ExitedWithCode(1), "already in use");
 }
 
 TEST(DataLoader, SynchronousModeDeliversAllBatchesInOrder)

@@ -431,5 +431,78 @@ TEST(WorkStealing, DestructorJoinsMidEpoch)
     SUCCEED(); // no deadlock, no dangling task pointers
 }
 
+// --- Decoded-sample cache under every schedule ------------------------
+
+TEST(WorkStealing, WarmCacheEpochsBitIdenticalAcrossSchedulesAndSync)
+{
+    // The cache replays a stored prefix + fresh random suffix instead
+    // of the full sample path; every schedule's warm epochs must stay
+    // bit-identical to the uncached round-robin reference. Resize
+    // first gives a nonempty deterministic prefix, the flip a random
+    // suffix whose rng draws must land identically on the warm path.
+    auto store = makeEncodedStore(24);
+    auto makeDataset = [&] {
+        std::vector<pipeline::TransformPtr> transforms;
+        transforms.push_back(
+            std::make_unique<pipeline::Resize>(12, 0, /*exact=*/true));
+        transforms.push_back(
+            std::make_unique<pipeline::RandomHorizontalFlip>(0.5));
+        transforms.push_back(std::make_unique<pipeline::ToTensor>());
+        return std::make_shared<pipeline::ImageFolderDataset>(
+            store,
+            std::make_shared<pipeline::Compose>(std::move(transforms)),
+            /*num_classes=*/1 << 20);
+    };
+
+    // Epoch payloads from one loader across 3 epochs (the cache is
+    // per-loader state, so multi-epoch runs must share the instance).
+    auto threeEpochs = [](const std::shared_ptr<pipeline::Dataset> &d,
+                          const DataLoaderOptions &options) {
+        DataLoader loader(
+            d, std::make_shared<pipeline::StackCollate>(), options);
+        std::vector<std::vector<std::uint8_t>> epochs;
+        for (int epoch = 0; epoch < 3; ++epoch) {
+            loader.startEpoch();
+            std::vector<std::uint8_t> bytes;
+            while (auto batch = loader.next()) {
+                const std::uint8_t *raw = batch->data.raw();
+                bytes.insert(bytes.end(), raw,
+                             raw + batch->data.byteSize());
+                for (const std::int64_t label : batch->labels) {
+                    const auto *p =
+                        reinterpret_cast<const std::uint8_t *>(&label);
+                    bytes.insert(bytes.end(), p, p + sizeof(label));
+                }
+            }
+            epochs.push_back(std::move(bytes));
+        }
+        return epochs;
+    };
+
+    auto reference = wsOptions(4, 3);
+    reference.schedule = Schedule::kRoundRobin;
+    reference.shuffle = true;
+    const auto expected = threeEpochs(makeDataset(), reference);
+
+    struct Case
+    {
+        const char *name;
+        Schedule schedule;
+        int workers;
+    };
+    for (const Case &c :
+         {Case{"round-robin", Schedule::kRoundRobin, 3},
+          Case{"work-stealing", Schedule::kWorkStealing, 3},
+          Case{"sync", Schedule::kRoundRobin, 0}}) {
+        auto options = wsOptions(4, c.workers);
+        options.schedule = c.schedule;
+        options.shuffle = true;
+        options.cache_policy = CachePolicy::kMemory;
+        options.cache_budget_bytes = 64 << 20;
+        EXPECT_EQ(threeEpochs(makeDataset(), options), expected)
+            << "schedule=" << c.name;
+    }
+}
+
 } // namespace
 } // namespace lotus::dataflow

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+#
+# ASan+UBSan CI job: build with LOTUS_SANITIZE=address (which bundles
+# UBSan, see the top-level CMakeLists.txt) and run the suites that
+# chew on attacker-shaped or lifecycle-heavy inputs — the decoded-
+# sample cache (spill-file parser, mmap reads, eviction recycling) and
+# the fault-injection corruption sweeps — plus the image codec, whose
+# decoder is the other untrusted-bytes surface.
+#
+#   tools/run_sanitizers.sh              # build into build-asan/ and run
+#   BUILD_DIR=out tools/run_sanitizers.sh
+#   tools/run_sanitizers.sh -R 'test_cache'   # extra args go to ctest
+#
+# The TSan counterpart is tools/run_tsan.sh.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-asan}"
+
+ASAN_TESTS='test_cache|test_fault_injection|test_image_codec|test_dataflow|test_pipeline'
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+    -DLOTUS_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j "$(nproc)" \
+    --target test_cache test_fault_injection test_image_codec \
+             test_dataflow test_pipeline
+
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+    ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+          -R "${ASAN_TESTS}" "$@"
