@@ -20,8 +20,8 @@
 #include "core/lotusmap/splitter.h"
 #include "core/lotustrace/analysis.h"
 #include "dataflow/data_loader.h"
-#include "hwcount/cost_model.h"
 #include "hwcount/perf_backend.h"
+#include "hwcount/thread_counters.h"
 #include "image/codec/codec.h"
 #include "image/geometry.h"
 #include "image/resample.h"
@@ -35,16 +35,18 @@ main()
 {
     using namespace lotus;
 
-    // Which PMU is available?
-    if (hwcount::PerfEventPmu::available()) {
-        std::printf("real PMU available via perf_event; per-kernel "
-                    "counters below still come from the simulated PMU "
-                    "so the attribution is deterministic.\n");
+    // Which PMU feeds attribution? The registry resolves LOTUS_PMU
+    // and probes perf_event_open; workers attach themselves once the
+    // DataLoader below spins up.
+    auto &counters = hwcount::ThreadCounterRegistry::instance();
+    counters.setEnabled(true);
+    if (counters.resolvedBackend() == hwcount::PmuBackend::kPerf) {
+        std::printf("real per-thread PMU counters via perf_event "
+                    "(LOTUS_PMU=sim forces the model).\n");
     } else {
-        hwcount::PerfEventPmu probe;
         std::printf("perf_event unavailable here (%s); using the "
-                    "simulated PMU (DESIGN.md §4.5).\n",
-                    probe.error().c_str());
+                    "simulated PMU (DESIGN.md §12).\n",
+                    counters.fallbackReason().c_str());
     }
 
     // --- Phase 1: build the mapping once (the paper's "preparatory
@@ -105,8 +107,11 @@ main()
     core::lotustrace::TraceAnalysis analysis(logger.records());
     const auto op_seconds = analysis.cpuSecondsByOp();
     const auto snapshot = hwcount::KernelRegistry::instance().snapshot();
-    hwcount::SimulatedPmu pmu;
-    const auto per_kernel = pmu.countersForSnapshot(snapshot, 0.1);
+    // Measured per-kernel counters when any worker kept a live perf
+    // group; the identically shaped cost-model fallback otherwise.
+    const auto pmu_snap = counters.snapshot(0.1);
+    const auto &per_kernel = pmu_snap.per_kernel;
+    std::printf("counter source: %s\n", pmu_snap.source.c_str());
 
     std::printf("\n== end-to-end profile: %zu native functions with "
                 "samples (the \"300+ candidates\" problem) ==\n",

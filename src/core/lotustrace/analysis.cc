@@ -1,6 +1,7 @@
 #include "core/lotustrace/analysis.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.h"
 
@@ -8,6 +9,21 @@ namespace lotus::core::lotustrace {
 
 using trace::RecordKind;
 using trace::TraceRecord;
+
+namespace {
+
+/** Byte count carried in an IoEvent's "io:<bytes>" op name. */
+std::uint64_t
+ioEventBytes(const TraceRecord &record)
+{
+    constexpr const char kPrefix[] = "io:";
+    if (record.op_name.rfind(kPrefix, 0) != 0)
+        return 0;
+    return std::strtoull(record.op_name.c_str() + sizeof(kPrefix) - 1,
+                         nullptr, 10);
+}
+
+} // namespace
 
 TraceAnalysis::TraceAnalysis(std::vector<TraceRecord> records)
     : records_(std::move(records))
@@ -41,6 +57,11 @@ TraceAnalysis::TraceAnalysis(std::vector<TraceRecord> records)
             batch.gpu_start = record.start;
             batch.gpu_duration = record.duration;
             batch.has_gpu = true;
+            break;
+          case RecordKind::IoEvent:
+            batch.io_time += record.duration;
+            batch.io_reads += 1;
+            batch.io_bytes += ioEventBytes(record);
             break;
           case RecordKind::TransformOp:
           case RecordKind::EpochBoundary:
@@ -185,6 +206,23 @@ TraceAnalysis::cpuSecondsByOp() const
             out[record.op_name] += toSec(record.duration);
     }
     return out;
+}
+
+IoStats
+TraceAnalysis::ioStats() const
+{
+    IoStats stats;
+    std::vector<double> latencies_ms;
+    for (const auto &record : records_) {
+        if (record.kind != RecordKind::IoEvent)
+            continue;
+        stats.reads += 1;
+        stats.bytes += ioEventBytes(record);
+        stats.total_time += record.duration;
+        latencies_ms.push_back(toMs(record.duration));
+    }
+    stats.read_ms = analysis::summarize(latencies_ms);
+    return stats;
 }
 
 TimeNs

@@ -38,6 +38,11 @@ struct BatchTimeline
     bool has_consumed = false;
     bool has_gpu = false;
 
+    /** Summed IoEvent time/reads/bytes attributed to this batch. */
+    TimeNs io_time = 0;
+    std::uint64_t io_reads = 0;
+    std::uint64_t io_bytes = 0;
+
     /** [T1] preprocessing time. */
     TimeNs preprocessTime() const
     {
@@ -63,6 +68,17 @@ struct BatchTimeline
         const TimeNs delay = consumed_start - preprocess_end;
         return delay > 0 ? delay : 0;
     }
+};
+
+/** Aggregated store-read behaviour from IoEvent records
+ *  (tf-Darshan-style I/O dimension of the trace). */
+struct IoStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t bytes = 0;
+    TimeNs total_time = 0;
+    /** Per-read latency distribution, ms. */
+    analysis::Summary read_ms;
 };
 
 /** Per-operation elapsed-time statistics (Table II row block). */
@@ -122,6 +138,10 @@ class TraceAnalysis
 
     /** Longest observed GPU service time, ns (0 if none). */
     TimeNs maxGpuTime() const;
+
+    /** Store-read aggregates over all IoEvent records (zeros when the
+     *  run used an untraced store). */
+    IoStats ioStats() const;
 
   private:
     std::vector<trace::TraceRecord> records_;

@@ -125,6 +125,15 @@ augmentTrace(ChromeTraceBuilder &builder,
             builder.addInstant(record.op_name, record.start, record.pid,
                                record.pid);
             break;
+          case RecordKind::IoEvent:
+            // op_name is "io:<bytes>"; the span nests under the
+            // enclosing sample span in the reading lane.
+            builder.addComplete(record.op_name, "io", record.start,
+                                record.duration, record.pid, record.pid);
+            builder.addArgToLast(
+                "batch", strFormat("%lld", static_cast<long long>(
+                                               record.batch_id)));
+            break;
         }
     }
 

@@ -6,6 +6,7 @@
 #include "common/strings.h"
 #include "common/thread_util.h"
 #include "dataflow/sampler.h"
+#include "hwcount/thread_counters.h"
 
 namespace lotus::dataflow {
 
@@ -34,6 +35,47 @@ epochSeedBase(std::uint64_t seed, std::int64_t epoch)
 /** Idle-worker wake backstop under work-stealing; wake events from
  *  StealGroup::notifyWork make the common case prompt. */
 constexpr TimeNs kStealIdleWait = 200 * kMicrosecond;
+
+/**
+ * RAII publication of one fetch span's measured PMU delta into the
+ * lotus_pmu_* counters. Costs one branch on threads without a live
+ * counter group (the common case: registry disabled or sim backend),
+ * so it can wrap every fetch unconditionally.
+ */
+class PmuSpanGuard
+{
+  public:
+    PmuSpanGuard(metrics::Counter *cycles, metrics::Counter *instructions,
+                 metrics::Counter *llc_misses)
+        : cycles_(cycles), instructions_(instructions),
+          llc_misses_(llc_misses),
+          active_(hwcount::ThreadCounterRegistry::threadHasPmu())
+    {
+        if (active_)
+            start_ = hwcount::ThreadCounterRegistry::readCurrent();
+    }
+
+    ~PmuSpanGuard()
+    {
+        if (!active_)
+            return;
+        const hwcount::CounterSet delta = hwcount::counterDelta(
+            hwcount::ThreadCounterRegistry::readCurrent(), start_);
+        cycles_->add(delta.cycles);
+        instructions_->add(delta.instructions);
+        llc_misses_->add(delta.llc_misses);
+    }
+
+    PmuSpanGuard(const PmuSpanGuard &) = delete;
+    PmuSpanGuard &operator=(const PmuSpanGuard &) = delete;
+
+  private:
+    metrics::Counter *cycles_;
+    metrics::Counter *instructions_;
+    metrics::Counter *llc_misses_;
+    bool active_;
+    hwcount::CounterSet start_;
+};
 
 } // namespace
 
@@ -129,6 +171,11 @@ DataLoader::registerMetrics()
     metrics_.tasks_total = registry.counter(kTasksMetric);
     metrics_.batch_span_ns =
         registry.histogram("lotus_loader_batch_span_ns");
+    // Measured PMU totals. Registered unconditionally; they only move
+    // when the ThreadCounterRegistry resolved to the perf backend.
+    metrics_.pmu_cycles = registry.counter(kPmuCyclesMetric);
+    metrics_.pmu_instructions = registry.counter(kPmuInstructionsMetric);
+    metrics_.pmu_llc_misses = registry.counter(kPmuLlcMissesMetric);
     if (options_.num_workers == 0) {
         metrics_.fetch_ns.push_back(registry.histogram(
             metrics::labeled("lotus_loader_fetch_ns", "worker", "main")));
@@ -193,6 +240,9 @@ DataLoader::startEpoch()
         // sample from epoch_seed_base_, so this object only provides
         // the storage the context points at.
         sync_rng_ = Rng(epoch_seed_base_);
+        // The main thread does the fetching, so it carries the
+        // counter group (no-op unless PMU attribution is enabled).
+        hwcount::ThreadCounterRegistry::instance().attachCurrentThread();
         if (options_.logger) {
             trace::TraceRecord marker;
             marker.kind = trace::RecordKind::EpochBoundary;
@@ -297,6 +347,9 @@ DataLoader::workerLoop(int worker_id)
         worker_pids_[static_cast<std::size_t>(worker_id)] = pid;
     }
     worker_ready_cv_.notify_one();
+    // Per-worker counter group (no-op unless the ThreadCounterRegistry
+    // is enabled and resolved to the perf backend).
+    hwcount::ThreadCounterRegistry::instance().attachCurrentThread();
     // epoch_seed_base_ is stable while workers run: startEpoch joins
     // every worker before recomputing it. The rng object is just the
     // storage ctx points at — every sample attempt reseeds it.
@@ -331,6 +384,9 @@ DataLoader::workerLoop(int worker_id)
         out.worker_id = worker_id;
         {
             metrics::ScopedTimer fetch_timer(fetch_hist);
+            PmuSpanGuard pmu_span(metrics_.pmu_cycles,
+                                  metrics_.pmu_instructions,
+                                  metrics_.pmu_llc_misses);
             Result<Batch> batch = fetcher_.tryFetch(
                 msg->batch_id, msg->indices, ctx, errors, {}, seeding);
             // A failed batch still flows through the data queue (not a
@@ -346,6 +402,7 @@ DataLoader::workerLoop(int worker_id)
         data_queue_->push(std::move(out));
         metrics_.data_queue_depth->add(1);
     }
+    hwcount::ThreadCounterRegistry::instance().detachCurrentThread();
 }
 
 void
@@ -358,6 +415,7 @@ DataLoader::stealingLoop(int worker_id)
         worker_pids_[static_cast<std::size_t>(worker_id)] = pid;
     }
     worker_ready_cv_.notify_one();
+    hwcount::ThreadCounterRegistry::instance().attachCurrentThread();
 
     // The rng object is only the storage ctx points at: runTask
     // reseeds it per task from (epoch_seed_base_, dataset index), so
@@ -413,6 +471,7 @@ DataLoader::stealingLoop(int worker_id)
             break;
         group_->waitForWork(idle_token, kStealIdleWait);
     }
+    hwcount::ThreadCounterRegistry::instance().detachCurrentThread();
 }
 
 void
@@ -475,6 +534,9 @@ DataLoader::runTask(int worker_id, SampleTask *task,
     Result<pipeline::Sample> sample = [&] {
         metrics::ScopedTimer fetch_timer(
             metrics_.fetch_ns[static_cast<std::size_t>(worker_id)]);
+        PmuSpanGuard pmu_span(metrics_.pmu_cycles,
+                              metrics_.pmu_instructions,
+                              metrics_.pmu_llc_misses);
         return fetcher_.getSample(task->index, ctx);
     }();
     span.finish();
@@ -602,6 +664,9 @@ DataLoader::nextSynchronous()
     Batch result;
     {
         metrics::ScopedTimer fetch_timer(metrics_.fetch_ns[0]);
+        PmuSpanGuard pmu_span(metrics_.pmu_cycles,
+                              metrics_.pmu_instructions,
+                              metrics_.pmu_llc_misses);
         const ErrorHandling errors{options_.error_policy,
                                    options_.max_retries,
                                    options_.max_refill_attempts};

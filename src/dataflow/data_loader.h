@@ -67,6 +67,14 @@ inline constexpr const char *kStealsMetric = "lotus_loader_steals_total";
 /** Per-sample tasks executed under Schedule::kWorkStealing. */
 inline constexpr const char *kTasksMetric = "lotus_loader_tasks_total";
 
+/** Measured PMU totals over fetch spans (zero when the perf backend
+ *  is unavailable — lotus_top then labels IPC "simulated/off"). */
+inline constexpr const char *kPmuCyclesMetric = "lotus_pmu_cycles_total";
+inline constexpr const char *kPmuInstructionsMetric =
+    "lotus_pmu_instructions_total";
+inline constexpr const char *kPmuLlcMissesMetric =
+    "lotus_pmu_llc_misses_total";
+
 /**
  * Decoded-sample caching mode (see cache/sample_cache.h). The cache
  * holds prefix-stage samples — decoded and carried through the
@@ -249,6 +257,11 @@ class DataLoader
         metrics::Counter *tasks_total = nullptr;
         std::vector<metrics::Counter *> steals;
         metrics::Histogram *batch_span_ns = nullptr;
+        /** Measured per-thread PMU deltas summed over fetch spans
+         *  (stay zero on the simulated backend). */
+        metrics::Counter *pmu_cycles = nullptr;
+        metrics::Counter *pmu_instructions = nullptr;
+        metrics::Counter *pmu_llc_misses = nullptr;
     };
 
     std::shared_ptr<const pipeline::Dataset> dataset_;

@@ -2,6 +2,7 @@
 
 #include "common/clock.h"
 #include "metrics/metrics.h"
+#include "pipeline/traced_store.h"
 
 namespace lotus::dataflow {
 
@@ -77,6 +78,9 @@ Fetcher::setCache(std::shared_ptr<cache::SampleCache> cache)
 Result<pipeline::Sample>
 Fetcher::getSample(std::int64_t index, pipeline::PipelineContext &ctx) const
 {
+    // Every fetch path funnels through here, so this one scope
+    // correlates all TracedStore reads with the sample being fetched.
+    pipeline::IoTraceScope io_scope(&ctx);
     if (cache_ == nullptr || !split_.has_value())
         return dataset_->tryGet(index, ctx);
     const cache::CacheKey key{split_->dataset_id,

@@ -1,12 +1,16 @@
 #include "hwcount/perf_backend.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include <linux/perf_event.h>
 #include <sys/ioctl.h>
 #include <sys/syscall.h>
 #include <unistd.h>
+
+#include "common/logging.h"
 
 namespace lotus::hwcount {
 
@@ -25,32 +29,94 @@ struct EventSpec
     std::uint64_t config;
 };
 
+/**
+ * Event-to-group layout. Groups are scheduled onto the PMU
+ * atomically, so a group wider than the hardware's programmable
+ * slots would silently never count (time_running stays 0). Three
+ * two-event groups co-schedule everywhere that matters and let the
+ * kernel round-robin them when slots run short; read() undoes the
+ * time-slicing with time_enabled / time_running scaling.
+ */
 constexpr EventSpec kEvents[PerfEventPmu::kNumEvents] = {
+    // Group 0: the IPC pair. Keeping cycles and instructions in one
+    // group means their ratio is taken over the same time slices.
     {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
     {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    // Group 1: cache behaviour.
     {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
-    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_INSTRUCTIONS},
-    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
     {PERF_TYPE_HW_CACHE,
      PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
          (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+    // Group 2: branches.
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+/** read() layout for PERF_FORMAT_GROUP with both time fields. */
+struct GroupReading
+{
+    std::uint64_t nr;
+    std::uint64_t time_enabled;
+    std::uint64_t time_running;
+    std::uint64_t values[PerfEventPmu::kGroupSize];
 };
 
 } // namespace
+
+const char *
+pmuBackendName(PmuBackend backend)
+{
+    switch (backend) {
+      case PmuBackend::kAuto: return "auto";
+      case PmuBackend::kPerf: return "perf";
+      case PmuBackend::kSim: return "sim";
+    }
+    return "unknown";
+}
+
+PmuBackend
+pmuBackendFromEnv()
+{
+    const char *env = std::getenv("LOTUS_PMU");
+    if (env == nullptr || *env == '\0')
+        return PmuBackend::kAuto;
+    if (std::strcmp(env, "auto") == 0)
+        return PmuBackend::kAuto;
+    if (std::strcmp(env, "perf") == 0)
+        return PmuBackend::kPerf;
+    if (std::strcmp(env, "sim") == 0)
+        return PmuBackend::kSim;
+    static bool warned = false;
+    if (!warned) {
+        warned = true;
+        LOTUS_WARN("LOTUS_PMU=%s not recognised (expected auto, perf or "
+                   "sim); using auto",
+                   env);
+    }
+    return PmuBackend::kAuto;
+}
 
 PerfEventPmu::PerfEventPmu()
 {
     for (int &fd : fds_)
         fd = -1;
     for (int i = 0; i < kNumEvents; ++i) {
+        const bool leader = i % kGroupSize == 0;
         perf_event_attr attr{};
         attr.size = sizeof(attr);
         attr.type = kEvents[i].type;
         attr.config = kEvents[i].config;
-        attr.disabled = 1;
+        // Only the leader starts disabled; members inherit the
+        // group's enable state, so one ioctl per group flips all.
+        attr.disabled = leader ? 1 : 0;
         attr.exclude_kernel = 1;
         attr.exclude_hv = 1;
-        const long fd = perfEventOpen(&attr, 0, -1, -1, 0);
+        attr.read_format = PERF_FORMAT_GROUP |
+                           PERF_FORMAT_TOTAL_TIME_ENABLED |
+                           PERF_FORMAT_TOTAL_TIME_RUNNING;
+        const int group_fd =
+            leader ? -1 : fds_[(i / kGroupSize) * kGroupSize];
+        const long fd = perfEventOpen(&attr, 0, -1, group_fd, 0);
         if (fd < 0) {
             error_ = std::string("perf_event_open: ") + std::strerror(errno);
             // Partial groups are torn down; an all-or-nothing backend
@@ -79,10 +145,12 @@ PerfEventPmu::start()
 {
     if (!valid_)
         return;
-    for (int fd : fds_) {
-        ioctl(fd, PERF_EVENT_IOC_RESET, 0);
-        ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+    for (int g = 0; g < kNumGroups; ++g) {
+        const int leader = fds_[g * kGroupSize];
+        ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+        ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
     }
+    mux_fraction_ = 1.0;
 }
 
 void
@@ -90,8 +158,9 @@ PerfEventPmu::stop()
 {
     if (!valid_)
         return;
-    for (int fd : fds_)
-        ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+    for (int g = 0; g < kNumGroups; ++g)
+        ioctl(fds_[g * kGroupSize], PERF_EVENT_IOC_DISABLE,
+              PERF_IOC_FLAG_GROUP);
 }
 
 CounterSet
@@ -100,18 +169,42 @@ PerfEventPmu::read() const
     CounterSet c;
     if (!valid_)
         return c;
-    std::uint64_t values[kNumEvents] = {};
-    for (int i = 0; i < kNumEvents; ++i) {
-        if (::read(fds_[i], &values[i], sizeof(values[i])) !=
-            sizeof(values[i]))
-            values[i] = 0;
+    std::uint64_t scaled[kNumEvents] = {};
+    double worst_mux = 1.0;
+    for (int g = 0; g < kNumGroups; ++g) {
+        GroupReading reading{};
+        const ssize_t got =
+            ::read(fds_[g * kGroupSize], &reading, sizeof(reading));
+        if (got < static_cast<ssize_t>(sizeof(std::uint64_t) * 3) ||
+            reading.nr != kGroupSize)
+            continue;
+        // Unbiased multiplex estimator: the group counted for
+        // time_running out of time_enabled, so extrapolate by the
+        // ratio. time_running == 0 means the group never scheduled
+        // (counts are necessarily 0 and the ratio is meaningless).
+        double scale = 1.0;
+        if (reading.time_running > 0 &&
+            reading.time_enabled > reading.time_running) {
+            scale = static_cast<double>(reading.time_enabled) /
+                    static_cast<double>(reading.time_running);
+        }
+        if (reading.time_enabled > 0) {
+            worst_mux = std::min(
+                worst_mux, static_cast<double>(reading.time_running) /
+                               static_cast<double>(reading.time_enabled));
+        }
+        for (int e = 0; e < kGroupSize; ++e) {
+            scaled[g * kGroupSize + e] = static_cast<std::uint64_t>(
+                static_cast<double>(reading.values[e]) * scale + 0.5);
+        }
     }
-    c.cycles = values[0];
-    c.instructions = values[1];
-    c.llc_misses = values[2];
-    c.branches = values[3];
-    c.branch_mispredicts = values[4];
-    c.l1_misses = values[5];
+    mux_fraction_ = worst_mux;
+    c.cycles = scaled[0];
+    c.instructions = scaled[1];
+    c.llc_misses = scaled[2];
+    c.l1_misses = scaled[3];
+    c.branches = scaled[4];
+    c.branch_mispredicts = scaled[5];
     return c;
 }
 
@@ -120,6 +213,13 @@ PerfEventPmu::available()
 {
     PerfEventPmu probe;
     return probe.valid();
+}
+
+std::string
+PerfEventPmu::unavailableReason()
+{
+    PerfEventPmu probe;
+    return probe.valid() ? std::string() : probe.error();
 }
 
 } // namespace lotus::hwcount

@@ -4,10 +4,18 @@
  *
  * When the host kernel permits it (perf_event_paranoid and container
  * seccomp allowing), this backend measures real cycles, instructions,
- * cache misses and branches for the calling thread. Lotus-CPP uses it
- * opportunistically: examples and benches prefer it when available()
- * and otherwise fall back to the SimulatedPmu. Sandboxed environments
- * typically land on the fallback (documented in DESIGN.md §4.5).
+ * cache misses and branches for the calling thread. Counters are
+ * opened as small PERF_FORMAT_GROUP groups (each co-schedulable on
+ * any PMU with >= 2 programmable slots) and every read applies
+ * multiplex scaling from time_enabled / time_running, so asking for
+ * more events than the hardware has slots still yields unbiased
+ * estimates instead of silently under-counted raw values.
+ *
+ * Lotus-CPP uses it opportunistically: the ThreadCounterRegistry
+ * (thread_counters.h) attaches one instance per DataLoader worker
+ * when available() and otherwise falls back to the SimulatedPmu.
+ * Sandboxed environments typically land on the fallback (documented
+ * in DESIGN.md §12). The LOTUS_PMU env var pins the choice.
  */
 
 #ifndef LOTUS_HWCOUNT_PERF_BACKEND_H
@@ -19,40 +27,81 @@
 
 namespace lotus::hwcount {
 
+/**
+ * Which counter backend feeds attribution. kAuto probes the host and
+ * prefers real counters; kPerf insists on them (falling back with a
+ * warning when denied); kSim pins the deterministic cost model.
+ */
+enum class PmuBackend : std::uint8_t
+{
+    kAuto,
+    kPerf,
+    kSim,
+};
+
+const char *pmuBackendName(PmuBackend backend);
+
+/**
+ * Parse the LOTUS_PMU env override ({auto, perf, sim}, mirroring
+ * LOTUS_SIMD). Unset or unrecognized values resolve to kAuto; an
+ * unrecognized value additionally warns once.
+ */
+PmuBackend pmuBackendFromEnv();
+
 class PerfEventPmu
 {
   public:
-    /** Open counters for the calling thread. Check valid() after. */
+    /** Open counter groups for the calling thread. Check valid(). */
     PerfEventPmu();
     ~PerfEventPmu();
 
     PerfEventPmu(const PerfEventPmu &) = delete;
     PerfEventPmu &operator=(const PerfEventPmu &) = delete;
 
-    /** True when the counter group opened successfully. */
+    /** True when every counter group opened successfully. */
     bool valid() const { return valid_; }
 
     /** Why the backend is unavailable ("" when valid). */
     const std::string &error() const { return error_; }
 
-    /** Reset and start counting. */
+    /** Reset and start counting (whole groups at once). */
     void start();
 
     /** Stop counting. */
     void stop();
 
-    /** Read accumulated counts (only populated fields are nonzero). */
+    /**
+     * Read accumulated counts. Each group's raw values are scaled by
+     * time_enabled / time_running, the standard unbiased estimator
+     * for a kernel-multiplexed group; only populated fields are
+     * nonzero. Also refreshes multiplexFraction().
+     */
     CounterSet read() const;
+
+    /**
+     * Fraction of enabled time the least-scheduled group actually
+     * spent counting on the PMU during the last read() (1.0 = never
+     * multiplexed; valid after the first read).
+     */
+    double multiplexFraction() const { return mux_fraction_; }
 
     /** Probe whether this process can open PMU counters at all. */
     static bool available();
 
-    static constexpr int kNumEvents = 6;
+    /** Probe failure reason ("" when available). */
+    static std::string unavailableReason();
+
+    /** Events per group; kept small so groups co-schedule even on
+     *  PMUs with few programmable slots. */
+    static constexpr int kGroupSize = 2;
+    static constexpr int kNumGroups = 3;
+    static constexpr int kNumEvents = kGroupSize * kNumGroups;
 
   private:
     int fds_[kNumEvents];
     bool valid_ = false;
     std::string error_;
+    mutable double mux_fraction_ = 1.0;
 };
 
 } // namespace lotus::hwcount

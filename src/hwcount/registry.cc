@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/thread_util.h"
+#include "hwcount/thread_counters.h"
 
 namespace lotus::hwcount {
 
@@ -186,6 +187,9 @@ KernelScope::KernelScope(KernelId id)
       depth_(parent_ ? static_cast<std::uint16_t>(parent_->depth_ + 1) : 0)
 {
     current_scope = this;
+    pmu_active_ = ThreadCounterRegistry::threadHasPmu();
+    if (pmu_active_)
+        pmu_start_ = ThreadCounterRegistry::readCurrent();
     start_ = KernelRegistry::instance().clock().now();
 }
 
@@ -198,6 +202,16 @@ KernelScope::~KernelScope()
     current_scope = parent_;
     if (parent_)
         parent_->child_time_ += total;
+
+    if (pmu_active_) {
+        const CounterSet pmu_total =
+            counterDelta(ThreadCounterRegistry::readCurrent(), pmu_start_);
+        // Self counters exclude child scopes, mirroring self time.
+        ThreadCounterRegistry::instance().charge(
+            id_, counterDelta(pmu_total, pmu_child_));
+        if (parent_ && parent_->pmu_active_)
+            parent_->pmu_child_ += pmu_total;
+    }
 
     auto &thread = registry.threadState();
     std::lock_guard lock(thread.mutex);

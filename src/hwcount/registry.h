@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "hwcount/counters.h"
 #include "hwcount/kernel_id.h"
 #include "hwcount/work_stats.h"
 
@@ -194,6 +195,13 @@ class KernelScope
     WorkStats stats_;
     KernelScope *parent_;
     std::uint16_t depth_;
+    /** Counter reading at scope entry and counters consumed by
+     *  enclosed child scopes; populated only on threads with a live
+     *  PMU group (ThreadCounterRegistry::threadHasPmu()). The self
+     *  delta charged at exit mirrors the self-time computation. */
+    CounterSet pmu_start_;
+    CounterSet pmu_child_;
+    bool pmu_active_ = false;
 };
 
 /**

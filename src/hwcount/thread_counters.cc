@@ -1,0 +1,266 @@
+#include "hwcount/thread_counters.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "hwcount/cost_model.h"
+#include "hwcount/registry.h"
+
+namespace lotus::hwcount {
+
+namespace {
+
+std::uint64_t
+sub(std::uint64_t a, std::uint64_t b)
+{
+    return a > b ? a - b : 0;
+}
+
+} // namespace
+
+CounterSet
+counterDelta(const CounterSet &now, const CounterSet &then)
+{
+    CounterSet d;
+    d.cycles = sub(now.cycles, then.cycles);
+    d.instructions = sub(now.instructions, then.instructions);
+    d.uops_delivered = sub(now.uops_delivered, then.uops_delivered);
+    d.uops_retired = sub(now.uops_retired, then.uops_retired);
+    d.frontend_stall_slots =
+        sub(now.frontend_stall_slots, then.frontend_stall_slots);
+    d.backend_stall_slots =
+        sub(now.backend_stall_slots, then.backend_stall_slots);
+    d.l1_misses = sub(now.l1_misses, then.l1_misses);
+    d.l2_misses = sub(now.l2_misses, then.l2_misses);
+    d.llc_misses = sub(now.llc_misses, then.llc_misses);
+    d.dram_stall_cycles = sub(now.dram_stall_cycles, then.dram_stall_cycles);
+    d.branches = sub(now.branches, then.branches);
+    d.branch_mispredicts =
+        sub(now.branch_mispredicts, then.branch_mispredicts);
+    return d;
+}
+
+/**
+ * Per-thread attribution state. The owning thread writes without
+ * coordination except for the lightweight mutex also taken by
+ * snapshot()/reset(); the pmu itself is only ever touched by the
+ * owning thread.
+ */
+struct ThreadCounterRegistry::ThreadState
+{
+    std::mutex mutex;
+    std::unique_ptr<PerfEventPmu> pmu;
+    std::array<CounterSet, kNumKernels> per_kernel{};
+    double mux = 1.0;
+    bool has_real_data = false;
+};
+
+namespace {
+
+/** Fast-path handle KernelScope reads; set by attachCurrentThread,
+ *  cleared by detach. Null on unattached (or sim-backend) threads. */
+thread_local ThreadCounterRegistry::ThreadState *tl_state = nullptr;
+
+} // namespace
+
+ThreadCounterRegistry &
+ThreadCounterRegistry::instance()
+{
+    static ThreadCounterRegistry registry;
+    return registry;
+}
+
+void
+ThreadCounterRegistry::setEnabled(bool enabled)
+{
+    if (enabled)
+        resolvedBackend(); // resolve (and warn) before threads attach
+    enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+PmuBackend
+ThreadCounterRegistry::resolvedBackend()
+{
+    std::lock_guard lock(mutex_);
+    if (resolved_)
+        return backend_;
+    resolved_ = true;
+    const PmuBackend requested = pmuBackendFromEnv();
+    if (requested == PmuBackend::kSim) {
+        backend_ = PmuBackend::kSim;
+        fallback_reason_ = "forced by LOTUS_PMU=sim";
+        return backend_;
+    }
+    std::string reason = PerfEventPmu::unavailableReason();
+    if (reason.empty()) {
+        backend_ = PmuBackend::kPerf;
+        fallback_reason_.clear();
+    } else {
+        backend_ = PmuBackend::kSim;
+        fallback_reason_ = reason;
+        if (requested == PmuBackend::kPerf) {
+            LOTUS_WARN("LOTUS_PMU=perf requested but unavailable (%s); "
+                       "falling back to the simulated backend",
+                       reason.c_str());
+        }
+    }
+    return backend_;
+}
+
+std::string
+ThreadCounterRegistry::fallbackReason() const
+{
+    std::lock_guard lock(mutex_);
+    return fallback_reason_;
+}
+
+ThreadCounterRegistry::ThreadState *
+ThreadCounterRegistry::threadState()
+{
+    thread_local std::shared_ptr<ThreadState> state = [this] {
+        auto s = std::make_shared<ThreadState>();
+        std::lock_guard lock(mutex_);
+        threads_.push_back(s);
+        return s;
+    }();
+    return state.get();
+}
+
+bool
+ThreadCounterRegistry::attachCurrentThread()
+{
+    if (!enabled())
+        return false;
+    if (resolvedBackend() != PmuBackend::kPerf)
+        return false;
+    ThreadState *state = threadState();
+    if (state->pmu == nullptr) {
+        auto pmu = std::make_unique<PerfEventPmu>();
+        if (!pmu->valid()) {
+            // Process-level probe passed but this thread's open was
+            // denied (fd limits, cgroup changes): degrade quietly.
+            std::lock_guard lock(mutex_);
+            if (fallback_reason_.empty())
+                fallback_reason_ = pmu->error();
+            return false;
+        }
+        pmu->start();
+        std::lock_guard lock(state->mutex);
+        state->pmu = std::move(pmu);
+    }
+    tl_state = state;
+    return true;
+}
+
+void
+ThreadCounterRegistry::detachCurrentThread()
+{
+    ThreadState *state = tl_state;
+    tl_state = nullptr;
+    if (state == nullptr)
+        return;
+    std::lock_guard lock(state->mutex);
+    if (state->pmu != nullptr)
+        state->pmu->stop();
+}
+
+bool
+ThreadCounterRegistry::threadHasPmu()
+{
+    return tl_state != nullptr;
+}
+
+CounterSet
+ThreadCounterRegistry::readCurrent()
+{
+    ThreadState *state = tl_state;
+    if (state == nullptr || state->pmu == nullptr)
+        return CounterSet{};
+    return state->pmu->read();
+}
+
+void
+ThreadCounterRegistry::charge(KernelId id, const CounterSet &self)
+{
+    ThreadState *state = tl_state;
+    if (state == nullptr)
+        return;
+    std::lock_guard lock(state->mutex);
+    state->per_kernel[static_cast<std::size_t>(id)] += self;
+    state->has_real_data = true;
+    if (state->pmu != nullptr)
+        state->mux = std::min(state->mux, state->pmu->multiplexFraction());
+}
+
+PmuSnapshot
+ThreadCounterRegistry::snapshot(double occupancy) const
+{
+    PmuSnapshot snap;
+    snap.per_kernel.assign(kNumKernels, CounterSet{});
+    std::vector<std::shared_ptr<ThreadState>> threads;
+    {
+        std::lock_guard lock(mutex_);
+        threads = threads_;
+        snap.source = fallback_reason_.empty()
+                          ? "perf"
+                          : "sim (" + fallback_reason_ + ")";
+    }
+    snap.threads_attached = static_cast<int>(threads.size());
+    for (const auto &thread : threads) {
+        std::lock_guard lock(thread->mutex);
+        if (thread->pmu != nullptr)
+            ++snap.threads_real;
+        if (!thread->has_real_data)
+            continue;
+        for (std::size_t k = 0; k < kNumKernels; ++k) {
+            snap.per_kernel[k] += thread->per_kernel[k];
+            snap.total += thread->per_kernel[k];
+        }
+        snap.multiplex_fraction =
+            std::min(snap.multiplex_fraction, thread->mux);
+    }
+    snap.measured = snap.total.cycles > 0 || snap.total.instructions > 0;
+    if (!snap.measured) {
+        // Graceful degradation: synthesize the same-shaped vector
+        // from the KernelRegistry's work accounting so LotusMap and
+        // the tools never branch on backend availability.
+        SimulatedPmu pmu;
+        snap.per_kernel = pmu.countersForSnapshot(
+            KernelRegistry::instance().snapshot(), occupancy);
+        snap.total = CounterSet{};
+        for (const auto &c : snap.per_kernel)
+            snap.total += c;
+        if (snap.source == "perf")
+            snap.source = "sim (no measured deltas yet)";
+    }
+    return snap;
+}
+
+void
+ThreadCounterRegistry::reset()
+{
+    std::vector<std::shared_ptr<ThreadState>> threads;
+    {
+        std::lock_guard lock(mutex_);
+        threads = threads_;
+    }
+    for (const auto &thread : threads) {
+        std::lock_guard lock(thread->mutex);
+        thread->per_kernel.fill(CounterSet{});
+        thread->mux = 1.0;
+        thread->has_real_data = false;
+        if (thread->pmu != nullptr)
+            thread->pmu->start(); // re-zero the hardware counts too
+    }
+}
+
+void
+ThreadCounterRegistry::resetBackendForTesting()
+{
+    std::lock_guard lock(mutex_);
+    resolved_ = false;
+    backend_ = PmuBackend::kSim;
+    fallback_reason_.clear();
+}
+
+} // namespace lotus::hwcount

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Per-thread hardware-counter attribution (Recount-style).
+ *
+ * The ThreadCounterRegistry attaches one PerfEventPmu counter group
+ * to every participating thread (the DataLoader attaches its worker
+ * fleet; anything else may opt in with attachCurrentThread()). While
+ * enabled, every KernelScope reads the thread's counters at entry and
+ * exit and charges the *self* delta — total minus enclosed child
+ * kernels — to the innermost kernel, exactly mirroring the registry's
+ * self-time accounting. The result is a per-kernel CounterSet vector
+ * in the same shape SimulatedPmu::countersForSnapshot() produces, so
+ * LotusMap's splitCounters() consumes measured and modelled counters
+ * interchangeably.
+ *
+ * Backend selection honours LOTUS_PMU={auto,perf,sim}: auto probes
+ * perf_event_open and falls back to the simulated cost model when the
+ * sandbox denies it; perf insists (warning once on fallback); sim
+ * pins the deterministic model. snapshot() always returns usable
+ * counters — measured when any thread collected real deltas, modelled
+ * from the KernelRegistry's work accounting otherwise — so callers
+ * degrade gracefully without branching on availability.
+ *
+ * Cost when disabled: one relaxed atomic load per KernelScope. Cost
+ * when enabled with a real PMU: two group-read syscall batches per
+ * scope on attached threads (budgeted in bench_micro's
+ * pmu_overhead_pct).
+ */
+
+#ifndef LOTUS_HWCOUNT_THREAD_COUNTERS_H
+#define LOTUS_HWCOUNT_THREAD_COUNTERS_H
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "hwcount/counters.h"
+#include "hwcount/kernel_id.h"
+#include "hwcount/perf_backend.h"
+
+namespace lotus::hwcount {
+
+/**
+ * Per-field a - b, clamped at zero. Multiplex scaling can make a
+ * cumulative counter wobble slightly downward between reads; a span
+ * delta must never underflow into a huge unsigned value.
+ */
+CounterSet counterDelta(const CounterSet &now, const CounterSet &then);
+
+/** Merged view of everything the attached threads measured. */
+struct PmuSnapshot
+{
+    /** Per-kernel counters indexed by KernelId (size kNumKernels) —
+     *  the shape core::lotusmap::splitCounters() consumes. */
+    std::vector<CounterSet> per_kernel;
+    /** Sum over per_kernel. */
+    CounterSet total;
+    /** Threads that called attachCurrentThread() while enabled. */
+    int threads_attached = 0;
+    /** Threads that got a live perf counter group. */
+    int threads_real = 0;
+    /** Worst time_running/time_enabled across threads (1 = never
+     *  kernel-multiplexed). */
+    double multiplex_fraction = 1.0;
+    /** True when per_kernel holds real measured deltas; false when it
+     *  was synthesized by the SimulatedPmu fallback. */
+    bool measured = false;
+    /** "perf", or "sim (<reason>)" describing the fallback. */
+    std::string source;
+};
+
+class ThreadCounterRegistry
+{
+  public:
+    /** Opaque per-thread state; defined in thread_counters.cc. */
+    struct ThreadState;
+
+    static ThreadCounterRegistry &instance();
+
+    /**
+     * Gate attribution. Off (default) costs one relaxed load per
+     * KernelScope; flipping on resolves the backend (LOTUS_PMU +
+     * availability probe). Threads must still attach individually.
+     */
+    void setEnabled(bool enabled);
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Backend this process resolved to: kPerf when real counters are
+     * in use, kSim otherwise (never kAuto). Resolution happens on the
+     * first call (or first setEnabled(true)) and is sticky.
+     */
+    PmuBackend resolvedBackend();
+
+    /** Why the perf backend is not in use ("" when it is). */
+    std::string fallbackReason() const;
+
+    /**
+     * Attach a counter group to the calling thread. Idempotent; a
+     * no-op returning false when disabled or when the resolved
+     * backend is kSim (the fallback needs no per-thread state).
+     * Returns true when the thread now measures real counters.
+     */
+    bool attachCurrentThread();
+
+    /** Stop the calling thread's counters; accumulated attribution
+     *  survives for snapshot(). Safe without a prior attach. */
+    void detachCurrentThread();
+
+    /** True when the calling thread has a live counter group — the
+     *  one-branch fast path KernelScope checks. */
+    static bool threadHasPmu();
+
+    /** Current cumulative counters of the calling thread's group
+     *  (all-zero without one). */
+    static CounterSet readCurrent();
+
+    /** Charge a self-delta to @p id on the calling thread. Called by
+     *  ~KernelScope; public so custom spans can attribute too. */
+    void charge(KernelId id, const CounterSet &self);
+
+    /**
+     * Merge every thread's attribution. When no real deltas exist the
+     * per-kernel counters are synthesized from the KernelRegistry's
+     * work accounting through the SimulatedPmu at @p occupancy, so
+     * the caller always gets a usable vector (see `measured`).
+     */
+    PmuSnapshot snapshot(double occupancy = 0.0) const;
+
+    /** Drop accumulated attribution on every thread (keeps groups
+     *  attached and counting). */
+    void reset();
+
+    /** Re-run backend resolution on next use (tests flip LOTUS_PMU). */
+    void resetBackendForTesting();
+
+  private:
+    ThreadCounterRegistry() = default;
+
+    ThreadState *threadState();
+
+    std::atomic<bool> enabled_{false};
+
+    mutable std::mutex mutex_;
+    std::vector<std::shared_ptr<ThreadState>> threads_;
+    bool resolved_ = false;
+    PmuBackend backend_ = PmuBackend::kSim;
+    std::string fallback_reason_;
+};
+
+} // namespace lotus::hwcount
+
+#endif // LOTUS_HWCOUNT_THREAD_COUNTERS_H

@@ -1,0 +1,101 @@
+#include "pipeline/traced_store.h"
+
+#include "common/logging.h"
+#include "metrics/metrics.h"
+#include "trace/logger.h"
+
+namespace lotus::pipeline {
+
+namespace {
+
+thread_local PipelineContext *io_context = nullptr;
+
+} // namespace
+
+IoTraceScope::IoTraceScope(PipelineContext *ctx) : previous_(io_context)
+{
+    io_context = ctx;
+}
+
+IoTraceScope::~IoTraceScope()
+{
+    io_context = previous_;
+}
+
+PipelineContext *
+currentIoContext()
+{
+    return io_context;
+}
+
+TracedStore::TracedStore(std::shared_ptr<const BlobStore> inner)
+    : inner_(std::move(inner))
+{
+    LOTUS_ASSERT(inner_ != nullptr);
+}
+
+std::int64_t
+TracedStore::size() const
+{
+    return inner_->size();
+}
+
+std::uint64_t
+TracedStore::blobSize(std::int64_t index) const
+{
+    return inner_->blobSize(index);
+}
+
+std::string
+TracedStore::read(std::int64_t index) const
+{
+    const TimeNs start = SteadyClock::instance().now();
+    std::string blob = inner_->read(index);
+    note(blob.size(), SteadyClock::instance().now() - start, start);
+    return blob;
+}
+
+Result<std::string>
+TracedStore::tryRead(std::int64_t index) const
+{
+    const TimeNs start = SteadyClock::instance().now();
+    Result<std::string> blob = inner_->tryRead(index);
+    // Failed reads are not observations of store latency — the error
+    // path is accounted by lotus_loader_sample_errors_total instead.
+    if (blob.ok())
+        note(blob.value().size(), SteadyClock::instance().now() - start,
+             start);
+    return blob;
+}
+
+void
+TracedStore::note(std::uint64_t bytes, TimeNs elapsed, TimeNs start) const
+{
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+
+    if (metrics::enabled()) {
+        auto &registry = metrics::MetricsRegistry::instance();
+        registry.histogram(kStoreReadNsMetric)
+            ->record(static_cast<std::uint64_t>(elapsed));
+        registry.histogram(kStoreReadBytesMetric)->record(bytes);
+    }
+
+    PipelineContext *ctx = io_context;
+    if (ctx == nullptr || ctx->logger == nullptr)
+        return;
+    trace::TraceRecord record;
+    record.kind = trace::RecordKind::IoEvent;
+    record.batch_id = ctx->batch_id;
+    record.pid = ctx->pid;
+    record.start = start;
+    record.duration = elapsed;
+    // Op names must stay comma-free (record.cc line format); the byte
+    // count rides in the name so analysis can recover sizes from the
+    // trace alone.
+    record.op_name = "io:" + std::to_string(bytes);
+    record.sample_index = ctx->sample_index;
+    ctx->logger->log(std::move(record));
+}
+
+} // namespace lotus::pipeline

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * tf-Darshan-style store I/O tracing (PAPERS.md, arXiv:2008.04395).
+ *
+ * TracedStore decorates any BlobStore: every read records its latency
+ * and size into the log-bucketed histograms lotus_store_read_ns /
+ * lotus_store_read_bytes and, when the enclosing fetch carries a
+ * tracer, emits an IoEvent trace record (op "io:<bytes>") in the
+ * worker's lane correlated with the enclosing [T2] sample span via
+ * (batch_id, pid, sample_index). Correlation uses an ambient
+ * thread-local PipelineContext installed by IoTraceScope in
+ * Fetcher::getSample() — the single funnel all three fetch paths
+ * (round-robin workers, work-stealing tasks, synchronous loader) go
+ * through — so the store interface itself stays context-free.
+ *
+ * Overhead outside an IoTraceScope (or with metrics disabled) is two
+ * clock reads and two relaxed atomic adds per read; budgeted in
+ * bench_micro's io_trace_overhead_pct.
+ */
+
+#ifndef LOTUS_PIPELINE_TRACED_STORE_H
+#define LOTUS_PIPELINE_TRACED_STORE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "pipeline/sample.h"
+#include "pipeline/store.h"
+
+namespace lotus::pipeline {
+
+/** Read-latency histogram (nanoseconds per store read). */
+inline constexpr const char *kStoreReadNsMetric = "lotus_store_read_ns";
+
+/** Read-size histogram (bytes per store read). */
+inline constexpr const char *kStoreReadBytesMetric = "lotus_store_read_bytes";
+
+/**
+ * RAII ambient I/O-trace context: while alive, TracedStore reads on
+ * this thread emit IoEvent records into @p ctx's logger, stamped with
+ * its batch/pid/sample identity. Nests (restores the previous context
+ * on destruction); a null ctx is allowed and disables emission.
+ */
+class IoTraceScope
+{
+  public:
+    explicit IoTraceScope(PipelineContext *ctx);
+    ~IoTraceScope();
+
+    IoTraceScope(const IoTraceScope &) = delete;
+    IoTraceScope &operator=(const IoTraceScope &) = delete;
+
+  private:
+    PipelineContext *previous_;
+};
+
+/** The PipelineContext of the innermost live IoTraceScope on this
+ *  thread (null outside any fetch). */
+PipelineContext *currentIoContext();
+
+class TracedStore : public BlobStore
+{
+  public:
+    explicit TracedStore(std::shared_ptr<const BlobStore> inner);
+
+    std::int64_t size() const override;
+    std::string read(std::int64_t index) const override;
+    Result<std::string> tryRead(std::int64_t index) const override;
+    std::uint64_t blobSize(std::int64_t index) const override;
+
+    const BlobStore &inner() const { return *inner_; }
+
+    /** Successful reads observed (always counted, metrics or not). */
+    std::uint64_t reads() const
+    {
+        return reads_.load(std::memory_order_relaxed);
+    }
+
+    /** Bytes delivered by successful reads. */
+    std::uint64_t bytesRead() const
+    {
+        return bytes_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** Record one successful read of @p bytes taking @p elapsed. */
+    void note(std::uint64_t bytes, TimeNs elapsed, TimeNs start) const;
+
+    std::shared_ptr<const BlobStore> inner_;
+    mutable std::atomic<std::uint64_t> reads_{0};
+    mutable std::atomic<std::uint64_t> bytes_{0};
+};
+
+} // namespace lotus::pipeline
+
+#endif // LOTUS_PIPELINE_TRACED_STORE_H

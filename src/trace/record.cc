@@ -21,6 +21,7 @@ recordKindName(RecordKind kind)
       case RecordKind::TaskSpan: return "STask";
       case RecordKind::StealEvent: return "SSteal";
       case RecordKind::CacheEvent: return "SCache";
+      case RecordKind::IoEvent: return "SIo";
     }
     LOTUS_PANIC("bad record kind %d", static_cast<int>(kind));
 }
@@ -41,6 +42,7 @@ kindFromName(const std::string &name)
         {"STask", RecordKind::TaskSpan},
         {"SSteal", RecordKind::StealEvent},
         {"SCache", RecordKind::CacheEvent},
+        {"SIo", RecordKind::IoEvent},
     };
     for (const auto &[text, kind] : kinds) {
         if (name == text)

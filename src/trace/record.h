@@ -35,6 +35,7 @@ enum class RecordKind : std::uint8_t
     TaskSpan,          ///< one per-sample fetch task (work-stealing)
     StealEvent,        ///< task stolen from a peer (op "steal<-wN")
     CacheEvent,        ///< decoded-sample cache action (op "cache:<what>")
+    IoEvent,           ///< one traced store read (op "io:<bytes>")
 };
 
 const char *recordKindName(RecordKind kind);

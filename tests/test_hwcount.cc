@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "common/clock.h"
 #include "common/strings.h"
 #include "hwcount/collection.h"
@@ -17,6 +19,7 @@
 #include "hwcount/perf_backend.h"
 #include "hwcount/registry.h"
 #include "hwcount/sampling_driver.h"
+#include "hwcount/thread_counters.h"
 
 namespace lotus::hwcount {
 namespace {
@@ -544,6 +547,193 @@ TEST(PerfBackend, GracefulWhenUnavailable)
         pmu.stop();
         EXPECT_GT(pmu.read().instructions, 0u);
     }
+}
+
+
+// --- Per-thread attribution and backend selection ---
+
+/** setenv/unsetenv LOTUS_PMU for one test, restoring on scope exit. */
+class ScopedPmuEnv
+{
+  public:
+    explicit ScopedPmuEnv(const char *value)
+    {
+        const char *old = std::getenv("LOTUS_PMU");
+        had_old_ = old != nullptr;
+        if (had_old_)
+            old_ = old;
+        if (value != nullptr)
+            setenv("LOTUS_PMU", value, 1);
+        else
+            unsetenv("LOTUS_PMU");
+        ThreadCounterRegistry::instance().resetBackendForTesting();
+    }
+
+    ~ScopedPmuEnv()
+    {
+        if (had_old_)
+            setenv("LOTUS_PMU", old_.c_str(), 1);
+        else
+            unsetenv("LOTUS_PMU");
+        auto &registry = ThreadCounterRegistry::instance();
+        registry.setEnabled(false);
+        registry.detachCurrentThread();
+        registry.reset();
+        registry.resetBackendForTesting();
+    }
+
+  private:
+    bool had_old_ = false;
+    std::string old_;
+};
+
+TEST(PerfBackend, EnvOverrideParsing)
+{
+    {
+        ScopedPmuEnv env("sim");
+        EXPECT_EQ(pmuBackendFromEnv(), PmuBackend::kSim);
+    }
+    {
+        ScopedPmuEnv env("perf");
+        EXPECT_EQ(pmuBackendFromEnv(), PmuBackend::kPerf);
+    }
+    {
+        ScopedPmuEnv env("auto");
+        EXPECT_EQ(pmuBackendFromEnv(), PmuBackend::kAuto);
+    }
+    {
+        ScopedPmuEnv env(nullptr);
+        EXPECT_EQ(pmuBackendFromEnv(), PmuBackend::kAuto);
+    }
+}
+
+TEST(ThreadCounters, DeltaClampsAtZero)
+{
+    CounterSet now, then;
+    now.cycles = 100;
+    then.cycles = 50;
+    then.instructions = 10; // counter wobbled below the start read
+    const CounterSet d = counterDelta(now, then);
+    EXPECT_EQ(d.cycles, 50u);
+    EXPECT_EQ(d.instructions, 0u);
+    EXPECT_EQ(d.llc_misses, 0u);
+}
+
+TEST(ThreadCounters, SimBackendDegradesGracefully)
+{
+    ScopedPmuEnv env("sim");
+    auto &registry = ThreadCounterRegistry::instance();
+    registry.setEnabled(true);
+    EXPECT_EQ(registry.resolvedBackend(), PmuBackend::kSim);
+    EXPECT_NE(registry.fallbackReason().find("LOTUS_PMU=sim"),
+              std::string::npos);
+    // The sim backend needs no per-thread state: attach is a no-op
+    // and the KernelScope fast path stays cold.
+    EXPECT_FALSE(registry.attachCurrentThread());
+    EXPECT_FALSE(ThreadCounterRegistry::threadHasPmu());
+    EXPECT_EQ(ThreadCounterRegistry::readCurrent().cycles, 0u);
+
+    // snapshot() must still return a usable per-kernel vector,
+    // synthesized from the KernelRegistry's work accounting.
+    auto &kernels = KernelRegistry::instance();
+    kernels.reset();
+    {
+        KernelScope scope(KernelId::YccToRgb);
+        scope.stats().bytes_read = 1 << 20;
+        scope.stats().arith_ops = 1 << 20;
+    }
+    const PmuSnapshot snap = registry.snapshot(0.5);
+    ASSERT_EQ(snap.per_kernel.size(), kNumKernels);
+    EXPECT_FALSE(snap.measured);
+    EXPECT_NE(snap.source.find("sim"), std::string::npos);
+    EXPECT_GT(
+        snap.per_kernel[static_cast<std::size_t>(KernelId::YccToRgb)]
+            .instructions,
+        0u);
+    EXPECT_GT(snap.total.instructions, 0u);
+    kernels.reset();
+}
+
+TEST(ThreadCounters, PerfRequestedButUnavailableFallsBack)
+{
+    if (PerfEventPmu::available())
+        GTEST_SKIP() << "host grants perf_event_open; fallback untestable";
+    ScopedPmuEnv env("perf");
+    auto &registry = ThreadCounterRegistry::instance();
+    registry.setEnabled(true); // warns once, then degrades
+    EXPECT_EQ(registry.resolvedBackend(), PmuBackend::kSim);
+    EXPECT_FALSE(registry.fallbackReason().empty());
+    EXPECT_EQ(registry.fallbackReason(),
+              PerfEventPmu::unavailableReason());
+    EXPECT_FALSE(registry.attachCurrentThread());
+    const PmuSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.per_kernel.size(), kNumKernels);
+    EXPECT_FALSE(snap.measured);
+}
+
+TEST(ThreadCounters, MeasuredAttributionWithRealPmu)
+{
+    if (!PerfEventPmu::available())
+        GTEST_SKIP() << "perf_event_open unavailable: "
+                     << PerfEventPmu::unavailableReason();
+    ScopedPmuEnv env("perf");
+    auto &registry = ThreadCounterRegistry::instance();
+    registry.setEnabled(true);
+    ASSERT_EQ(registry.resolvedBackend(), PmuBackend::kPerf);
+    ASSERT_TRUE(registry.attachCurrentThread());
+    EXPECT_TRUE(ThreadCounterRegistry::threadHasPmu());
+    registry.reset();
+    {
+        KernelScope scope(KernelId::IdctBlock);
+        volatile double acc = 0.0;
+        for (int i = 0; i < 200000; ++i)
+            acc = acc + i * 0.5;
+    }
+    const PmuSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.per_kernel.size(), kNumKernels);
+    EXPECT_TRUE(snap.measured);
+    EXPECT_EQ(snap.source, "perf");
+    EXPECT_GE(snap.threads_real, 1);
+    EXPECT_GT(
+        snap.per_kernel[static_cast<std::size_t>(KernelId::IdctBlock)]
+            .instructions,
+        0u);
+    EXPECT_GT(snap.multiplex_fraction, 0.0);
+    EXPECT_LE(snap.multiplex_fraction, 1.0);
+}
+
+TEST(ThreadCounters, NestedScopesChargeSelfDeltas)
+{
+    if (!PerfEventPmu::available())
+        GTEST_SKIP() << "perf_event_open unavailable: "
+                     << PerfEventPmu::unavailableReason();
+    ScopedPmuEnv env("perf");
+    auto &registry = ThreadCounterRegistry::instance();
+    registry.setEnabled(true);
+    ASSERT_TRUE(registry.attachCurrentThread());
+    registry.reset();
+    volatile double acc = 0.0;
+    {
+        KernelScope outer(KernelId::DecodeMcu);
+        for (int i = 0; i < 100000; ++i)
+            acc = acc + i * 0.5;
+        {
+            KernelScope inner(KernelId::IdctBlock);
+            for (int i = 0; i < 100000; ++i)
+                acc = acc + i * 0.25;
+        }
+    }
+    const PmuSnapshot snap = registry.snapshot();
+    const auto &outer_counters =
+        snap.per_kernel[static_cast<std::size_t>(KernelId::DecodeMcu)];
+    const auto &inner_counters =
+        snap.per_kernel[static_cast<std::size_t>(KernelId::IdctBlock)];
+    // Both kernels ran comparable work; self-attribution must not
+    // double-charge the inner scope's instructions to the outer one.
+    EXPECT_GT(outer_counters.instructions, 0u);
+    EXPECT_GT(inner_counters.instructions, 0u);
+    EXPECT_LT(outer_counters.instructions,
+              2 * inner_counters.instructions + 100000);
 }
 
 } // namespace

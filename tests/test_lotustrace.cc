@@ -9,6 +9,7 @@
 #include "core/lotustrace/analysis.h"
 #include "core/lotustrace/report.h"
 #include "core/lotustrace/visualize.h"
+#include "trace/chrome_reader.h"
 
 namespace lotus::core::lotustrace {
 namespace {
@@ -138,6 +139,50 @@ TEST(TraceAnalysis, EmptyRecordsAreSafe)
     EXPECT_EQ(analysis.epochSpan(), 0);
     EXPECT_DOUBLE_EQ(analysis.outOfOrderFraction(), 0.0);
     EXPECT_TRUE(analysis.opStats().empty());
+}
+
+TEST(TraceAnalysis, IoEventsAggregateIntoBatchesAndStats)
+{
+    auto records = twoBatchScenario();
+    records.push_back(record(RecordKind::IoEvent, 0, 10, 10 * kMillisecond,
+                             2 * kMillisecond, "io:4096"));
+    records.push_back(record(RecordKind::IoEvent, 0, 10, 20 * kMillisecond,
+                             4 * kMillisecond, "io:1024"));
+    records.push_back(record(RecordKind::IoEvent, 1, 11, 5 * kMillisecond,
+                             kMillisecond, "io:512"));
+    TraceAnalysis analysis(records);
+    ASSERT_EQ(analysis.batches().size(), 2u);
+    const auto &b0 = analysis.batches()[0];
+    EXPECT_EQ(b0.io_reads, 2u);
+    EXPECT_EQ(b0.io_bytes, 4096u + 1024u);
+    EXPECT_EQ(b0.io_time, 6 * kMillisecond);
+    const IoStats io = analysis.ioStats();
+    EXPECT_EQ(io.reads, 3u);
+    EXPECT_EQ(io.bytes, 4096u + 1024u + 512u);
+    EXPECT_EQ(io.total_time, 7 * kMillisecond);
+    EXPECT_EQ(io.read_ms.count, 3u);
+    EXPECT_DOUBLE_EQ(io.read_ms.max, 4.0);
+    EXPECT_DOUBLE_EQ(io.read_ms.min, 1.0);
+}
+
+TEST(Visualize, IoEventRoundTripsThroughChromeReader)
+{
+    auto records = twoBatchScenario();
+    records.push_back(record(RecordKind::IoEvent, 0, 10, 10 * kMillisecond,
+                             2 * kMillisecond, "io:4096"));
+    const std::string json = toChromeJson(records);
+    const auto events = trace::parseChromeTrace(json);
+    ASSERT_FALSE(events.empty());
+    bool found = false;
+    for (const auto &event : events) {
+        if (event.category != "io")
+            continue;
+        found = true;
+        EXPECT_EQ(event.name, "io:4096");
+        EXPECT_EQ(event.phase, 'X');
+        EXPECT_DOUBLE_EQ(event.dur_us, 2000.0);
+    }
+    EXPECT_TRUE(found);
 }
 
 TEST(Visualize, CoarseTraceHasLanesSpansAndFlows)

@@ -13,6 +13,7 @@
 #include "pipeline/compose.h"
 #include "pipeline/image_folder.h"
 #include "pipeline/store.h"
+#include "pipeline/traced_store.h"
 #include "pipeline/transforms/vision.h"
 #include "pipeline/transforms/volumetric.h"
 #include "pipeline/volume_dataset.h"
@@ -316,6 +317,89 @@ TEST(Store, DiskStoreReadsFiles)
     EXPECT_EQ(store.size(), 2);
     EXPECT_EQ(store.read(0), "AAA");
     EXPECT_EQ(store.blobSize(1), 2u);
+}
+
+TEST(TracedStore, CountsSuccessfulReadsAndForwards)
+{
+    auto inner = std::make_shared<InMemoryStore>();
+    inner->add("alpha");
+    inner->add("beta!!");
+    TracedStore store(inner);
+    EXPECT_EQ(store.size(), 2);
+    EXPECT_EQ(store.blobSize(1), 6u);
+    EXPECT_EQ(store.read(0), "alpha");
+    EXPECT_EQ(store.read(1), "beta!!");
+    auto result = store.tryRead(0);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(store.reads(), 3u);
+    EXPECT_EQ(store.bytesRead(), 5u + 6u + 5u);
+}
+
+TEST(TracedStore, EmitsCorrelatedIoEventOnlyInsideScope)
+{
+    auto inner = std::make_shared<InMemoryStore>();
+    inner->add("payload");
+    TracedStore store(inner);
+
+    trace::TraceLogger logger;
+    PipelineContext ctx;
+    ctx.logger = &logger;
+    ctx.pid = 42;
+    ctx.batch_id = 7;
+    ctx.sample_index = 3;
+
+    // Outside any IoTraceScope: counted, but no trace record.
+    EXPECT_EQ(currentIoContext(), nullptr);
+    store.read(0);
+    EXPECT_TRUE(logger.records().empty());
+
+    {
+        IoTraceScope scope(&ctx);
+        EXPECT_EQ(currentIoContext(), &ctx);
+        store.read(0);
+    }
+    EXPECT_EQ(currentIoContext(), nullptr);
+
+    const auto records = logger.records();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].kind, trace::RecordKind::IoEvent);
+    EXPECT_EQ(records[0].op_name, "io:7");
+    EXPECT_EQ(records[0].batch_id, 7);
+    EXPECT_EQ(records[0].pid, 42u);
+    EXPECT_EQ(records[0].sample_index, 3);
+    EXPECT_GE(records[0].duration, 0);
+    EXPECT_EQ(store.reads(), 2u);
+}
+
+TEST(TracedStore, ScopesNest)
+{
+    PipelineContext outer_ctx, inner_ctx;
+    IoTraceScope outer(&outer_ctx);
+    EXPECT_EQ(currentIoContext(), &outer_ctx);
+    {
+        IoTraceScope inner(&inner_ctx);
+        EXPECT_EQ(currentIoContext(), &inner_ctx);
+    }
+    EXPECT_EQ(currentIoContext(), &outer_ctx);
+}
+
+TEST(TracedStore, FailedTryReadNotCounted)
+{
+    auto inner =
+        std::make_shared<DiskStore>(std::vector<std::string>{
+            "/nonexistent/lotus-traced-store-test.bin"});
+    TracedStore store(inner);
+    trace::TraceLogger logger;
+    PipelineContext ctx;
+    ctx.logger = &logger;
+    IoTraceScope scope(&ctx);
+    auto result = store.tryRead(0);
+    EXPECT_FALSE(result.ok());
+    // Failed reads are not latency observations: error accounting
+    // lives in lotus_loader_sample_errors_total instead.
+    EXPECT_EQ(store.reads(), 0u);
+    EXPECT_EQ(store.bytesRead(), 0u);
+    EXPECT_TRUE(logger.records().empty());
 }
 
 TEST(ImageFolder, LoaderOpLoggedAndDecoded)

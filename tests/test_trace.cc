@@ -66,6 +66,27 @@ TEST(Record, KindNamesMatchPaperSpans)
                  "SBatchConsumed");
 }
 
+TEST(Record, IoEventLineRoundTrip)
+{
+    EXPECT_STREQ(recordKindName(RecordKind::IoEvent), "SIo");
+    TraceRecord record;
+    record.kind = RecordKind::IoEvent;
+    record.batch_id = 3;
+    record.pid = 12;
+    record.start = 987654321;
+    record.duration = 4200;
+    record.op_name = "io:2048";
+    record.sample_index = 17;
+    const TraceRecord back = TraceRecord::fromLine(record.toLine());
+    EXPECT_EQ(back.kind, RecordKind::IoEvent);
+    EXPECT_EQ(back.batch_id, record.batch_id);
+    EXPECT_EQ(back.pid, record.pid);
+    EXPECT_EQ(back.start, record.start);
+    EXPECT_EQ(back.duration, record.duration);
+    EXPECT_EQ(back.op_name, "io:2048");
+    EXPECT_EQ(back.sample_index, record.sample_index);
+}
+
 TEST(Record, MalformedLineFatal)
 {
     EXPECT_DEATH(TraceRecord::fromLine("bogus"), "");

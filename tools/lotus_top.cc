@@ -29,6 +29,7 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "dataflow/data_loader.h"
+#include "hwcount/thread_counters.h"
 #include "image/codec/codec.h"
 #include "image/synth.h"
 #include "metrics/export.h"
@@ -39,6 +40,7 @@
 #include "pipeline/dataset.h"
 #include "pipeline/image_folder.h"
 #include "pipeline/store.h"
+#include "pipeline/traced_store.h"
 #include "pipeline/transforms/vision.h"
 #include "trace/chrome_reader.h"
 
@@ -211,6 +213,59 @@ render(const JsonValue &document, const std::string &source)
                     ? numberField(*counters, "lotus_cache_corrupt_total")
                     : 0.0);
 
+    // Hardware-counter headline: measured per-thread PMU deltas over
+    // fetch spans (lotus_pmu_*). All-zero counters mean the run used
+    // the simulated backend (or attribution was off) — say so rather
+    // than print a meaningless 0.00 IPC.
+    const double pmu_cycles =
+        counters != nullptr
+            ? numberField(*counters, dataflow::kPmuCyclesMetric)
+            : 0.0;
+    const double pmu_instructions =
+        counters != nullptr
+            ? numberField(*counters, dataflow::kPmuInstructionsMetric)
+            : 0.0;
+    const double pmu_llc =
+        counters != nullptr
+            ? numberField(*counters, dataflow::kPmuLlcMissesMetric)
+            : 0.0;
+    if (pmu_cycles > 0 && pmu_instructions > 0) {
+        std::printf("  pmu: IPC %.2f   LLC miss %.2f/kinst   "
+                    "(%.0fM cycles measured)\n",
+                    pmu_instructions / pmu_cycles,
+                    pmu_llc / pmu_instructions * 1e3, pmu_cycles / 1e6);
+    } else {
+        std::printf("  pmu: simulated/off (no measured counters)\n");
+    }
+
+    // Store-I/O headline from the TracedStore histograms: read count,
+    // latency quantiles and total bytes delivered. All zeros when the
+    // run used an untraced store.
+    const JsonValue *histograms = document.find("histograms");
+    const JsonValue *read_ns =
+        histograms != nullptr
+            ? histograms->find(pipeline::kStoreReadNsMetric)
+            : nullptr;
+    const JsonValue *read_bytes =
+        histograms != nullptr
+            ? histograms->find(pipeline::kStoreReadBytesMetric)
+            : nullptr;
+    const double store_reads =
+        read_ns != nullptr ? numberField(*read_ns, "count") : 0.0;
+    std::printf("  store reads %.0f  (%.1f/s)   p50 %s  p99 %s   "
+                "%.1f MiB read\n",
+                store_reads,
+                rateFor(document, pipeline::kStoreReadNsMetric),
+                read_ns != nullptr
+                    ? formatNs(numberField(*read_ns, "p50")).c_str()
+                    : "-",
+                read_ns != nullptr
+                    ? formatNs(numberField(*read_ns, "p99")).c_str()
+                    : "-",
+                (read_bytes != nullptr ? numberField(*read_bytes, "sum")
+                                       : 0.0) /
+                    (1024.0 * 1024.0));
+
     if (gauges != nullptr && !gauges->object.empty()) {
         std::printf("\n  %-44s %10s\n", "gauge", "value");
         for (const auto &[name, value] : gauges->object)
@@ -224,7 +279,6 @@ render(const JsonValue &document, const std::string &source)
                         value.number, rateFor(document, name));
     }
 
-    const JsonValue *histograms = document.find("histograms");
     if (histograms != nullptr && !histograms->object.empty()) {
         std::printf("\n  %-44s %8s %8s %9s %9s %9s %9s\n", "histogram",
                     "count", "rate/s", "mean", "p50", "p90", "p99");
@@ -273,10 +327,12 @@ watch(const std::string &path, bool once, int interval_ms)
 std::shared_ptr<pipeline::ImageFolderDataset>
 demoDataset()
 {
-    auto store = std::make_shared<pipeline::InMemoryStore>();
+    auto blobs = std::make_shared<pipeline::InMemoryStore>();
     Rng rng(77);
     for (int i = 0; i < 96; ++i)
-        store->add(image::codec::encode(image::synthesize(rng, 64, 64)));
+        blobs->add(image::codec::encode(image::synthesize(rng, 64, 64)));
+    // Trace every read so the store-I/O headline shows live numbers.
+    auto store = std::make_shared<pipeline::TracedStore>(std::move(blobs));
 
     std::vector<pipeline::TransformPtr> transforms;
     transforms.push_back(std::make_unique<pipeline::Resize>(
@@ -294,6 +350,9 @@ int
 demo()
 {
     metrics::ScopedEnable enable;
+    // Try to measure real counters for the pmu headline; degrades to
+    // the "simulated/off" line when the sandbox denies perf_event.
+    hwcount::ThreadCounterRegistry::instance().setEnabled(true);
     const TempDir dir("lotus_top_demo");
     const std::string endpoint = dir.file("metrics.json");
 

@@ -16,7 +16,9 @@ BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-tsan}"
 # TSan-instrumented targets only; the full suite is the tier-1 job.
 # test_cache is here for the multi-thread eviction hammer: every
 # shard's CLOCK hand, free list and index churn under contention.
-TSAN_TESTS='test_metrics|test_dataflow|test_cache|test_work_stealing|test_fault_injection|test_trace|test_pipeline|test_buffer_pool'
+# test_hwcount covers the per-thread PMU attribution registry, whose
+# snapshot()/charge() paths race against worker attach/detach.
+TSAN_TESTS='test_metrics|test_dataflow|test_cache|test_work_stealing|test_fault_injection|test_trace|test_pipeline|test_buffer_pool|test_hwcount'
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
     -DLOTUS_SANITIZE=thread \
@@ -24,7 +26,7 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
     --target test_metrics test_dataflow test_cache \
              test_work_stealing test_fault_injection test_trace \
-             test_pipeline test_buffer_pool
+             test_pipeline test_buffer_pool test_hwcount
 
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "${BUILD_DIR}" --output-on-failure \
