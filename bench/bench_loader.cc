@@ -16,7 +16,7 @@
  * Reports, per (schedule, workers in 1/2/4/8): epoch wall time, [T2]
  * wait p50/p99 (lotus_loader_wait_ns), and steal_efficiency
  * (steals / tasks). `--json` additionally writes BENCH_loader.json
- * (schema_version 2) so the perf trajectory is tracked across PRs.
+ * (schema_version 3) so the perf trajectory is tracked across PRs.
  *
  * The second half benches the decoded-sample cache on an
  * ImageNet-like IC pipeline (modelled remote-store latency + real
@@ -25,6 +25,14 @@
  * materialization mode. Gates: warm epochs at the oversized budget
  * >= 5x over uncached, the thrashing budget within 5% of uncached,
  * and cold-vs-warm bit-identity.
+ *
+ * The third section is io-bound: the same IC chain behind a
+ * RemoteStore modelling a 5 ms object-store round trip, with the
+ * async read-ahead stage on vs off. The I/O threads coalesce the
+ * sequential plan into multi-blob range GETs and overlap them with
+ * decode, so read-ahead must win >= 2x epoch wall at 4 workers (the
+ * acceptance gate), while batches stay bit-identical across
+ * round-robin / work-stealing / sync, cold and cache-warm.
  */
 
 #include <algorithm>
@@ -38,10 +46,12 @@
 #include "common/files.h"
 #include "common/strings.h"
 #include "dataflow/data_loader.h"
+#include "dataflow/read_ahead.h"
 #include "metrics/metrics.h"
 #include "pipeline/collate.h"
 #include "pipeline/compose.h"
 #include "pipeline/image_folder.h"
+#include "pipeline/remote_store.h"
 #include "pipeline/transforms/vision.h"
 #include "workloads/synthetic.h"
 
@@ -307,6 +317,126 @@ cacheEpochContent(const std::shared_ptr<pipeline::ImageFolderDataset> &dataset,
     return out;
 }
 
+// --- Io-bound: async read-ahead over a modeled remote store -----------
+
+constexpr std::int64_t kIoSamples = 96;
+constexpr int kIoBatch = 8;
+constexpr int kIoWorkers = 4;
+constexpr int kIoDepth = 32;
+constexpr int kIoIoThreads = 2;
+constexpr TimeNs kIoRtt = 5 * kMillisecond;
+
+workloads::ImageNetConfig
+ioScenario()
+{
+    workloads::ImageNetConfig config;
+    config.num_images = kIoSamples;
+    config.median_width = 160.0;
+    config.seed = 11;
+    // The inner store is instant: every millisecond of I/O lives in
+    // the RemoteStore round-trip model, which *sleeps* (a blocking
+    // socket wait), so read-ahead can overlap it with decode even on
+    // a single core.
+    return config;
+}
+
+std::shared_ptr<pipeline::RemoteStore>
+ioStore()
+{
+    pipeline::RemoteStoreOptions options;
+    options.rtt = kIoRtt;
+    return std::make_shared<pipeline::RemoteStore>(
+        workloads::buildImageNetStore(ioScenario()), options);
+}
+
+std::shared_ptr<pipeline::ImageFolderDataset>
+ioDataset(std::shared_ptr<pipeline::RemoteStore> store)
+{
+    pipeline::RandomResizedCrop::Params crop;
+    crop.size = 64;
+    std::vector<pipeline::TransformPtr> transforms;
+    transforms.push_back(
+        std::make_unique<pipeline::RandomResizedCrop>(crop));
+    transforms.push_back(
+        std::make_unique<pipeline::RandomHorizontalFlip>(0.5));
+    transforms.push_back(std::make_unique<pipeline::ToTensor>());
+    return std::make_shared<pipeline::ImageFolderDataset>(
+        std::move(store),
+        std::make_shared<pipeline::Compose>(std::move(transforms)),
+        /*num_classes=*/1000);
+}
+
+DataLoaderOptions
+ioOptions(Schedule schedule, int workers, bool read_ahead,
+          dataflow::CachePolicy policy = dataflow::CachePolicy::kNone)
+{
+    DataLoaderOptions options;
+    options.batch_size = kIoBatch;
+    options.num_workers = workers;
+    options.shuffle = false; // sequential plan: ranges coalesce
+    options.seed = kSeed;
+    options.schedule = schedule;
+    if (read_ahead) {
+        options.read_ahead_depth = kIoDepth;
+        options.io_threads = kIoIoThreads;
+    }
+    if (policy != dataflow::CachePolicy::kNone) {
+        options.cache_policy = policy;
+        options.cache_budget_bytes = std::int64_t{1} << 30;
+    }
+    return options;
+}
+
+struct IoResult
+{
+    bool read_ahead = false;
+    double wall_ms = 0.0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t issued = 0;
+    std::uint64_t round_trips = 0;
+    std::uint64_t coalesced_reads = 0;
+};
+
+IoResult
+runIoConfig(const std::shared_ptr<pipeline::RemoteStore> &store,
+            const std::shared_ptr<pipeline::ImageFolderDataset> &dataset,
+            bool read_ahead)
+{
+    auto &registry = metrics::MetricsRegistry::instance();
+    registry.reset();
+    metrics::ScopedEnable enable;
+    const std::uint64_t trips_before = store->roundTrips();
+    const std::uint64_t coalesced_before = store->coalescedReads();
+
+    DataLoader loader(
+        dataset, std::make_shared<pipeline::StackCollate>(),
+        ioOptions(Schedule::kRoundRobin, kIoWorkers, read_ahead));
+    const auto times = epochTimes(loader, 2);
+
+    IoResult result;
+    result.read_ahead = read_ahead;
+    result.wall_ms = std::min(times[0], times[1]);
+    result.hits =
+        registry.counter(dataflow::kReadAheadHitsMetric)->value();
+    result.misses =
+        registry.counter(dataflow::kReadAheadMissesMetric)->value();
+    result.issued =
+        registry.counter(dataflow::kReadAheadIssuedMetric)->value();
+    result.round_trips = store->roundTrips() - trips_before;
+    result.coalesced_reads = store->coalescedReads() - coalesced_before;
+    return result;
+}
+
+struct IoReport
+{
+    IoResult off;
+    IoResult on;
+    double speedup = 0.0;
+    bool speedup_gate = false; ///< read-ahead >= 2x epoch wall
+    bool bit_identical = false;
+};
+
 const ConfigResult *
 find(const std::vector<ConfigResult> &results, const char *schedule,
      int workers)
@@ -331,7 +461,7 @@ struct CacheReport
 int
 writeJson(const char *path, const std::vector<ConfigResult> &results,
           bool deterministic, double wall_speedup, double p99_speedup,
-          const CacheReport &cache)
+          const CacheReport &cache, const IoReport &io)
 {
     std::FILE *out = std::fopen(path, "w");
     if (out == nullptr) {
@@ -339,7 +469,7 @@ writeJson(const char *path, const std::vector<ConfigResult> &results,
         return 1;
     }
     const auto config = scenario();
-    std::fprintf(out, "{\n  \"schema_version\": 2,\n");
+    std::fprintf(out, "{\n  \"schema_version\": 3,\n");
     std::fprintf(out, "  \"bench\": \"bench_loader\",\n");
     std::fprintf(out,
                  "  \"scenario\": {\n"
@@ -429,10 +559,54 @@ writeJson(const char *path, const std::vector<ConfigResult> &results,
                  "    \"bit_identical_cold_vs_warm\": %s,\n"
                  "    \"oversized_warm_speedup_gate_5x\": %s,\n"
                  "    \"thrashing_overhead_gate_5pct\": %s\n"
-                 "  }\n",
+                 "  },\n",
                  cache.bit_identical ? "true" : "false",
                  cache.oversized_gate ? "true" : "false",
                  cache.thrashing_gate ? "true" : "false");
+
+    const auto io_scenario = ioScenario();
+    std::fprintf(out,
+                 "  \"io_bound\": {\n"
+                 "    \"scenario\": {\n"
+                 "      \"num_samples\": %lld,\n"
+                 "      \"batch_size\": %d,\n"
+                 "      \"num_workers\": %d,\n"
+                 "      \"median_width_px\": %.0f,\n"
+                 "      \"remote_rtt_ms\": %.1f,\n"
+                 "      \"read_ahead_depth\": %d,\n"
+                 "      \"io_threads\": %d,\n"
+                 "      \"pipeline\": \"RemoteStore(5 ms RTT) -> LJPG "
+                 "decode -> RandomResizedCrop(64) -> flip -> ToTensor; "
+                 "sequential plan so ranges coalesce\"\n"
+                 "    },\n",
+                 static_cast<long long>(kIoSamples), kIoBatch, kIoWorkers,
+                 io_scenario.median_width,
+                 static_cast<double>(kIoRtt) / 1e6, kIoDepth,
+                 kIoIoThreads);
+    std::fprintf(out, "    \"configs\": [\n");
+    for (const IoResult *r : {&io.off, &io.on}) {
+        std::fprintf(
+            out,
+            "      {\"read_ahead\": %s, \"epoch_wall_ms\": %.2f, "
+            "\"hits\": %llu, \"misses\": %llu, \"issued\": %llu, "
+            "\"remote_round_trips\": %llu, \"coalesced_reads\": "
+            "%llu}%s\n",
+            r->read_ahead ? "true" : "false", r->wall_ms,
+            static_cast<unsigned long long>(r->hits),
+            static_cast<unsigned long long>(r->misses),
+            static_cast<unsigned long long>(r->issued),
+            static_cast<unsigned long long>(r->round_trips),
+            static_cast<unsigned long long>(r->coalesced_reads),
+            r == &io.off ? "," : "");
+    }
+    std::fprintf(out,
+                 "    ],\n"
+                 "    \"readahead_epoch_wall_speedup\": %.2f,\n"
+                 "    \"readahead_speedup_gate_2x\": %s,\n"
+                 "    \"bit_identical_readahead\": %s\n"
+                 "  }\n",
+                 io.speedup, io.speedup_gate ? "true" : "false",
+                 io.bit_identical ? "true" : "false");
     std::fprintf(out, "}\n");
     std::fclose(out);
     std::printf("wrote %s\n", path);
@@ -594,8 +768,65 @@ main(int argc, char **argv)
                 cache.thrashing_gate ? "PASS" : "FAIL",
                 cache.bit_identical ? "yes" : "NO — DETERMINISM BROKEN");
 
+    // --- Io-bound: read-ahead over the modeled remote store ---------
+    auto remote_store = ioStore();
+    auto io_dataset = ioDataset(remote_store);
+    IoReport io;
+    std::printf("\nio-bound scenario: %lld samples behind a %.0f ms RTT "
+                "remote store, %d workers\n",
+                static_cast<long long>(kIoSamples),
+                static_cast<double>(kIoRtt) / 1e6, kIoWorkers);
+    io.off = runIoConfig(remote_store, io_dataset, false);
+    io.on = runIoConfig(remote_store, io_dataset, true);
+    io.speedup = io.on.wall_ms > 0 ? io.off.wall_ms / io.on.wall_ms : 0.0;
+    io.speedup_gate = io.speedup >= 2.0;
+    std::printf("%-12s %10s %8s %8s %8s %12s %10s\n", "read_ahead",
+                "wall_ms", "hits", "misses", "issued", "round_trips",
+                "coalesced");
+    for (const IoResult *r : {&io.off, &io.on})
+        std::printf("%-12s %10.2f %8llu %8llu %8llu %12llu %10llu\n",
+                    r->read_ahead ? "on" : "off", r->wall_ms,
+                    static_cast<unsigned long long>(r->hits),
+                    static_cast<unsigned long long>(r->misses),
+                    static_cast<unsigned long long>(r->issued),
+                    static_cast<unsigned long long>(r->round_trips),
+                    static_cast<unsigned long long>(r->coalesced_reads));
+
+    // Bit-identity: read-ahead moves *when* bytes are read, never what
+    // is decoded. Reference = round-robin without read-ahead; each
+    // read-ahead path must replay it exactly, on both the cold epoch
+    // (reads through the prefetch window) and the cache-warm epoch
+    // (the window is bypassed entirely).
+    const auto io_reference = cacheEpochContent(
+        io_dataset,
+        ioOptions(Schedule::kRoundRobin, kIoWorkers, false,
+                  dataflow::CachePolicy::kMemory),
+        2);
+    io.bit_identical =
+        io_reference == cacheEpochContent(
+                            io_dataset,
+                            ioOptions(Schedule::kRoundRobin, kIoWorkers,
+                                      true,
+                                      dataflow::CachePolicy::kMemory),
+                            2) &&
+        io_reference == cacheEpochContent(
+                            io_dataset,
+                            ioOptions(Schedule::kWorkStealing,
+                                      kIoWorkers, true,
+                                      dataflow::CachePolicy::kMemory),
+                            2) &&
+        io_reference == cacheEpochContent(
+                            io_dataset,
+                            ioOptions(Schedule::kRoundRobin, 0, true,
+                                      dataflow::CachePolicy::kMemory),
+                            2);
+    std::printf("read-ahead gates: speedup>=2x %s (%.2fx), "
+                "bit-identical rr/ws/sync cold+warm %s\n",
+                io.speedup_gate ? "PASS" : "FAIL", io.speedup,
+                io.bit_identical ? "yes" : "NO — DETERMINISM BROKEN");
+
     if (json)
         return writeJson("BENCH_loader.json", results, deterministic,
-                         wall_speedup, p99_speedup, cache);
+                         wall_speedup, p99_speedup, cache, io);
     return 0;
 }

@@ -10,6 +10,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::kTruncated: return "truncated";
       case ErrorCode::kIoError: return "io_error";
       case ErrorCode::kNotFound: return "not_found";
+      case ErrorCode::kTimeout: return "timeout";
     }
     LOTUS_PANIC("bad error code %d", static_cast<int>(code));
 }
@@ -17,7 +18,7 @@ errorCodeName(ErrorCode code)
 bool
 errorIsTransient(ErrorCode code)
 {
-    return code == ErrorCode::kIoError;
+    return code == ErrorCode::kIoError || code == ErrorCode::kTimeout;
 }
 
 std::string

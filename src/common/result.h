@@ -34,6 +34,10 @@ enum class ErrorCode : std::uint8_t
     kIoError,
     /** A named resource does not exist. */
     kNotFound,
+    /** A deadline elapsed before the operation completed (slow or
+     *  congested remote store); transient — a retry may find the
+     *  store less loaded. */
+    kTimeout,
 };
 
 /** Stable lower-case name, e.g. "corrupt_data". */

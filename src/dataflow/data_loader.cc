@@ -133,6 +133,17 @@ DataLoader::DataLoader(std::shared_ptr<const pipeline::Dataset> dataset,
         !options_.materialize_dir.empty())
         LOTUS_FATAL("DataLoaderOptions: materialize_dir is set but "
                     "cache_policy is not kMaterialize");
+    if (options_.read_ahead_depth < 0)
+        LOTUS_FATAL(
+            "DataLoaderOptions: read_ahead_depth must be >= 0 (got %d)",
+            options_.read_ahead_depth);
+    if (options_.io_threads < 0)
+        LOTUS_FATAL("DataLoaderOptions: io_threads must be >= 0 (got %d)",
+                    options_.io_threads);
+    if ((options_.read_ahead_depth > 0) != (options_.io_threads > 0))
+        LOTUS_FATAL("DataLoaderOptions: read_ahead_depth and io_threads "
+                    "must be enabled together (got %d and %d)",
+                    options_.read_ahead_depth, options_.io_threads);
     if (options_.cache_policy != CachePolicy::kNone) {
         cache::CacheConfig config;
         config.budget_bytes = options_.cache_budget_bytes;
@@ -147,6 +158,19 @@ DataLoader::DataLoader(std::shared_ptr<const pipeline::Dataset> dataset,
         // MaterializeStore's claim, i.e. right here at construction.
         cache_ = std::make_shared<cache::SampleCache>(config);
         fetcher_.setCache(cache_);
+    }
+    if (options_.read_ahead_depth > 0) {
+        const pipeline::BlobStore *store = dataset_->blobStore();
+        if (store == nullptr) {
+            LOTUS_WARN("read_ahead_depth set but the dataset exposes no "
+                       "blobStore(); running without read-ahead");
+        } else {
+            ReadAheadOptions ra;
+            ra.depth = options_.read_ahead_depth;
+            ra.io_threads = options_.io_threads;
+            read_ahead_ = std::make_shared<ReadAhead>(store, ra);
+            fetcher_.setReadAhead(read_ahead_);
+        }
     }
     registerMetrics();
     rebuildBatches();
@@ -234,6 +258,23 @@ DataLoader::startEpoch()
     reorder_cache_.clear();
     batch_worker_.clear();
     epoch_seed_base_ = epochSeedBase(options_.seed, epoch_);
+
+    if (read_ahead_ != nullptr) {
+        // Arm the I/O threads with this epoch's reads in fetch order,
+        // each carrying its (batch, sample) trace correlation. This
+        // covers every fetch path — the synchronous loader included.
+        std::vector<pipeline::BlobReadRequest> plan;
+        for (std::size_t b = 0; b < batches_.size(); ++b) {
+            for (const std::int64_t index : batches_[b]) {
+                pipeline::BlobReadRequest request;
+                request.index = index;
+                request.batch_id = static_cast<std::int64_t>(b);
+                request.sample_index = index;
+                plan.push_back(request);
+            }
+        }
+        read_ahead_->startEpoch(std::move(plan), options_.logger);
+    }
 
     if (options_.num_workers == 0) {
         // Synchronous mode: no queues or workers; fetches reseed per
@@ -824,6 +865,11 @@ DataLoader::workerPids() const
 void
 DataLoader::shutdownWorkers()
 {
+    // Drop outstanding prefetches first: a worker blocked in a
+    // read-ahead claim wakes with a miss, finishes its batch via
+    // synchronous reads, and then observes the closed index queue.
+    if (read_ahead_ != nullptr)
+        read_ahead_->cancel();
     for (auto &queue : index_queues_)
         queue->close();
     if (group_ != nullptr)

@@ -139,6 +139,18 @@ struct DataLoaderOptions
     /** Spill directory for kMaterialize (created if absent; claimed
      *  exclusively — two live loaders sharing one dir is fatal). */
     std::string materialize_dir;
+    /**
+     * Asynchronous read-ahead window (see dataflow/read_ahead.h):
+     * max store reads issued ahead of decode by dedicated I/O
+     * threads. 0 disables; > 0 requires io_threads > 0 and a dataset
+     * that exposes its store via blobStore() (others warn once and
+     * run without). Batches are bit-identical on or off, under every
+     * Schedule and num_workers=0.
+     */
+    int read_ahead_depth = 0;
+    /** Dedicated read-ahead I/O threads; must be > 0 exactly when
+     *  read_ahead_depth is. */
+    int io_threads = 0;
 };
 
 class DataLoader
@@ -189,6 +201,10 @@ class DataLoader
     /** The decoded-sample cache, or null when cache_policy is kNone
      *  (or the dataset is not cacheable). For tests and benches. */
     const cache::SampleCache *cache() const { return cache_.get(); }
+
+    /** The read-ahead engine, or null when read_ahead_depth is 0 (or
+     *  the dataset exposes no blobStore()). For tests and benches. */
+    const ReadAhead *readAhead() const { return read_ahead_.get(); }
 
     /** Main-process id used in trace records. */
     std::uint32_t mainPid() const { return main_pid_; }
@@ -270,6 +286,8 @@ class DataLoader
     std::uint32_t main_pid_;
     /** Decoded-sample cache shared with fetcher_ (null = off). */
     std::shared_ptr<cache::SampleCache> cache_;
+    /** Read-ahead engine shared with fetcher_ (null = off). */
+    std::shared_ptr<ReadAhead> read_ahead_;
 
     std::vector<std::vector<std::int64_t>> batches_;
 

@@ -75,24 +75,48 @@ Fetcher::setCache(std::shared_ptr<cache::SampleCache> cache)
                    "cacheableSplit(); every fetch will miss");
 }
 
+void
+Fetcher::setReadAhead(std::shared_ptr<ReadAhead> read_ahead)
+{
+    read_ahead_ = std::move(read_ahead);
+}
+
 Result<pipeline::Sample>
 Fetcher::getSample(std::int64_t index, pipeline::PipelineContext &ctx) const
 {
     // Every fetch path funnels through here, so this one scope
     // correlates all TracedStore reads with the sample being fetched.
     pipeline::IoTraceScope io_scope(&ctx);
-    if (cache_ == nullptr || !split_.has_value())
+    if (cache_ == nullptr || !split_.has_value()) {
+        if (read_ahead_ != nullptr) {
+            if (std::optional<Result<std::string>> blob =
+                    read_ahead_->claim(index)) {
+                pipeline::ScopedStagedBlob staged(index, std::move(*blob));
+                return dataset_->tryGet(index, ctx);
+            }
+        }
         return dataset_->tryGet(index, ctx);
+    }
     const cache::CacheKey key{split_->dataset_id,
                               split_->prefix_fingerprint, index};
     if (std::optional<pipeline::Sample> hit = cache_->lookup(key, ctx)) {
         // Warm path: the deterministic prefix is already done; only
         // the random suffix runs, replaying the same rng stream a
-        // full fetch would (the prefix draws nothing).
+        // full fetch would (the prefix draws nothing). No read-ahead
+        // claim — a warm hit must never wait on (or consume) I/O.
         dataset_->applySuffix(*hit, ctx);
         return std::move(*hit);
     }
-    Result<pipeline::Sample> prefix = dataset_->tryGetPrefix(index, ctx);
+    Result<pipeline::Sample> prefix = [&] {
+        if (read_ahead_ != nullptr) {
+            if (std::optional<Result<std::string>> blob =
+                    read_ahead_->claim(index)) {
+                pipeline::ScopedStagedBlob staged(index, std::move(*blob));
+                return dataset_->tryGetPrefix(index, ctx);
+            }
+        }
+        return dataset_->tryGetPrefix(index, ctx);
+    }();
     if (!prefix.ok())
         return prefix.takeError();
     pipeline::Sample sample = prefix.take();

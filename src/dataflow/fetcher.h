@@ -13,6 +13,7 @@
 
 #include "cache/sample_cache.h"
 #include "dataflow/error_policy.h"
+#include "dataflow/read_ahead.h"
 #include "hwcount/registry.h"
 #include "pipeline/collate.h"
 #include "pipeline/dataset.h"
@@ -123,6 +124,17 @@ class Fetcher
     void setCache(std::shared_ptr<cache::SampleCache> cache);
 
     /**
+     * Attach a read-ahead engine. getSample() then claims the
+     * prefetched blob before any store-reading path and stages it for
+     * the dataset's readBlobOrStaged(); a claim miss reads
+     * synchronously, so the engine is purely opportunistic. With a
+     * decoded-sample cache attached, claims happen only on the
+     * cache-miss path — a warm hit never consumes (or waits for) a
+     * prefetched blob.
+     */
+    void setReadAhead(std::shared_ptr<ReadAhead> read_ahead);
+
+    /**
      * Cache-aware single-sample read. On a warm hit the deterministic
      * prefix (store read + decode + deterministic transforms) is
      * skipped entirely and only the random suffix runs — the caller
@@ -148,6 +160,8 @@ class Fetcher
     std::shared_ptr<cache::SampleCache> cache_;
     /** Cached dataset cacheableSplit(); nullopt disables the cache. */
     std::optional<pipeline::CacheableSplit> split_;
+    /** Read-ahead engine shared with the DataLoader (null = off). */
+    std::shared_ptr<ReadAhead> read_ahead_;
 };
 
 } // namespace lotus::dataflow

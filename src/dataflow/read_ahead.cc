@@ -1,0 +1,201 @@
+#include "dataflow/read_ahead.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/thread_util.h"
+#include "pipeline/sample.h"
+
+namespace lotus::dataflow {
+
+ReadAhead::ReadAhead(const pipeline::BlobStore *store,
+                     const ReadAheadOptions &options)
+    : store_(store), options_(options)
+{
+    LOTUS_ASSERT(store_ != nullptr);
+    if (options_.depth < 1)
+        LOTUS_FATAL("ReadAheadOptions: depth must be >= 1 (got %d)",
+                    options_.depth);
+    if (options_.io_threads < 1)
+        LOTUS_FATAL("ReadAheadOptions: io_threads must be >= 1 (got %d)",
+                    options_.io_threads);
+    if (options_.io_batch < 0)
+        LOTUS_FATAL("ReadAheadOptions: io_batch must be >= 0 (got %d)",
+                    options_.io_batch);
+    // Auto io_batch: split the window across the issuers with slack
+    // (two chunks each) so one thread's coalesced range never starves
+    // the others, capped to keep per-call latency bounded.
+    io_batch_ = options_.io_batch > 0
+                    ? options_.io_batch
+                    : std::clamp(options_.depth / (2 * options_.io_threads),
+                                 1, 16);
+
+    auto &registry = metrics::MetricsRegistry::instance();
+    hits_ = registry.counter(kReadAheadHitsMetric);
+    misses_ = registry.counter(kReadAheadMissesMetric);
+    issued_ = registry.counter(kReadAheadIssuedMetric);
+    in_flight_ = registry.gauge(kReadAheadInFlightMetric);
+    depth_gauge_ = registry.gauge(kReadAheadDepthMetric);
+    depth_gauge_->set(static_cast<std::int64_t>(options_.depth));
+
+    for (int t = 0; t < options_.io_threads; ++t)
+        io_threads_.emplace_back([this, t] { ioLoop(t); });
+}
+
+ReadAhead::~ReadAhead()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    issue_cv_.notify_all();
+    ready_cv_.notify_all();
+    for (std::thread &thread : io_threads_)
+        thread.join();
+}
+
+void
+ReadAhead::updateInFlight()
+{
+    in_flight_->set(static_cast<std::int64_t>(entries_.size()));
+}
+
+void
+ReadAhead::startEpoch(std::vector<pipeline::BlobReadRequest> plan,
+                      trace::TraceLogger *logger)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++generation_;
+        plan_ = std::move(plan);
+        next_pos_ = 0;
+        logger_ = logger;
+        entries_.clear();
+        consumed_.clear();
+        updateInFlight();
+    }
+    issue_cv_.notify_all();
+    // Claims blocked on a previous epoch's in-flight entry miss now.
+    ready_cv_.notify_all();
+}
+
+void
+ReadAhead::cancel()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++generation_;
+        plan_.clear();
+        next_pos_ = 0;
+        logger_ = nullptr;
+        entries_.clear();
+        consumed_.clear();
+        updateInFlight();
+    }
+    issue_cv_.notify_all();
+    ready_cv_.notify_all();
+}
+
+std::optional<Result<std::string>>
+ReadAhead::claim(std::int64_t index)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Whatever happens below, nobody will consume a *future* prefetch
+    // of this index: the caller either takes the parked bytes now or
+    // reads synchronously right after we return.
+    consumed_.insert(index);
+    auto it = entries_.find(index);
+    if (it == entries_.end()) {
+        misses_->add(1);
+        return std::nullopt;
+    }
+    const std::uint64_t gen = generation_;
+    while (!it->second.ready) {
+        ready_cv_.wait(lock);
+        if (shutdown_ || generation_ != gen) {
+            misses_->add(1);
+            return std::nullopt;
+        }
+        // Re-find: a duplicate claimer (kSkip refill landing on our
+        // index) may have taken the entry while we slept.
+        it = entries_.find(index);
+        if (it == entries_.end()) {
+            misses_->add(1);
+            return std::nullopt;
+        }
+    }
+    std::optional<Result<std::string>> blob = std::move(it->second.blob);
+    entries_.erase(it);
+    updateInFlight();
+    hits_->add(1);
+    lock.unlock();
+    issue_cv_.notify_all();
+    return blob;
+}
+
+void
+ReadAhead::ioLoop(int thread_id)
+{
+    setCurrentThreadName(strFormat("lotus-io-%d", thread_id));
+    pipeline::PipelineContext ctx;
+    ctx.pid = currentTid();
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        issue_cv_.wait(lock, [this] {
+            return shutdown_ ||
+                   (next_pos_ < plan_.size() &&
+                    entries_.size() <
+                        static_cast<std::size_t>(options_.depth));
+        });
+        if (shutdown_)
+            return;
+
+        const std::uint64_t gen = generation_;
+        std::vector<pipeline::BlobReadRequest> chunk;
+        while (next_pos_ < plan_.size() &&
+               entries_.size() < static_cast<std::size_t>(options_.depth) &&
+               chunk.size() < static_cast<std::size_t>(io_batch_)) {
+            const pipeline::BlobReadRequest request = plan_[next_pos_++];
+            if (consumed_.count(request.index) != 0 ||
+                entries_.count(request.index) != 0)
+                continue;
+            entries_.emplace(request.index, Entry{});
+            chunk.push_back(request);
+        }
+        updateInFlight();
+        if (chunk.empty())
+            continue;
+        ctx.logger = logger_;
+
+        lock.unlock();
+        std::vector<Result<std::string>> blobs;
+        {
+            // Ambient correlation for tracing stores: pid is this I/O
+            // thread's lane; batch/sample come per-request, so each
+            // IoEvent lands on the sample the read serves.
+            pipeline::IoTraceScope scope(&ctx);
+            blobs = store_->tryReadMany(chunk);
+        }
+        LOTUS_ASSERT(blobs.size() == chunk.size(),
+                     "tryReadMany returned %zu results for %zu requests",
+                     blobs.size(), chunk.size());
+        lock.lock();
+
+        issued_->add(chunk.size());
+        if (generation_ != gen)
+            continue; // epoch moved on: stale bytes, drop them
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+            auto it = entries_.find(chunk[i].index);
+            if (it == entries_.end() || it->second.ready)
+                continue;
+            it->second.ready = true;
+            it->second.blob = std::move(blobs[i]);
+        }
+        ready_cv_.notify_all();
+    }
+}
+
+} // namespace lotus::dataflow

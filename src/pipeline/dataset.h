@@ -12,6 +12,7 @@
 #include "common/logging.h"
 #include "common/result.h"
 #include "pipeline/sample.h"
+#include "pipeline/store.h"
 
 namespace lotus::pipeline {
 
@@ -72,6 +73,17 @@ class Dataset
     {
         return get(index, ctx);
     }
+
+    /**
+     * The blob store this dataset's samples are read from, or null
+     * for datasets without one (synthetic/generated data). Returning
+     * a store opts in to the loader's read-ahead stage
+     * (dataflow::ReadAhead): the loader prefetches upcoming blobs
+     * through this exact store object from dedicated I/O threads, and
+     * the dataset promises to consume staged bytes via
+     * readBlobOrStaged() so a prefetched blob is never re-read.
+     */
+    virtual const BlobStore *blobStore() const { return nullptr; }
 
     /**
      * Opt-in to decoded-sample caching. Datasets that can split their

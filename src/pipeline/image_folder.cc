@@ -72,7 +72,7 @@ ImageFolderDataset::tryGetPrefix(std::int64_t index,
         span.record().sample_index = ctx.sample_index;
         {
             hwcount::OpTagScope op_scope(loader_tag_);
-            Result<std::string> blob = store_->tryRead(index);
+            Result<std::string> blob = readBlobOrStaged(*store_, index);
             if (!blob.ok()) {
                 Error error = blob.takeError();
                 error.stage = "store";

@@ -38,6 +38,7 @@ class ImageFolderDataset : public Dataset
     Sample get(std::int64_t index, PipelineContext &ctx) const override;
     Result<Sample> tryGet(std::int64_t index,
                           PipelineContext &ctx) const override;
+    const BlobStore *blobStore() const override { return store_.get(); }
 
     /**
      * Cache split: the prefix is Loader (store read + decode) plus

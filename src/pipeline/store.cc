@@ -1,13 +1,70 @@
 #include "pipeline/store.h"
 
+#include <optional>
+#include <utility>
+
 #include "common/files.h"
 #include "common/logging.h"
 #include "hwcount/registry.h"
+#include "pipeline/sample.h"
 
 namespace lotus::pipeline {
 
 using hwcount::KernelId;
 using hwcount::KernelScope;
+
+namespace {
+
+thread_local PipelineContext *io_context = nullptr;
+
+/** The blob a read-ahead stage left for this thread's current sample
+ *  fetch (nullopt = nothing staged). */
+thread_local std::optional<std::pair<std::int64_t, Result<std::string>>>
+    staged_blob;
+
+} // namespace
+
+IoTraceScope::IoTraceScope(PipelineContext *ctx) : previous_(io_context)
+{
+    io_context = ctx;
+}
+
+IoTraceScope::~IoTraceScope()
+{
+    io_context = previous_;
+}
+
+PipelineContext *
+currentIoContext()
+{
+    return io_context;
+}
+
+ScopedStagedBlob::ScopedStagedBlob(std::int64_t index,
+                                   Result<std::string> blob)
+{
+    LOTUS_ASSERT(!staged_blob.has_value(),
+                 "staged blobs do not nest (sample fetch already has one)");
+    staged_blob.emplace(index, std::move(blob));
+}
+
+ScopedStagedBlob::~ScopedStagedBlob()
+{
+    // Unconsumed is legal: the decoded-sample cache may satisfy the
+    // sample without a store read, or an error path may unwind first.
+    staged_blob.reset();
+}
+
+Result<std::string>
+readBlobOrStaged(const BlobStore &store, std::int64_t index)
+{
+    if (staged_blob.has_value() && staged_blob->first == index) {
+        Result<std::string> blob = std::move(staged_blob->second);
+        staged_blob.reset();
+        return blob;
+    }
+    return store.tryRead(index);
+}
 
 std::uint64_t
 BlobStore::totalBytes() const
@@ -16,6 +73,29 @@ BlobStore::totalBytes() const
     for (std::int64_t i = 0; i < size(); ++i)
         total += blobSize(i);
     return total;
+}
+
+std::vector<Result<std::string>>
+BlobStore::tryReadMany(const std::vector<BlobReadRequest> &requests) const
+{
+    std::vector<Result<std::string>> blobs;
+    blobs.reserve(requests.size());
+    PipelineContext *ambient = currentIoContext();
+    for (const BlobReadRequest &request : requests) {
+        if (ambient != nullptr) {
+            // Re-scope the ambient context per request so tracing
+            // stores below stamp each read with the sample it serves
+            // (not whatever the issuing thread was last doing).
+            PipelineContext ctx = *ambient;
+            ctx.batch_id = request.batch_id;
+            ctx.sample_index = request.sample_index;
+            IoTraceScope scope(&ctx);
+            blobs.push_back(tryRead(request.index));
+        } else {
+            blobs.push_back(tryRead(request.index));
+        }
+    }
+    return blobs;
 }
 
 InMemoryStore::InMemoryStore(TimeNs io_base_ns, double io_ns_per_byte)

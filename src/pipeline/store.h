@@ -7,6 +7,23 @@
  * optional modelled I/O latency per byte to stand in for the paper's
  * iSCSI-mounted remote dataset. DiskStore round-trips real files.
  * Reads are annotated as the file_read kernel either way.
+ *
+ * Two cross-cutting mechanisms live here because every store shares
+ * them:
+ *
+ *  - IoTraceScope: the ambient per-thread trace correlation that
+ *    TracedStore reads to stamp IoEvents with (batch, sample)
+ *    identity. Batched reads carry the correlation *per request* in
+ *    BlobReadRequest, so reads issued from dedicated I/O threads
+ *    (dataflow::ReadAhead) correlate with the sample they serve, not
+ *    with the thread that happened to issue them.
+ *
+ *  - Staged blobs: the handoff that lets a read-ahead stage deliver
+ *    bytes it already fetched. The read-ahead layer stages the blob
+ *    on the fetch thread; the dataset's readBlobOrStaged() consumes
+ *    it instead of re-reading the store. Bytes are bit-identical to a
+ *    synchronous read by construction, and a staged *error* surfaces
+ *    exactly as the same error would on the synchronous path.
  */
 
 #ifndef LOTUS_PIPELINE_STORE_H
@@ -20,6 +37,46 @@
 #include "common/result.h"
 
 namespace lotus::pipeline {
+
+struct PipelineContext;
+
+/**
+ * RAII ambient I/O-trace context: while alive, TracedStore reads on
+ * this thread emit IoEvent records into @p ctx's logger, stamped with
+ * its batch/pid/sample identity. Nests (restores the previous context
+ * on destruction); a null ctx is allowed and disables emission.
+ */
+class IoTraceScope
+{
+  public:
+    explicit IoTraceScope(PipelineContext *ctx);
+    ~IoTraceScope();
+
+    IoTraceScope(const IoTraceScope &) = delete;
+    IoTraceScope &operator=(const IoTraceScope &) = delete;
+
+  private:
+    PipelineContext *previous_;
+};
+
+/** The PipelineContext of the innermost live IoTraceScope on this
+ *  thread (null outside any fetch). */
+PipelineContext *currentIoContext();
+
+/**
+ * One read in a batched tryReadMany() call. batch_id/sample_index
+ * carry trace correlation for reads issued off the fetch thread:
+ * stores that emit IoEvents stamp them from the request, so a blob
+ * prefetched by an I/O thread still lands on the sample it serves
+ * (-1 = uncorrelated). sample_index is usually == index; they differ
+ * only for datasets whose blob indices are not sample indices.
+ */
+struct BlobReadRequest
+{
+    std::int64_t index = -1;
+    std::int64_t batch_id = -1;
+    std::int64_t sample_index = -1;
+};
 
 class BlobStore
 {
@@ -45,12 +102,50 @@ class BlobStore
         return read(index);
     }
 
+    /**
+     * Batched read: fetch every requested blob, returning one Result
+     * per request in request order (a failed blob fails only its own
+     * slot). The default loops tryRead() with each request's trace
+     * correlation installed, so every existing store works unchanged;
+     * stores that can serve ranges cheaper than per-index round trips
+     * (RemoteStore) override this to coalesce adjacent-index runs,
+     * and decorators forward it so the coalescing survives the stack.
+     */
+    virtual std::vector<Result<std::string>>
+    tryReadMany(const std::vector<BlobReadRequest> &requests) const;
+
     /** Size in bytes of blob @p index without reading it. */
     virtual std::uint64_t blobSize(std::int64_t index) const = 0;
 
     /** Sum of all blob sizes. */
     std::uint64_t totalBytes() const;
 };
+
+/**
+ * Hand a prefetched blob (or prefetch error) to the next
+ * readBlobOrStaged() call for @p index on this thread. The scope
+ * covers one sample fetch: an unconsumed blob is dropped at
+ * destruction (e.g. the decoded-sample cache hit and no store read
+ * happened). Does not nest — one sample stages at most one blob.
+ */
+class ScopedStagedBlob
+{
+  public:
+    ScopedStagedBlob(std::int64_t index, Result<std::string> blob);
+    ~ScopedStagedBlob();
+
+    ScopedStagedBlob(const ScopedStagedBlob &) = delete;
+    ScopedStagedBlob &operator=(const ScopedStagedBlob &) = delete;
+};
+
+/**
+ * The staged-aware store read every blob-backed dataset funnels
+ * through: consume the blob a read-ahead stage left for @p index on
+ * this thread, else fall back to a synchronous store.tryRead(). The
+ * fallback guarantees progress — read-ahead is purely opportunistic.
+ */
+Result<std::string> readBlobOrStaged(const BlobStore &store,
+                                     std::int64_t index);
 
 class InMemoryStore : public BlobStore
 {

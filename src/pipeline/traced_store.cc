@@ -6,28 +6,6 @@
 
 namespace lotus::pipeline {
 
-namespace {
-
-thread_local PipelineContext *io_context = nullptr;
-
-} // namespace
-
-IoTraceScope::IoTraceScope(PipelineContext *ctx) : previous_(io_context)
-{
-    io_context = ctx;
-}
-
-IoTraceScope::~IoTraceScope()
-{
-    io_context = previous_;
-}
-
-PipelineContext *
-currentIoContext()
-{
-    return io_context;
-}
-
 TracedStore::TracedStore(std::shared_ptr<const BlobStore> inner)
     : inner_(std::move(inner))
 {
@@ -68,6 +46,35 @@ TracedStore::tryRead(std::int64_t index) const
     return blob;
 }
 
+std::vector<Result<std::string>>
+TracedStore::tryReadMany(const std::vector<BlobReadRequest> &requests) const
+{
+    const TimeNs start = SteadyClock::instance().now();
+    std::vector<Result<std::string>> blobs = inner_->tryReadMany(requests);
+    const TimeNs elapsed = SteadyClock::instance().now() - start;
+    LOTUS_ASSERT(blobs.size() == requests.size(),
+                 "tryReadMany returned %zu results for %zu requests",
+                 blobs.size(), requests.size());
+    PipelineContext *ambient = currentIoContext();
+    for (std::size_t i = 0; i < blobs.size(); ++i) {
+        if (!blobs[i].ok())
+            continue;
+        if (ambient != nullptr) {
+            // Stamp each blob's IoEvent from its own request, not from
+            // whatever the issuing thread's ambient context says: on
+            // an I/O thread the ambient scope only carries logger+pid.
+            PipelineContext ctx = *ambient;
+            ctx.batch_id = requests[i].batch_id;
+            ctx.sample_index = requests[i].sample_index;
+            IoTraceScope scope(&ctx);
+            note(blobs[i].value().size(), elapsed, start);
+        } else {
+            note(blobs[i].value().size(), elapsed, start);
+        }
+    }
+    return blobs;
+}
+
 void
 TracedStore::note(std::uint64_t bytes, TimeNs elapsed, TimeNs start) const
 {
@@ -81,7 +88,7 @@ TracedStore::note(std::uint64_t bytes, TimeNs elapsed, TimeNs start) const
         registry.histogram(kStoreReadBytesMetric)->record(bytes);
     }
 
-    PipelineContext *ctx = io_context;
+    PipelineContext *ctx = currentIoContext();
     if (ctx == nullptr || ctx->logger == nullptr)
         return;
     trace::TraceRecord record;

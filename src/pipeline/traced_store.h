@@ -8,10 +8,17 @@
  * tracer, emits an IoEvent trace record (op "io:<bytes>") in the
  * worker's lane correlated with the enclosing [T2] sample span via
  * (batch_id, pid, sample_index). Correlation uses an ambient
- * thread-local PipelineContext installed by IoTraceScope in
- * Fetcher::getSample() — the single funnel all three fetch paths
- * (round-robin workers, work-stealing tasks, synchronous loader) go
- * through — so the store interface itself stays context-free.
+ * thread-local PipelineContext installed by IoTraceScope (declared in
+ * pipeline/store.h) in Fetcher::getSample() — the single funnel all
+ * three fetch paths (round-robin workers, work-stealing tasks,
+ * synchronous loader) go through — so the store interface itself
+ * stays context-free. Batched reads issued off the fetch thread
+ * (dataflow::ReadAhead I/O threads) carry their correlation per
+ * BlobReadRequest instead: tryReadMany stamps each blob's IoEvent
+ * from its request, so prefetched reads still land on the sample they
+ * serve. A coalesced range read reports the whole round trip's
+ * latency for each blob that rode it (the read did take that long to
+ * arrive); bytes are always per blob.
  *
  * Overhead outside an IoTraceScope (or with metrics disabled) is two
  * clock reads and two relaxed atomic adds per read; budgeted in
@@ -36,29 +43,6 @@ inline constexpr const char *kStoreReadNsMetric = "lotus_store_read_ns";
 /** Read-size histogram (bytes per store read). */
 inline constexpr const char *kStoreReadBytesMetric = "lotus_store_read_bytes";
 
-/**
- * RAII ambient I/O-trace context: while alive, TracedStore reads on
- * this thread emit IoEvent records into @p ctx's logger, stamped with
- * its batch/pid/sample identity. Nests (restores the previous context
- * on destruction); a null ctx is allowed and disables emission.
- */
-class IoTraceScope
-{
-  public:
-    explicit IoTraceScope(PipelineContext *ctx);
-    ~IoTraceScope();
-
-    IoTraceScope(const IoTraceScope &) = delete;
-    IoTraceScope &operator=(const IoTraceScope &) = delete;
-
-  private:
-    PipelineContext *previous_;
-};
-
-/** The PipelineContext of the innermost live IoTraceScope on this
- *  thread (null outside any fetch). */
-PipelineContext *currentIoContext();
-
 class TracedStore : public BlobStore
 {
   public:
@@ -67,6 +51,11 @@ class TracedStore : public BlobStore
     std::int64_t size() const override;
     std::string read(std::int64_t index) const override;
     Result<std::string> tryRead(std::int64_t index) const override;
+    /** Forwards the whole batch to the inner store (preserving its
+     *  range coalescing), then records each delivered blob and emits
+     *  its IoEvent with the request's (batch, sample) correlation. */
+    std::vector<Result<std::string>>
+    tryReadMany(const std::vector<BlobReadRequest> &requests) const override;
     std::uint64_t blobSize(std::int64_t index) const override;
 
     const BlobStore &inner() const { return *inner_; }

@@ -32,8 +32,12 @@ VolumeDataset::get(std::int64_t index, PipelineContext &ctx) const
         span.record().sample_index = ctx.sample_index;
         {
             hwcount::OpTagScope op_scope(loader_tag_);
-            const std::string blob = store_->read(index);
-            sample.data = tensor::fromBytes(blob);
+            Result<std::string> blob = readBlobOrStaged(*store_, index);
+            if (!blob.ok())
+                LOTUS_FATAL("volume %lld: %s",
+                            static_cast<long long>(index),
+                            blob.error().describe().c_str());
+            sample.data = tensor::fromBytes(blob.take());
         }
         span.finish();
     }

@@ -30,6 +30,7 @@ class VolumeDataset : public Dataset
 
     std::int64_t size() const override;
     Sample get(std::int64_t index, PipelineContext &ctx) const override;
+    const BlobStore *blobStore() const override { return store_.get(); }
 
   private:
     std::shared_ptr<const BlobStore> store_;

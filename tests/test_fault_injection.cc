@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "dataflow/data_loader.h"
@@ -28,6 +29,7 @@
 #include "pipeline/faulty_store.h"
 #include "pipeline/image_folder.h"
 #include "pipeline/iterable_dataset.h"
+#include "pipeline/remote_store.h"
 #include "pipeline/store.h"
 #include "pipeline/transforms/vision.h"
 #include "trace/logger.h"
@@ -561,6 +563,107 @@ TEST(LoaderErrorPolicy, FullyCorruptStoreExhaustsSkipRefills)
             }
         },
         LoaderError);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline timeouts: the RemoteStore's modeled deadline maps misses to
+// ErrorCode::kTimeout, a *transient* error kind, and the FaultyStore
+// decorator passes it through untouched — the two layers compose.
+
+TEST(TimeoutFaults, DeadlineMissThroughFaultLayerIsRetryableTimeout)
+{
+    pipeline::RemoteStoreOptions remote_options;
+    remote_options.rtt = 5 * kMillisecond;
+    remote_options.bytes_per_ns = 0.0;
+    remote_options.deadline = kMillisecond; // every request misses
+    auto remote = std::make_shared<pipeline::RemoteStore>(
+        makeEncodedStore(4), remote_options);
+    auto faulty =
+        std::make_shared<FaultyStore>(remote, FaultyStoreOptions{});
+
+    Result<std::string> blob = faulty->tryRead(0);
+    ASSERT_FALSE(blob.ok());
+    EXPECT_EQ(blob.error().code, ErrorCode::kTimeout);
+    EXPECT_TRUE(errorIsTransient(blob.error().code));
+    EXPECT_STREQ(errorCodeName(blob.error().code), "timeout");
+
+    // The batched path fails every slot of the run the same way, and
+    // none of it is the fault layer's doing.
+    std::vector<pipeline::BlobReadRequest> requests;
+    for (std::int64_t i = 0; i < 3; ++i)
+        requests.push_back(pipeline::BlobReadRequest{i, -1, -1});
+    auto blobs = faulty->tryReadMany(requests);
+    ASSERT_EQ(blobs.size(), 3u);
+    for (const auto &result : blobs) {
+        ASSERT_FALSE(result.ok());
+        EXPECT_EQ(result.error().code, ErrorCode::kTimeout);
+    }
+    EXPECT_EQ(faulty->faultsServed(), 0u);
+    EXPECT_EQ(remote->roundTrips(), 0u);
+    EXPECT_EQ(remote->timeouts(), 4u);
+}
+
+TEST(TimeoutFaults, RetryAbsorbsTransientFaultsOverTheRemoteModel)
+{
+    // Generous deadline: the remote model adds latency but never
+    // fires, while the fault layer injects a clearing I/O error. The
+    // kRetry policy re-reads through both layers and recovers.
+    pipeline::RemoteStoreOptions remote_options;
+    remote_options.rtt = 100 * kMicrosecond;
+    remote_options.bytes_per_ns = 0.0;
+    remote_options.deadline = 500 * kMillisecond;
+    auto remote = std::make_shared<pipeline::RemoteStore>(
+        makeEncodedStore(8), remote_options);
+    FaultyStoreOptions fault_options;
+    fault_options.transient_failures = 2;
+    auto faulty = std::make_shared<FaultyStore>(remote, fault_options);
+    faulty->inject(3, FaultyStore::Fault::kIoError);
+
+    auto collate = std::make_shared<pipeline::StackCollate>();
+    DataLoaderOptions options;
+    options.batch_size = 2;
+    options.num_workers = 1;
+    options.error_policy = ErrorPolicy::kRetry;
+    options.max_retries = 3;
+    DataLoader loader(makeImageDataset(faulty), collate, options);
+
+    std::int64_t samples = 0;
+    while (auto batch = loader.next())
+        samples += batch->data.dim(0);
+    EXPECT_EQ(samples, 8);
+    EXPECT_EQ(faulty->faultsServed(), 2u);
+}
+
+TEST(TimeoutFaults, PersistentDeadlineMissFailsTheLoaderWithTimeout)
+{
+    // The modeled deadline is deterministic, so retries can't clear
+    // it: the loader surfaces a LoaderError carrying kTimeout.
+    pipeline::RemoteStoreOptions remote_options;
+    remote_options.rtt = 5 * kMillisecond;
+    remote_options.bytes_per_ns = 0.0;
+    remote_options.deadline = kMillisecond;
+    auto remote = std::make_shared<pipeline::RemoteStore>(
+        makeEncodedStore(4), remote_options);
+    auto faulty =
+        std::make_shared<FaultyStore>(remote, FaultyStoreOptions{});
+
+    auto collate = std::make_shared<pipeline::StackCollate>();
+    DataLoaderOptions options;
+    options.batch_size = 2;
+    options.num_workers = 1;
+    options.error_policy = ErrorPolicy::kRetry;
+    options.max_retries = 1;
+    DataLoader loader(makeImageDataset(faulty), collate, options);
+
+    bool threw = false;
+    try {
+        while (loader.next().has_value()) {
+        }
+    } catch (const LoaderError &e) {
+        threw = true;
+        EXPECT_EQ(e.error().code, ErrorCode::kTimeout);
+    }
+    EXPECT_TRUE(threw);
 }
 
 } // namespace

@@ -29,6 +29,7 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "dataflow/data_loader.h"
+#include "dataflow/read_ahead.h"
 #include "hwcount/thread_counters.h"
 #include "image/codec/codec.h"
 #include "image/synth.h"
@@ -39,6 +40,7 @@
 #include "pipeline/compose.h"
 #include "pipeline/dataset.h"
 #include "pipeline/image_folder.h"
+#include "pipeline/remote_store.h"
 #include "pipeline/store.h"
 #include "pipeline/traced_store.h"
 #include "pipeline/transforms/vision.h"
@@ -213,6 +215,38 @@ render(const JsonValue &document, const std::string &source)
                     ? numberField(*counters, "lotus_cache_corrupt_total")
                     : 0.0);
 
+    // Read-ahead headline: how much of the epoch's store I/O the
+    // prefetch window absorbed (hits) vs claims that outran the
+    // issuers and fell back to synchronous reads (misses), plus the
+    // live window occupancy against its configured depth. All zeros
+    // when read_ahead_depth is off.
+    const double ra_hits =
+        counters != nullptr
+            ? numberField(*counters, dataflow::kReadAheadHitsMetric)
+            : 0.0;
+    const double ra_misses =
+        counters != nullptr
+            ? numberField(*counters, dataflow::kReadAheadMissesMetric)
+            : 0.0;
+    const double ra_claims = ra_hits + ra_misses;
+    std::printf("  read-ahead hit %.1f%%  (%.0f hits / %.0f misses)   "
+                "window %.0f/%.0f   issued %.0f (%.1f/s)\n",
+                ra_claims > 0 ? ra_hits / ra_claims * 100.0 : 0.0,
+                ra_hits, ra_misses,
+                gauges != nullptr
+                    ? numberField(*gauges,
+                                  dataflow::kReadAheadInFlightMetric)
+                    : 0.0,
+                gauges != nullptr
+                    ? numberField(*gauges,
+                                  dataflow::kReadAheadDepthMetric)
+                    : 0.0,
+                counters != nullptr
+                    ? numberField(*counters,
+                                  dataflow::kReadAheadIssuedMetric)
+                    : 0.0,
+                rateFor(document, dataflow::kReadAheadIssuedMetric));
+
     // Hardware-counter headline: measured per-thread PMU deltas over
     // fetch spans (lotus_pmu_*). All-zero counters mean the run used
     // the simulated backend (or attribution was off) — say so rather
@@ -331,8 +365,14 @@ demoDataset()
     Rng rng(77);
     for (int i = 0; i < 96; ++i)
         blobs->add(image::codec::encode(image::synthesize(rng, 64, 64)));
-    // Trace every read so the store-I/O headline shows live numbers.
-    auto store = std::make_shared<pipeline::TracedStore>(std::move(blobs));
+    // Model a mild remote round trip so the read-ahead stage has real
+    // latency to hide, and trace every read so the store-I/O headline
+    // shows live numbers.
+    pipeline::RemoteStoreOptions remote_options;
+    remote_options.rtt = 200 * kMicrosecond;
+    auto store = std::make_shared<pipeline::TracedStore>(
+        std::make_shared<pipeline::RemoteStore>(std::move(blobs),
+                                                remote_options));
 
     std::vector<pipeline::TransformPtr> transforms;
     transforms.push_back(std::make_unique<pipeline::Resize>(
@@ -367,6 +407,8 @@ demo()
         options.num_workers = 4;
         options.cache_policy = dataflow::CachePolicy::kMemory;
         options.cache_budget_bytes = 64ll << 20;
+        options.read_ahead_depth = 16;
+        options.io_threads = 2;
         dataflow::DataLoader loader(
             demoDataset(), std::make_shared<pipeline::StackCollate>(),
             options);

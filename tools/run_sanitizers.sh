@@ -20,14 +20,17 @@ BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-asan}"
 
 # test_hwcount and test_trace joined for the PMU attribution and
 # store-I/O trace paths (perf fd lifecycle, IoEvent round-trips).
-ASAN_TESTS='test_cache|test_fault_injection|test_image_codec|test_dataflow|test_pipeline|test_hwcount|test_trace'
+# test_remote_store and test_read_ahead cover the staged-blob handoff
+# and the prefetch window's entry lifecycle (move-outs, cancellation).
+ASAN_TESTS='test_cache|test_fault_injection|test_image_codec|test_dataflow|test_pipeline|test_hwcount|test_trace|test_remote_store|test_read_ahead'
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
     -DLOTUS_SANITIZE=address \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
     --target test_cache test_fault_injection test_image_codec \
-             test_dataflow test_pipeline test_hwcount test_trace
+             test_dataflow test_pipeline test_hwcount test_trace \
+             test_remote_store test_read_ahead
 
 ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \

@@ -18,7 +18,9 @@ BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-tsan}"
 # shard's CLOCK hand, free list and index churn under contention.
 # test_hwcount covers the per-thread PMU attribution registry, whose
 # snapshot()/charge() paths race against worker attach/detach.
-TSAN_TESTS='test_metrics|test_dataflow|test_cache|test_work_stealing|test_fault_injection|test_trace|test_pipeline|test_buffer_pool|test_hwcount'
+# test_remote_store hammers the connection-slot gate from concurrent
+# readers; test_read_ahead races issuers, claimers and cancellation.
+TSAN_TESTS='test_metrics|test_dataflow|test_cache|test_work_stealing|test_fault_injection|test_trace|test_pipeline|test_buffer_pool|test_hwcount|test_remote_store|test_read_ahead'
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
     -DLOTUS_SANITIZE=thread \
@@ -26,7 +28,8 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
     --target test_metrics test_dataflow test_cache \
              test_work_stealing test_fault_injection test_trace \
-             test_pipeline test_buffer_pool test_hwcount
+             test_pipeline test_buffer_pool test_hwcount \
+             test_remote_store test_read_ahead
 
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "${BUILD_DIR}" --output-on-failure \
