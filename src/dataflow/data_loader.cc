@@ -37,6 +37,73 @@ epochSeedBase(std::uint64_t seed, std::int64_t epoch)
 constexpr TimeNs kStealIdleWait = 200 * kMicrosecond;
 
 /**
+ * Option validation is a user-facing contract (fatal, not panic):
+ * bad configs must fail loudly at construction — and now also at
+ * reconfigure(), which funnels through the same checks — never
+ * half-run.
+ */
+void
+validateOptions(const DataLoaderOptions &options)
+{
+    if (options.batch_size <= 0)
+        LOTUS_FATAL("DataLoaderOptions: batch_size must be > 0 (got %d)",
+                    options.batch_size);
+    if (options.num_workers < 0)
+        LOTUS_FATAL("DataLoaderOptions: num_workers must be >= 0 (got %d)",
+                    options.num_workers);
+    if (options.prefetch_factor < 1)
+        LOTUS_FATAL(
+            "DataLoaderOptions: prefetch_factor must be >= 1 (got %d)",
+            options.prefetch_factor);
+    if (options.max_retries < 0)
+        LOTUS_FATAL("DataLoaderOptions: max_retries must be >= 0 (got %d)",
+                    options.max_retries);
+    if (options.max_refill_attempts < 0)
+        LOTUS_FATAL(
+            "DataLoaderOptions: max_refill_attempts must be >= 0 (got %d)",
+            options.max_refill_attempts);
+    // The priming budget prefetch_factor * num_workers must stay an
+    // int: overflow used to wrap silently and prime nothing (or spin
+    // the epoch-start loop for minutes). Huge-but-valid factors are
+    // fine — startEpoch caps the priming rounds at numBatches().
+    if (static_cast<std::int64_t>(options.prefetch_factor) *
+            std::max(options.num_workers, 1) >
+        std::numeric_limits<int>::max())
+        LOTUS_FATAL("DataLoaderOptions: prefetch_factor x num_workers "
+                    "overflows (%d x %d)",
+                    options.prefetch_factor, options.num_workers);
+    if (options.cache_policy != CachePolicy::kNone) {
+        if (options.cache_budget_bytes <= 0)
+            LOTUS_FATAL("DataLoaderOptions: cache_budget_bytes must be "
+                        "> 0 when caching (got %lld)",
+                        static_cast<long long>(options.cache_budget_bytes));
+        if (options.cache_shards <= 0)
+            LOTUS_FATAL(
+                "DataLoaderOptions: cache_shards must be > 0 (got %d)",
+                options.cache_shards);
+    }
+    if (options.cache_policy == CachePolicy::kMaterialize &&
+        options.materialize_dir.empty())
+        LOTUS_FATAL("DataLoaderOptions: CachePolicy::kMaterialize needs "
+                    "a materialize_dir");
+    if (options.cache_policy != CachePolicy::kMaterialize &&
+        !options.materialize_dir.empty())
+        LOTUS_FATAL("DataLoaderOptions: materialize_dir is set but "
+                    "cache_policy is not kMaterialize");
+    if (options.read_ahead_depth < 0)
+        LOTUS_FATAL(
+            "DataLoaderOptions: read_ahead_depth must be >= 0 (got %d)",
+            options.read_ahead_depth);
+    if (options.io_threads < 0)
+        LOTUS_FATAL("DataLoaderOptions: io_threads must be >= 0 (got %d)",
+                    options.io_threads);
+    if ((options.read_ahead_depth > 0) != (options.io_threads > 0))
+        LOTUS_FATAL("DataLoaderOptions: read_ahead_depth and io_threads "
+                    "must be enabled together (got %d and %d)",
+                    options.read_ahead_depth, options.io_threads);
+}
+
+/**
  * RAII publication of one fetch span's measured PMU delta into the
  * lotus_pmu_* counters. Costs one branch on threads without a live
  * counter group (the common case: registry disabled or sim backend),
@@ -85,65 +152,7 @@ DataLoader::DataLoader(std::shared_ptr<const pipeline::Dataset> dataset,
     : dataset_(dataset), fetcher_(std::move(dataset), std::move(collate)),
       options_(options), main_pid_(currentTid())
 {
-    // Option validation is a user-facing contract (fatal, not panic):
-    // bad configs must fail loudly at construction, never half-run.
-    if (options_.batch_size <= 0)
-        LOTUS_FATAL("DataLoaderOptions: batch_size must be > 0 (got %d)",
-                    options_.batch_size);
-    if (options_.num_workers < 0)
-        LOTUS_FATAL("DataLoaderOptions: num_workers must be >= 0 (got %d)",
-                    options_.num_workers);
-    if (options_.prefetch_factor < 1)
-        LOTUS_FATAL(
-            "DataLoaderOptions: prefetch_factor must be >= 1 (got %d)",
-            options_.prefetch_factor);
-    if (options_.max_retries < 0)
-        LOTUS_FATAL("DataLoaderOptions: max_retries must be >= 0 (got %d)",
-                    options_.max_retries);
-    if (options_.max_refill_attempts < 0)
-        LOTUS_FATAL(
-            "DataLoaderOptions: max_refill_attempts must be >= 0 (got %d)",
-            options_.max_refill_attempts);
-    // The priming budget prefetch_factor * num_workers must stay an
-    // int: overflow used to wrap silently and prime nothing (or spin
-    // the epoch-start loop for minutes). Huge-but-valid factors are
-    // fine — startEpoch caps the priming rounds at numBatches().
-    if (static_cast<std::int64_t>(options_.prefetch_factor) *
-            std::max(options_.num_workers, 1) >
-        std::numeric_limits<int>::max())
-        LOTUS_FATAL("DataLoaderOptions: prefetch_factor x num_workers "
-                    "overflows (%d x %d)",
-                    options_.prefetch_factor, options_.num_workers);
-    if (options_.cache_policy != CachePolicy::kNone) {
-        if (options_.cache_budget_bytes <= 0)
-            LOTUS_FATAL("DataLoaderOptions: cache_budget_bytes must be "
-                        "> 0 when caching (got %lld)",
-                        static_cast<long long>(
-                            options_.cache_budget_bytes));
-        if (options_.cache_shards <= 0)
-            LOTUS_FATAL(
-                "DataLoaderOptions: cache_shards must be > 0 (got %d)",
-                options_.cache_shards);
-    }
-    if (options_.cache_policy == CachePolicy::kMaterialize &&
-        options_.materialize_dir.empty())
-        LOTUS_FATAL("DataLoaderOptions: CachePolicy::kMaterialize needs "
-                    "a materialize_dir");
-    if (options_.cache_policy != CachePolicy::kMaterialize &&
-        !options_.materialize_dir.empty())
-        LOTUS_FATAL("DataLoaderOptions: materialize_dir is set but "
-                    "cache_policy is not kMaterialize");
-    if (options_.read_ahead_depth < 0)
-        LOTUS_FATAL(
-            "DataLoaderOptions: read_ahead_depth must be >= 0 (got %d)",
-            options_.read_ahead_depth);
-    if (options_.io_threads < 0)
-        LOTUS_FATAL("DataLoaderOptions: io_threads must be >= 0 (got %d)",
-                    options_.io_threads);
-    if ((options_.read_ahead_depth > 0) != (options_.io_threads > 0))
-        LOTUS_FATAL("DataLoaderOptions: read_ahead_depth and io_threads "
-                    "must be enabled together (got %d and %d)",
-                    options_.read_ahead_depth, options_.io_threads);
+    validateOptions(options_);
     if (options_.cache_policy != CachePolicy::kNone) {
         cache::CacheConfig config;
         config.budget_bytes = options_.cache_budget_bytes;
@@ -159,26 +168,90 @@ DataLoader::DataLoader(std::shared_ptr<const pipeline::Dataset> dataset,
         cache_ = std::make_shared<cache::SampleCache>(config);
         fetcher_.setCache(cache_);
     }
-    if (options_.read_ahead_depth > 0) {
-        const pipeline::BlobStore *store = dataset_->blobStore();
-        if (store == nullptr) {
-            LOTUS_WARN("read_ahead_depth set but the dataset exposes no "
-                       "blobStore(); running without read-ahead");
-        } else {
-            ReadAheadOptions ra;
-            ra.depth = options_.read_ahead_depth;
-            ra.io_threads = options_.io_threads;
-            read_ahead_ = std::make_shared<ReadAhead>(store, ra);
-            fetcher_.setReadAhead(read_ahead_);
-        }
-    }
+    rebuildReadAhead();
     registerMetrics();
     rebuildBatches();
 }
 
 void
+DataLoader::rebuildReadAhead()
+{
+    if (options_.read_ahead_depth <= 0) {
+        if (read_ahead_ != nullptr) {
+            read_ahead_.reset();
+            fetcher_.setReadAhead(nullptr);
+        }
+        return;
+    }
+    const pipeline::BlobStore *store = dataset_->blobStore();
+    if (store == nullptr) {
+        LOTUS_WARN("read_ahead_depth set but the dataset exposes no "
+                   "blobStore(); running without read-ahead");
+        return;
+    }
+    if (read_ahead_ != nullptr &&
+        read_ahead_->options().depth == options_.read_ahead_depth &&
+        read_ahead_->options().io_threads == options_.io_threads)
+        return;
+    ReadAheadOptions ra;
+    ra.depth = options_.read_ahead_depth;
+    ra.io_threads = options_.io_threads;
+    // Build the replacement first, then swap: the fetcher's pointer is
+    // never left dangling, and the old engine joins its I/O threads
+    // when the last reference drops.
+    read_ahead_ = std::make_shared<ReadAhead>(store, ra);
+    fetcher_.setReadAhead(read_ahead_);
+}
+
+LoaderReconfig
+DataLoader::currentConfig() const
+{
+    LoaderReconfig config;
+    config.num_workers = options_.num_workers;
+    config.prefetch_factor = options_.prefetch_factor;
+    config.schedule = options_.schedule;
+    config.read_ahead_depth = options_.read_ahead_depth;
+    config.io_threads = options_.io_threads;
+    return config;
+}
+
+void
+DataLoader::reconfigure(const LoaderReconfig &next)
+{
+    // Workers, queues, and the read-ahead plan are all per-epoch
+    // state; swapping them under a live epoch would orphan in-flight
+    // batches. Epoch boundaries only (DESIGN.md §14).
+    if (epoch_started_ && rcvd_idx_ < numBatches())
+        LOTUS_FATAL("DataLoader::reconfigure: epoch %lld still in "
+                    "flight (batch %lld of %lld); reconfiguration is "
+                    "epoch-boundary only",
+                    static_cast<long long>(epoch_),
+                    static_cast<long long>(rcvd_idx_),
+                    static_cast<long long>(numBatches()));
+    DataLoaderOptions candidate = options_;
+    candidate.num_workers = next.num_workers;
+    candidate.prefetch_factor = next.prefetch_factor;
+    candidate.schedule = next.schedule;
+    candidate.read_ahead_depth = next.read_ahead_depth;
+    candidate.io_threads = next.io_threads;
+    validateOptions(candidate);
+    shutdownWorkers();
+    const bool workers_changed =
+        candidate.num_workers != options_.num_workers;
+    options_ = candidate;
+    if (workers_changed)
+        registerMetrics();
+    rebuildReadAhead();
+}
+
+void
 DataLoader::registerMetrics()
 {
+    // Re-entrant: reconfigure() re-runs this when the worker count
+    // changes, so the per-worker vectors must rebuild, not append.
+    metrics_.fetch_ns.clear();
+    metrics_.index_queue_depth.clear();
+    metrics_.steals.clear();
     auto &registry = metrics::MetricsRegistry::instance();
     metrics_.batches_total = registry.counter("lotus_loader_batches_total");
     metrics_.ooo_batches_total =

@@ -153,6 +153,38 @@ struct DataLoaderOptions
     int io_threads = 0;
 };
 
+/**
+ * The subset of DataLoaderOptions that may change between epochs
+ * without touching batch contents. Every knob here is content-neutral
+ * under the per-(seed, epoch, sample) reseeding contract: workers,
+ * prefetch, schedule, and read-ahead move *where and when* samples
+ * are produced, never *what* a batch holds. batch_size/shuffle/seed
+ * are deliberately absent — changing them changes the batch plan.
+ * This is the unit a tuner decision carries (see tuner/tuner.h).
+ */
+struct LoaderReconfig
+{
+    int num_workers = 1;
+    int prefetch_factor = 2;
+    Schedule schedule = Schedule::kRoundRobin;
+    /** 0 disables read-ahead; > 0 requires io_threads > 0. */
+    int read_ahead_depth = 0;
+    int io_threads = 0;
+
+    bool operator==(const LoaderReconfig &other) const
+    {
+        return num_workers == other.num_workers &&
+               prefetch_factor == other.prefetch_factor &&
+               schedule == other.schedule &&
+               read_ahead_depth == other.read_ahead_depth &&
+               io_threads == other.io_threads;
+    }
+    bool operator!=(const LoaderReconfig &other) const
+    {
+        return !(*this == other);
+    }
+};
+
 class DataLoader
 {
   public:
@@ -197,6 +229,22 @@ class DataLoader
     void recycle(pipeline::Batch &&batch);
 
     const DataLoaderOptions &options() const { return options_; }
+
+    /** The tunable subset of the live options (see LoaderReconfig). */
+    LoaderReconfig currentConfig() const;
+
+    /**
+     * Apply a tuner decision at an epoch boundary. Fatal mid-epoch
+     * (between a startEpoch and the nullopt from next()): workers,
+     * queues, and the read-ahead plan are per-epoch state, so the
+     * loader refuses to mutate them while an epoch is in flight — the
+     * reconfiguration safety contract (DESIGN.md §14). Revalidates
+     * like the constructor, re-registers per-worker metrics, and
+     * rebuilds or tears down the read-ahead engine as the depth
+     * moves through 0. Batch contents are unaffected: every field of
+     * LoaderReconfig is content-neutral by the reseeding contract.
+     */
+    void reconfigure(const LoaderReconfig &next);
 
     /** The decoded-sample cache, or null when cache_policy is kNone
      *  (or the dataset is not cacheable). For tests and benches. */
@@ -253,6 +301,9 @@ class DataLoader
     void shutdownWorkers();
     void rebuildBatches();
     void registerMetrics();
+    /** (Re)build or tear down the read-ahead engine to match
+     *  options_; no-op when the live engine already matches. */
+    void rebuildReadAhead();
     std::optional<pipeline::Batch> nextSynchronous();
 
     /** Always-on telemetry handles (process-wide registry; recording

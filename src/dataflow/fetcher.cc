@@ -10,7 +10,10 @@ Fetcher::Fetcher(std::shared_ptr<const pipeline::Dataset> dataset,
                  std::shared_ptr<const pipeline::Collate> collate)
     : dataset_(std::move(dataset)), collate_(std::move(collate)),
       collate_tag_(hwcount::KernelRegistry::instance().registerOp(
-          pipeline::Collate::kOpName))
+          pipeline::Collate::kOpName)),
+      collate_ns_(metrics::MetricsRegistry::instance().histogram(
+          metrics::labeled("lotus_pipeline_op_ns", "op",
+                           pipeline::Collate::kOpName)))
 {
     LOTUS_ASSERT(dataset_ != nullptr && collate_ != nullptr);
 }
@@ -209,6 +212,7 @@ Fetcher::collateBatch(std::int64_t batch_id,
     span.record().pid = ctx.pid;
     pipeline::Batch batch;
     {
+        metrics::ScopedTimer collate_timer(collate_ns_);
         hwcount::OpTagScope op_scope(collate_tag_);
         batch = collate_->collateInto(std::move(samples),
                                       std::move(reuse));

@@ -157,6 +157,9 @@ class Fetcher
     std::shared_ptr<const pipeline::Dataset> dataset_;
     std::shared_ptr<const pipeline::Collate> collate_;
     hwcount::OpTag collate_tag_;
+    /** lotus_pipeline_op_ns{op="Collate"}: collate joins the per-op
+     *  [T3] histograms so the tuner can weigh it against transforms. */
+    metrics::Histogram *collate_ns_;
     std::shared_ptr<cache::SampleCache> cache_;
     /** Cached dataset cacheableSplit(); nullopt disables the cache. */
     std::optional<pipeline::CacheableSplit> split_;

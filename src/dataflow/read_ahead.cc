@@ -26,11 +26,17 @@ ReadAhead::ReadAhead(const pipeline::BlobStore *store,
                     options_.io_batch);
     // Auto io_batch: split the window across the issuers with slack
     // (two chunks each) so one thread's coalesced range never starves
-    // the others, capped to keep per-call latency bounded.
+    // the others, capped to keep per-call latency bounded. Degenerate
+    // windows (depth < 2 * io_threads) divide to 0; the lower clamp
+    // keeps every issuer able to make progress one blob at a time.
     io_batch_ = options_.io_batch > 0
                     ? options_.io_batch
                     : std::clamp(options_.depth / (2 * options_.io_threads),
                                  1, 16);
+    // A chunk can never usefully exceed the window: issuing more than
+    // depth blobs in one tryReadMany would overshoot the bound the
+    // claim side relies on for O(depth) memory.
+    io_batch_ = std::min(io_batch_, options_.depth);
 
     auto &registry = metrics::MetricsRegistry::instance();
     hits_ = registry.counter(kReadAheadHitsMetric);

@@ -78,7 +78,8 @@ struct ReadAheadOptions
     int io_threads = 1;
     /** Max requests per tryReadMany() call (the coalescing window a
      *  batching store sees). 0 picks depth / (2 * io_threads),
-     *  clamped to [1, 16]. */
+     *  clamped to [1, 16]; the effective value is always capped at
+     *  depth so one chunk can never overshoot the window. */
     int io_batch = 0;
 };
 
@@ -118,6 +119,11 @@ class ReadAhead
     std::optional<Result<std::string>> claim(std::int64_t index);
 
     const ReadAheadOptions &options() const { return options_; }
+
+    /** Effective per-tryReadMany chunk size after auto-derivation:
+     *  in [1, min(16, depth)] when io_batch was 0, else the explicit
+     *  value capped at depth. */
+    int ioBatch() const { return io_batch_; }
 
   private:
     struct Entry

@@ -52,6 +52,26 @@ splitLabeled(const std::string &name, std::string &family,
 }
 
 std::uint64_t
+nearestRank(double q, std::uint64_t total) noexcept
+{
+    if (total == 0)
+        return 0;
+    if (q <= 0.0)
+        return 1;
+    if (q >= 1.0)
+        return total;
+    // ceil((q_micro * total) / 1e6) in 128-bit: q_micro <= 1e6 and
+    // total <= 2^64-1, so the product needs at most ~84 bits.
+    const auto q_micro = static_cast<unsigned __int128>(
+        static_cast<std::uint64_t>(q * 1e6 + 0.5));
+    const unsigned __int128 scaled = q_micro * total;
+    auto rank = static_cast<std::uint64_t>((scaled + 999999) / 1000000);
+    if (rank == 0)
+        rank = 1;
+    return rank < total ? rank : total;
+}
+
+std::uint64_t
 Histogram::count() const noexcept
 {
     std::uint64_t total = 0;
@@ -90,16 +110,7 @@ Histogram::quantile(double q) const
         total += c;
     if (total == 0)
         return 0;
-    if (q < 0.0)
-        q = 0.0;
-    if (q > 1.0)
-        q = 1.0;
-    // Nearest-rank quantile, 1-based: rank = ceil(q * count).
-    auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
-    if (static_cast<double>(rank) < q * static_cast<double>(total))
-        ++rank;
-    if (rank == 0)
-        rank = 1;
+    const std::uint64_t rank = nearestRank(q, total);
     std::uint64_t cumulative = 0;
     for (unsigned i = 0; i < kBuckets; ++i) {
         cumulative += buckets[i];

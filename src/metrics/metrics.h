@@ -100,6 +100,17 @@ void splitLabeled(const std::string &name, std::string &family,
                   std::string &labels);
 
 /**
+ * 1-based nearest rank, ceil(q * total), computed in integer space.
+ * The naive double formulation off-by-ones when q * total should be
+ * exactly integral (0.1 * 70 evaluates to 7.000...01 in binary
+ * floating point, bumping the rank to 8). q is taken at micro
+ * precision; the result is clamped to [1, total]. Returns 0 only for
+ * total == 0. Shared by Histogram::quantile and the snapshot-diff
+ * quantiles so the two stay bit-equal.
+ */
+std::uint64_t nearestRank(double q, std::uint64_t total) noexcept;
+
+/**
  * Monotone event counter, sharded per thread.
  */
 class Counter

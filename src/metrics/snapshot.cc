@@ -3,10 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "metrics/metrics.h"
 
 namespace lotus::metrics {
-
-namespace {
 
 std::uint64_t
 quantileFromBuckets(
@@ -15,12 +14,7 @@ quantileFromBuckets(
 {
     if (total == 0)
         return 0;
-    // Nearest-rank quantile, matching Histogram::quantile.
-    auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
-    if (static_cast<double>(rank) < q * static_cast<double>(total))
-        ++rank;
-    if (rank == 0)
-        rank = 1;
+    const std::uint64_t rank = nearestRank(q, total);
     std::uint64_t cumulative = 0;
     for (const auto &[bound, count] : buckets) {
         cumulative += count;
@@ -30,11 +24,18 @@ quantileFromBuckets(
     return buckets.empty() ? 0 : buckets.back().first;
 }
 
+namespace {
+
 Snapshot::Hist
 diffHist(const Snapshot::Hist &newer, const Snapshot::Hist &older)
 {
+    // A shrinking count means the histogram was reset between the two
+    // snapshots: the older baseline no longer applies, so the delta is
+    // everything recorded since the reset — the newer contents whole.
+    if (newer.count < older.count)
+        return newer;
     Snapshot::Hist out;
-    out.count = newer.count - std::min(older.count, newer.count);
+    out.count = newer.count - older.count;
     out.sum = newer.sum - std::min(older.sum, newer.sum);
     std::map<std::uint64_t, std::uint64_t> merged;
     for (const auto &[bound, count] : newer.buckets)
@@ -66,7 +67,18 @@ diff(const Snapshot &newer, const Snapshot &older)
         const auto it = older.counters.find(name);
         const std::uint64_t base =
             it == older.counters.end() ? 0 : it->second;
-        out.counters[name] = value - std::min(base, value);
+        // A counter that went backwards was reset mid-interval; the
+        // post-reset value is the best available delta (clamping to 0
+        // would freeze rates until the counter re-passes its old
+        // high-water mark).
+        out.counters[name] = value < base ? value : value - base;
+    }
+    // Series present only in the older snapshot (source restarted with
+    // a different registry) stay visible with a 0 delta instead of
+    // vanishing from rate tables.
+    for (const auto &[name, value] : older.counters) {
+        (void)value;
+        out.counters.emplace(name, 0);
     }
     out.gauges = newer.gauges;
     for (const auto &[name, hist] : newer.histograms) {
@@ -74,6 +86,10 @@ diff(const Snapshot &newer, const Snapshot &older)
         out.histograms[name] = it == older.histograms.end()
                                    ? hist
                                    : diffHist(hist, it->second);
+    }
+    for (const auto &[name, hist] : older.histograms) {
+        (void)hist;
+        out.histograms.emplace(name, Snapshot::Hist{});
     }
     return out;
 }

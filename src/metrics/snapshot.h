@@ -45,8 +45,23 @@ struct Snapshot
  * @p newer minus @p older. Metrics absent from @p older are taken
  * whole; quantiles in diffed histograms are recomputed from the
  * diffed buckets. taken_at of the result is the interval length.
+ *
+ * Reset handling: a counter (or histogram count) that went backwards
+ * means the registry was reset between the snapshots — the delta is
+ * then the post-reset value, not a clamped 0. Series present only in
+ * @p older are kept with a 0 delta so rate tables never silently drop
+ * a metric across a source restart.
  */
 Snapshot diff(const Snapshot &newer, const Snapshot &older);
+
+/**
+ * Nearest-rank quantile over exported (inclusive upper bound, count)
+ * buckets; bit-equal to Histogram::quantile over the same contents
+ * (both use metrics::nearestRank). Returns 0 for an empty histogram.
+ */
+std::uint64_t quantileFromBuckets(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>> &buckets,
+    std::uint64_t total, double q);
 
 /** Events per second given a delta snapshot's interval. */
 double ratePerSec(std::uint64_t delta, TimeNs interval);

@@ -1,0 +1,126 @@
+#include "tuner/replay.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "trace/chrome_reader.h"
+
+namespace lotus::tuner {
+
+namespace {
+
+using trace::detail::JsonValue;
+
+std::uint64_t
+asU64(const JsonValue &value)
+{
+    return value.number < 0 ? 0
+                            : static_cast<std::uint64_t>(value.number);
+}
+
+} // namespace
+
+metrics::Snapshot
+snapshotFromMetricsJson(const std::string &json)
+{
+    const JsonValue doc = trace::detail::parseJson(json);
+    LOTUS_ASSERT(doc.kind == JsonValue::Kind::Object,
+                 "metrics dump is not a JSON object");
+    metrics::Snapshot snapshot;
+    if (const JsonValue *taken = doc.find("taken_at_ns"))
+        snapshot.taken_at = static_cast<TimeNs>(taken->number);
+    if (const JsonValue *counters = doc.find("counters")) {
+        for (const auto &[name, value] : counters->object)
+            snapshot.counters[name] = asU64(value);
+    }
+    if (const JsonValue *gauges = doc.find("gauges")) {
+        for (const auto &[name, value] : gauges->object)
+            snapshot.gauges[name] =
+                static_cast<std::int64_t>(value.number);
+    }
+    if (const JsonValue *histograms = doc.find("histograms")) {
+        for (const auto &[name, value] : histograms->object) {
+            metrics::Snapshot::Hist hist;
+            if (const JsonValue *count = value.find("count"))
+                hist.count = asU64(*count);
+            if (const JsonValue *sum = value.find("sum"))
+                hist.sum = asU64(*sum);
+            if (const JsonValue *p = value.find("p50"))
+                hist.p50 = asU64(*p);
+            if (const JsonValue *p = value.find("p90"))
+                hist.p90 = asU64(*p);
+            if (const JsonValue *p = value.find("p99"))
+                hist.p99 = asU64(*p);
+            if (const JsonValue *buckets = value.find("buckets")) {
+                for (const JsonValue &pair : buckets->array) {
+                    if (pair.array.size() != 2)
+                        continue;
+                    hist.buckets.emplace_back(asU64(pair.array[0]),
+                                              asU64(pair.array[1]));
+                }
+            }
+            snapshot.histograms[name] = std::move(hist);
+        }
+    }
+    return snapshot;
+}
+
+TunerSignals
+signalsFromChromeEvents(const std::vector<trace::ChromeEvent> &events)
+{
+    TunerSignals signals;
+    double begin_us = 0.0, end_us = 0.0;
+    bool any = false;
+    double preprocess_s = 0.0, task_s = 0.0;
+    std::unordered_set<std::int64_t> worker_pids;
+    std::uint64_t preprocess_spans = 0, consume_spans = 0;
+
+    // The [T2] out-of-order sentinel is exactly 1 µs
+    // (trace::kOutOfOrderSentinel); real waits are orders of
+    // magnitude longer, so a small tolerance suffices.
+    constexpr double kSentinelUs = 1.05;
+
+    for (const trace::ChromeEvent &event : events) {
+        if (event.phase != 'X')
+            continue;
+        const double dur_s = event.dur_us / 1e6;
+        if (!any || event.ts_us < begin_us)
+            begin_us = event.ts_us;
+        if (!any || event.ts_us + event.dur_us > end_us)
+            end_us = event.ts_us + event.dur_us;
+        any = true;
+        if (event.category == "wait") {
+            signals.wait_s += dur_s;
+            if (event.dur_us <= kSentinelUs)
+                signals.ooo_batches += 1.0;
+        } else if (event.category == "preprocess") {
+            preprocess_s += dur_s;
+            ++preprocess_spans;
+            worker_pids.insert(event.pid);
+        } else if (event.category == "task") {
+            task_s += dur_s;
+            worker_pids.insert(event.pid);
+        } else if (event.category == "consume") {
+            ++consume_spans;
+        } else if (event.category == "io") {
+            signals.store_read_s += dur_s;
+            signals.store_reads += 1.0;
+        } else if (event.category == "op" && event.name == "SCollate") {
+            signals.collate_s += dur_s;
+        }
+    }
+
+    // Under work-stealing the whole-batch preprocess spans overlap the
+    // per-sample task spans that actually occupy workers; prefer the
+    // tasks when present.
+    signals.fetch_busy_s = task_s > 0.0 ? task_s : preprocess_s;
+    signals.batches = static_cast<double>(
+        consume_spans > 0 ? consume_spans : preprocess_spans);
+    signals.observed_workers = static_cast<int>(worker_pids.size());
+    if (any)
+        signals.interval_s = (end_us - begin_us) / 1e6;
+    return signals;
+}
+
+} // namespace lotus::tuner

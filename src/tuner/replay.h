@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Offline inputs for the tuner: reconstruct model signals from the
+ * artifacts a profiling run leaves behind, so `lotus_tune` can issue
+ * a recommendation without re-running the pipeline.
+ *
+ *  - A metrics JSON dump (metrics::toJson, schema v1) parses back
+ *    into a metrics::Snapshot; two dumps diff into an interval.
+ *  - A Chrome trace (.trace.json, the visualize.cc event naming)
+ *    reverse-maps by category: "preprocess"/"task" spans carry fetch
+ *    busy time, "wait" spans the [T2] wait (1 µs sentinels = the
+ *    out-of-order count), "io" spans the store reads, "op" spans the
+ *    per-op times.
+ */
+
+#ifndef LOTUS_TUNER_REPLAY_H
+#define LOTUS_TUNER_REPLAY_H
+
+#include <string>
+#include <vector>
+
+#include "metrics/snapshot.h"
+#include "trace/chrome_trace.h"
+#include "tuner/tuner.h"
+
+namespace lotus::tuner {
+
+/**
+ * Parse a metrics JSON endpoint document back into a Snapshot.
+ * Fatal on malformed JSON; unknown keys are ignored. taken_at is the
+ * dump's taken_at_ns.
+ */
+metrics::Snapshot snapshotFromMetricsJson(const std::string &json);
+
+/** Model signals from a Chrome trace's events. The interval is the
+ *  event span; read-ahead hit/miss counters are not traced and stay
+ *  0 (replayed store verdicts treat the window as absent). */
+TunerSignals signalsFromChromeEvents(
+    const std::vector<trace::ChromeEvent> &events);
+
+} // namespace lotus::tuner
+
+#endif // LOTUS_TUNER_REPLAY_H

@@ -1,0 +1,290 @@
+#include "tuner/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "dataflow/read_ahead.h"
+#include "pipeline/collate.h"
+#include "pipeline/traced_store.h"
+
+namespace lotus::tuner {
+
+using dataflow::LoaderReconfig;
+using dataflow::Schedule;
+
+const char *
+bottleneckName(Bottleneck bottleneck)
+{
+    switch (bottleneck) {
+    case Bottleneck::kUnknown:
+        return "unknown";
+    case Bottleneck::kDecodeCpu:
+        return "decode-cpu";
+    case Bottleneck::kStoreIo:
+        return "store-io";
+    case Bottleneck::kCollate:
+        return "collate";
+    case Bottleneck::kConsumer:
+        return "consumer";
+    }
+    return "unknown";
+}
+
+namespace {
+
+constexpr double kNsPerSec = 1e9;
+
+bool
+isFetchSeries(const std::string &name)
+{
+    // lotus_loader_fetch_ns{worker="..."}
+    return name.rfind("lotus_loader_fetch_ns", 0) == 0;
+}
+
+} // namespace
+
+TunerSignals
+signalsFromSnapshot(const metrics::Snapshot &delta)
+{
+    TunerSignals signals;
+    signals.interval_s = toSec(delta.taken_at);
+
+    const auto counter = [&](const char *name) -> double {
+        const auto it = delta.counters.find(name);
+        return it == delta.counters.end()
+                   ? 0.0
+                   : static_cast<double>(it->second);
+    };
+    signals.batches = counter("lotus_loader_batches_total");
+    signals.ooo_batches = counter("lotus_loader_ooo_batches_total");
+    signals.wait_s = counter("lotus_loader_wait_ns_total") / kNsPerSec;
+    signals.readahead_hits = counter(dataflow::kReadAheadHitsMetric);
+    signals.readahead_misses = counter(dataflow::kReadAheadMissesMetric);
+
+    for (const auto &[name, hist] : delta.histograms) {
+        if (isFetchSeries(name)) {
+            signals.fetch_busy_s +=
+                static_cast<double>(hist.sum) / kNsPerSec;
+            if (hist.count > 0)
+                ++signals.observed_workers;
+        } else if (name == pipeline::kStoreReadNsMetric) {
+            signals.store_read_s =
+                static_cast<double>(hist.sum) / kNsPerSec;
+            signals.store_reads = static_cast<double>(hist.count);
+        } else if (name == metrics::labeled("lotus_pipeline_op_ns", "op",
+                                            pipeline::Collate::kOpName)) {
+            signals.collate_s = static_cast<double>(hist.sum) / kNsPerSec;
+        }
+    }
+    return signals;
+}
+
+PipelineTuner::PipelineTuner(const LoaderReconfig &initial,
+                             const TunerOptions &options)
+    : options_(options), config_(initial)
+{
+    auto &registry = metrics::MetricsRegistry::instance();
+    decisions_ = registry.counter(kTunerDecisionsMetric);
+    changes_ = registry.counter(kTunerChangesMetric);
+    bottleneck_gauge_ = registry.gauge(kTunerBottleneckMetric);
+    workers_gauge_ = registry.gauge(kTunerWorkersMetric);
+    prefetch_gauge_ = registry.gauge(kTunerPrefetchMetric);
+    schedule_gauge_ = registry.gauge(kTunerScheduleMetric);
+    depth_gauge_ = registry.gauge(kTunerReadAheadDepthMetric);
+}
+
+TunerDecision
+PipelineTuner::onEpochEnd(const metrics::Snapshot &snapshot)
+{
+    if (!have_last_) {
+        last_ = snapshot;
+        have_last_ = true;
+        TunerDecision decision;
+        decision.config = config_;
+        decision.bottleneck = Bottleneck::kUnknown;
+        decision.reason = "baseline interval; keeping config";
+        publish(decision);
+        return decision;
+    }
+    const metrics::Snapshot delta = metrics::diff(snapshot, last_);
+    last_ = snapshot;
+    return decide(signalsFromSnapshot(delta));
+}
+
+TunerDecision
+PipelineTuner::decide(const TunerSignals &signals)
+{
+    TunerDecision decision;
+    decision.config = config_;
+
+    if (signals.batches < 1.0) {
+        decision.bottleneck = Bottleneck::kUnknown;
+        decision.reason = "no batches in interval; keeping config";
+        publish(decision);
+        return decision;
+    }
+
+    // Replayed dumps can lack a wall interval; the wall is then at
+    // least the fleet-parallel busy time and at least the [T2] wait.
+    const int live_workers = std::max(
+        config_.num_workers > 0 ? config_.num_workers
+                                : signals.observed_workers,
+        1);
+    double interval = signals.interval_s;
+    if (interval <= 0.0)
+        interval = std::max(signals.fetch_busy_s / live_workers,
+                            signals.wait_s);
+    if (interval <= 0.0) {
+        decision.bottleneck = Bottleneck::kUnknown;
+        decision.reason = "no interval timing; keeping config";
+        publish(decision);
+        return decision;
+    }
+
+    const double wait_frac = std::min(1.0, signals.wait_s / interval);
+    // What the consumer spends per interval outside the [T2] wait:
+    // the budget one worker-second of demand must fit into for the
+    // pipeline to keep the consumer fed.
+    const double consume_s = std::max(interval - signals.wait_s, 1e-6);
+    const bool ra_on = config_.read_ahead_depth > 0;
+    const double store_frac = signals.storeFraction();
+    const double miss_ratio = signals.missRatio();
+    // How busy the dedicated I/O threads are with store reads. Near
+    // saturation the window is refilling as slowly as it drains, so
+    // claims block inside the window (counted as hits, not misses).
+    const double io_util =
+        ra_on && config_.io_threads > 0
+            ? signals.store_read_s / (config_.io_threads * interval)
+            : 0.0;
+    const double busy = std::max(signals.fetch_busy_s, 1e-9);
+    const double collate_frac = std::min(1.0, signals.collate_s / busy);
+
+    const auto demand_workers = [&](double demand_s) {
+        return static_cast<int>(
+            std::ceil(demand_s / std::max(consume_s, 1e-6)));
+    };
+
+    if (wait_frac < options_.consumer_wait_threshold) {
+        // The main process almost never blocks: adding preprocessing
+        // throughput cannot help. Trim to measured demand (in cores)
+        // but never grow here — the asymmetry that prevents
+        // oscillation around a balanced pipeline.
+        decision.bottleneck = Bottleneck::kConsumer;
+        int target = static_cast<int>(
+            std::ceil(signals.fetch_busy_s / interval));
+        target = std::clamp(target, options_.min_workers,
+                            std::max(config_.num_workers,
+                                     options_.min_workers));
+        decision.config.num_workers = target;
+        decision.reason = strFormat(
+            "consumer-bound: wait fraction %.2f < %.2f; workers -> %d",
+            wait_frac, options_.consumer_wait_threshold, target);
+    } else if (store_frac > options_.store_io_threshold &&
+               (!ra_on ||
+                miss_ratio > options_.readahead_miss_threshold ||
+                io_util > options_.readahead_io_util_threshold)) {
+        // Store round trips dominate and no (sufficient) read-ahead
+        // window hides them. With a window already on, misses — or
+        // saturated I/O threads — mean it is too shallow: double it.
+        // Otherwise size the window by Little's law against the
+        // post-fix sample rate.
+        decision.bottleneck = Bottleneck::kStoreIo;
+        if (ra_on) {
+            const int depth =
+                std::min(config_.read_ahead_depth * 2,
+                         options_.max_read_ahead_depth);
+            decision.config.read_ahead_depth = depth;
+            decision.reason = strFormat(
+                "store-io-bound: miss ratio %.2f, io util %.2f; "
+                "read-ahead depth -> %d",
+                miss_ratio, io_util, depth);
+        } else {
+            const double mean_read_s =
+                signals.store_reads > 0
+                    ? signals.store_read_s / signals.store_reads
+                    : 0.0;
+            // Fetch busy time includes the synchronous reads; what
+            // remains once they move to the I/O threads is the decode
+            // demand the workers must still cover.
+            const double decode_s =
+                std::max(signals.fetch_busy_s - signals.store_read_s,
+                         0.0);
+            int workers = std::clamp(
+                std::max(demand_workers(decode_s), config_.num_workers),
+                options_.min_workers, options_.max_workers);
+            const double post_wall =
+                std::max(decode_s / workers, consume_s);
+            const double rate =
+                signals.store_reads / std::max(post_wall, 1e-6);
+            int depth = static_cast<int>(std::ceil(
+                rate * mean_read_s * options_.readahead_headroom));
+            depth = std::clamp(depth, 4, options_.max_read_ahead_depth);
+            decision.config.read_ahead_depth = depth;
+            decision.config.io_threads = options_.read_ahead_io_threads;
+            decision.config.num_workers = workers;
+            if (decision.config.prefetch_factor < options_.min_prefetch)
+                decision.config.prefetch_factor = options_.min_prefetch;
+            decision.reason = strFormat(
+                "store-io-bound: store share %.2f > %.2f; read-ahead "
+                "depth -> %d (x%d io threads), workers -> %d",
+                store_frac, options_.store_io_threshold, depth,
+                decision.config.io_threads, workers);
+        }
+    } else {
+        // Pipeline-bound on CPU. Demand is the fleet's busy time; the
+        // budget is the consumer's non-wait time — enough workers to
+        // finish the demand inside it keep the consumer fed.
+        decision.bottleneck = collate_frac > options_.collate_threshold
+                                  ? Bottleneck::kCollate
+                                  : Bottleneck::kDecodeCpu;
+        const int target = std::clamp(
+            std::max(demand_workers(signals.fetch_busy_s),
+                     config_.num_workers),
+            options_.min_workers, options_.max_workers);
+        decision.config.num_workers = target;
+        if (decision.config.prefetch_factor < options_.min_prefetch)
+            decision.config.prefetch_factor = options_.min_prefetch;
+        decision.reason = strFormat(
+            "%s-bound: wait fraction %.2f, collate share %.2f; "
+            "workers -> %d",
+            decision.bottleneck == Bottleneck::kCollate ? "collate"
+                                                        : "decode-cpu",
+            wait_frac, collate_frac, target);
+    }
+
+    // Straggler skew is orthogonal to the resource verdict: a high
+    // [T2] sentinel ratio with multiple workers means whole batches
+    // queue behind stragglers, which work-stealing absorbs (PR-5
+    // follow-up).
+    if (options_.allow_schedule_flip &&
+        decision.config.schedule == Schedule::kRoundRobin &&
+        decision.config.num_workers > 1 &&
+        signals.oooRatio() > options_.sentinel_flip_threshold) {
+        decision.config.schedule = Schedule::kWorkStealing;
+        decision.reason += strFormat(
+            "; sentinel ratio %.2f > %.2f -> work-stealing",
+            signals.oooRatio(), options_.sentinel_flip_threshold);
+    }
+
+    publish(decision);
+    return decision;
+}
+
+void
+PipelineTuner::publish(TunerDecision &decision)
+{
+    decision.changed = decision.config != config_;
+    config_ = decision.config;
+    decisions_->add(1);
+    if (decision.changed)
+        changes_->add(1);
+    bottleneck_gauge_->set(static_cast<int>(decision.bottleneck));
+    workers_gauge_->set(config_.num_workers);
+    prefetch_gauge_->set(config_.prefetch_factor);
+    schedule_gauge_->set(
+        config_.schedule == Schedule::kWorkStealing ? 1 : 0);
+    depth_gauge_->set(config_.read_ahead_depth);
+}
+
+} // namespace lotus::tuner

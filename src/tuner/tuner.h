@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Self-driving pipeline tuner (the Plumber direction, PAPERS.md
+ * arXiv:2111.04131): close the loop from the telemetry Lotus already
+ * emits back to the DataLoader knobs a human used to pick by reading
+ * lotus_top.
+ *
+ * The controller consumes per-interval metrics::Snapshot diffs —
+ * typically one interval per epoch — and fits the simplest bottleneck
+ * model that the paper's instrumentation supports:
+ *
+ *  - [T2] wait time (`lotus_loader_wait_ns_total`) splits the
+ *    interval into pipeline-bound time (the main process blocked on
+ *    the data queue) and consumer-bound time (everything else).
+ *  - [T1] fetch spans (`lotus_loader_fetch_ns{worker=*}` sums) give
+ *    the fleet's preprocessing demand in worker-seconds.
+ *  - `lotus_store_read_ns` isolates store I/O inside that demand, and
+ *    `lotus_readahead_hits/misses` tell whether an enabled read-ahead
+ *    window is actually hiding it.
+ *  - [T3] `lotus_pipeline_op_ns{op="Collate"}` isolates collate.
+ *  - The [T2] out-of-order sentinel ratio
+ *    (`lotus_loader_ooo_batches_total / lotus_loader_batches_total`)
+ *    flags straggler skew that work-stealing absorbs (DESIGN.md §10).
+ *
+ * Decisions are expressed as dataflow::LoaderReconfig — the
+ * content-neutral knob subset — and applied by the owner at epoch
+ * boundaries via DataLoader::reconfigure(). Every knob the tuner
+ * touches leaves batch bytes bit-identical, so an online tuning run
+ * trains on exactly the data a fixed config would have produced.
+ */
+
+#ifndef LOTUS_TUNER_TUNER_H
+#define LOTUS_TUNER_TUNER_H
+
+#include <string>
+
+#include "dataflow/data_loader.h"
+#include "metrics/snapshot.h"
+
+namespace lotus::tuner {
+
+/** Decisions emitted so far (one per onEpochEnd/decide). */
+inline constexpr const char *kTunerDecisionsMetric =
+    "lotus_tuner_decisions_total";
+/** Decisions that changed at least one knob. */
+inline constexpr const char *kTunerChangesMetric =
+    "lotus_tuner_changes_total";
+/** Last bottleneck verdict as int(Bottleneck). */
+inline constexpr const char *kTunerBottleneckMetric =
+    "lotus_tuner_bottleneck";
+/** Last decided config, one gauge per knob. */
+inline constexpr const char *kTunerWorkersMetric =
+    "lotus_tuner_num_workers";
+inline constexpr const char *kTunerPrefetchMetric =
+    "lotus_tuner_prefetch_factor";
+/** 0 = round-robin, 1 = work-stealing. */
+inline constexpr const char *kTunerScheduleMetric =
+    "lotus_tuner_schedule";
+inline constexpr const char *kTunerReadAheadDepthMetric =
+    "lotus_tuner_read_ahead_depth";
+
+/** The binding resource for one interval. Gauge values are the enum
+ *  ints; keep them stable (lotus_top decodes them). */
+enum class Bottleneck : int
+{
+    /** No traffic in the interval (or no signals yet). */
+    kUnknown = 0,
+    /** Workers saturated on decode/transform CPU. */
+    kDecodeCpu = 1,
+    /** Store round trips on the critical path. */
+    kStoreIo = 2,
+    /** Collate dominates the per-op time. */
+    kCollate = 3,
+    /** The consumer is slower than the pipeline. */
+    kConsumer = 4,
+};
+
+const char *bottleneckName(Bottleneck bottleneck);
+
+struct TunerOptions
+{
+    int min_workers = 1;
+    /** Ceiling for the worker demand model; callers usually set the
+     *  host's core budget. */
+    int max_workers = 8;
+    int min_prefetch = 2;
+    int max_prefetch = 4;
+    int max_read_ahead_depth = 64;
+    /** I/O threads paired with any read-ahead depth the tuner sets. */
+    int read_ahead_io_threads = 2;
+    /** Below this wait fraction the consumer binds: the main process
+     *  almost never blocks on the data queue. */
+    double consumer_wait_threshold = 0.05;
+    /** Store I/O share of fetch busy time above which the store is a
+     *  candidate bottleneck. */
+    double store_io_threshold = 0.40;
+    /** Collate share of fetch busy time above which collate binds. */
+    double collate_threshold = 0.30;
+    /** [T2] sentinel ratio above which round-robin flips to
+     *  work-stealing (the PR-5 follow-up). */
+    double sentinel_flip_threshold = 0.25;
+    /** Read-ahead miss ratio above which an enabled window is judged
+     *  too shallow (the PR-8 follow-up: adaptive depth). */
+    double readahead_miss_threshold = 0.10;
+    /** Fraction of the I/O threads' combined wall time spent inside
+     *  store reads above which an enabled window is judged too shallow
+     *  even with few misses: claims then block on in-flight entries
+     *  (hits-after-wait), so the miss ratio stays low while the I/O
+     *  path saturates. Deepening widens the coalesced range GETs and
+     *  cuts round trips. */
+    double readahead_io_util_threshold = 0.50;
+    /** Little's-law safety factor on the read-ahead depth. */
+    double readahead_headroom = 2.0;
+    /** Gate on the round-robin -> work-stealing flip (off keeps the
+     *  paper-faithful schedule for characterization runs). */
+    bool allow_schedule_flip = true;
+};
+
+/**
+ * One interval's model inputs, extracted from a Snapshot diff (or a
+ * trace replay — see tuner/replay.h). Times in seconds, events in
+ * counts; everything is a delta over the interval.
+ */
+struct TunerSignals
+{
+    /** Interval wall time. <= 0 means unknown (replayed dumps without
+     *  an interval; decide() then estimates from the busy terms). */
+    double interval_s = 0.0;
+    double batches = 0.0;
+    double ooo_batches = 0.0;
+    /** Main-process [T2] wait. */
+    double wait_s = 0.0;
+    /** Sum of worker fetch busy time ([T1] spans; includes store I/O
+     *  when read-ahead is off, decode-only when it is on). */
+    double fetch_busy_s = 0.0;
+    /** Collate share of fetch busy time ([T3] "Collate" op). */
+    double collate_s = 0.0;
+    double store_read_s = 0.0;
+    double store_reads = 0.0;
+    double readahead_hits = 0.0;
+    double readahead_misses = 0.0;
+    /** Distinct lotus_loader_fetch_ns{worker=} series with traffic. */
+    int observed_workers = 0;
+
+    double oooRatio() const
+    {
+        return batches > 0 ? ooo_batches / batches : 0.0;
+    }
+    double missRatio() const
+    {
+        const double claims = readahead_hits + readahead_misses;
+        return claims > 0 ? readahead_misses / claims : 0.0;
+    }
+    /** Store I/O share of fetch busy time (can exceed 1 when reads
+     *  run on dedicated I/O threads outside the fetch spans). */
+    double storeFraction() const
+    {
+        if (fetch_busy_s <= 0.0)
+            return store_read_s > 0.0 ? 1.0 : 0.0;
+        return store_read_s / fetch_busy_s;
+    }
+};
+
+/** Extract model inputs from one interval's Snapshot diff. */
+TunerSignals signalsFromSnapshot(const metrics::Snapshot &delta);
+
+struct TunerDecision
+{
+    dataflow::LoaderReconfig config;
+    Bottleneck bottleneck = Bottleneck::kUnknown;
+    /** config differs from the previous decision's. */
+    bool changed = false;
+    /** Human-readable model verdict for logs / lotus_tune output. */
+    std::string reason;
+};
+
+/**
+ * The online controller. Feed it one Snapshot per epoch boundary
+ * (onEpochEnd) — it diffs internally against the previous call — or
+ * hand it pre-extracted signals (decide) when replaying a dump.
+ *
+ * The model, in decision order:
+ *
+ *  1. No batches -> kUnknown, keep the config.
+ *  2. wait fraction < consumer_wait_threshold -> kConsumer: the
+ *     pipeline outruns the consumer; trim workers to measured demand
+ *     (never raises them).
+ *  3. store share > store_io_threshold AND the window is absent,
+ *     missing, or refilling at saturated I/O threads -> kStoreIo:
+ *     enable read-ahead via Little's law (target rate x mean read
+ *     latency x headroom) and size workers to the decode-only demand,
+ *     or double an enabled window that cannot keep up.
+ *  4. collate share > collate_threshold -> kCollate, else kDecodeCpu:
+ *     raise workers to ceil(demand / consumer budget) (never lowers
+ *     them), floor prefetch at min_prefetch.
+ *  5. Orthogonally, sentinel ratio > sentinel_flip_threshold with > 1
+ *     worker flips round-robin to work-stealing.
+ *
+ * The asymmetry in 2 vs 4 (trim only when consumer-bound, grow only
+ * when pipeline-bound) is the hysteresis that keeps the controller
+ * from oscillating around a balanced pipeline.
+ */
+class PipelineTuner
+{
+  public:
+    explicit PipelineTuner(const dataflow::LoaderReconfig &initial,
+                           const TunerOptions &options = {});
+
+    /**
+     * Record an epoch boundary: diff @p snapshot against the previous
+     * call's and decide. The first call has no baseline and returns
+     * kUnknown with the current config.
+     */
+    TunerDecision onEpochEnd(const metrics::Snapshot &snapshot);
+
+    /** Pure decision from one interval's signals. Updates the held
+     *  config and publishes the tuner gauges, like onEpochEnd. */
+    TunerDecision decide(const TunerSignals &signals);
+
+    const dataflow::LoaderReconfig &config() const { return config_; }
+    const TunerOptions &options() const { return options_; }
+
+  private:
+    /** Stamp changed, adopt the config, and export the gauges. */
+    void publish(TunerDecision &decision);
+
+    TunerOptions options_;
+    dataflow::LoaderReconfig config_;
+    metrics::Snapshot last_;
+    bool have_last_ = false;
+
+    metrics::Counter *decisions_ = nullptr;
+    metrics::Counter *changes_ = nullptr;
+    metrics::Gauge *bottleneck_gauge_ = nullptr;
+    metrics::Gauge *workers_gauge_ = nullptr;
+    metrics::Gauge *prefetch_gauge_ = nullptr;
+    metrics::Gauge *schedule_gauge_ = nullptr;
+    metrics::Gauge *depth_gauge_ = nullptr;
+};
+
+} // namespace lotus::tuner
+
+#endif // LOTUS_TUNER_TUNER_H

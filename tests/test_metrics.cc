@@ -186,6 +186,132 @@ TEST_F(MetricsTest, SnapshotDiffComputesDeltasAndRates)
     EXPECT_GE(delta.histograms.at("lotus_test_ns").p99, 200'000u);
 }
 
+TEST_F(MetricsTest, SnapshotDiffReportsPostResetCounterValue)
+{
+    MetricsRegistry registry;
+    Counter *counter = registry.counter("lotus_reset_total");
+    counter->add(100);
+    const Snapshot older = registry.snapshot();
+    registry.reset();
+    counter->add(5);
+    const Snapshot newer = registry.snapshot();
+    // The counter went backwards (100 -> 5): a reset happened in the
+    // interval, and the delta is everything counted since — not a
+    // clamped 0 that would freeze rates until the counter re-passes
+    // its old high-water mark.
+    const Snapshot delta = diff(newer, older);
+    EXPECT_EQ(delta.counters.at("lotus_reset_total"), 5u);
+}
+
+TEST_F(MetricsTest, SnapshotDiffReportsPostResetHistogram)
+{
+    MetricsRegistry registry;
+    Histogram *hist = registry.histogram("lotus_reset_ns");
+    for (int i = 0; i < 10; ++i)
+        hist->record(1'000);
+    const Snapshot older = registry.snapshot();
+    registry.reset();
+    hist->record(2'000);
+    hist->record(2'000);
+    hist->record(4'000);
+    const Snapshot newer = registry.snapshot();
+    const Snapshot delta = diff(newer, older);
+    const Snapshot::Hist &h = delta.histograms.at("lotus_reset_ns");
+    EXPECT_EQ(h.count, 3u);
+    EXPECT_EQ(h.sum, 8'000u);
+    // Quantiles come from the post-reset contents.
+    EXPECT_GE(h.p99, 4'000u);
+}
+
+TEST_F(MetricsTest, SnapshotDiffKeepsSeriesPresentOnlyInOlder)
+{
+    Snapshot older;
+    older.taken_at = 100;
+    older.counters["lotus_vanished_total"] = 7;
+    older.histograms["lotus_vanished_ns"].count = 3;
+    older.histograms["lotus_vanished_ns"].sum = 300;
+    Snapshot newer;
+    newer.taken_at = 200;
+    // The newer snapshot (say, a restarted source) lacks the series:
+    // the diff keeps them visible at 0 instead of dropping the rows.
+    const Snapshot delta = diff(newer, older);
+    ASSERT_EQ(delta.counters.count("lotus_vanished_total"), 1u);
+    EXPECT_EQ(delta.counters.at("lotus_vanished_total"), 0u);
+    ASSERT_EQ(delta.histograms.count("lotus_vanished_ns"), 1u);
+    EXPECT_EQ(delta.histograms.at("lotus_vanished_ns").count, 0u);
+}
+
+TEST_F(MetricsTest, NearestRankIsExactOnIntegralProducts)
+{
+    // 0.1 * 70 evaluates to 7.000000000000001 in double, which the
+    // old float-ceiling formulation bumped to rank 8.
+    EXPECT_EQ(nearestRank(0.10, 70), 7u);
+    EXPECT_EQ(nearestRank(0.99, 100), 99u);
+    EXPECT_EQ(nearestRank(0.29, 100), 29u);
+    EXPECT_EQ(nearestRank(0.50, 2), 1u);
+    EXPECT_EQ(nearestRank(0.75, 4), 3u);
+    // Non-integral products still take the true ceiling.
+    EXPECT_EQ(nearestRank(0.50, 7), 4u);
+    EXPECT_EQ(nearestRank(0.90, 7), 7u);
+    // Edges: empty input, q at and beyond the bounds.
+    EXPECT_EQ(nearestRank(0.5, 0), 0u);
+    EXPECT_EQ(nearestRank(0.0, 5), 1u);
+    EXPECT_EQ(nearestRank(1.0, 5), 5u);
+    EXPECT_EQ(nearestRank(0.000001, 3), 1u);
+    EXPECT_EQ(nearestRank(0.999999, 3), 3u);
+}
+
+TEST_F(MetricsTest, SnapshotQuantilesMatchHistogramQuantiles)
+{
+    // Differential pin: quantileFromBuckets over a snapshot's exported
+    // buckets must agree with Histogram::quantile over the live
+    // histogram, across bucket shapes and ranks — including counts
+    // whose q * total is exactly integral (70, 100).
+    struct Shape
+    {
+        const char *name;
+        std::vector<std::uint64_t> values;
+    };
+    std::vector<Shape> shapes;
+    shapes.push_back({"single-bucket",
+                      std::vector<std::uint64_t>(50, 1'000)});
+    Shape uniform{"uniform-70", {}};
+    for (std::uint64_t v = 1; v <= 70; ++v)
+        uniform.values.push_back(v * 997);
+    shapes.push_back(std::move(uniform));
+    Shape head{"heavy-head-100", {}};
+    for (int i = 0; i < 95; ++i)
+        head.values.push_back(10 + static_cast<std::uint64_t>(i));
+    for (int i = 0; i < 5; ++i)
+        head.values.push_back(1'000'000);
+    shapes.push_back(std::move(head));
+    Shape tail{"heavy-tail-100", {}};
+    for (int i = 0; i < 5; ++i)
+        tail.values.push_back(3);
+    for (int i = 0; i < 95; ++i)
+        tail.values.push_back(50'000 +
+                              1'000 * static_cast<std::uint64_t>(i));
+    shapes.push_back(std::move(tail));
+
+    const double qs[] = {0.0,  0.01, 0.10, 0.25, 0.50,
+                         0.75, 0.90, 0.99, 1.0};
+    for (const Shape &shape : shapes) {
+        MetricsRegistry registry;
+        Histogram *hist = registry.histogram("lotus_shape_ns");
+        for (const std::uint64_t v : shape.values)
+            hist->record(v);
+        const Snapshot snapshot = registry.snapshot();
+        const Snapshot::Hist &exported =
+            snapshot.histograms.at("lotus_shape_ns");
+        for (const double q : qs) {
+            EXPECT_EQ(quantileFromBuckets(exported.buckets,
+                                          exported.count, q),
+                      hist->quantile(q))
+                << shape.name << " q=" << q;
+        }
+    }
+}
+
 TEST_F(MetricsTest, LabeledNamesSplitBackIntoParts)
 {
     const std::string name = labeled("lotus_loader_fetch_ns", "worker", "3");

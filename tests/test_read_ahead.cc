@@ -607,5 +607,53 @@ TEST(ReadAheadLoader, DatasetWithoutBlobStoreRunsWithoutEngine)
     EXPECT_EQ(batches, 4);
 }
 
+TEST(ReadAhead, IoBatchDerivationCoversDegenerateWindows)
+{
+    auto store = makePlainStore(8);
+    const auto io_batch_for = [&](int depth, int io_threads,
+                                  int io_batch = 0) {
+        ReadAheadOptions options;
+        options.depth = depth;
+        options.io_threads = io_threads;
+        options.io_batch = io_batch;
+        ReadAhead engine(store.get(), options);
+        return engine.ioBatch();
+    };
+    // depth < 2 * io_threads divides to 0; the lower clamp floors the
+    // chunk at 1 so every issuer can still make one-blob progress.
+    EXPECT_EQ(io_batch_for(1, 4), 1);
+    EXPECT_EQ(io_batch_for(1, 1), 1);
+    EXPECT_EQ(io_batch_for(7, 4), 1);
+    EXPECT_EQ(io_batch_for(2, 4), 1);
+    // Nominal shape: two chunks per issuer.
+    EXPECT_EQ(io_batch_for(32, 2), 8);
+    EXPECT_EQ(io_batch_for(16, 2), 4);
+    // The per-call latency cap.
+    EXPECT_EQ(io_batch_for(256, 2), 16);
+    // Explicit io_batch is honored but can never exceed the window.
+    EXPECT_EQ(io_batch_for(4, 1, 3), 3);
+    EXPECT_EQ(io_batch_for(4, 1, 100), 4);
+}
+
+TEST(ReadAhead, DepthOneWindowWithManyIssuersDeliversEverything)
+{
+    // The most degenerate config: a single-slot window fought over by
+    // four issuers. Every claim must resolve (hit, block-then-hit, or
+    // miss) with correct bytes and without deadlock.
+    auto store = makePlainStore(32);
+    ReadAheadOptions options;
+    options.depth = 1;
+    options.io_threads = 4;
+    ReadAhead engine(store.get(), options);
+    EXPECT_EQ(engine.ioBatch(), 1);
+    engine.startEpoch(sequentialPlan(32), nullptr);
+    for (int i = 0; i < 32; ++i) {
+        auto blob = engine.claim(i);
+        if (blob.has_value()) {
+            EXPECT_EQ(blob->value(), store->read(i)) << "index " << i;
+        }
+    }
+}
+
 } // namespace
 } // namespace lotus

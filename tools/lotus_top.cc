@@ -45,6 +45,7 @@
 #include "pipeline/traced_store.h"
 #include "pipeline/transforms/vision.h"
 #include "trace/chrome_reader.h"
+#include "tuner/tuner.h"
 
 namespace {
 
@@ -299,6 +300,33 @@ render(const JsonValue &document, const std::string &source)
                 (read_bytes != nullptr ? numberField(*read_bytes, "sum")
                                        : 0.0) /
                     (1024.0 * 1024.0));
+
+    // Tuner headline: the controller's last bottleneck verdict and
+    // the config it decided on (see src/tuner/). "idle" until the
+    // first onEpochEnd() decision of the run publishes the gauges.
+    const double tuner_decisions =
+        counters != nullptr
+            ? numberField(*counters, tuner::kTunerDecisionsMetric)
+            : 0.0;
+    if (tuner_decisions > 0 && gauges != nullptr) {
+        const auto verdict = static_cast<tuner::Bottleneck>(
+            static_cast<int>(
+                numberField(*gauges, tuner::kTunerBottleneckMetric)));
+        const bool stealing =
+            numberField(*gauges, tuner::kTunerScheduleMetric) != 0.0;
+        std::printf(
+            "  tuner: %s   workers %.0f  prefetch %.0f  %s  "
+            "read-ahead %.0f   (%.0f decisions, %.0f changes)\n",
+            tuner::bottleneckName(verdict),
+            numberField(*gauges, tuner::kTunerWorkersMetric),
+            numberField(*gauges, tuner::kTunerPrefetchMetric),
+            stealing ? "work-stealing" : "round-robin",
+            numberField(*gauges, tuner::kTunerReadAheadDepthMetric),
+            tuner_decisions,
+            numberField(*counters, tuner::kTunerChangesMetric));
+    } else {
+        std::printf("  tuner: idle (no decisions this run)\n");
+    }
 
     if (gauges != nullptr && !gauges->object.empty()) {
         std::printf("\n  %-44s %10s\n", "gauge", "value");

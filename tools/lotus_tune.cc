@@ -1,0 +1,321 @@
+/**
+ * @file
+ * lotus_tune — offline replay of the self-driving pipeline tuner.
+ *
+ * Feeds captured telemetry through the same bottleneck model the
+ * online controller (src/tuner/) runs at epoch boundaries, so a
+ * stalled production run can be diagnosed — and the tuner's verdict
+ * sanity-checked — without re-running the pipeline:
+ *
+ *   lotus_tune <metrics.json>             # one dump = one interval
+ *   lotus_tune <older.json> <newer.json>  # diff two reporter dumps
+ *   lotus_tune <run.trace.json>           # replay a Chrome trace
+ *   lotus_tune --sweep                    # recommendation vs optimum
+ *
+ * The two-dump form exercises metrics::diff's reset handling: dumps
+ * straddling a registry reset still replay (the delta is the
+ * post-reset value). --sweep runs a small heavy-tailed config sweep
+ * live, lets the tuner converge from a deliberately bad start, and
+ * prints its recommendation next to the measured optimum.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/files.h"
+#include "common/strings.h"
+#include "dataflow/data_loader.h"
+#include "dataflow/read_ahead.h"
+#include "metrics/metrics.h"
+#include "metrics/snapshot.h"
+#include "pipeline/collate.h"
+#include "trace/chrome_reader.h"
+#include "tuner/replay.h"
+#include "tuner/tuner.h"
+#include "workloads/synthetic.h"
+
+namespace {
+
+using namespace lotus;
+using dataflow::LoaderReconfig;
+using dataflow::Schedule;
+using tuner::PipelineTuner;
+using tuner::TunerDecision;
+using tuner::TunerOptions;
+using tuner::TunerSignals;
+
+std::string
+formatConfig(const LoaderReconfig &config)
+{
+    return strFormat(
+        "%dw pf%d %s ra%d:%d", config.num_workers,
+        config.prefetch_factor,
+        config.schedule == Schedule::kWorkStealing ? "ws" : "rr",
+        config.read_ahead_depth, config.io_threads);
+}
+
+void
+printSignals(const TunerSignals &signals)
+{
+    std::printf("signals over %.3fs:\n", signals.interval_s);
+    std::printf("  batches %.0f  (ooo %.0f, ratio %.2f)\n",
+                signals.batches, signals.ooo_batches,
+                signals.oooRatio());
+    std::printf("  consumer wait %.3fs   fetch busy %.3fs "
+                "(%d workers observed)\n",
+                signals.wait_s, signals.fetch_busy_s,
+                signals.observed_workers);
+    std::printf("  store reads %.0f totalling %.3fs (%.0f%% of busy)   "
+                "collate %.3fs\n",
+                signals.store_reads, signals.store_read_s,
+                signals.storeFraction() * 100.0, signals.collate_s);
+    std::printf("  read-ahead hits %.0f / misses %.0f (miss ratio "
+                "%.2f)\n",
+                signals.readahead_hits, signals.readahead_misses,
+                signals.missRatio());
+}
+
+int
+replay(const TunerSignals &signals, const LoaderReconfig &initial)
+{
+    printSignals(signals);
+    PipelineTuner tuner(initial, TunerOptions{});
+    const TunerDecision decision = tuner.decide(signals);
+    std::printf("\nbottleneck: %s\n",
+                tuner::bottleneckName(decision.bottleneck));
+    std::printf("model: %s\n", decision.reason.c_str());
+    std::printf("observed config (best guess): %s\n",
+                formatConfig(initial).c_str());
+    std::printf("recommended config: %s%s\n",
+                formatConfig(decision.config).c_str(),
+                decision.changed ? "" : " (no change)");
+    return 0;
+}
+
+/** The dump cannot say how the run was configured; reconstruct what
+ *  the telemetry reveals (worker series, read-ahead depth gauge) and
+ *  default the rest, so "recommended" diffs against something real. */
+LoaderReconfig
+initialFromSnapshot(const metrics::Snapshot &snapshot,
+                    const TunerSignals &signals)
+{
+    LoaderReconfig initial;
+    initial.num_workers =
+        signals.observed_workers > 0 ? signals.observed_workers : 1;
+    const auto depth =
+        snapshot.gauges.find(dataflow::kReadAheadDepthMetric);
+    if (depth != snapshot.gauges.end() && depth->second > 0) {
+        initial.read_ahead_depth = static_cast<int>(depth->second);
+        initial.io_threads = 2;
+    }
+    return initial;
+}
+
+int
+replayMetricsDump(const std::string &older_path,
+                  const std::string &newer_path)
+{
+    metrics::Snapshot delta;
+    if (older_path.empty()) {
+        // One dump: the whole run is the interval.
+        delta = tuner::snapshotFromMetricsJson(readFile(newer_path));
+    } else {
+        const metrics::Snapshot older =
+            tuner::snapshotFromMetricsJson(readFile(older_path));
+        const metrics::Snapshot newer =
+            tuner::snapshotFromMetricsJson(readFile(newer_path));
+        delta = metrics::diff(newer, older);
+    }
+    const TunerSignals signals = tuner::signalsFromSnapshot(delta);
+    return replay(signals, initialFromSnapshot(delta, signals));
+}
+
+int
+replayChromeTrace(const std::string &json)
+{
+    const std::vector<trace::ChromeEvent> events =
+        trace::parseChromeTrace(json);
+    const TunerSignals signals = tuner::signalsFromChromeEvents(events);
+    LoaderReconfig initial;
+    initial.num_workers =
+        signals.observed_workers > 0 ? signals.observed_workers : 1;
+    return replay(signals, initial);
+}
+
+// --- --sweep: live convergence vs a measured optimum ---------------
+
+std::shared_ptr<workloads::HeavyTailCostDataset>
+sweepDataset()
+{
+    workloads::HeavyTailCostConfig cost;
+    cost.median_cost = 200 * kMicrosecond;
+    cost.straggler_fraction = 0.05;
+    cost.straggler_multiplier = 10.0;
+    return std::make_shared<workloads::HeavyTailCostDataset>(64, cost);
+}
+
+double
+epochWallSec(dataflow::DataLoader &loader)
+{
+    const auto begin = std::chrono::steady_clock::now();
+    loader.startEpoch();
+    while (loader.next().has_value()) {
+    }
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - begin)
+        .count();
+}
+
+dataflow::DataLoaderOptions
+sweepOptions(const LoaderReconfig &config)
+{
+    dataflow::DataLoaderOptions options;
+    options.batch_size = 4;
+    options.num_workers = config.num_workers;
+    options.prefetch_factor = config.prefetch_factor;
+    options.schedule = config.schedule;
+    options.read_ahead_depth = config.read_ahead_depth;
+    options.io_threads = config.io_threads;
+    return options;
+}
+
+double
+measureConfig(const LoaderReconfig &config)
+{
+    dataflow::DataLoader loader(
+        sweepDataset(), std::make_shared<pipeline::StackCollate>(),
+        sweepOptions(config));
+    epochWallSec(loader); // warm-up epoch
+    return epochWallSec(loader);
+}
+
+int
+sweep()
+{
+    metrics::ScopedEnable enable;
+    metrics::MetricsRegistry::instance().reset();
+
+    std::vector<LoaderReconfig> grid;
+    for (const int workers : {1, 2, 4}) {
+        for (const Schedule schedule :
+             {Schedule::kRoundRobin, Schedule::kWorkStealing}) {
+            if (workers == 1 && schedule == Schedule::kWorkStealing)
+                continue; // stealing needs peers
+            LoaderReconfig config;
+            config.num_workers = workers;
+            config.prefetch_factor = 2;
+            config.schedule = schedule;
+            grid.push_back(config);
+        }
+    }
+
+    std::printf("%-18s %10s\n", "config", "epoch wall");
+    double best_s = 0.0;
+    LoaderReconfig best;
+    for (const LoaderReconfig &config : grid) {
+        const double wall_s = measureConfig(config);
+        std::printf("%-18s %8.1fms\n", formatConfig(config).c_str(),
+                    wall_s * 1e3);
+        if (best_s == 0.0 || wall_s < best_s) {
+            best_s = wall_s;
+            best = config;
+        }
+    }
+
+    // Let the controller converge live from the worst seat in the
+    // house: one worker, no pipelining, round-robin.
+    metrics::MetricsRegistry::instance().reset();
+    LoaderReconfig start;
+    start.num_workers = 1;
+    start.prefetch_factor = 1;
+    dataflow::DataLoader loader(
+        sweepDataset(), std::make_shared<pipeline::StackCollate>(),
+        sweepOptions(start));
+    TunerOptions tuner_options;
+    tuner_options.max_workers = 4;
+    PipelineTuner tuner(start, tuner_options);
+    auto &registry = metrics::MetricsRegistry::instance();
+    tuner.onEpochEnd(registry.snapshot()); // baseline
+    TunerDecision decision;
+    for (int epoch = 0; epoch < 4; ++epoch) {
+        epochWallSec(loader);
+        decision = tuner.onEpochEnd(registry.snapshot());
+        if (decision.changed)
+            loader.reconfigure(decision.config);
+        else if (epoch > 0)
+            break; // converged
+    }
+    const LoaderReconfig recommended = tuner.config();
+    const double recommended_s = measureConfig(recommended);
+
+    std::printf("\nmodel: %s\n", decision.reason.c_str());
+    std::printf("tuner recommendation: %s  -> measured %.1fms\n",
+                formatConfig(recommended).c_str(), recommended_s * 1e3);
+    std::printf("measured optimum:     %s  -> measured %.1fms\n",
+                formatConfig(best).c_str(), best_s * 1e3);
+    std::printf("recommendation is %+.1f%% vs optimum\n",
+                (recommended_s / best_s - 1.0) * 100.0);
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: lotus_tune <metrics.json>             # one dump\n"
+        "       lotus_tune <older.json> <newer.json>  # diff dumps\n"
+        "       lotus_tune <run.trace.json>           # Chrome trace\n"
+        "       lotus_tune --sweep                    # live sweep\n"
+        "\n"
+        "Replays captured telemetry through the lotus::tuner\n"
+        "bottleneck model and prints its recommendation.\n");
+    return 1;
+}
+
+/** A document with traceEvents (or a bare array) is a Chrome trace;
+ *  anything else is a metrics-reporter dump. */
+bool
+looksLikeChromeTrace(const std::string &json)
+{
+    const trace::detail::JsonValue doc = trace::detail::parseJson(json);
+    if (doc.kind == trace::detail::JsonValue::Kind::Array)
+        return true;
+    return doc.kind == trace::detail::JsonValue::Kind::Object &&
+           doc.find("traceEvents") != nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--sweep") == 0)
+            return sweep();
+        if (argv[i][0] == '-')
+            return usage();
+        paths.push_back(argv[i]);
+    }
+    if (paths.empty() || paths.size() > 2)
+        return usage();
+    for (const std::string &path : paths) {
+        if (!fileExists(path)) {
+            std::fprintf(stderr, "lotus_tune: %s does not exist\n",
+                         path.c_str());
+            return 1;
+        }
+    }
+    if (paths.size() == 2)
+        return replayMetricsDump(paths[0], paths[1]);
+    const std::string json = readFile(paths[0]);
+    if (looksLikeChromeTrace(json))
+        return replayChromeTrace(json);
+    return replayMetricsDump("", paths[0]);
+}

@@ -22,7 +22,9 @@ BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-asan}"
 # store-I/O trace paths (perf fd lifecycle, IoEvent round-trips).
 # test_remote_store and test_read_ahead cover the staged-blob handoff
 # and the prefetch window's entry lifecycle (move-outs, cancellation).
-ASAN_TESTS='test_cache|test_fault_injection|test_image_codec|test_dataflow|test_pipeline|test_hwcount|test_trace|test_remote_store|test_read_ahead'
+# test_tuner exercises reconfigure(): worker teardown/respawn and the
+# build-then-swap read-ahead engine replacement between epochs.
+ASAN_TESTS='test_cache|test_fault_injection|test_image_codec|test_dataflow|test_pipeline|test_hwcount|test_trace|test_remote_store|test_read_ahead|test_tuner'
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
     -DLOTUS_SANITIZE=address \
@@ -30,7 +32,7 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
     --target test_cache test_fault_injection test_image_codec \
              test_dataflow test_pipeline test_hwcount test_trace \
-             test_remote_store test_read_ahead
+             test_remote_store test_read_ahead test_tuner
 
 ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \

@@ -20,7 +20,9 @@ BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-tsan}"
 # snapshot()/charge() paths race against worker attach/detach.
 # test_remote_store hammers the connection-slot gate from concurrent
 # readers; test_read_ahead races issuers, claimers and cancellation.
-TSAN_TESTS='test_metrics|test_dataflow|test_cache|test_work_stealing|test_fault_injection|test_trace|test_pipeline|test_buffer_pool|test_hwcount|test_remote_store|test_read_ahead'
+# test_tuner drives epoch-boundary reconfiguration, which tears down
+# and respawns the worker fleet and read-ahead engine between epochs.
+TSAN_TESTS='test_metrics|test_dataflow|test_cache|test_work_stealing|test_fault_injection|test_trace|test_pipeline|test_buffer_pool|test_hwcount|test_remote_store|test_read_ahead|test_tuner'
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
     -DLOTUS_SANITIZE=thread \
@@ -29,7 +31,7 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)" \
     --target test_metrics test_dataflow test_cache \
              test_work_stealing test_fault_injection test_trace \
              test_pipeline test_buffer_pool test_hwcount \
-             test_remote_store test_read_ahead
+             test_remote_store test_read_ahead test_tuner
 
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "${BUILD_DIR}" --output-on-failure \
