@@ -43,9 +43,20 @@
  * per-epoch batches must be bit-identical to a fixed loader running
  * the final config from the start (`--json` schema_version 4 adds
  * the tuner_convergence section).
+ *
+ * The fifth section benches the multi-tenant preprocessing service
+ * (src/service/): one shared fleet, N LoaderClients. Gates: aggregate
+ * samples/s must scale >= 2x from 1 to 4 clients (each client's
+ * submission window underfills the fleet, so tenancy is what buys the
+ * utilization back), a heavy-tailed noisy neighbor may not inflate a
+ * light client's [T2] p99 by more than 2x (weighted-fair stealing),
+ * and every client's epoch must stay bit-identical to a solo
+ * DataLoader with the same config (`--json` schema_version 5 adds the
+ * multi_tenant section).
  */
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -53,6 +64,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/stats.h"
 #include "common/clock.h"
 #include "common/files.h"
 #include "common/strings.h"
@@ -65,6 +77,8 @@
 #include "pipeline/remote_store.h"
 #include "pipeline/traced_store.h"
 #include "pipeline/transforms/vision.h"
+#include "service/loader_client.h"
+#include "service/preproc_server.h"
 #include "tuner/tuner.h"
 #include "workloads/synthetic.h"
 
@@ -601,6 +615,272 @@ sweptOrLiveWall(const TunerScenarioReport &report)
     return std::min(report.epochs[2].wall_ms, report.epochs[3].wall_ms);
 }
 
+// --- Multi-tenant service: one shared fleet, N clients ----------------
+
+constexpr std::int64_t kMtSamples = 256;
+constexpr int kMtBatch = 4;
+// Deliberately larger than one client's submission window (batch 4 x
+// prefetch 1 = 4 in-flight samples): a solo tenant underfills the
+// fleet, so the 1 -> 4 client scaling gate measures what shared
+// tenancy buys. The per-sample cost is mostly a blocking stall, so
+// 16 fleet threads overlap fine on any host core count.
+constexpr int kMtWorkers = 16;
+
+workloads::HeavyTailCostConfig
+mtUniformScenario()
+{
+    workloads::HeavyTailCostConfig config;
+    config.median_cost = kMillisecond;
+    config.sigma = 0.05;
+    config.straggler_fraction = 0.0;
+    config.busy_fraction = 0.02;
+    config.seed = 23;
+    return config;
+}
+
+workloads::HeavyTailCostConfig
+mtLightScenario()
+{
+    auto config = mtUniformScenario();
+    config.median_cost = 500 * kMicrosecond;
+    config.seed = 29;
+    return config;
+}
+
+workloads::HeavyTailCostConfig
+mtHeavyScenario()
+{
+    // The noisy neighbor: 10% of samples are 100 ms stragglers.
+    auto config = mtUniformScenario();
+    config.median_cost = 5 * kMillisecond;
+    config.sigma = 0.6;
+    config.straggler_fraction = 0.10;
+    config.straggler_multiplier = 20.0;
+    config.seed = 37;
+    return config;
+}
+
+service::ClientConfig
+mtClientConfig(std::uint64_t seed)
+{
+    service::ClientConfig config;
+    config.batch_size = kMtBatch;
+    config.shuffle = true;
+    config.seed = seed;
+    config.prefetch_batches = 1;
+    return config;
+}
+
+struct MtReport
+{
+    double solo_rate = 0.0;      ///< samples/s, 1 client
+    double aggregate_rate = 0.0; ///< samples/s, 4 clients
+    double scaling = 0.0;
+    bool scaling_gate = false; ///< >= 2x aggregate at 4 clients
+    double light_solo_p99_ns = 0.0;
+    double light_noisy_p99_ns = 0.0;
+    double p99_inflation = 0.0;
+    bool isolation_gate = false; ///< noisy-neighbor p99 <= 2x solo
+    bool bit_identical = false;  ///< every client == its solo loader
+};
+
+/** Best-of-3 concurrent epochs' aggregate samples/s for @p n clients
+ *  sharing one fleet (every client drives its own epoch thread). */
+double
+mtAggregateRate(const std::shared_ptr<workloads::HeavyTailCostDataset>
+                    &dataset,
+                int n)
+{
+    service::PreprocServer server({.num_workers = kMtWorkers});
+    std::vector<std::shared_ptr<service::LoaderClient>> clients;
+    for (int i = 0; i < n; ++i)
+        clients.push_back(
+            server
+                .connect(dataset,
+                         std::make_shared<pipeline::StackCollate>(),
+                         mtClientConfig(kSeed + static_cast<unsigned>(i)))
+                .take());
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        const TimeNs start = SteadyClock::instance().now();
+        std::vector<std::thread> drivers;
+        for (const auto &client : clients)
+            drivers.emplace_back([&client] {
+                client->startEpoch();
+                while (client->next().has_value()) {
+                }
+            });
+        for (auto &driver : drivers)
+            driver.join();
+        const double secs =
+            static_cast<double>(SteadyClock::instance().now() - start) /
+            1e9;
+        const double rate =
+            secs > 0 ? static_cast<double>(n * kMtSamples) / secs : 0.0;
+        best = std::max(best, rate);
+    }
+    return best;
+}
+
+/** Every client of a 4-tenant run byte-compared against its own solo
+ *  DataLoader (work-stealing, same seed). */
+bool
+mtBitIdentical(const std::shared_ptr<workloads::HeavyTailCostDataset>
+                   &dataset)
+{
+    service::PreprocServer server({.num_workers = kMtWorkers});
+    std::vector<std::shared_ptr<service::LoaderClient>> clients;
+    for (int i = 0; i < 4; ++i)
+        clients.push_back(
+            server
+                .connect(dataset,
+                         std::make_shared<pipeline::StackCollate>(),
+                         mtClientConfig(kSeed + static_cast<unsigned>(i)))
+                .take());
+    std::vector<std::vector<std::uint8_t>> got(clients.size());
+    std::vector<std::thread> drivers;
+    for (std::size_t i = 0; i < clients.size(); ++i)
+        drivers.emplace_back([&, i] {
+            std::vector<std::uint8_t> bytes;
+            while (auto batch = clients[i]->next()) {
+                const std::uint8_t *raw = batch->data.raw();
+                bytes.insert(bytes.end(), raw,
+                             raw + batch->data.byteSize());
+                for (const std::int64_t label : batch->labels) {
+                    const auto *p =
+                        reinterpret_cast<const std::uint8_t *>(&label);
+                    bytes.insert(bytes.end(), p, p + sizeof(label));
+                }
+            }
+            got[i] = std::move(bytes);
+        });
+    for (auto &driver : drivers)
+        driver.join();
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+        DataLoaderOptions solo;
+        solo.batch_size = kMtBatch;
+        solo.num_workers = 2;
+        solo.schedule = Schedule::kWorkStealing;
+        solo.shuffle = true;
+        solo.seed = kSeed + static_cast<unsigned>(i);
+        DataLoader loader(dataset,
+                          std::make_shared<pipeline::StackCollate>(),
+                          solo);
+        std::vector<std::uint8_t> expected;
+        while (auto batch = loader.next()) {
+            const std::uint8_t *raw = batch->data.raw();
+            expected.insert(expected.end(), raw,
+                            raw + batch->data.byteSize());
+            for (const std::int64_t label : batch->labels) {
+                const auto *p =
+                    reinterpret_cast<const std::uint8_t *>(&label);
+                expected.insert(expected.end(), p, p + sizeof(label));
+            }
+        }
+        if (got[i] != expected)
+            return false;
+    }
+    return true;
+}
+
+/** Light client's [T2] p99 over 3 epochs, optionally sharing the
+ *  fleet with a continuously-replaying heavy-tailed neighbor. Waits
+ *  are timed directly around next() (exact nearest-rank p99, not the
+ *  metrics histogram's log-bucket upper bound — a one-bucket shift
+ *  would swing the inflation ratio by ~2x) and the whole measurement
+ *  is best-of-3, since the gate is a ratio of two tail estimates.
+ *  The light tenant declares weight 4 — the weighted-fair share a
+ *  latency-sensitive job would reserve (DESIGN.md §15). */
+double
+mtLightP99(const std::shared_ptr<workloads::HeavyTailCostDataset> &light,
+           const std::shared_ptr<workloads::HeavyTailCostDataset> &heavy,
+           bool with_neighbor)
+{
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        service::PreprocServer server({.num_workers = kMtWorkers});
+        auto light_config = mtClientConfig(kSeed);
+        light_config.weight = 4.0;
+        auto light_client =
+            server
+                .connect(light,
+                         std::make_shared<pipeline::StackCollate>(),
+                         light_config)
+                .take();
+
+        std::atomic<bool> done{false};
+        std::thread neighbor;
+        std::shared_ptr<service::LoaderClient> heavy_client;
+        if (with_neighbor) {
+            heavy_client =
+                server
+                    .connect(heavy,
+                             std::make_shared<pipeline::StackCollate>(),
+                             mtClientConfig(kSeed + 101))
+                    .take();
+            neighbor = std::thread([&] {
+                // Replay epochs until the light tenant finishes; the
+                // abandoned tail drains server-side on disconnect.
+                while (!done.load(std::memory_order_acquire)) {
+                    heavy_client->startEpoch();
+                    while (!done.load(std::memory_order_acquire) &&
+                           heavy_client->next().has_value()) {
+                    }
+                }
+            });
+        }
+
+        std::vector<double> waits;
+        for (int epoch = 0; epoch < 3; ++epoch) {
+            light_client->startEpoch();
+            for (;;) {
+                const TimeNs start = SteadyClock::instance().now();
+                auto batch = light_client->next();
+                if (!batch.has_value())
+                    break;
+                waits.push_back(static_cast<double>(
+                    SteadyClock::instance().now() - start));
+            }
+        }
+        done.store(true, std::memory_order_release);
+        if (neighbor.joinable())
+            neighbor.join();
+
+        const double p99 = analysis::percentile(std::move(waits), 99.0);
+        if (rep == 0 || p99 < best)
+            best = p99;
+    }
+    return best;
+}
+
+MtReport
+runMultiTenant()
+{
+    MtReport report;
+    auto uniform = std::make_shared<workloads::HeavyTailCostDataset>(
+        kMtSamples, mtUniformScenario());
+    report.solo_rate = mtAggregateRate(uniform, 1);
+    report.aggregate_rate = mtAggregateRate(uniform, 4);
+    report.scaling = report.solo_rate > 0
+                         ? report.aggregate_rate / report.solo_rate
+                         : 0.0;
+    report.scaling_gate = report.scaling >= 2.0;
+    report.bit_identical = mtBitIdentical(uniform);
+
+    auto light = std::make_shared<workloads::HeavyTailCostDataset>(
+        kMtSamples, mtLightScenario());
+    auto heavy = std::make_shared<workloads::HeavyTailCostDataset>(
+        kMtSamples, mtHeavyScenario());
+    report.light_solo_p99_ns = mtLightP99(light, heavy, false);
+    report.light_noisy_p99_ns = mtLightP99(light, heavy, true);
+    report.p99_inflation =
+        report.light_solo_p99_ns > 0
+            ? report.light_noisy_p99_ns / report.light_solo_p99_ns
+            : 0.0;
+    report.isolation_gate = report.p99_inflation <= 2.0;
+    return report;
+}
+
 const ConfigResult *
 find(const std::vector<ConfigResult> &results, const char *schedule,
      int workers)
@@ -665,7 +945,7 @@ int
 writeJson(const char *path, const std::vector<ConfigResult> &results,
           bool deterministic, double wall_speedup, double p99_speedup,
           const CacheReport &cache, const IoReport &io,
-          const TunerReport &tuner)
+          const TunerReport &tuner, const MtReport &mt)
 {
     std::FILE *out = std::fopen(path, "w");
     if (out == nullptr) {
@@ -673,7 +953,7 @@ writeJson(const char *path, const std::vector<ConfigResult> &results,
         return 1;
     }
     const auto config = scenario();
-    std::fprintf(out, "{\n  \"schema_version\": 4,\n");
+    std::fprintf(out, "{\n  \"schema_version\": 5,\n");
     std::fprintf(out, "  \"bench\": \"bench_loader\",\n");
     std::fprintf(out,
                  "  \"scenario\": {\n"
@@ -816,8 +1096,47 @@ writeJson(const char *path, const std::vector<ConfigResult> &results,
     writeTunerScenarioJson(out, "heavy_tailed", tuner.heavy,
                            /*last=*/false);
     writeTunerScenarioJson(out, "io_bound", tuner.io, /*last=*/false);
-    std::fprintf(out, "    \"bit_identical_tuned\": %s\n  }\n",
+    std::fprintf(out, "    \"bit_identical_tuned\": %s\n  },\n",
                  tuner.bit_identical ? "true" : "false");
+
+    const auto mt_uniform = mtUniformScenario();
+    const auto mt_heavy = mtHeavyScenario();
+    std::fprintf(out,
+                 "  \"multi_tenant\": {\n"
+                 "    \"scenario\": {\n"
+                 "      \"num_samples_per_client\": %lld,\n"
+                 "      \"batch_size\": %d,\n"
+                 "      \"fleet_workers\": %d,\n"
+                 "      \"prefetch_batches\": 1,\n"
+                 "      \"uniform_cost_us\": %.0f,\n"
+                 "      \"neighbor_median_cost_us\": %.0f,\n"
+                 "      \"neighbor_straggler_fraction\": %.2f,\n"
+                 "      \"neighbor_straggler_multiplier\": %.0f,\n"
+                 "      \"light_client_weight\": 4,\n"
+                 "      \"pipeline\": \"one PreprocServer fleet; each "
+                 "client's window (batch x prefetch) underfills it, so "
+                 "scaling measures shared tenancy\"\n"
+                 "    },\n"
+                 "    \"solo_samples_per_s\": %.0f,\n"
+                 "    \"aggregate_4client_samples_per_s\": %.0f,\n"
+                 "    \"scaling_1_to_4_clients\": %.2f,\n"
+                 "    \"scaling_gate_2x\": %s,\n"
+                 "    \"light_t2_p99_solo_ns\": %.0f,\n"
+                 "    \"light_t2_p99_noisy_ns\": %.0f,\n"
+                 "    \"noisy_neighbor_p99_inflation\": %.2f,\n"
+                 "    \"isolation_gate_2x\": %s,\n"
+                 "    \"bit_identical_service\": %s\n"
+                 "  }\n",
+                 static_cast<long long>(kMtSamples), kMtBatch, kMtWorkers,
+                 static_cast<double>(mt_uniform.median_cost) / 1e3,
+                 static_cast<double>(mt_heavy.median_cost) / 1e3,
+                 mt_heavy.straggler_fraction,
+                 mt_heavy.straggler_multiplier, mt.solo_rate,
+                 mt.aggregate_rate, mt.scaling,
+                 mt.scaling_gate ? "true" : "false", mt.light_solo_p99_ns,
+                 mt.light_noisy_p99_ns, mt.p99_inflation,
+                 mt.isolation_gate ? "true" : "false",
+                 mt.bit_identical ? "true" : "false");
     std::fprintf(out, "}\n");
     std::fclose(out);
     std::printf("wrote %s\n", path);
@@ -1162,9 +1481,25 @@ main(int argc, char **argv)
                 tuner_report.bit_identical ? "yes"
                                            : "NO — DETERMINISM BROKEN");
 
+    // --- Multi-tenant service: shared fleet, 1 vs 4 clients ---------
+    const MtReport mt = runMultiTenant();
+    std::printf("\nmulti-tenant service: %d fleet workers, %lld samples "
+                "per client\n",
+                kMtWorkers, static_cast<long long>(kMtSamples));
+    std::printf("  solo %.0f samples/s, 4 clients %.0f samples/s "
+                "aggregate -> %.2fx scaling (gate >=2x %s)\n",
+                mt.solo_rate, mt.aggregate_rate, mt.scaling,
+                mt.scaling_gate ? "PASS" : "FAIL");
+    std::printf("  light [T2] p99 %.2f ms solo, %.2f ms with noisy "
+                "neighbor -> %.2fx inflation (gate <=2x %s)\n",
+                mt.light_solo_p99_ns / 1e6, mt.light_noisy_p99_ns / 1e6,
+                mt.p99_inflation, mt.isolation_gate ? "PASS" : "FAIL");
+    std::printf("  per-client bit-identical to solo loaders: %s\n",
+                mt.bit_identical ? "yes" : "NO — DETERMINISM BROKEN");
+
     if (json)
         return writeJson("BENCH_loader.json", results, deterministic,
                          wall_speedup, p99_speedup, cache, io,
-                         tuner_report);
+                         tuner_report, mt);
     return 0;
 }

@@ -11,6 +11,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::kIoError: return "io_error";
       case ErrorCode::kNotFound: return "not_found";
       case ErrorCode::kTimeout: return "timeout";
+      case ErrorCode::kRejected: return "rejected";
     }
     LOTUS_PANIC("bad error code %d", static_cast<int>(code));
 }

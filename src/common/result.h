@@ -38,6 +38,10 @@ enum class ErrorCode : std::uint8_t
      *  congested remote store); transient — a retry may find the
      *  store less loaded. */
     kTimeout,
+    /** Admission control refused the request (service at capacity).
+     *  Not transient from the service's point of view: the caller
+     *  decides whether to back off and reconnect. */
+    kRejected,
 };
 
 /** Stable lower-case name, e.g. "corrupt_data". */

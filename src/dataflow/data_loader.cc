@@ -6,6 +6,7 @@
 #include "common/strings.h"
 #include "common/thread_util.h"
 #include "dataflow/sampler.h"
+#include "dataflow/task_runner.h"
 #include "hwcount/thread_counters.h"
 
 namespace lotus::dataflow {
@@ -13,24 +14,6 @@ namespace lotus::dataflow {
 using pipeline::Batch;
 
 namespace {
-
-/**
- * Per-epoch RNG seed base for one (base seed, epoch) pair. The epoch
- * must be mixed in — otherwise random-transform augmentation streams
- * repeat identically every epoch even though the shuffle reseeds —
- * and the mix matches rebuildBatches() (golden-ratio stride).
- * Augmentation draws are then per-sample: every fetch reseeds with
- * sampleRngSeed(epochSeedBase(...), dataset index), so batch contents
- * do not depend on worker count, schedule, or execution order (the
- * determinism contract Schedule::kWorkStealing relies on; see
- * FetchSeeding in dataflow/fetcher.h).
- */
-std::uint64_t
-epochSeedBase(std::uint64_t seed, std::int64_t epoch)
-{
-    constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ull;
-    return (seed + kGolden * static_cast<std::uint64_t>(epoch)) * kGolden;
-}
 
 /** Idle-worker wake backstop under work-stealing; wake events from
  *  StealGroup::notifyWork make the common case prompt. */
@@ -228,6 +211,23 @@ DataLoader::reconfigure(const LoaderReconfig &next)
                     static_cast<long long>(epoch_),
                     static_cast<long long>(rcvd_idx_),
                     static_cast<long long>(numBatches()));
+    // A loader co-hosted with a PreprocServer does not own the worker
+    // fleet: a tuner decision that resizes or reschedules it would
+    // silently fight the server's weighted-fair scheduler. Per-client
+    // knobs (prefetch, read-ahead) stay tunable.
+    if (!attached_service_.empty() &&
+        (next.num_workers != options_.num_workers ||
+         next.schedule != options_.schedule))
+        LOTUS_FATAL(
+            "DataLoader::reconfigure: this loader is attached to "
+            "preprocessing service '%s', which owns the shared worker "
+            "fleet; fleet-level knobs (num_workers %d->%d, schedule "
+            "%d->%d) must be changed on the server, not per client — "
+            "only prefetch_factor, read_ahead_depth, and io_threads "
+            "may change here",
+            attached_service_.c_str(), options_.num_workers,
+            next.num_workers, static_cast<int>(options_.schedule),
+            static_cast<int>(next.schedule));
     DataLoaderOptions candidate = options_;
     candidate.num_workers = next.num_workers;
     candidate.prefetch_factor = next.prefetch_factor;
@@ -293,17 +293,15 @@ DataLoader::registerMetrics()
 void
 DataLoader::rebuildBatches()
 {
-    // Like PyTorch, a shuffled loader reshuffles every epoch, with a
-    // deterministic per-epoch seed derived from the base seed.
-    const auto indices =
-        options_.shuffle
-            ? shuffledIndices(dataset_->size(),
-                              options_.seed +
-                                  0x9E3779B97F4A7C15ull *
-                                      static_cast<std::uint64_t>(epoch_))
-            : sequentialIndices(dataset_->size());
-    batches_ = batchIndices(indices, options_.batch_size,
-                            options_.drop_last);
+    batches_ = epochBatchPlan(dataset_->size(), options_.batch_size,
+                              options_.shuffle, options_.drop_last,
+                              options_.seed, epoch_);
+}
+
+void
+DataLoader::attachToService(const std::string &service)
+{
+    attached_service_ = service;
 }
 
 DataLoader::~DataLoader()
@@ -595,6 +593,7 @@ DataLoader::decomposeBatch(int worker_id, IndexMsg msg)
     BatchBuild *build = owned.get();
     build->batch_id = msg.batch_id;
     build->home_worker = worker_id;
+    build->seed_base = epoch_seed_base_;
     if (options_.logger != nullptr)
         build->trace_start = options_.logger->now();
     if (metrics::enabled())
@@ -638,7 +637,7 @@ DataLoader::runTask(int worker_id, SampleTask *task,
     // The per-sample seeding contract (FetchSeeding): reseed on the
     // current candidate index so retries replay and refills draw what
     // the replacement index would draw in its own slot.
-    rng = Rng(sampleRngSeed(epoch_seed_base_, task->index));
+    rng = Rng(sampleRngSeed(build.seed_base, task->index));
 
     trace::SpanTimer span(options_.logger, trace::RecordKind::TaskSpan);
     span.record().op_name = "task";
@@ -656,44 +655,22 @@ DataLoader::runTask(int worker_id, SampleTask *task,
     span.finish();
     ctx.sample_index = -1;
 
-    if (sample.ok()) {
-        build.samples[static_cast<std::size_t>(task->slot)] = sample.take();
-    } else {
-        noteSampleError(sample.error(), task->index, ctx,
-                        options_.error_policy);
-        // Unresolved outcomes re-enqueue the same task object (this
-        // worker owns it) instead of looping inline, so peers can
-        // steal the follow-up attempt too. The candidate walk matches
-        // Fetcher::fetchSample exactly — determinism depends on it.
-        switch (options_.error_policy) {
-          case ErrorPolicy::kFail:
-            break;
-          case ErrorPolicy::kRetry:
-            if (errorIsTransient(sample.error().code) &&
-                task->retries_left-- > 0) {
-                group_->deque(worker_id).push(task);
-                group_->notifyWork();
-                return;
-            }
-            break;
-          case ErrorPolicy::kSkip:
-            if (task->refills_left-- > 0) {
-                task->index = (task->index + 1) % dataset_->size();
-                group_->deque(worker_id).push(task);
-                group_->notifyWork();
-                return;
-            }
-            break;
-        }
-        build.errors[static_cast<std::size_t>(task->slot)] =
-            sample.takeError();
-    }
-
-    // acq_rel: the release side joins this slot's writes to the
-    // counter's release sequence; the acquire side makes every slot
-    // visible to whichever worker observes the count hit zero.
-    if (build.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    const ErrorHandling errors{options_.error_policy, options_.max_retries,
+                               options_.max_refill_attempts};
+    switch (resolveTask(task, std::move(sample), errors, dataset_->size(),
+                        ctx)) {
+      case TaskOutcome::kRequeue:
+        // This worker still owns the mutated task: re-enqueue it so
+        // peers can steal the follow-up attempt too.
+        group_->deque(worker_id).push(task);
+        group_->notifyWork();
+        break;
+      case TaskOutcome::kResolved:
+        break;
+      case TaskOutcome::kBatchDone:
         completeBatch(worker_id, build, ctx);
+        break;
+    }
 }
 
 void

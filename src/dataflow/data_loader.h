@@ -246,6 +246,23 @@ class DataLoader
      */
     void reconfigure(const LoaderReconfig &next);
 
+    /**
+     * Mark this loader as co-hosted with preprocessing service
+     * @p service (PreprocServer::adoptLoader calls this). An attached
+     * loader refuses fleet-level reconfiguration — num_workers and
+     * schedule belong to the server's shared fleet, and a tuner
+     * driving them per client would silently fight the server's
+     * weighted-fair scheduler. Per-client knobs (prefetch_factor,
+     * read_ahead_depth, io_threads) stay reconfigurable.
+     */
+    void attachToService(const std::string &service);
+
+    /** The adopting service's name, or "" when standalone. */
+    const std::string &attachedService() const
+    {
+        return attached_service_;
+    }
+
     /** The decoded-sample cache, or null when cache_policy is kNone
      *  (or the dataset is not cacheable). For tests and benches. */
     const cache::SampleCache *cache() const { return cache_.get(); }
@@ -334,6 +351,9 @@ class DataLoader
     std::shared_ptr<const pipeline::Dataset> dataset_;
     Fetcher fetcher_;
     DataLoaderOptions options_;
+    /** Non-empty once adopted by a PreprocServer (see
+     *  attachToService): fleet-level reconfigure is then fatal. */
+    std::string attached_service_;
     std::uint32_t main_pid_;
     /** Decoded-sample cache shared with fetcher_ (null = off). */
     std::shared_ptr<cache::SampleCache> cache_;

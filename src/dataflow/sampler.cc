@@ -48,4 +48,17 @@ batchIndices(const std::vector<std::int64_t> &indices, int batch_size,
     return batches;
 }
 
+std::vector<std::vector<std::int64_t>>
+epochBatchPlan(std::int64_t dataset_size, int batch_size, bool shuffle,
+               bool drop_last, std::uint64_t seed, std::int64_t epoch)
+{
+    constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ull;
+    const auto indices =
+        shuffle ? shuffledIndices(
+                      dataset_size,
+                      seed + kGolden * static_cast<std::uint64_t>(epoch))
+                : sequentialIndices(dataset_size);
+    return batchIndices(indices, batch_size, drop_last);
+}
+
 } // namespace lotus::dataflow

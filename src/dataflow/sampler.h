@@ -29,6 +29,20 @@ std::vector<std::vector<std::int64_t>>
 batchIndices(const std::vector<std::int64_t> &indices, int batch_size,
              bool drop_last);
 
+/**
+ * One epoch's batch plan: like PyTorch, a shuffled plan reshuffles
+ * every epoch with a deterministic per-epoch seed derived from the
+ * base seed (golden-ratio stride). This is the single source of the
+ * plan for both the solo DataLoader and a PreprocServer client — any
+ * consumer using the same (dataset size, batch size, shuffle,
+ * drop_last, seed, epoch) tuple gets the identical plan, which is
+ * half of the service's bit-identity contract (the other half is
+ * epochSeedBase in dataflow/task_runner.h).
+ */
+std::vector<std::vector<std::int64_t>>
+epochBatchPlan(std::int64_t dataset_size, int batch_size, bool shuffle,
+               bool drop_last, std::uint64_t seed, std::int64_t epoch);
+
 } // namespace lotus::dataflow
 
 #endif // LOTUS_DATAFLOW_SAMPLER_H

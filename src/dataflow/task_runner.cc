@@ -1,0 +1,56 @@
+#include "dataflow/task_runner.h"
+
+#include "dataflow/fetcher.h"
+
+namespace lotus::dataflow {
+
+std::uint64_t
+epochSeedBase(std::uint64_t seed, std::int64_t epoch)
+{
+    constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ull;
+    return (seed + kGolden * static_cast<std::uint64_t>(epoch)) * kGolden;
+}
+
+TaskOutcome
+resolveTask(SampleTask *task, Result<pipeline::Sample> sample,
+            const ErrorHandling &errors, std::int64_t dataset_size,
+            pipeline::PipelineContext &ctx)
+{
+    BatchBuild &build = *task->build;
+    if (sample.ok()) {
+        build.samples[static_cast<std::size_t>(task->slot)] = sample.take();
+    } else {
+        noteSampleError(sample.error(), task->index, ctx, errors.policy);
+        // Unresolved outcomes hand the same task object back to its
+        // owner for re-enqueue instead of looping inline, so peers
+        // can steal the follow-up attempt too. The candidate walk
+        // matches Fetcher::fetchSample exactly — determinism depends
+        // on it.
+        switch (errors.policy) {
+          case ErrorPolicy::kFail:
+            break;
+          case ErrorPolicy::kRetry:
+            if (errorIsTransient(sample.error().code) &&
+                task->retries_left-- > 0)
+                return TaskOutcome::kRequeue;
+            break;
+          case ErrorPolicy::kSkip:
+            if (task->refills_left-- > 0) {
+                task->index = (task->index + 1) % dataset_size;
+                return TaskOutcome::kRequeue;
+            }
+            break;
+        }
+        build.errors[static_cast<std::size_t>(task->slot)] =
+            sample.takeError();
+    }
+
+    // acq_rel: the release side joins this slot's writes to the
+    // counter's release sequence; the acquire side makes every slot
+    // visible to whichever worker observes the count hit zero.
+    if (build.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        return TaskOutcome::kBatchDone;
+    return TaskOutcome::kResolved;
+}
+
+} // namespace lotus::dataflow

@@ -135,14 +135,14 @@ StealGroup::stealBusiest(int thief, int *victim_out)
 }
 
 std::uint64_t
-StealGroup::workEpoch() const
+WorkSignal::workEpoch() const
 {
     std::lock_guard lock(mutex_);
     return work_epoch_;
 }
 
 void
-StealGroup::notifyWork()
+WorkSignal::notifyWork()
 {
     {
         std::lock_guard lock(mutex_);
@@ -152,7 +152,7 @@ StealGroup::notifyWork()
 }
 
 void
-StealGroup::notifyShutdown()
+WorkSignal::notifyShutdown()
 {
     {
         std::lock_guard lock(mutex_);
@@ -162,7 +162,7 @@ StealGroup::notifyShutdown()
 }
 
 void
-StealGroup::waitForWork(std::uint64_t seen_epoch, TimeNs timeout)
+WorkSignal::waitForWork(std::uint64_t seen_epoch, TimeNs timeout)
 {
     std::unique_lock lock(mutex_);
     cv_.wait_for(lock, std::chrono::nanoseconds(timeout), [&] {

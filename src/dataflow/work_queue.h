@@ -63,6 +63,13 @@ struct SampleTask
  * elects the collating worker. Builds are retained by the loader
  * until the epoch's workers have joined, so a stolen task can never
  * outlive its build.
+ *
+ * The build also carries everything a worker needs to execute its
+ * tasks without knowing who submitted them: `seed_base` drives the
+ * per-(seed, epoch, sample) RNG reseeding (FetchSeeding), and
+ * `client_id`/`generation` identify the submitting tenant and epoch
+ * incarnation when the substrate is shared by a PreprocServer
+ * (src/service/); a solo DataLoader leaves them at their defaults.
  */
 struct BatchBuild
 {
@@ -73,6 +80,16 @@ struct BatchBuild
     TimeNs start = 0;
     /** Decompose time on the tracer's clock; 0 when untraced. */
     TimeNs trace_start = 0;
+    /** epochSeedBase(seed, epoch) of the submitting epoch: tasks
+     *  reseed with sampleRngSeed(seed_base, index), so mixed-tenant
+     *  fleets stay bit-identical to a solo loader per tenant. */
+    std::uint64_t seed_base = 0;
+    /** Submitting service client (-1: a solo DataLoader's build). */
+    std::int64_t client_id = -1;
+    /** Submitting client's epoch incarnation; a mismatch against the
+     *  client's live generation means the build was canceled
+     *  (disconnect / aborted epoch) and must drain, not ship. */
+    std::uint64_t generation = 0;
     std::vector<std::int64_t> indices;
     std::vector<pipeline::Sample> samples;
     std::vector<std::optional<Error>> errors;
@@ -150,12 +167,44 @@ class TaskDeque
 };
 
 /**
- * The deques of one epoch's workers plus the idle/wake coordination.
+ * Idle/wake coordination for a fleet of workers sharing deques.
  *
  * Waking is event-counted: a worker snapshots workEpoch() *before*
  * scanning for work and passes the token to waitForWork(), so a
  * notify that lands between the scan and the wait is never lost. The
  * timeout is only a backstop against pathological scheduling.
+ *
+ * Extracted from StealGroup so fleets whose deques are not per-worker
+ * (the PreprocServer's per-client deques) reuse the same protocol.
+ */
+class WorkSignal
+{
+  public:
+    /** Current wake-event count; snapshot before scanning for work. */
+    std::uint64_t workEpoch() const;
+
+    /** New work exists (task pushed / index queued): wake idlers. */
+    void notifyWork();
+
+    /** Fleet tear-down: wake everyone for their shutdown check. */
+    void notifyShutdown();
+
+    /**
+     * Block until notifyWork() advances past @p seen_epoch,
+     * notifyShutdown() ran, or @p timeout elapses.
+     */
+    void waitForWork(std::uint64_t seen_epoch, TimeNs timeout);
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::uint64_t work_epoch_ = 0;
+    bool shutdown_ = false;
+};
+
+/**
+ * The deques of one epoch's workers plus the idle/wake coordination
+ * (a WorkSignal).
  */
 class StealGroup
 {
@@ -172,27 +221,18 @@ class StealGroup
      */
     SampleTask *stealBusiest(int thief, int *victim_out);
 
-    /** Current wake-event count; snapshot before scanning for work. */
-    std::uint64_t workEpoch() const;
-
-    /** New work exists (task pushed / index queued): wake idlers. */
-    void notifyWork();
-
-    /** Epoch tear-down: wake everyone for their shutdown check. */
-    void notifyShutdown();
-
-    /**
-     * Block until notifyWork() advances past @p seen_epoch,
-     * notifyShutdown() ran, or @p timeout elapses.
-     */
-    void waitForWork(std::uint64_t seen_epoch, TimeNs timeout);
+    /** See WorkSignal. */
+    std::uint64_t workEpoch() const { return signal_.workEpoch(); }
+    void notifyWork() { signal_.notifyWork(); }
+    void notifyShutdown() { signal_.notifyShutdown(); }
+    void waitForWork(std::uint64_t seen_epoch, TimeNs timeout)
+    {
+        signal_.waitForWork(seen_epoch, timeout);
+    }
 
   private:
     std::vector<std::unique_ptr<TaskDeque>> deques_;
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;
-    std::uint64_t work_epoch_ = 0;
-    bool shutdown_ = false;
+    WorkSignal signal_;
 };
 
 } // namespace lotus::dataflow

@@ -51,6 +51,32 @@ splitLabeled(const std::string &name, std::string &family,
     labels = name.substr(brace + 1, name.size() - brace - 2);
 }
 
+std::string
+labelValue(const std::string &name, const std::string &key)
+{
+    std::string family;
+    std::string labels;
+    splitLabeled(name, family, labels);
+    // labels is `k1="v1",k2="v2"`: scan key-by-key rather than
+    // substring-matching so a key that is a suffix of another
+    // (e.g. "id" vs "client_id") can never alias.
+    std::size_t pos = 0;
+    while (pos < labels.size()) {
+        const auto eq = labels.find("=\"", pos);
+        if (eq == std::string::npos)
+            return "";
+        const auto end = labels.find('"', eq + 2);
+        if (end == std::string::npos)
+            return "";
+        if (labels.compare(pos, eq - pos, key) == 0)
+            return labels.substr(eq + 2, end - eq - 2);
+        pos = end + 1;
+        if (pos < labels.size() && labels[pos] == ',')
+            ++pos;
+    }
+    return "";
+}
+
 std::uint64_t
 nearestRank(double q, std::uint64_t total) noexcept
 {

@@ -99,6 +99,11 @@ std::string labeled(const std::string &name, const std::string &key1,
 void splitLabeled(const std::string &name, std::string &family,
                   std::string &labels);
 
+/** The value of label @p key in a labeled() name, or "" when the
+ *  name is bare or the key absent — the inverse consumers (lotus_top
+ *  per-client panels) use to group `name{client="N"}` families. */
+std::string labelValue(const std::string &name, const std::string &key);
+
 /**
  * 1-based nearest rank, ceil(q * total), computed in integer space.
  * The naive double formulation off-by-ones when q * total should be

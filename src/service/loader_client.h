@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The training-side handle onto a PreprocServer: a DataLoader-shaped
+ * epoch cursor (numBatches / startEpoch / next) whose fetching runs
+ * on the server's shared fleet instead of a private worker pool.
+ *
+ * The client owns the epoch state machine — the batch plan, the
+ * submission pacing (prefetch_batches ahead of consumption), and the
+ * in-order reorder buffer — and the server owns execution. next()
+ * blocks on the transport exactly like DataLoader::next() blocks on
+ * its data queue, so the recorded wait is the same [T2] quantity,
+ * exported per client as lotus_service_wait_ns{client=N}.
+ */
+
+#ifndef LOTUS_SERVICE_LOADER_CLIENT_H
+#define LOTUS_SERVICE_LOADER_CLIENT_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "service/preproc_server.h"
+
+namespace lotus::service {
+
+class LoaderClient
+{
+  public:
+    /** Disconnects: the server cancels and drains any outstanding
+     *  work without stalling other clients. */
+    ~LoaderClient();
+
+    LoaderClient(const LoaderClient &) = delete;
+    LoaderClient &operator=(const LoaderClient &) = delete;
+
+    std::int64_t id() const { return state_->id; }
+    const ClientConfig &config() const { return state_->config; }
+
+    /** Batches one epoch will produce (same plan as a solo loader). */
+    std::int64_t numBatches() const;
+
+    /**
+     * Begin an epoch: cancel any outstanding incarnation, rebuild the
+     * plan (reshuffling like a solo loader on re-start), and submit
+     * the first prefetch_batches. Called implicitly by the first
+     * next(); explicit restart supports multi-epoch use.
+     */
+    void startEpoch();
+
+    /**
+     * Next in-order batch, or nullopt at epoch end. Blocks on the
+     * transport as needed ([T2]). Under ErrorPolicy::kFail (and
+     * exhausted kRetry/kSkip) a failed batch surfaces here as a
+     * LoaderError in batch order — the epoch is then aborted
+     * (outstanding work drains server-side) and needs an explicit
+     * startEpoch() to run again, matching DataLoader::next().
+     */
+    std::optional<pipeline::Batch> next();
+
+    /** 0-based epoch counter (increments on re-startEpoch). */
+    std::int64_t epoch() const { return epoch_; }
+
+  private:
+    friend class PreprocServer;
+
+    LoaderClient(PreprocServer *server,
+                 std::shared_ptr<ClientState> state);
+
+    /** Submit until prefetch_batches are in flight or the plan is
+     *  exhausted. */
+    void pump();
+
+    PreprocServer *const server_;
+    const std::shared_ptr<ClientState> state_;
+
+    std::vector<std::vector<std::int64_t>> batches_;
+    bool epoch_started_ = false;
+    std::int64_t epoch_ = 0;
+    std::int64_t send_idx_ = 0;
+    std::int64_t rcvd_idx_ = 0;
+    std::uint64_t seed_base_ = 0;
+    /** Live epoch incarnation; messages from others are dropped. */
+    std::uint64_t generation_ = 0;
+    /** Early out-of-order arrivals, held until their turn. */
+    std::map<std::int64_t, BatchMsg> reorder_;
+};
+
+} // namespace lotus::service
+
+#endif // LOTUS_SERVICE_LOADER_CLIENT_H

@@ -325,6 +325,18 @@ TEST_F(MetricsTest, LabeledNamesSplitBackIntoParts)
     EXPECT_TRUE(labels.empty());
 }
 
+TEST_F(MetricsTest, LabelValueExtractsOneKey)
+{
+    const std::string name =
+        labeled("lotus_service_tasks_total", "client", "7");
+    EXPECT_EQ(labelValue(name, "client"), "7");
+    EXPECT_EQ(labelValue(name, "worker"), "");
+    EXPECT_EQ(labelValue("bare_name", "client"), "");
+    // Key matching is exact, not a substring/suffix scan.
+    EXPECT_EQ(labelValue("m{subclient=\"9\",client=\"2\"}", "client"), "2");
+    EXPECT_EQ(labelValue("m{client=\"2\"}", "lient"), "");
+}
+
 /** Minimal Prometheus text parser for the round-trip test. */
 struct PromSample
 {

@@ -44,6 +44,8 @@
 #include "pipeline/store.h"
 #include "pipeline/traced_store.h"
 #include "pipeline/transforms/vision.h"
+#include "service/loader_client.h"
+#include "service/preproc_server.h"
 #include "trace/chrome_reader.h"
 #include "tuner/tuner.h"
 
@@ -328,6 +330,73 @@ render(const JsonValue &document, const std::string &source)
         std::printf("  tuner: idle (no decisions this run)\n");
     }
 
+    // Multi-tenant service panel: one row per connected client, fed
+    // by the lotus_service_* per-client series. Absent entirely when
+    // no PreprocServer ran.
+    struct ClientRow
+    {
+        long long id = 0;
+        double tasks = 0.0;
+        double rate = 0.0;
+        double queue_depth = 0.0;
+        double wait_p99 = 0.0;
+    };
+    std::vector<ClientRow> clients;
+    double service_tasks_total = 0.0;
+    if (counters != nullptr) {
+        for (const auto &[name, value] : counters->object) {
+            if (name.rfind(service::kServiceTasksMetric, 0) != 0)
+                continue;
+            const std::string id = metrics::labelValue(name, "client");
+            if (id.empty())
+                continue;
+            ClientRow row;
+            row.id = std::atoll(id.c_str());
+            row.tasks = value.number;
+            row.rate = rateFor(document, name);
+            service_tasks_total += row.tasks;
+            if (gauges != nullptr)
+                row.queue_depth = numberField(
+                    *gauges,
+                    metrics::labeled(service::kServiceQueueDepthMetric,
+                                     "client", id)
+                        .c_str());
+            if (histograms != nullptr) {
+                const JsonValue *wait = histograms->find(
+                    metrics::labeled(service::kServiceWaitNsMetric,
+                                     "client", id));
+                if (wait != nullptr)
+                    row.wait_p99 = numberField(*wait, "p99");
+            }
+            clients.push_back(row);
+        }
+    }
+    if (!clients.empty()) {
+        std::sort(clients.begin(), clients.end(),
+                  [](const ClientRow &a, const ClientRow &b) {
+                      return a.id < b.id;
+                  });
+        const double live =
+            gauges != nullptr
+                ? numberField(*gauges, service::kServiceClientsMetric)
+                : 0.0;
+        const double rejected =
+            counters != nullptr
+                ? numberField(*counters, service::kServiceRejectedMetric)
+                : 0.0;
+        std::printf("\n  service: %.0f clients connected, %.0f rejected\n",
+                    live, rejected);
+        std::printf("  %-8s %12s %12s %8s %10s %8s\n", "client",
+                    "samples", "samples/s", "queue", "t2_p99", "share");
+        for (const ClientRow &row : clients)
+            std::printf("  %-8lld %12.0f %12.1f %8.0f %10s %7.1f%%\n",
+                        row.id, row.tasks, row.rate, row.queue_depth,
+                        formatNs(row.wait_p99).c_str(),
+                        service_tasks_total > 0
+                            ? row.tasks / service_tasks_total * 100.0
+                            : 0.0);
+    }
+
     if (gauges != nullptr && !gauges->object.empty()) {
         std::printf("\n  %-44s %10s\n", "gauge", "value");
         for (const auto &[name, value] : gauges->object)
@@ -447,6 +516,32 @@ demo()
             while (loader.next().has_value()) {
             }
         }
+
+        // Two tenants on one shared fleet, so the per-client service
+        // panel renders live rows (ids, rates, [T2] p99, steal share).
+        service::PreprocServer server({.num_workers = 4});
+        auto first =
+            server
+                .connect(demoDataset(),
+                         std::make_shared<pipeline::StackCollate>(),
+                         {.batch_size = 8, .shuffle = true, .seed = 1})
+                .take();
+        auto second =
+            server
+                .connect(demoDataset(),
+                         std::make_shared<pipeline::StackCollate>(),
+                         {.batch_size = 4,
+                          .shuffle = true,
+                          .seed = 2,
+                          .weight = 2.0})
+                .take();
+        std::thread second_driver([&second] {
+            while (second->next().has_value()) {
+            }
+        });
+        while (first->next().has_value()) {
+        }
+        second_driver.join();
     } // reporter destructor publishes the final tick
 
     return watch(endpoint, /*once=*/true, /*interval_ms=*/0);

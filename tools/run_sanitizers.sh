@@ -24,7 +24,10 @@ BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-asan}"
 # and the prefetch window's entry lifecycle (move-outs, cancellation).
 # test_tuner exercises reconfigure(): worker teardown/respawn and the
 # build-then-swap read-ahead engine replacement between epochs.
-ASAN_TESTS='test_cache|test_fault_injection|test_image_codec|test_dataflow|test_pipeline|test_hwcount|test_trace|test_remote_store|test_read_ahead|test_tuner'
+# test_service covers the multi-tenant service's build lifecycle:
+# canceled-epoch draining, disconnect reaping, and the reorder
+# buffer's message move-outs.
+ASAN_TESTS='test_cache|test_fault_injection|test_image_codec|test_dataflow|test_pipeline|test_hwcount|test_trace|test_remote_store|test_read_ahead|test_tuner|test_service$'
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
     -DLOTUS_SANITIZE=address \
@@ -32,7 +35,8 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
     --target test_cache test_fault_injection test_image_codec \
              test_dataflow test_pipeline test_hwcount test_trace \
-             test_remote_store test_read_ahead test_tuner
+             test_remote_store test_read_ahead test_tuner \
+             test_service
 
 ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \

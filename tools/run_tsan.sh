@@ -22,7 +22,10 @@ BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-tsan}"
 # readers; test_read_ahead races issuers, claimers and cancellation.
 # test_tuner drives epoch-boundary reconfiguration, which tears down
 # and respawns the worker fleet and read-ahead engine between epochs.
-TSAN_TESTS='test_metrics|test_dataflow|test_cache|test_work_stealing|test_fault_injection|test_trace|test_pipeline|test_buffer_pool|test_hwcount|test_remote_store|test_read_ahead|test_tuner'
+# test_service runs N concurrent clients over one shared fleet:
+# weighted-fair stealing, admission control, and disconnect draining
+# all race client threads against fleet workers.
+TSAN_TESTS='test_metrics|test_dataflow|test_cache|test_work_stealing|test_fault_injection|test_trace|test_pipeline|test_buffer_pool|test_hwcount|test_remote_store|test_read_ahead|test_tuner|test_service$'
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
     -DLOTUS_SANITIZE=thread \
@@ -31,7 +34,8 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)" \
     --target test_metrics test_dataflow test_cache \
              test_work_stealing test_fault_injection test_trace \
              test_pipeline test_buffer_pool test_hwcount \
-             test_remote_store test_read_ahead test_tuner
+             test_remote_store test_read_ahead test_tuner \
+             test_service
 
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "${BUILD_DIR}" --output-on-failure \
